@@ -1,0 +1,171 @@
+// Package repro hosts the top-level benchmark targets: one testing.B
+// benchmark per table and figure of the paper's evaluation (§5), each
+// delegating to the harnesses in internal/bench. Run them all with
+//
+//	go test -bench=. -benchmem
+//
+// and regenerate the paper-style tables/series with cmd/benchrunner.
+package repro
+
+import (
+	"testing"
+
+	"github.com/mural-db/mural/internal/bench"
+)
+
+// BenchmarkTable4Psi reproduces Table 4: Ψ scan and join performance, core
+// (no index / M-Tree) vs outside-the-server (no index / MDI).
+func BenchmarkTable4Psi(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunTable4(bench.Table4Config{Names: 2000, ProbeNames: 30, Queries: 3, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("Table4 %-8s %-6s scan=%.4fs join=%.4fs", r.Impl, r.Index, r.ScanSec, r.JoinSec)
+			}
+			core, outside := rows[0], rows[2]
+			b.ReportMetric(outside.ScanSec/core.ScanSec, "outside/core-scan-x")
+			b.ReportMetric(outside.JoinSec/core.JoinSec, "outside/core-join-x")
+		}
+	}
+}
+
+// BenchmarkFigure6CostModel reproduces Figure 6: optimizer predicted cost vs
+// actual runtime; the reported metric is the log-log correlation (paper:
+// well over 0.9).
+func BenchmarkFigure6CostModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFigure6(bench.Fig6Config{
+			TableSizes: []int{300, 1000}, Thresholds: []int{1, 2, 3}, DupFactors: []int{1, 2}, Seed: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.LogCorrelation, "log-correlation")
+			b.Logf("Figure6: %d points, log-log correlation %.3f", len(res.Points), res.LogCorrelation)
+		}
+	}
+}
+
+// BenchmarkFigure7PlanChoice reproduces Example 5 / Figure 7: the optimizer
+// must predict and pick the Ψ-first plan; the metric is the runtime ratio
+// plan2/plan1 (paper: 2338 s / 82 s ≈ 28×).
+func BenchmarkFigure7PlanChoice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunFigure7(bench.Fig7Config{Authors: 300, Publishers: 60, Books: 3000, Seed: 3})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Plan2.RuntimeSec/res.Plan1.RuntimeSec, "plan2/plan1-x")
+			b.ReportMetric(res.Plan2.PredictedCost/res.Plan1.PredictedCost, "cost2/cost1-x")
+			if !res.ChosenMatchesPlan1 {
+				b.Errorf("optimizer did not choose plan 1")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure8Closure reproduces Figure 8: closure computation time vs
+// closure cardinality for the four implementation series.
+func BenchmarkFigure8Closure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := bench.RunFigure8(bench.Fig8Config{
+			Synsets: 8000, Targets: []int{100, 300, 1000}, Seed: 4, IncludePinned: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, p := range points {
+				b.Logf("Figure8 %-16s |TC|=%5d %.5fs", p.Series, p.ClosureSize, p.Seconds)
+			}
+		}
+	}
+}
+
+// BenchmarkRegressionSuite reproduces the §5.1 no-regression check: the
+// metric is multilingual/plain runtime of a standard query suite (paper:
+// no statistically significant degradation).
+func BenchmarkRegressionSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunRegression(bench.RegressionConfig{Rows: 3000, Runs: 3, Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.Ratio, "multi/plain-x")
+		}
+	}
+}
+
+// BenchmarkAblationMTreeSplit compares the paper's random split (§4.2.1)
+// against the expensive mM-RAD split: build time and pruning efficiency.
+func BenchmarkAblationMTreeSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunAblationMTreeSplit(2000, 10, 2, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("mtree-split %-8s build=%.4fs pages/search=%.1f", r.Policy, r.BuildSec, r.AvgSearchPages)
+			}
+			b.ReportMetric(rows[1].BuildSec/rows[0].BuildSec, "mMRAD/random-build-x")
+		}
+	}
+}
+
+// BenchmarkAblationClosureCache quantifies §4.3's closure memoization.
+func BenchmarkAblationClosureCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunAblationClosureCache(8000, 3000, 4, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[1].Seconds/rows[0].Seconds, "nocache/cache-x")
+		}
+	}
+}
+
+// BenchmarkAblationPsiAccessPaths compares every Ψ access method (seqscan,
+// M-Tree, MDI, q-gram) on the scan workload — the paper's "alternate index
+// structures" future work (E10).
+func BenchmarkAblationPsiAccessPaths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunAblationPsiIndexes(3000, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var seq, qg float64
+			for _, r := range rows {
+				if r.Threshold == 1 && r.Path == "seqscan" {
+					seq = r.AvgSec
+				}
+				if r.Threshold == 1 && r.Path == "qgram" {
+					qg = r.AvgSec
+				}
+			}
+			if qg > 0 {
+				b.ReportMetric(seq/qg, "seqscan/qgram-k1-x")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationEditDistance compares the full DP against the banded
+// computation on the name workload.
+func BenchmarkAblationEditDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunAblationEditDistance(400, 2, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rows[0].Seconds/rows[1].Seconds, "full/banded-x")
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Command muralsql is an interactive SQL shell for the MURAL engine.
+//
+// Usage:
+//
+//	muralsql [-dir /path/to/db] [-wordnet N] [-e "SQL"]
+//
+// With -dir the database persists; without, it is in-memory. -wordnet N
+// generates and pins an N-synset taxonomy so SEMEQUAL works out of the box
+// (0 disables). -e runs one statement and exits. The shell reads one
+// statement per line; \q quits, \d lists tables, \timing toggles timings.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/mural-db/mural/mural"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "database directory (empty = in-memory)")
+		wnSize  = flag.Int("wordnet", 20000, "generate an N-synset taxonomy for SEMEQUAL (0 = off)")
+		oneShot = flag.String("e", "", "execute one statement and exit")
+	)
+	flag.Parse()
+
+	cfg := mural.Config{Dir: *dir}
+	if *wnSize > 0 {
+		cfg.WordNet = mural.GenerateWordNet(mural.WordNetConfig{Synsets: *wnSize, Seed: 2006,
+			Langs: []mural.LangID{mural.LangEnglish, mural.LangHindi, mural.LangTamil, mural.LangFrench}})
+	}
+	db, err := mural.Open(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "muralsql:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	if *oneShot != "" {
+		if err := runStatement(db, *oneShot, true); err != nil {
+			fmt.Fprintln(os.Stderr, "muralsql:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("muralsql — MURAL multilingual relational engine")
+	fmt.Println(`type SQL statements; \d lists tables, \timing toggles timings, \q quits`)
+	timing := false
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("mural> ")
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q`:
+			return
+		case line == `\timing`:
+			timing = !timing
+			fmt.Println("timing:", timing)
+			continue
+		case line == `\d`:
+			listTables(db)
+			continue
+		}
+		start := time.Now()
+		if err := runStatement(db, line, true); err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		if timing {
+			fmt.Printf("(%s)\n", time.Since(start).Round(time.Microsecond))
+		}
+	}
+}
+
+func listTables(db *mural.Engine) {
+	for _, t := range db.Catalog().Tables() {
+		cols := make([]string, len(t.Columns))
+		for i, c := range t.Columns {
+			cols[i] = c.Name + " " + c.Kind.String()
+		}
+		fmt.Printf("  %s (%s)\n", t.Name, strings.Join(cols, ", "))
+	}
+	for _, ix := range db.Catalog().Indexes() {
+		fmt.Printf("  index %s on %s(%s) using %s\n", ix.Name, ix.Table, ix.Column, ix.Kind)
+	}
+}
+
+func runStatement(db *mural.Engine, stmt string, print bool) error {
+	res, err := db.Exec(stmt)
+	if err != nil {
+		return err
+	}
+	if !print {
+		return nil
+	}
+	if len(res.Cols) > 0 {
+		fmt.Println(strings.Join(res.Cols, " | "))
+		for _, row := range res.Rows {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = v.String()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+	} else if res.RowsAffected > 0 {
+		fmt.Printf("OK, %d rows\n", res.RowsAffected)
+	} else {
+		fmt.Println("OK")
+	}
+	return nil
+}

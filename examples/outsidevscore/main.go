@@ -1,0 +1,105 @@
+// Outsidevscore: the paper's central comparison, live. One engine serves a
+// multilingual names table over the wire protocol; the same LexEQUAL query
+// is answered (a) natively in the engine ("core", the paper's
+// first-class-operator path) and (b) by a client-side UDF over shipped rows
+// ("outside-the-server", the paper's PL/SQL baseline). Both must agree on
+// the answer; the timings show why the paper pushes the operators into the
+// kernel.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"github.com/mural-db/mural/internal/client"
+	"github.com/mural-db/mural/internal/dataset"
+	"github.com/mural-db/mural/internal/phonetic"
+	"github.com/mural-db/mural/internal/server"
+	"github.com/mural-db/mural/internal/types"
+	"github.com/mural-db/mural/mural"
+)
+
+func main() {
+	eng, err := mural.Open(mural.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Load 6000 multilingual names, phonemes materialized at insert.
+	recs := dataset.GenerateNames(dataset.NamesConfig{Records: 6000, Seed: 42})
+	eng.MustExec(`CREATE TABLE names (id INT, name UNITEXT)`)
+	var rows []string
+	for _, r := range recs {
+		rows = append(rows, fmt.Sprintf("(%d, unitext('%s', %s))",
+			r.ID, strings.ReplaceAll(r.Name.Text, "'", "''"), r.Name.Lang))
+		if len(rows) == 500 {
+			eng.MustExec(`INSERT INTO names VALUES ` + strings.Join(rows, ","))
+			rows = rows[:0]
+		}
+	}
+	if len(rows) > 0 {
+		eng.MustExec(`INSERT INTO names VALUES ` + strings.Join(rows, ","))
+	}
+	eng.MustExec(`ANALYZE names`)
+
+	// Serve the engine and connect a client, as the outside path requires.
+	srv := server.New(eng)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := client.Dial(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	conn.FetchSize = 1 // row-at-a-time, the PL/SQL cursor discipline
+
+	query := recs[0].Roman
+	fmt.Printf("query: name LEXEQUAL %q THRESHOLD 3 over %d rows\n\n", query, len(recs))
+
+	// (a) Core: the operator runs inside the engine. Warm once so the
+	// comparison measures execution, not first-call planning.
+	coreQ := fmt.Sprintf(`SELECT count(*) FROM names WHERE name LEXEQUAL '%s' THRESHOLD 3`, query)
+	eng.MustExec(coreQ)
+	start := time.Now()
+	res := eng.MustExec(coreQ)
+	coreDur := time.Since(start)
+	fmt.Printf("core (first-class operator): %v matches in %v\n", res.Rows[0][0], coreDur.Round(time.Microsecond))
+
+	// (b) Outside the server: ship every row, evaluate the UDF client-side.
+	reg := phonetic.DefaultRegistry()
+	start = time.Now()
+	matches, st, err := client.PsiScan(conn, "names", "name",
+		types.Compose(query, types.LangEnglish), 3, nil, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	outDur := time.Since(start)
+	fmt.Printf("outside-the-server (UDF):    %d matches in %v\n", len(matches), outDur.Round(time.Microsecond))
+	fmt.Printf("  rows shipped: %d, cursor round trips: %d\n", st.RowsShipped, st.RoundTrips)
+
+	if int64(len(matches)) != res.Rows[0][0].Int() {
+		log.Fatalf("implementations disagree: %d vs %v", len(matches), res.Rows[0][0])
+	}
+	fmt.Printf("\nanswers agree; core is %.0fx faster (the paper's Table 4 effect)\n",
+		outDur.Seconds()/coreDur.Seconds())
+
+	// Batched fetch shows how much of the penalty is round trips alone.
+	conn.FetchSize = 256
+	start = time.Now()
+	matches, st, err = client.PsiScan(conn, "names", "name",
+		types.Compose(query, types.LangEnglish), 3, nil, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("outside with 256-row batches: %d matches in %v (%d round trips)\n",
+		len(matches), time.Since(start).Round(time.Microsecond), st.RoundTrips)
+	fmt.Println("  (batching removes the round-trip share of the penalty; the paper's")
+	fmt.Println("   PL/SQL baseline additionally pays interpreted per-call UDF overhead,")
+	fmt.Println("   which a compiled client does not reproduce)")
+}

@@ -1,0 +1,69 @@
+// Quickstart: open an in-memory MURAL engine, store a small multilingual
+// books catalog, and run the paper's two headline queries — LexEQUAL
+// (Figure 2) and SemEQUAL (Figure 4).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/mural-db/mural/mural"
+)
+
+func main() {
+	// A taxonomy is needed for SEMEQUAL; generate a small WordNet-shaped
+	// one with interlinked English/French/Tamil word forms.
+	net := mural.GenerateWordNet(mural.WordNetConfig{
+		Synsets: 5000,
+		Seed:    42,
+		Langs:   []mural.LangID{mural.LangEnglish, mural.LangFrench, mural.LangTamil},
+	})
+	db, err := mural.Open(mural.Config{WordNet: net})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// The Book table of the paper's Figure 1, in miniature. UniText values
+	// carry their language; phonemes are materialized at insert (§3.1).
+	db.MustExec(`CREATE TABLE book (id INT, author UNITEXT, title TEXT, category UNITEXT)`)
+	db.MustExec(`INSERT INTO book VALUES
+		(1, unitext('Nehru', english),  'The Discovery of India', unitext('history', english)),
+		(2, unitext('नेहरू', hindi),     'Hindustan ki Khoj',      unitext('history', english)),
+		(3, unitext('நேரு', tamil),     'Indhiya Kandupidippu',   unitext('tamil:chronicle', tamil)),
+		(4, unitext('Gandhi', english), 'My Experiments with Truth', unitext('autobiography', english)),
+		(5, unitext('Fabre', french),   'Histoire Naturelle',     unitext('french:ancient_history', french)),
+		(6, unitext('Tagore', english), 'Gitanjali',              unitext('music', english))`)
+
+	// Figure 2: multilingual name matching across scripts.
+	fmt.Println("-- Author LexEQUAL 'Nehru' IN english, hindi, tamil --")
+	res, err := db.Exec(`SELECT id, text(author), lang(author), title FROM book
+		WHERE author LEXEQUAL 'Nehru' THRESHOLD 2 IN english, hindi, tamil
+		ORDER BY id`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("  %v | %-8v | %-8v | %v\n", row[0], row[1], row[2], row[3])
+	}
+
+	// Figure 4: multilingual concept matching via the taxonomy.
+	fmt.Println("-- Category SemEQUAL 'History' IN english, french, tamil --")
+	res, err = db.Exec(`SELECT id, title, text(category) FROM book
+		WHERE category SEMEQUAL 'History' IN english, french, tamil
+		ORDER BY id`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("  %v | %-28v | %v\n", row[0], row[1], row[2])
+	}
+
+	// EXPLAIN shows the optimizer's costed plan for a Ψ query.
+	res, err = db.Exec(`EXPLAIN SELECT count(*) FROM book WHERE author LEXEQUAL 'Gandhi' THRESHOLD 2`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- EXPLAIN --")
+	fmt.Print(res.Plan)
+}

@@ -1,0 +1,3 @@
+module github.com/mural-db/mural
+
+go 1.22

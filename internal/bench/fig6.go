@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/mural-db/mural/internal/dataset"
+	"github.com/mural-db/mural/internal/phonetic"
+	"github.com/mural-db/mural/mural"
+)
+
+// Fig6Point is one (predicted cost, runtime) observation of the Figure 6
+// scatter plot.
+type Fig6Point struct {
+	Query     string
+	Cost      float64 // optimizer predicted cost (abstract units)
+	RuntimeMS float64
+	Rows      int64
+}
+
+// Fig6Result carries the scatter and its correlation coefficient. The paper
+// reports "well over 0.9" on the log-log plot.
+type Fig6Result struct {
+	Points []Fig6Point
+	// LogCorrelation is the Pearson correlation of log10(cost) vs
+	// log10(runtime), matching the paper's log-log presentation.
+	LogCorrelation float64
+}
+
+// Fig6Config parameterizes the experiment.
+type Fig6Config struct {
+	// TableSizes are the row counts of the generated name tables.
+	TableSizes []int
+	// Thresholds sweeps the Ψ threshold to vary selectivity.
+	Thresholds []int
+	// DupFactors re-inserts the data to vary duplication between runs
+	// ("duplicate records were introduced ... and the histograms rebuilt").
+	DupFactors []int
+	Seed       int64
+}
+
+// RunFigure6 reproduces §5.2: Ψ join queries over tables of varying
+// characteristics, each collapsed with count(*) so that result shipping
+// does not pollute the timing; for every run the optimizer's predicted cost
+// and the actual runtime are recorded.
+func RunFigure6(cfg Fig6Config) (*Fig6Result, error) {
+	if len(cfg.TableSizes) == 0 {
+		cfg.TableSizes = []int{300, 1000, 3000}
+	}
+	if len(cfg.Thresholds) == 0 {
+		cfg.Thresholds = []int{1, 2, 3}
+	}
+	if len(cfg.DupFactors) == 0 {
+		cfg.DupFactors = []int{1, 2}
+	}
+	res := &Fig6Result{}
+	for _, size := range cfg.TableSizes {
+		for _, dup := range cfg.DupFactors {
+			eng, err := mural.Open(mural.Config{})
+			if err != nil {
+				return nil, err
+			}
+			if err := loadFig6Tables(eng, size, dup, cfg.Seed); err != nil {
+				eng.Close()
+				return nil, err
+			}
+			for _, k := range cfg.Thresholds {
+				q := fmt.Sprintf(
+					`SELECT count(*) FROM lhs l, rhs r WHERE l.name LEXEQUAL r.name THRESHOLD %d`, k)
+				// Warm once (buffer pool effects), then measure.
+				if _, err := eng.Exec(q); err != nil {
+					eng.Close()
+					return nil, err
+				}
+				r, err := eng.Exec(q)
+				if err != nil {
+					eng.Close()
+					return nil, err
+				}
+				res.Points = append(res.Points, Fig6Point{
+					Query:     fmt.Sprintf("n=%d dup=%d k=%d", size, dup, k),
+					Cost:      r.PlanCost,
+					RuntimeMS: float64(r.Elapsed.Microseconds()) / 1000.0,
+					Rows:      r.Rows[0][0].Int(),
+				})
+			}
+			eng.Close()
+		}
+	}
+	// Also sweep scan-type queries for spread at the low end.
+	eng, err := mural.Open(mural.Config{})
+	if err != nil {
+		return nil, err
+	}
+	if err := loadFig6Tables(eng, cfg.TableSizes[len(cfg.TableSizes)-1], 1, cfg.Seed+7); err != nil {
+		eng.Close()
+		return nil, err
+	}
+	for _, k := range cfg.Thresholds {
+		q := fmt.Sprintf(`SELECT count(*) FROM rhs r WHERE r.name LEXEQUAL 'nehru' THRESHOLD %d`, k)
+		if _, err := eng.Exec(q); err != nil {
+			eng.Close()
+			return nil, err
+		}
+		r, err := eng.Exec(q)
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		res.Points = append(res.Points, Fig6Point{
+			Query:     fmt.Sprintf("scan k=%d", k),
+			Cost:      r.PlanCost,
+			RuntimeMS: float64(r.Elapsed.Microseconds()) / 1000.0,
+			Rows:      r.Rows[0][0].Int(),
+		})
+	}
+	eng.Close()
+
+	var xs, ys []float64
+	for _, p := range res.Points {
+		if p.Cost <= 0 || p.RuntimeMS <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log10(p.Cost))
+		ys = append(ys, math.Log10(p.RuntimeMS))
+	}
+	res.LogCorrelation = pearson(xs, ys)
+	return res, nil
+}
+
+// loadFig6Tables creates lhs (small) and rhs (size rows × dup) name tables
+// and ANALYZEs them so the optimizer sees fresh histograms.
+func loadFig6Tables(eng *mural.Engine, size, dup int, seed int64) error {
+	recs := dataset.GenerateNames(dataset.NamesConfig{Records: size, Seed: seed})
+	for _, ddl := range []string{
+		`CREATE TABLE lhs (id INT, name UNITEXT)`,
+		`CREATE TABLE rhs (id INT, name UNITEXT)`,
+	} {
+		if _, err := eng.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	execQ := func(q string) error { _, err := eng.Exec(q); return err }
+	var lhsRows, rhsRows []string
+	for i, r := range recs {
+		if i < size/10 {
+			lhsRows = append(lhsRows, fmt.Sprintf("(%d, %s)", i, uniTextLit(r.Name)))
+		}
+		for d := 0; d < dup; d++ {
+			rhsRows = append(rhsRows, fmt.Sprintf("(%d, %s)", i*dup+d, uniTextLit(r.Name)))
+		}
+	}
+	if err := batchInsert("lhs", lhsRows, execQ); err != nil {
+		return err
+	}
+	if err := batchInsert("rhs", rhsRows, execQ); err != nil {
+		return err
+	}
+	_, err := eng.Exec(`ANALYZE`)
+	return err
+}
+
+// ensure phonetic is linked for the scan query's conversion path.
+var _ = phonetic.EditDistance

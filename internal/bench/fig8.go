@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/mural-db/mural/internal/client"
+	"github.com/mural-db/mural/internal/wordnet"
+)
+
+// Fig8Point is one measurement of Figure 8: closure computation time as a
+// function of closure cardinality, for one implementation series.
+type Fig8Point struct {
+	Series      string // core-noindex | core-btree | outside-noindex | outside-btree | core-pinned
+	ClosureSize int
+	Seconds     float64
+}
+
+// Fig8Config parameterizes the experiment.
+type Fig8Config struct {
+	Synsets int
+	// Targets are the desired closure cardinalities (paper: 10²..10⁴).
+	Targets []int
+	// MaxOutsideNoIndex caps the closure size attempted by the slowest
+	// series (one full scan per member over the wire); 0 means no cap.
+	MaxOutsideNoIndex int
+	Seed              int64
+	// IncludePinned adds the production Ω path (closure over the pinned
+	// in-memory hierarchy, §4.3) as a fifth series.
+	IncludePinned bool
+}
+
+// RunFigure8 reproduces §5.4: transitive-closure computation over the
+// WordNet noun hierarchy, core vs outside-the-server, with and without a
+// B+Tree on the parent attribute. Expected shape (log-log): all series grow
+// ~linearly in closure size; core-no-index ≈ 1 order faster than
+// outside-no-index; core-btree 2+ orders faster than outside-btree; core
+// times in the tens of milliseconds at |TC| ≈ 1000.
+func RunFigure8(cfg Fig8Config) ([]Fig8Point, error) {
+	if len(cfg.Targets) == 0 {
+		cfg.Targets = []int{100, 300, 1000, 3000}
+	}
+	db, err := NewTaxonomyDB(TaxonomyConfig{Synsets: cfg.Synsets, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	var out []Fig8Point
+	for _, target := range cfg.Targets {
+		root := db.Net.FindClosureOfSize(target)
+		size := db.Net.ClosureSize(root)
+
+		// Core, no index: per-level heap scans inside the engine.
+		start := time.Now()
+		scanRes, err := db.Eng.ComputeClosureScan("tax", "id", "parent", int64(root))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig8Point{Series: "core-noindex", ClosureSize: size, Seconds: time.Since(start).Seconds()})
+		if scanRes.Size != size {
+			return nil, fmt.Errorf("bench: core scan closure %d != %d", scanRes.Size, size)
+		}
+
+		// Core, B-tree on parent.
+		start = time.Now()
+		idxRes, err := db.Eng.ComputeClosureIndex("tax", "id", "parent", "idx_tax_parent", int64(root))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig8Point{Series: "core-btree", ClosureSize: size, Seconds: time.Since(start).Seconds()})
+		if idxRes.Size != size {
+			return nil, fmt.Errorf("bench: core index closure %d != %d", idxRes.Size, size)
+		}
+
+		// Outside the server, B-tree: recursive SQL, indexed child lookups.
+		start = time.Now()
+		closure, _, err := client.Closure(db.Conn, "tax", "id", "parent", int64(root))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig8Point{Series: "outside-btree", ClosureSize: size, Seconds: time.Since(start).Seconds()})
+		if len(closure) != size {
+			return nil, fmt.Errorf("bench: outside closure %d != %d", len(closure), size)
+		}
+
+		// Outside the server, no index: same recursive SQL with the index
+		// disabled server-side, so each child lookup is a full scan.
+		if cfg.MaxOutsideNoIndex == 0 || size <= cfg.MaxOutsideNoIndex {
+			if _, err := db.Conn.Exec(`SET enable_indexscan = off`); err != nil {
+				return nil, err
+			}
+			start = time.Now()
+			closure, _, err = client.Closure(db.Conn, "tax", "id", "parent", int64(root))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig8Point{Series: "outside-noindex", ClosureSize: size, Seconds: time.Since(start).Seconds()})
+			if _, err := db.Conn.Exec(`SET enable_indexscan = on`); err != nil {
+				return nil, err
+			}
+			if len(closure) != size {
+				return nil, fmt.Errorf("bench: outside noindex closure %d != %d", len(closure), size)
+			}
+		}
+
+		// Production path: closure over the pinned in-memory hierarchy.
+		if cfg.IncludePinned {
+			start = time.Now()
+			pinned := db.Net.Closure(root)
+			out = append(out, Fig8Point{Series: "core-pinned", ClosureSize: size, Seconds: time.Since(start).Seconds()})
+			if len(pinned) != size {
+				return nil, fmt.Errorf("bench: pinned closure %d != %d", len(pinned), size)
+			}
+		}
+	}
+	_ = wordnet.NoSynset
+	return out, nil
+}

@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"github.com/mural-db/mural/internal/client"
+	"github.com/mural-db/mural/internal/types"
+)
+
+// Thin adapters binding the client UDF library to the NamesDB fixture
+// schema.
+
+func clientPsiScan(db *NamesDB, query string, k int) (int64, client.PsiStats, error) {
+	q := types.Compose(query, types.LangEnglish)
+	rows, st, err := client.PsiScan(db.Conn, "names", "name", q, k, nil, db.Reg)
+	return int64(len(rows)), st, err
+}
+
+func clientPsiScanMDI(db *NamesDB, query string, k int) (int64, client.PsiStats, error) {
+	q := types.Compose(query, types.LangEnglish)
+	rows, st, err := client.PsiScanMDI(db.Conn, "names", "name", "pdist", db.Pivot, q, k, nil, db.Reg)
+	return int64(len(rows)), st, err
+}
+
+func clientPsiJoin(db *NamesDB, k int) (int64, error) {
+	// Nested cursor loop: the inner table is re-shipped per outer row, the
+	// way a PL/SQL join over a UDF predicate executes.
+	matches, _, err := client.PsiJoinNested(db.Conn, "probe", "name", "names", "name", k, nil, db.Reg)
+	return int64(matches), err
+}
+
+func clientPsiJoinMDI(db *NamesDB, k int) (int64, error) {
+	matches, _, err := client.PsiJoinMDI(db.Conn, "probe", "name", "names", "name", "pdist", db.Pivot, k, nil, db.Reg)
+	return int64(matches), err
+}

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/mural-db/mural/internal/wordnet"
+	"github.com/mural-db/mural/mural"
+)
+
+// RegressionResult reports E5: timings of a standard (non-multilingual)
+// query suite on a plain schema versus the same schema carrying the
+// multilingual additions (a UNITEXT column with materialized phonemes plus
+// M-Tree/MDI indexes). The paper "found no statistically significant
+// degradation" (§5.1); Ratio should sit near 1.
+type RegressionResult struct {
+	PlainSec      float64
+	MultiSec      float64
+	Ratio         float64
+	QueriesPerRun int
+}
+
+// RegressionConfig sizes the check.
+type RegressionConfig struct {
+	Rows int
+	Runs int
+	Seed int64
+}
+
+// RunRegression measures the standard-path overhead of the multilingual
+// additions.
+func RunRegression(cfg RegressionConfig) (*RegressionResult, error) {
+	if cfg.Rows <= 0 {
+		cfg.Rows = 5000
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 3
+	}
+
+	suite := []string{
+		`SELECT count(*) FROM t WHERE a < %ROWS2%`,
+		`SELECT sum(b), avg(b) FROM t`,
+		`SELECT count(*) FROM t WHERE a = 42`,
+		`SELECT a FROM t WHERE a >= %ROWS2% ORDER BY a DESC LIMIT 10`,
+		`SELECT count(*) FROM t x, u y WHERE x.a = y.tid`,
+		`SELECT c, count(*) FROM t GROUP BY c ORDER BY c LIMIT 5`,
+	}
+
+	// Both engines carry identical t/u tables and run the identical suite;
+	// the "multilingual" engine additionally holds a populated UNITEXT
+	// table with M-Tree and MDI indexes plus a pinned taxonomy, so any
+	// slowdown on the standard tables would be contention from the
+	// multilingual additions — the paper's regression question.
+	build := func(multilingual bool) (*mural.Engine, error) {
+		cfg2 := mural.Config{}
+		if multilingual {
+			cfg2.WordNet = wordnet.Generate(wordnet.Config{Synsets: 5000, Seed: cfg.Seed})
+		}
+		eng, err := mural.Open(cfg2)
+		if err != nil {
+			return nil, err
+		}
+		for _, ddl := range []string{
+			`CREATE TABLE t (a INT, b FLOAT, c TEXT)`,
+			`CREATE TABLE u (uid INT, tid INT)`,
+		} {
+			if _, err := eng.Exec(ddl); err != nil {
+				eng.Close()
+				return nil, err
+			}
+		}
+		execQ := func(q string) error { _, err := eng.Exec(q); return err }
+		var rows, urows []string
+		for i := 0; i < cfg.Rows; i++ {
+			rows = append(rows, fmt.Sprintf("(%d, %d.5, 'c%d')", i, i%97, i%7))
+			if i%5 == 0 {
+				urows = append(urows, fmt.Sprintf("(%d, %d)", i, i))
+			}
+		}
+		if err := batchInsert("t", rows, execQ); err != nil {
+			eng.Close()
+			return nil, err
+		}
+		if err := batchInsert("u", urows, execQ); err != nil {
+			eng.Close()
+			return nil, err
+		}
+		if multilingual {
+			if _, err := eng.Exec(`CREATE TABLE names (id INT, name UNITEXT)`); err != nil {
+				eng.Close()
+				return nil, err
+			}
+			var nrows []string
+			for i := 0; i < cfg.Rows/2; i++ {
+				nrows = append(nrows, fmt.Sprintf("(%d, unitext('name%d', english))", i, i%50))
+			}
+			if err := batchInsert("names", nrows, execQ); err != nil {
+				eng.Close()
+				return nil, err
+			}
+			for _, q := range []string{
+				`CREATE INDEX idx_n_mtree ON names (name) USING MTREE`,
+				`CREATE INDEX idx_n_mdi ON names (name) USING MDI`,
+			} {
+				if _, err := eng.Exec(q); err != nil {
+					eng.Close()
+					return nil, err
+				}
+			}
+		}
+		if _, err := eng.Exec(`ANALYZE`); err != nil {
+			eng.Close()
+			return nil, err
+		}
+		return eng, nil
+	}
+
+	run := func(eng *mural.Engine) (float64, error) {
+		half := fmt.Sprintf("%d", cfg.Rows/2)
+		// Warm.
+		for _, q := range suite {
+			if _, err := eng.Exec(strings.ReplaceAll(q, "%ROWS2%", half)); err != nil {
+				return 0, err
+			}
+		}
+		start := time.Now()
+		for r := 0; r < cfg.Runs; r++ {
+			for _, q := range suite {
+				if _, err := eng.Exec(strings.ReplaceAll(q, "%ROWS2%", half)); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return time.Since(start).Seconds() / float64(cfg.Runs), nil
+	}
+
+	plainEng, err := build(false)
+	if err != nil {
+		return nil, err
+	}
+	plainSec, err := run(plainEng)
+	plainEng.Close()
+	if err != nil {
+		return nil, err
+	}
+	multiEng, err := build(true)
+	if err != nil {
+		return nil, err
+	}
+	multiSec, err := run(multiEng)
+	multiEng.Close()
+	if err != nil {
+		return nil, err
+	}
+	return &RegressionResult{
+		PlainSec:      plainSec,
+		MultiSec:      multiSec,
+		Ratio:         multiSec / plainSec,
+		QueriesPerRun: len(suite),
+	}, nil
+}

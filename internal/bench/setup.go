@@ -1,0 +1,278 @@
+// Package bench implements the paper's experiments as reusable harnesses:
+// every table and figure of the evaluation section (§5) maps to one Run*
+// function here, invoked both by the root bench_test.go (go test -bench)
+// and by cmd/benchrunner (which prints the rows/series the paper reports).
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/mural-db/mural/internal/client"
+	"github.com/mural-db/mural/internal/dataset"
+	"github.com/mural-db/mural/internal/phonetic"
+	"github.com/mural-db/mural/internal/server"
+	"github.com/mural-db/mural/internal/types"
+	"github.com/mural-db/mural/internal/wordnet"
+	"github.com/mural-db/mural/mural"
+)
+
+// insertBatch groups VALUES rows to keep statements reasonably sized.
+const insertBatch = 500
+
+// quote escapes a string literal.
+func quote(s string) string { return "'" + strings.ReplaceAll(s, "'", "''") + "'" }
+
+// uniTextLit renders a unitext(...) literal.
+func uniTextLit(u types.UniText) string {
+	return fmt.Sprintf("unitext(%s, %s)", quote(u.Text), u.Lang)
+}
+
+// batchInsert sends rows in batches through fn (engine or wire Exec).
+func batchInsert(table string, rows []string, exec func(q string) error) error {
+	for i := 0; i < len(rows); i += insertBatch {
+		j := i + insertBatch
+		if j > len(rows) {
+			j = len(rows)
+		}
+		if err := exec("INSERT INTO " + table + " VALUES " + strings.Join(rows[i:j], ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NamesDB is the Ψ experimental fixture: an engine holding the multilingual
+// names dataset with every access path built (M-Tree for the core runs,
+// pivot-distance column + B-tree for the outside-the-server MDI runs), plus
+// a server and client for the outside path.
+type NamesDB struct {
+	Eng     *mural.Engine
+	Srv     *server.Server
+	Conn    *client.Conn
+	Reg     *phonetic.Registry
+	Records []dataset.NameRecord
+	// Queries are representative query names (cluster bases) in English.
+	Queries []types.UniText
+	// Pivot is the MDI pivot used for the pdist column.
+	Pivot string
+}
+
+// NamesConfig sizes the fixture.
+type NamesConfig struct {
+	// Names is the table size (default 5000; the paper used ~25000 — pass
+	// that for full-scale runs).
+	Names int
+	// ProbeNames sizes the probe (outer) table for join runs.
+	ProbeNames int
+	Seed       int64
+}
+
+// NewNamesDB builds the fixture.
+func NewNamesDB(cfg NamesConfig) (*NamesDB, error) {
+	if cfg.Names <= 0 {
+		cfg.Names = 5000
+	}
+	if cfg.ProbeNames <= 0 {
+		cfg.ProbeNames = 100
+	}
+	eng, err := mural.Open(mural.Config{})
+	if err != nil {
+		return nil, err
+	}
+	db := &NamesDB{Eng: eng, Reg: phonetic.DefaultRegistry(), Pivot: "aeioun"}
+
+	recs := dataset.GenerateNames(dataset.NamesConfig{Records: cfg.Names, Seed: cfg.Seed})
+	db.Records = recs
+	if _, err := eng.Exec(`CREATE TABLE names (id INT, name UNITEXT, pdist INT)`); err != nil {
+		return nil, err
+	}
+	rows := make([]string, 0, len(recs))
+	for _, r := range recs {
+		pd := phonetic.EditDistance(r.Name.Phoneme, db.Pivot)
+		rows = append(rows, fmt.Sprintf("(%d, %s, %d)", r.ID, uniTextLit(r.Name), pd))
+	}
+	execQ := func(q string) error { _, err := eng.Exec(q); return err }
+	if err := batchInsert("names", rows, execQ); err != nil {
+		return nil, err
+	}
+
+	// Probe table for joins: distinct clusters, English renderings.
+	if _, err := eng.Exec(`CREATE TABLE probe (id INT, name UNITEXT)`); err != nil {
+		return nil, err
+	}
+	probeRows := make([]string, 0, cfg.ProbeNames)
+	seen := map[int]bool{}
+	for _, r := range recs {
+		if len(probeRows) >= cfg.ProbeNames {
+			break
+		}
+		if seen[r.Cluster] || r.Name.Lang != types.LangEnglish {
+			continue
+		}
+		seen[r.Cluster] = true
+		probeRows = append(probeRows, fmt.Sprintf("(%d, %s)", len(probeRows), uniTextLit(r.Name)))
+	}
+	if err := batchInsert("probe", probeRows, execQ); err != nil {
+		return nil, err
+	}
+
+	// Access paths: M-Tree on phonemes (core), B-tree on the pivot distance
+	// (outside-the-server MDI).
+	for _, q := range []string{
+		`CREATE INDEX idx_names_mtree ON names (name) USING MTREE`,
+		`CREATE INDEX idx_names_pdist ON names (pdist) USING BTREE`,
+		`ANALYZE`,
+	} {
+		if _, err := eng.Exec(q); err != nil {
+			return nil, err
+		}
+	}
+
+	// Query workload: English cluster bases present in the data.
+	for _, r := range recs {
+		if len(db.Queries) >= 20 {
+			break
+		}
+		if r.Name.Lang == types.LangEnglish {
+			db.Queries = append(db.Queries, r.Name)
+		}
+	}
+
+	// Outside-the-server plumbing.
+	srv := server.New(eng)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	conn, err := client.Dial(addr)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	db.Srv = srv
+	db.Conn = conn
+	return db, nil
+}
+
+// Close tears the fixture down.
+func (db *NamesDB) Close() {
+	if db.Conn != nil {
+		db.Conn.Close()
+	}
+	if db.Srv != nil {
+		db.Srv.Close()
+	}
+	if db.Eng != nil {
+		db.Eng.Close()
+	}
+}
+
+// TaxonomyDB is the Ω fixture: a generated WordNet pinned in the engine and
+// also stored as a taxonomy table, with a B-tree on the parent column.
+type TaxonomyDB struct {
+	Eng  *mural.Engine
+	Srv  *server.Server
+	Conn *client.Conn
+	Net  *wordnet.Net
+}
+
+// TaxonomyConfig sizes the fixture.
+type TaxonomyConfig struct {
+	// Synsets defaults to 20000; pass wordnet.WordNetSynsets (111223) for a
+	// paper-scale run.
+	Synsets int
+	Seed    int64
+}
+
+// NewTaxonomyDB builds the fixture.
+func NewTaxonomyDB(cfg TaxonomyConfig) (*TaxonomyDB, error) {
+	if cfg.Synsets <= 0 {
+		cfg.Synsets = 20000
+	}
+	net := wordnet.Generate(wordnet.Config{Synsets: cfg.Synsets, Seed: cfg.Seed})
+	eng, err := mural.Open(mural.Config{WordNet: net})
+	if err != nil {
+		return nil, err
+	}
+	db := &TaxonomyDB{Eng: eng, Net: net}
+	if _, err := eng.Exec(`CREATE TABLE tax (id INT, parent INT)`); err != nil {
+		return nil, err
+	}
+	rows := make([]string, 0, net.NumSynsets())
+	for id := 0; id < net.NumSynsets(); id++ {
+		p := net.Parent(wordnet.SynsetID(id))
+		if p == wordnet.NoSynset {
+			rows = append(rows, fmt.Sprintf("(%d, NULL)", id))
+		} else {
+			rows = append(rows, fmt.Sprintf("(%d, %d)", id, p))
+		}
+	}
+	execQ := func(q string) error { _, err := eng.Exec(q); return err }
+	if err := batchInsert("tax", rows, execQ); err != nil {
+		return nil, err
+	}
+	for _, q := range []string{
+		`CREATE INDEX idx_tax_parent ON tax (parent) USING BTREE`,
+		`ANALYZE tax`,
+	} {
+		if _, err := eng.Exec(q); err != nil {
+			return nil, err
+		}
+	}
+	srv := server.New(eng)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	conn, err := client.Dial(addr)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	// Closure computation dominates; batch row shipping so the outside
+	// series measures query round trips per member, as recursive SQL does.
+	conn.FetchSize = 64
+	db.Srv = srv
+	db.Conn = conn
+	return db, nil
+}
+
+// Close tears the fixture down.
+func (db *TaxonomyDB) Close() {
+	if db.Conn != nil {
+		db.Conn.Close()
+	}
+	if db.Srv != nil {
+		db.Srv.Close()
+	}
+	if db.Eng != nil {
+		db.Eng.Close()
+	}
+}
+
+// pearson computes the correlation coefficient of two series.
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var num, dx, dy float64
+	for i := range xs {
+		a, b := xs[i]-mx, ys[i]-my
+		num += a * b
+		dx += a * a
+		dy += b * b
+	}
+	if dx == 0 || dy == 0 {
+		return 0
+	}
+	return num / math.Sqrt(dx*dy)
+}

@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+// Table4Row is one cell group of the paper's Table 4: an implementation
+// (core / outside-the-server) with an index configuration, measured on scan
+// and join queries.
+type Table4Row struct {
+	Impl    string // "core" or "outside"
+	Index   string // "none", "mtree", "mdi"
+	ScanSec float64
+	JoinSec float64
+	// ScanMatches/JoinMatches sanity-check that every configuration computed
+	// the same answers.
+	ScanMatches int64
+	JoinMatches int64
+}
+
+// Table4Config parameterizes the experiment.
+type Table4Config struct {
+	Names      int
+	ProbeNames int
+	Threshold  int
+	// Queries bounds how many scan queries are averaged.
+	Queries int
+	Seed    int64
+}
+
+// RunTable4 reproduces Table 4: Ψ scan and join performance for the core
+// implementation (with and without the M-Tree) against the
+// outside-the-server implementation (with and without the MDI B-tree
+// index). The expected shape: core beats outside by 1-2+ orders of
+// magnitude, and the M-Tree helps the core only marginally (§5.3).
+func RunTable4(cfg Table4Config) ([]Table4Row, error) {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.Queries <= 0 {
+		cfg.Queries = 5
+	}
+	db, err := NewNamesDB(NamesConfig{Names: cfg.Names, ProbeNames: cfg.ProbeNames, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	queries := db.Queries
+	if len(queries) > cfg.Queries {
+		queries = queries[:cfg.Queries]
+	}
+	k := cfg.Threshold
+
+	var rows []Table4Row
+
+	// --- Core, no index ---
+	if _, err := db.Eng.Exec(`SET enable_mtree = off`); err != nil {
+		return nil, err
+	}
+	coreScan := func() (float64, int64, error) {
+		var total time.Duration
+		var matches int64
+		for _, q := range queries {
+			res, err := db.Eng.Exec(fmt.Sprintf(
+				`SELECT count(*) FROM names WHERE name LEXEQUAL %s THRESHOLD %d`, quote(q.Text), k))
+			if err != nil {
+				return 0, 0, err
+			}
+			total += res.Elapsed
+			matches += res.Rows[0][0].Int()
+		}
+		return total.Seconds() / float64(len(queries)), matches, nil
+	}
+	coreJoin := func() (float64, int64, error) {
+		res, err := db.Eng.Exec(fmt.Sprintf(
+			`SELECT count(*) FROM probe p, names n WHERE p.name LEXEQUAL n.name THRESHOLD %d`, k))
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.Elapsed.Seconds(), res.Rows[0][0].Int(), nil
+	}
+	scanSec, scanM, err := coreScan()
+	if err != nil {
+		return nil, err
+	}
+	joinSec, joinM, err := coreJoin()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table4Row{Impl: "core", Index: "none",
+		ScanSec: scanSec, JoinSec: joinSec, ScanMatches: scanM, JoinMatches: joinM})
+
+	// --- Core, M-Tree ---
+	if _, err := db.Eng.Exec(`SET enable_mtree = on`); err != nil {
+		return nil, err
+	}
+	scanSec, scanM, err = coreScan()
+	if err != nil {
+		return nil, err
+	}
+	joinSec, joinM, err = coreJoin()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Table4Row{Impl: "core", Index: "mtree",
+		ScanSec: scanSec, JoinSec: joinSec, ScanMatches: scanM, JoinMatches: joinM})
+
+	// --- Outside the server, no index: ship everything, evaluate client-side ---
+	db.Conn.FetchSize = 1 // the PL/SQL cursor loop
+	start := time.Now()
+	var outScanM int64
+	for _, q := range queries {
+		matches, _, err := clientPsiScan(db, q.Text, k)
+		if err != nil {
+			return nil, err
+		}
+		outScanM += matches
+	}
+	outScanSec := time.Since(start).Seconds() / float64(len(queries))
+
+	start = time.Now()
+	outJoinM, err := clientPsiJoin(db, k)
+	if err != nil {
+		return nil, err
+	}
+	outJoinSec := time.Since(start).Seconds()
+	rows = append(rows, Table4Row{Impl: "outside", Index: "none",
+		ScanSec: outScanSec, JoinSec: outJoinSec, ScanMatches: outScanM, JoinMatches: outJoinM})
+
+	// --- Outside the server, MDI index ---
+	start = time.Now()
+	var mdiScanM int64
+	for _, q := range queries {
+		matches, _, err := clientPsiScanMDI(db, q.Text, k)
+		if err != nil {
+			return nil, err
+		}
+		mdiScanM += matches
+	}
+	mdiScanSec := time.Since(start).Seconds() / float64(len(queries))
+
+	start = time.Now()
+	mdiJoinM, err := clientPsiJoinMDI(db, k)
+	if err != nil {
+		return nil, err
+	}
+	mdiJoinSec := time.Since(start).Seconds()
+	rows = append(rows, Table4Row{Impl: "outside", Index: "mdi",
+		ScanSec: mdiScanSec, JoinSec: mdiJoinSec, ScanMatches: mdiScanM, JoinMatches: mdiJoinM})
+
+	return rows, nil
+}

@@ -1,0 +1,335 @@
+// Package catalog holds the engine's metadata: table and index definitions,
+// per-column statistics (end-biased histograms gathered by ANALYZE), and the
+// session/system settings table. The settings table is where the paper's
+// "user-settable threshold in a system table" workaround lives (§4.2):
+// PostgreSQL's operator facility is binary-only, so the Ψ threshold travels
+// out of band when a query does not spell THRESHOLD explicitly.
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+
+	"github.com/mural-db/mural/internal/histogram"
+	"github.com/mural-db/mural/internal/sql"
+	"github.com/mural-db/mural/internal/storage"
+	"github.com/mural-db/mural/internal/types"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string     `json:"name"`
+	Kind types.Kind `json:"kind"`
+}
+
+// Table describes one base table.
+type Table struct {
+	Name    string         `json:"name"`
+	Columns []Column       `json:"columns"`
+	File    storage.FileID `json:"file"`
+}
+
+// ColumnIndex returns the position of a column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Index describes one secondary index.
+type Index struct {
+	Name   string         `json:"name"`
+	Table  string         `json:"table"`
+	Column string         `json:"column"`
+	Kind   sql.IndexKind  `json:"kind"`
+	File   storage.FileID `json:"file"`
+	// Pivot is the MDI pivot string (MDI only).
+	Pivot string `json:"pivot,omitempty"`
+}
+
+// ColumnStats summarizes one column for the optimizer.
+type ColumnStats struct {
+	// Hist is built over phoneme strings for UNITEXT columns and canonical
+	// string forms otherwise.
+	Hist *histogram.Histogram `json:"hist"`
+	// AvgWidth is the mean encoded width in bytes.
+	AvgWidth float64 `json:"avg_width"`
+	// NullFrac is the fraction of NULL values.
+	NullFrac float64 `json:"null_frac"`
+}
+
+// TableStats summarizes one table for the optimizer.
+type TableStats struct {
+	Rows    int64                   `json:"rows"`
+	Pages   int64                   `json:"pages"`
+	Columns map[string]*ColumnStats `json:"columns"`
+}
+
+// Default settings. LexThresholdKey mirrors the paper's system-table
+// parameter; the others are the optimizer's cost knobs.
+const (
+	LexThresholdKey     = "lexequal_threshold"
+	DefaultLexThreshold = 2
+)
+
+// Catalog is the full metadata store. All methods are safe for concurrent
+// use.
+type Catalog struct {
+	mu       sync.RWMutex
+	tables   map[string]*Table
+	indexes  map[string]*Index
+	stats    map[string]*TableStats
+	settings map[string]string
+	nextFile storage.FileID
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables:   make(map[string]*Table),
+		indexes:  make(map[string]*Index),
+		stats:    make(map[string]*TableStats),
+		settings: map[string]string{LexThresholdKey: strconv.Itoa(DefaultLexThreshold)},
+		nextFile: 1,
+	}
+}
+
+// AllocateFile hands out the next storage file id.
+func (c *Catalog) AllocateFile() storage.FileID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextFile
+	c.nextFile++
+	return id
+}
+
+// AddTable registers a table.
+func (c *Catalog) AddTable(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.tables[t.Name]; dup {
+		return fmt.Errorf("catalog: table %q already exists", t.Name)
+	}
+	seen := make(map[string]bool, len(t.Columns))
+	for _, col := range t.Columns {
+		if seen[col.Name] {
+			return fmt.Errorf("catalog: table %q: duplicate column %q", t.Name, col.Name)
+		}
+		seen[col.Name] = true
+	}
+	c.tables[t.Name] = t
+	return nil
+}
+
+// DropTable removes a table and its indexes, returning the dropped index
+// metadata so the engine can release their files.
+func (c *Catalog) DropTable(name string) ([]*Index, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; !ok {
+		return nil, fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	delete(c.tables, name)
+	delete(c.stats, name)
+	var dropped []*Index
+	for iname, ix := range c.indexes {
+		if ix.Table == name {
+			dropped = append(dropped, ix)
+			delete(c.indexes, iname)
+		}
+	}
+	return dropped, nil
+}
+
+// TableByName looks up a table.
+func (c *Catalog) TableByName(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// Tables lists all tables, sorted by name.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AddIndex registers an index.
+func (c *Catalog) AddIndex(ix *Index) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.indexes[ix.Name]; dup {
+		return fmt.Errorf("catalog: index %q already exists", ix.Name)
+	}
+	t, ok := c.tables[ix.Table]
+	if !ok {
+		return fmt.Errorf("catalog: index %q: no such table %q", ix.Name, ix.Table)
+	}
+	if t.ColumnIndex(ix.Column) < 0 {
+		return fmt.Errorf("catalog: index %q: no column %q in table %q", ix.Name, ix.Column, ix.Table)
+	}
+	c.indexes[ix.Name] = ix
+	return nil
+}
+
+// IndexByName looks up an index.
+func (c *Catalog) IndexByName(name string) (*Index, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ix, ok := c.indexes[name]
+	return ix, ok
+}
+
+// IndexesOn lists the indexes on a table column, sorted by name.
+func (c *Catalog) IndexesOn(table, column string) []*Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []*Index
+	for _, ix := range c.indexes {
+		if ix.Table == table && ix.Column == column {
+			out = append(out, ix)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Indexes lists all indexes, sorted by name.
+func (c *Catalog) Indexes() []*Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Index, 0, len(c.indexes))
+	for _, ix := range c.indexes {
+		out = append(out, ix)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SetStats installs ANALYZE results for a table.
+func (c *Catalog) SetStats(table string, st *TableStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats[table] = st
+}
+
+// Stats returns the ANALYZE results for a table (nil when never analyzed).
+func (c *Catalog) Stats(table string) *TableStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.stats[table]
+}
+
+// SetSetting stores a session/system setting.
+func (c *Catalog) SetSetting(name, value string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.settings[name] = value
+}
+
+// Setting reads a setting.
+func (c *Catalog) Setting(name string) (string, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.settings[name]
+	return v, ok
+}
+
+// LexThreshold returns the session Ψ threshold (the paper's system-table
+// parameter).
+func (c *Catalog) LexThreshold() int {
+	v, ok := c.Setting(LexThresholdKey)
+	if !ok {
+		return DefaultLexThreshold
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return DefaultLexThreshold
+	}
+	return n
+}
+
+// persisted is the JSON disk image.
+type persisted struct {
+	Tables   []*Table               `json:"tables"`
+	Indexes  []*Index               `json:"indexes"`
+	Stats    map[string]*TableStats `json:"stats"`
+	Settings map[string]string      `json:"settings"`
+	NextFile storage.FileID         `json:"next_file"`
+}
+
+// Save writes the catalog to dir/catalog.json atomically.
+func (c *Catalog) Save(dir string) error {
+	c.mu.RLock()
+	img := persisted{
+		Stats:    c.stats,
+		Settings: c.settings,
+		NextFile: c.nextFile,
+	}
+	for _, t := range c.tables {
+		img.Tables = append(img.Tables, t)
+	}
+	for _, ix := range c.indexes {
+		img.Indexes = append(img.Indexes, ix)
+	}
+	c.mu.RUnlock()
+	sort.Slice(img.Tables, func(i, j int) bool { return img.Tables[i].Name < img.Tables[j].Name })
+	sort.Slice(img.Indexes, func(i, j int) bool { return img.Indexes[i].Name < img.Indexes[j].Name })
+
+	data, err := json.MarshalIndent(&img, "", "  ")
+	if err != nil {
+		return fmt.Errorf("catalog: marshal: %w", err)
+	}
+	tmp := filepath.Join(dir, "catalog.json.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("catalog: write: %w", err)
+	}
+	return os.Rename(tmp, filepath.Join(dir, "catalog.json"))
+}
+
+// Load reads dir/catalog.json; a missing file yields a fresh catalog.
+func Load(dir string) (*Catalog, error) {
+	c := New()
+	data, err := os.ReadFile(filepath.Join(dir, "catalog.json"))
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("catalog: read: %w", err)
+	}
+	var img persisted
+	if err := json.Unmarshal(data, &img); err != nil {
+		return nil, fmt.Errorf("catalog: parse: %w", err)
+	}
+	for _, t := range img.Tables {
+		c.tables[t.Name] = t
+	}
+	for _, ix := range img.Indexes {
+		c.indexes[ix.Name] = ix
+	}
+	if img.Stats != nil {
+		c.stats = img.Stats
+	}
+	for k, v := range img.Settings {
+		c.settings[k] = v
+	}
+	if img.NextFile > c.nextFile {
+		c.nextFile = img.NextFile
+	}
+	return c, nil
+}

@@ -1,0 +1,191 @@
+package catalog
+
+import (
+	"testing"
+
+	"github.com/mural-db/mural/internal/histogram"
+	"github.com/mural-db/mural/internal/sql"
+	"github.com/mural-db/mural/internal/types"
+)
+
+func bookTable() *Table {
+	return &Table{
+		Name: "book",
+		Columns: []Column{
+			{Name: "id", Kind: types.KindInt},
+			{Name: "author", Kind: types.KindUniText},
+			{Name: "title", Kind: types.KindText},
+		},
+		File: 7,
+	}
+}
+
+func TestAddLookupTable(t *testing.T) {
+	c := New()
+	if err := c.AddTable(bookTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(bookTable()); err == nil {
+		t.Error("duplicate table must fail")
+	}
+	tb, ok := c.TableByName("book")
+	if !ok || tb.ColumnIndex("author") != 1 || tb.ColumnIndex("nope") != -1 {
+		t.Errorf("lookup failed: %+v", tb)
+	}
+	if len(c.Tables()) != 1 {
+		t.Error("Tables()")
+	}
+}
+
+func TestDuplicateColumnRejected(t *testing.T) {
+	c := New()
+	err := c.AddTable(&Table{Name: "t", Columns: []Column{
+		{Name: "x", Kind: types.KindInt}, {Name: "x", Kind: types.KindText},
+	}})
+	if err == nil {
+		t.Error("duplicate column must fail")
+	}
+}
+
+func TestIndexes(t *testing.T) {
+	c := New()
+	if err := c.AddTable(bookTable()); err != nil {
+		t.Fatal(err)
+	}
+	ix := &Index{Name: "idx_author", Table: "book", Column: "author", Kind: sql.IndexMTree, File: 9}
+	if err := c.AddIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(ix); err == nil {
+		t.Error("duplicate index must fail")
+	}
+	if err := c.AddIndex(&Index{Name: "i2", Table: "ghost", Column: "x"}); err == nil {
+		t.Error("index on missing table must fail")
+	}
+	if err := c.AddIndex(&Index{Name: "i3", Table: "book", Column: "ghost"}); err == nil {
+		t.Error("index on missing column must fail")
+	}
+	got := c.IndexesOn("book", "author")
+	if len(got) != 1 || got[0].Name != "idx_author" {
+		t.Errorf("IndexesOn = %+v", got)
+	}
+	if len(c.IndexesOn("book", "title")) != 0 {
+		t.Error("IndexesOn wrong column")
+	}
+	if _, ok := c.IndexByName("idx_author"); !ok {
+		t.Error("IndexByName")
+	}
+	if len(c.Indexes()) != 1 {
+		t.Error("Indexes()")
+	}
+}
+
+func TestDropTableCascades(t *testing.T) {
+	c := New()
+	if err := c.AddTable(bookTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(&Index{Name: "i1", Table: "book", Column: "author"}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetStats("book", &TableStats{Rows: 5})
+	dropped, err := c.DropTable("book")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 1 || dropped[0].Name != "i1" {
+		t.Errorf("dropped = %+v", dropped)
+	}
+	if _, ok := c.TableByName("book"); ok {
+		t.Error("table still present")
+	}
+	if c.Stats("book") != nil {
+		t.Error("stats still present")
+	}
+	if _, err := c.DropTable("book"); err == nil {
+		t.Error("double drop must fail")
+	}
+}
+
+func TestSettings(t *testing.T) {
+	c := New()
+	if got := c.LexThreshold(); got != DefaultLexThreshold {
+		t.Errorf("default threshold = %d", got)
+	}
+	c.SetSetting(LexThresholdKey, "5")
+	if got := c.LexThreshold(); got != 5 {
+		t.Errorf("threshold = %d", got)
+	}
+	c.SetSetting(LexThresholdKey, "garbage")
+	if got := c.LexThreshold(); got != DefaultLexThreshold {
+		t.Errorf("bad value must fall back: %d", got)
+	}
+	if _, ok := c.Setting("unset_thing"); ok {
+		t.Error("unset setting must miss")
+	}
+}
+
+func TestFileAllocation(t *testing.T) {
+	c := New()
+	a, b := c.AllocateFile(), c.AllocateFile()
+	if a == b || a == 0 || b == 0 {
+		t.Errorf("allocations: %d %d", a, b)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := New()
+	if err := c.AddTable(bookTable()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(&Index{Name: "i1", Table: "book", Column: "author", Kind: sql.IndexMDI, File: 11, Pivot: "vp"}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetStats("book", &TableStats{
+		Rows:  123,
+		Pages: 4,
+		Columns: map[string]*ColumnStats{
+			"author": {Hist: histogram.Build([]string{"a", "b", "a"}, 10), AvgWidth: 12},
+		},
+	})
+	c.SetSetting(LexThresholdKey, "4")
+	c.AllocateFile()
+	next := c.AllocateFile() + 1
+
+	if err := c.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, ok := c2.TableByName("book")
+	if !ok || len(tb.Columns) != 3 || tb.File != 7 {
+		t.Errorf("reloaded table: %+v", tb)
+	}
+	ix, ok := c2.IndexByName("i1")
+	if !ok || ix.Kind != sql.IndexMDI || ix.Pivot != "vp" {
+		t.Errorf("reloaded index: %+v", ix)
+	}
+	st := c2.Stats("book")
+	if st == nil || st.Rows != 123 || st.Columns["author"].Hist.TotalRows != 3 {
+		t.Errorf("reloaded stats: %+v", st)
+	}
+	if c2.LexThreshold() != 4 {
+		t.Error("reloaded settings")
+	}
+	if got := c2.AllocateFile(); got < next {
+		t.Errorf("file allocation regressed: %d < %d", got, next)
+	}
+}
+
+func TestLoadMissingDirIsFresh(t *testing.T) {
+	c, err := Load(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Tables()) != 0 {
+		t.Error("fresh catalog expected")
+	}
+}

@@ -1,0 +1,220 @@
+// Package client is the driver side of the outside-the-server path: a
+// blocking connection to a mural server with row-at-a-time (or batched)
+// cursors, plus the client-side "UDF" library (udf.go) that re-implements
+// the Ψ and Ω operators the way the paper's PL/SQL baseline does.
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"github.com/mural-db/mural/internal/types"
+	"github.com/mural-db/mural/internal/wire"
+)
+
+// Conn is one client connection. Not safe for concurrent use (matching a
+// PL/SQL session).
+type Conn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+	// FetchSize is rows per MsgFetch round trip. 1 reproduces a row-at-a-
+	// time cursor loop; the benchmark harness can raise it to show how much
+	// of the outside-the-server penalty is round trips vs shipping.
+	FetchSize int
+}
+
+// Dial connects to a mural server.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial: %w", err)
+	}
+	return &Conn{
+		c:         c,
+		br:        bufio.NewReaderSize(c, 64<<10),
+		bw:        bufio.NewWriterSize(c, 64<<10),
+		FetchSize: 1,
+	}, nil
+}
+
+// Close tears the connection down.
+func (c *Conn) Close() error {
+	_ = wire.Write(c.bw, wire.MsgQuit, nil)
+	_ = c.bw.Flush()
+	return c.c.Close()
+}
+
+// Ping round-trips a no-op.
+func (c *Conn) Ping() error {
+	if err := wire.Write(c.bw, wire.MsgPing, nil); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	typ, _, err := wire.Read(c.br)
+	if err != nil {
+		return err
+	}
+	if typ != wire.MsgPong {
+		return fmt.Errorf("client: unexpected reply 0x%02x to ping", typ)
+	}
+	return nil
+}
+
+// Exec runs a statement without result rows.
+func (c *Conn) Exec(q string) (int64, error) {
+	if err := wire.Write(c.bw, wire.MsgExec, []byte(q)); err != nil {
+		return 0, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, err
+	}
+	typ, payload, err := wire.Read(c.br)
+	if err != nil {
+		return 0, err
+	}
+	switch typ {
+	case wire.MsgOK:
+		n, err := wire.DecodeUvarint(payload)
+		return int64(n), err
+	case wire.MsgErr:
+		return 0, fmt.Errorf("client: server error: %s", payload)
+	default:
+		return 0, fmt.Errorf("client: unexpected reply 0x%02x", typ)
+	}
+}
+
+// Cursor is an open server-side cursor.
+type Cursor struct {
+	Cols []string
+	conn *Conn
+	id   uint64
+	buf  []types.Tuple
+	done bool
+	// RoundTrips counts fetch messages, the IPC metric of the baseline.
+	RoundTrips int
+}
+
+// Query opens a cursor for a SELECT.
+func (c *Conn) Query(q string) (*Cursor, error) {
+	if err := wire.Write(c.bw, wire.MsgQuery, []byte(q)); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	typ, payload, err := wire.Read(c.br)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case wire.MsgRowDesc:
+		id, cols, err := wire.DecodeRowDesc(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &Cursor{Cols: cols, conn: c, id: id}, nil
+	case wire.MsgErr:
+		return nil, fmt.Errorf("client: server error: %s", payload)
+	case wire.MsgOK:
+		return nil, fmt.Errorf("client: Query on a statement without rows")
+	default:
+		return nil, fmt.Errorf("client: unexpected reply 0x%02x", typ)
+	}
+}
+
+// fetch pulls the next batch into the buffer.
+func (cur *Cursor) fetch() error {
+	size := cur.conn.FetchSize
+	if size < 1 {
+		size = 1
+	}
+	if err := wire.Write(cur.conn.bw, wire.MsgFetch, wire.EncodeFetch(cur.id, size)); err != nil {
+		return err
+	}
+	if err := cur.conn.bw.Flush(); err != nil {
+		return err
+	}
+	cur.RoundTrips++
+	for {
+		typ, payload, err := wire.Read(cur.conn.br)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case wire.MsgRow:
+			t, err := wire.DecodeRow(payload)
+			if err != nil {
+				return err
+			}
+			cur.buf = append(cur.buf, t)
+		case wire.MsgOK:
+			return nil // batch boundary
+		case wire.MsgEnd:
+			cur.done = true
+			return nil
+		case wire.MsgErr:
+			return fmt.Errorf("client: server error: %s", payload)
+		default:
+			return fmt.Errorf("client: unexpected reply 0x%02x", typ)
+		}
+	}
+}
+
+// Next returns the next row.
+func (cur *Cursor) Next() (types.Tuple, bool, error) {
+	for len(cur.buf) == 0 {
+		if cur.done {
+			return nil, false, nil
+		}
+		if err := cur.fetch(); err != nil {
+			return nil, false, err
+		}
+	}
+	t := cur.buf[0]
+	cur.buf = cur.buf[1:]
+	return t, true, nil
+}
+
+// All drains the cursor.
+func (cur *Cursor) All() ([]types.Tuple, error) {
+	var out []types.Tuple
+	for {
+		t, ok, err := cur.Next()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+// Close releases the server-side cursor.
+func (cur *Cursor) Close() error {
+	if cur.done {
+		return nil
+	}
+	if err := wire.Write(cur.conn.bw, wire.MsgClose, wire.EncodeUvarint(cur.id)); err != nil {
+		return err
+	}
+	if err := cur.conn.bw.Flush(); err != nil {
+		return err
+	}
+	typ, payload, err := wire.Read(cur.conn.br)
+	if err != nil {
+		return err
+	}
+	if typ == wire.MsgErr {
+		return fmt.Errorf("client: server error: %s", payload)
+	}
+	cur.done = true
+	return nil
+}
+
+// RemoteAddr returns the server address this connection dialed.
+func (c *Conn) RemoteAddr() string { return c.c.RemoteAddr().String() }

@@ -1,0 +1,405 @@
+package client
+
+import (
+	"fmt"
+
+	"github.com/mural-db/mural/internal/phonetic"
+	"github.com/mural-db/mural/internal/types"
+)
+
+// This file is the outside-the-server "UDF library": the Ψ and Ω
+// functionalities implemented with standard database features only, the way
+// the paper's PL/SQL baseline does (§5.3, §5.4). Every operator evaluation
+// happens in the client process over rows shipped through the wire
+// protocol; closures are computed with level-at-a-time recursive SQL.
+
+// colIndex finds a column by name in a cursor's row description.
+func colIndex(cols []string, name string) (int, error) {
+	for i, c := range cols {
+		if c == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("client: result has no column %q (have %v)", name, cols)
+}
+
+// PsiStats reports what the outside-the-server evaluation cost.
+type PsiStats struct {
+	RowsShipped int
+	RoundTrips  int
+	Comparisons int
+}
+
+// phonemeOf extracts the phoneme of a shipped value: UNITEXT rows carry the
+// materialized phoneme (the paper materializes phonemes before the
+// experiments); anything else converts as English.
+func phonemeOf(v types.Value, reg *phonetic.Registry) string {
+	if v.Kind() == types.KindUniText {
+		return reg.ToPhoneme(v.UniText())
+	}
+	return reg.ToPhoneme(types.Compose(v.Text(), types.LangEnglish))
+}
+
+func langOf(v types.Value) types.LangID {
+	if v.Kind() == types.KindUniText {
+		return v.UniText().Lang
+	}
+	return types.LangEnglish
+}
+
+func langOK(lang types.LangID, langs []types.LangID) bool {
+	if len(langs) == 0 {
+		return true
+	}
+	for _, l := range langs {
+		if l == lang {
+			return true
+		}
+	}
+	return false
+}
+
+// PsiScan evaluates "nameCol LEXEQUAL query THRESHOLD k IN langs" over a
+// full-table fetch: the no-index outside-the-server scan of Table 4.
+func PsiScan(conn *Conn, table, nameCol string, query types.UniText, k int, langs []types.LangID, reg *phonetic.Registry) ([]types.Tuple, PsiStats, error) {
+	var st PsiStats
+	cur, err := conn.Query("SELECT * FROM " + table)
+	if err != nil {
+		return nil, st, err
+	}
+	defer cur.Close()
+	col, err := colIndex(cur.Cols, nameCol)
+	if err != nil {
+		return nil, st, err
+	}
+	qph := reg.ToPhoneme(query)
+	var out []types.Tuple
+	for {
+		t, ok, err := cur.Next()
+		if err != nil {
+			return out, st, err
+		}
+		if !ok {
+			break
+		}
+		st.RowsShipped++
+		v := t[col]
+		if v.IsNull() || !langOK(langOf(v), langs) {
+			continue
+		}
+		st.Comparisons++
+		if phonetic.WithinDistance(qph, phonemeOf(v, reg), k) {
+			out = append(out, t)
+		}
+	}
+	st.RoundTrips = cur.RoundTrips
+	return out, st, nil
+}
+
+// PsiScanMDI evaluates the same predicate using the MDI baseline index: a
+// standard B-tree over the materialized pivot distance column. The client
+// pushes only the triangle-inequality range to the server and verifies the
+// candidates locally.
+func PsiScanMDI(conn *Conn, table, nameCol, pdistCol, pivot string, query types.UniText, k int, langs []types.LangID, reg *phonetic.Registry) ([]types.Tuple, PsiStats, error) {
+	var st PsiStats
+	qph := reg.ToPhoneme(query)
+	dq := phonetic.EditDistance(qph, pivot)
+	lo, hi := dq-k, dq+k
+	if lo < 0 {
+		lo = 0
+	}
+	q := fmt.Sprintf("SELECT * FROM %s WHERE %s >= %d AND %s <= %d", table, pdistCol, lo, pdistCol, hi)
+	cur, err := conn.Query(q)
+	if err != nil {
+		return nil, st, err
+	}
+	defer cur.Close()
+	col, err := colIndex(cur.Cols, nameCol)
+	if err != nil {
+		return nil, st, err
+	}
+	var out []types.Tuple
+	for {
+		t, ok, err := cur.Next()
+		if err != nil {
+			return out, st, err
+		}
+		if !ok {
+			break
+		}
+		st.RowsShipped++
+		v := t[col]
+		if v.IsNull() || !langOK(langOf(v), langs) {
+			continue
+		}
+		st.Comparisons++
+		if phonetic.WithinDistance(qph, phonemeOf(v, reg), k) {
+			out = append(out, t)
+		}
+	}
+	st.RoundTrips = cur.RoundTrips
+	return out, st, nil
+}
+
+// PsiJoin evaluates "t1.col1 LEXEQUAL t2.col2 THRESHOLD k" the SQL-script
+// way: ship both tables, join in the client.
+func PsiJoin(conn *Conn, t1, col1, t2, col2 string, k int, langs []types.LangID, reg *phonetic.Registry) (int, PsiStats, error) {
+	var st PsiStats
+	fetch := func(table, col string) ([]types.Tuple, int, int, error) {
+		cur, err := conn.Query("SELECT * FROM " + table)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		defer cur.Close()
+		idx, err := colIndex(cur.Cols, col)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		rows, err := cur.All()
+		return rows, idx, cur.RoundTrips, err
+	}
+	left, lIdx, rt1, err := fetch(t1, col1)
+	if err != nil {
+		return 0, st, err
+	}
+	right, rIdx, rt2, err := fetch(t2, col2)
+	if err != nil {
+		return 0, st, err
+	}
+	st.RowsShipped = len(left) + len(right)
+	st.RoundTrips = rt1 + rt2
+	// Pre-extract phonemes once per side (the PL/SQL script would have the
+	// materialized phoneme column available the same way).
+	rph := make([]string, len(right))
+	rok := make([]bool, len(right))
+	for i, t := range right {
+		v := t[rIdx]
+		if v.IsNull() || !langOK(langOf(v), langs) {
+			continue
+		}
+		rph[i] = phonemeOf(v, reg)
+		rok[i] = true
+	}
+	matches := 0
+	for _, lt := range left {
+		v := lt[lIdx]
+		if v.IsNull() || !langOK(langOf(v), langs) {
+			continue
+		}
+		lph := phonemeOf(v, reg)
+		for i := range right {
+			if !rok[i] {
+				continue
+			}
+			st.Comparisons++
+			if phonetic.WithinDistance(lph, rph[i], k) {
+				matches++
+			}
+		}
+	}
+	return matches, st, nil
+}
+
+// PsiJoinMDI evaluates the join with the MDI index on the inner table: one
+// range query per outer row.
+func PsiJoinMDI(conn *Conn, t1, col1, t2, col2, pdistCol, pivot string, k int, langs []types.LangID, reg *phonetic.Registry) (int, PsiStats, error) {
+	var st PsiStats
+	cur, err := conn.Query("SELECT * FROM " + t1)
+	if err != nil {
+		return 0, st, err
+	}
+	lIdx, err := colIndex(cur.Cols, col1)
+	if err != nil {
+		cur.Close()
+		return 0, st, err
+	}
+	outer, err := cur.All()
+	if err != nil {
+		return 0, st, err
+	}
+	st.RowsShipped += len(outer)
+	st.RoundTrips += cur.RoundTrips
+	matches := 0
+	for _, lt := range outer {
+		v := lt[lIdx]
+		if v.IsNull() || !langOK(langOf(v), langs) {
+			continue
+		}
+		lph := phonemeOf(v, reg)
+		d := phonetic.EditDistance(lph, pivot)
+		lo, hi := d-k, d+k
+		if lo < 0 {
+			lo = 0
+		}
+		q := fmt.Sprintf("SELECT * FROM %s WHERE %s >= %d AND %s <= %d", t2, pdistCol, lo, pdistCol, hi)
+		inCur, err := conn.Query(q)
+		if err != nil {
+			return matches, st, err
+		}
+		rIdx, err := colIndex(inCur.Cols, col2)
+		if err != nil {
+			inCur.Close()
+			return matches, st, err
+		}
+		cands, err := inCur.All()
+		if err != nil {
+			return matches, st, err
+		}
+		st.RowsShipped += len(cands)
+		st.RoundTrips += inCur.RoundTrips
+		for _, rt := range cands {
+			rv := rt[rIdx]
+			if rv.IsNull() || !langOK(langOf(rv), langs) {
+				continue
+			}
+			st.Comparisons++
+			if phonetic.WithinDistance(lph, phonemeOf(rv, reg), k) {
+				matches++
+			}
+		}
+	}
+	return matches, st, nil
+}
+
+// ClosureStats reports the cost of a recursive-SQL closure computation.
+type ClosureStats struct {
+	Queries     int
+	RowsShipped int
+	RoundTrips  int
+}
+
+// Closure computes the downward transitive closure of root over a taxonomy
+// table with (id, parent) columns, using level-at-a-time recursive SQL: one
+// child-lookup query per member, exactly what a PL/SQL loop over "SELECT id
+// FROM tax WHERE parent = :x" does. Whether each lookup is a full scan or a
+// B-tree descent is the server's access-path decision — that is the
+// paper's Figure 8 index axis.
+func Closure(conn *Conn, table, idCol, parentCol string, root int64) (map[int64]bool, ClosureStats, error) {
+	var st ClosureStats
+	closure := map[int64]bool{root: true}
+	frontier := []int64{root}
+	for len(frontier) > 0 {
+		var next []int64
+		for _, node := range frontier {
+			q := fmt.Sprintf("SELECT %s FROM %s WHERE %s = %d", idCol, table, parentCol, node)
+			cur, err := conn.Query(q)
+			if err != nil {
+				return closure, st, err
+			}
+			st.Queries++
+			rows, err := cur.All()
+			if err != nil {
+				return closure, st, err
+			}
+			st.RowsShipped += len(rows)
+			st.RoundTrips += cur.RoundTrips
+			for _, t := range rows {
+				id := t[0].Int()
+				if !closure[id] {
+					closure[id] = true
+					next = append(next, id)
+				}
+			}
+		}
+		frontier = next
+	}
+	return closure, st, nil
+}
+
+// SemScan evaluates "catCol SEMEQUAL concept IN langs" outside the server:
+// resolve the concept to taxonomy ids, compute the closure with recursive
+// SQL, then ship the data table and test membership client-side.
+func SemScan(conn *Conn, dataTable, catSynCol string, taxTable, idCol, parentCol, wordCol string, concept string, root int64) (int, ClosureStats, error) {
+	closure, st, err := Closure(conn, taxTable, idCol, parentCol, root)
+	if err != nil {
+		return 0, st, err
+	}
+	_ = concept
+	cur, err := conn.Query("SELECT * FROM " + dataTable)
+	if err != nil {
+		return 0, st, err
+	}
+	defer cur.Close()
+	col, err := colIndex(cur.Cols, catSynCol)
+	if err != nil {
+		return 0, st, err
+	}
+	matches := 0
+	for {
+		t, ok, err := cur.Next()
+		if err != nil {
+			return matches, st, err
+		}
+		if !ok {
+			break
+		}
+		st.RowsShipped++
+		if !t[col].IsNull() && closure[t[col].Int()] {
+			matches++
+		}
+	}
+	st.RoundTrips += cur.RoundTrips
+	return matches, st, nil
+}
+
+// PsiJoinNested evaluates the Ψ join the way a PL/SQL nested cursor loop
+// does: re-open and re-ship the inner table for every outer row. This is
+// the no-index outside-the-server join configuration of Table 4 — its cost
+// is dominated by shipping n_outer × n_inner rows through the cursor
+// interface, which is exactly the overhead the paper attributes to the
+// outside-the-server implementation.
+func PsiJoinNested(conn *Conn, outer, outerCol, inner, innerCol string, k int, langs []types.LangID, reg *phonetic.Registry) (int, PsiStats, error) {
+	var st PsiStats
+	outerCur, err := conn.Query("SELECT * FROM " + outer)
+	if err != nil {
+		return 0, st, err
+	}
+	oIdx, err := colIndex(outerCur.Cols, outerCol)
+	if err != nil {
+		outerCur.Close()
+		return 0, st, err
+	}
+	outerRows, err := outerCur.All()
+	if err != nil {
+		return 0, st, err
+	}
+	st.RowsShipped += len(outerRows)
+	st.RoundTrips += outerCur.RoundTrips
+	matches := 0
+	for _, ot := range outerRows {
+		v := ot[oIdx]
+		if v.IsNull() || !langOK(langOf(v), langs) {
+			continue
+		}
+		oph := phonemeOf(v, reg)
+		innerCur, err := conn.Query("SELECT * FROM " + inner)
+		if err != nil {
+			return matches, st, err
+		}
+		iIdx, err := colIndex(innerCur.Cols, innerCol)
+		if err != nil {
+			innerCur.Close()
+			return matches, st, err
+		}
+		for {
+			it, ok, err := innerCur.Next()
+			if err != nil {
+				return matches, st, err
+			}
+			if !ok {
+				break
+			}
+			st.RowsShipped++
+			iv := it[iIdx]
+			if iv.IsNull() || !langOK(langOf(iv), langs) {
+				continue
+			}
+			st.Comparisons++
+			if phonetic.WithinDistance(oph, phonemeOf(iv, reg), k) {
+				matches++
+			}
+		}
+		st.RoundTrips += innerCur.RoundTrips
+	}
+	return matches, st, nil
+}

@@ -1,0 +1,255 @@
+// Package dataset generates the deterministic synthetic workloads used by
+// the tests, examples and benchmarks, standing in for the paper's
+// pre-tagged multilingual names dataset (§5.1) and its Books/Authors/
+// Publishers schema (Example 5).
+//
+// Names are synthesized syllabically in romanized form, rendered into each
+// requested script via the phonetic package's transliterators (producing
+// cross-script homophone clusters), and optionally perturbed with spelling
+// noise so that threshold-based matching has realistic near-miss structure.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/mural-db/mural/internal/phonetic"
+	"github.com/mural-db/mural/internal/types"
+)
+
+// NameRecord is one multilingual name row.
+type NameRecord struct {
+	// ID is unique across the dataset.
+	ID int
+	// Cluster identifies the homophone cluster (records derived from the
+	// same romanized base name share it) — the match ground truth.
+	Cluster int
+	// Roman is the romanized base the record was derived from.
+	Roman string
+	// Name is the rendered multilingual value.
+	Name types.UniText
+}
+
+// NamesConfig parameterizes GenerateNames.
+type NamesConfig struct {
+	// Records is the total number of rows; 0 defaults to 25000 (the scale
+	// of the paper's names dataset).
+	Records int
+	// Langs are the scripts to render into; empty defaults to English,
+	// Hindi, Tamil and Kannada.
+	Langs []types.LangID
+	// NoiseRate is the fraction of records receiving one extra spelling
+	// perturbation before rendering (default 0.2 when negative).
+	NoiseRate float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultNameRecords matches the scale of the paper's Ψ dataset.
+const DefaultNameRecords = 25000
+
+var (
+	nameOnsets = []string{
+		"k", "kh", "g", "ch", "j", "t", "d", "n", "p", "b", "bh",
+		"m", "y", "r", "l", "v", "s", "sh", "h",
+		"kr", "pr", "sr", "vr", "dr",
+	}
+	nameNuclei = []string{"a", "aa", "e", "i", "o", "u", "ee"}
+	nameCodas  = []string{"", "", "", "n", "r", "m", "sh", "l"}
+)
+
+// synthRoman builds one romanized name of 2-3 syllables. The final nucleus
+// avoids a bare "e", which English orthography would read as a silent
+// final e and desynchronize the cross-script phonemes.
+func synthRoman(rng *rand.Rand) string {
+	var b strings.Builder
+	syllables := 2 + rng.Intn(2)
+	for i := 0; i < syllables; i++ {
+		b.WriteString(nameOnsets[rng.Intn(len(nameOnsets))])
+		nucleus := nameNuclei[rng.Intn(len(nameNuclei))]
+		if i == syllables-1 && nucleus == "e" {
+			nucleus = "a"
+		}
+		b.WriteString(nucleus)
+	}
+	b.WriteString(nameCodas[rng.Intn(len(nameCodas))])
+	return b.String()
+}
+
+// perturb applies one random spelling edit to a romanized name, keeping the
+// result pronounceable enough for the transliterators.
+func perturb(roman string, rng *rand.Rand) string {
+	letters := "aeiounrstmkpl"
+	r := []rune(roman)
+	if len(r) < 2 {
+		return roman
+	}
+	switch rng.Intn(3) {
+	case 0: // substitute
+		r[rng.Intn(len(r))] = rune(letters[rng.Intn(len(letters))])
+	case 1: // insert
+		pos := rng.Intn(len(r) + 1)
+		r = append(r[:pos], append([]rune{rune(letters[rng.Intn(len(letters))])}, r[pos:]...)...)
+	default: // delete
+		pos := rng.Intn(len(r))
+		r = append(r[:pos], r[pos+1:]...)
+	}
+	return string(r)
+}
+
+// GenerateNames builds the multilingual names dataset. Every cluster
+// renders one base name into each language, so matches at small thresholds
+// cross scripts exactly as the paper's workload requires.
+func GenerateNames(cfg NamesConfig) []NameRecord {
+	n := cfg.Records
+	if n <= 0 {
+		n = DefaultNameRecords
+	}
+	langs := cfg.Langs
+	if len(langs) == 0 {
+		langs = []types.LangID{types.LangEnglish, types.LangHindi, types.LangTamil, types.LangKannada}
+	}
+	noise := cfg.NoiseRate
+	if noise < 0 {
+		noise = 0.2
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	reg := phonetic.DefaultRegistry()
+
+	out := make([]NameRecord, 0, n)
+	cluster := 0
+	seen := make(map[string]bool)
+	for len(out) < n {
+		roman := synthRoman(rng)
+		if seen[roman] {
+			continue
+		}
+		seen[roman] = true
+		for _, lang := range langs {
+			if len(out) >= n {
+				break
+			}
+			base := roman
+			if rng.Float64() < noise {
+				base = perturb(base, rng)
+			}
+			script := phonetic.Transliterate(base, lang)
+			u := reg.Materialize(types.Compose(script, lang))
+			out = append(out, NameRecord{
+				ID:      len(out),
+				Cluster: cluster,
+				Roman:   roman,
+				Name:    u,
+			})
+		}
+		cluster++
+	}
+	return out
+}
+
+// Book is one row of the Example 5 Books catalog.
+type Book struct {
+	ID          int
+	AuthorID    int
+	PublisherID int
+	Title       types.UniText
+	Category    types.UniText
+}
+
+// Author is one row of the Authors table.
+type Author struct {
+	ID   int
+	Name types.UniText
+}
+
+// Publisher is one row of the Publishers table.
+type Publisher struct {
+	ID   int
+	Name types.UniText
+}
+
+// Catalog is the three-table schema of the paper's Example 5 ("find the
+// books whose author's name sounds like that of a publisher's name").
+type Catalog struct {
+	Authors    []Author
+	Publishers []Publisher
+	Books      []Book
+}
+
+// CatalogConfig parameterizes GenerateCatalog.
+type CatalogConfig struct {
+	Authors    int
+	Publishers int
+	Books      int
+	// Langs for author and publisher names; empty defaults to English,
+	// Hindi and Tamil.
+	Langs []types.LangID
+	// Categories supplies concept word-forms (per language) for the Book
+	// Category attribute; nil leaves categories as plain English labels.
+	Categories []types.UniText
+	Seed       int64
+}
+
+// GenerateCatalog builds a deterministic catalog. A controlled fraction of
+// publisher names are drawn from author name clusters so that the Ψ join of
+// Example 5 has non-trivial matches.
+func GenerateCatalog(cfg CatalogConfig) Catalog {
+	if cfg.Authors <= 0 {
+		cfg.Authors = 1000
+	}
+	if cfg.Publishers <= 0 {
+		cfg.Publishers = 200
+	}
+	if cfg.Books <= 0 {
+		cfg.Books = 5000
+	}
+	langs := cfg.Langs
+	if len(langs) == 0 {
+		langs = []types.LangID{types.LangEnglish, types.LangHindi, types.LangTamil}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	reg := phonetic.DefaultRegistry()
+
+	render := func(roman string, lang types.LangID) types.UniText {
+		script := phonetic.Transliterate(roman, lang)
+		return reg.Materialize(types.Compose(script, lang))
+	}
+
+	var cat Catalog
+	authorRomans := make([]string, cfg.Authors)
+	for i := 0; i < cfg.Authors; i++ {
+		authorRomans[i] = synthRoman(rng)
+		lang := langs[rng.Intn(len(langs))]
+		cat.Authors = append(cat.Authors, Author{ID: i, Name: render(authorRomans[i], lang)})
+	}
+	for i := 0; i < cfg.Publishers; i++ {
+		var roman string
+		if rng.Float64() < 0.3 {
+			// Sound-alike of an author: same base, maybe perturbed.
+			roman = authorRomans[rng.Intn(len(authorRomans))]
+			if rng.Intn(2) == 0 {
+				roman = perturb(roman, rng)
+			}
+		} else {
+			roman = synthRoman(rng)
+		}
+		lang := langs[rng.Intn(len(langs))]
+		cat.Publishers = append(cat.Publishers, Publisher{ID: i, Name: render(roman, lang)})
+	}
+	for i := 0; i < cfg.Books; i++ {
+		b := Book{
+			ID:          i,
+			AuthorID:    rng.Intn(cfg.Authors),
+			PublisherID: rng.Intn(cfg.Publishers),
+			Title:       reg.Materialize(types.Compose(fmt.Sprintf("the %s chronicles vol %d", synthRoman(rng), i%7+1), types.LangEnglish)),
+		}
+		if len(cfg.Categories) > 0 {
+			b.Category = cfg.Categories[rng.Intn(len(cfg.Categories))]
+		} else {
+			b.Category = types.Compose("fiction", types.LangEnglish)
+		}
+		cat.Books = append(cat.Books, b)
+	}
+	return cat
+}

@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"testing"
+
+	"github.com/mural-db/mural/internal/phonetic"
+	"github.com/mural-db/mural/internal/types"
+)
+
+func TestGenerateNamesDeterministic(t *testing.T) {
+	a := GenerateNames(NamesConfig{Records: 500, Seed: 1})
+	b := GenerateNames(NamesConfig{Records: 500, Seed: 1})
+	if len(a) != 500 || len(b) != 500 {
+		t.Fatalf("counts: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Cluster != b[i].Cluster {
+			t.Fatalf("record %d differs between runs", i)
+		}
+	}
+	c := GenerateNames(NamesConfig{Records: 500, Seed: 2})
+	same := 0
+	for i := range a {
+		if a[i].Name == c[i].Name {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestGenerateNamesDefaults(t *testing.T) {
+	recs := GenerateNames(NamesConfig{Records: 40, Seed: 3})
+	langsSeen := make(map[types.LangID]bool)
+	for _, r := range recs {
+		langsSeen[r.Name.Lang] = true
+		if r.Name.Phoneme == "" {
+			t.Fatalf("record %d: phoneme not materialized", r.ID)
+		}
+		if r.Name.Text == "" {
+			t.Fatalf("record %d: empty text", r.ID)
+		}
+	}
+	for _, want := range []types.LangID{types.LangEnglish, types.LangHindi, types.LangTamil, types.LangKannada} {
+		if !langsSeen[want] {
+			t.Errorf("default langs missing %s", want)
+		}
+	}
+}
+
+// TestClusterHomophony is the dataset's load-bearing property: records of
+// the same cluster are phonemically close (within the paper's threshold 3),
+// and records from different clusters usually are not.
+func TestClusterHomophony(t *testing.T) {
+	recs := GenerateNames(NamesConfig{Records: 400, Seed: 7, NoiseRate: 0})
+	byCluster := make(map[int][]NameRecord)
+	for _, r := range recs {
+		byCluster[r.Cluster] = append(byCluster[r.Cluster], r)
+	}
+	clusters := 0
+	for _, members := range byCluster {
+		if len(members) < 2 {
+			continue
+		}
+		clusters++
+		for i := 1; i < len(members); i++ {
+			d := phonetic.EditDistance(members[0].Name.Phoneme, members[i].Name.Phoneme)
+			if d > 3 {
+				t.Errorf("cluster %d: %q(%s) vs %q(%s): phoneme distance %d > 3",
+					members[0].Cluster,
+					members[0].Name.Text, members[0].Name.Lang,
+					members[i].Name.Text, members[i].Name.Lang, d)
+			}
+		}
+	}
+	if clusters == 0 {
+		t.Fatal("no multi-member clusters generated")
+	}
+	// Cross-cluster distances should mostly exceed the threshold.
+	far := 0
+	total := 0
+	for c1 := 0; c1 < 20; c1++ {
+		for c2 := c1 + 1; c2 < 20; c2++ {
+			a, b := byCluster[c1], byCluster[c2]
+			if len(a) == 0 || len(b) == 0 {
+				continue
+			}
+			total++
+			if phonetic.EditDistance(a[0].Name.Phoneme, b[0].Name.Phoneme) > 3 {
+				far++
+			}
+		}
+	}
+	if total > 0 && float64(far)/float64(total) < 0.5 {
+		t.Errorf("only %d/%d cross-cluster pairs are far apart: dataset too easy", far, total)
+	}
+}
+
+func TestNoiseRate(t *testing.T) {
+	clean := GenerateNames(NamesConfig{Records: 300, Seed: 9, NoiseRate: 0})
+	noisy := GenerateNames(NamesConfig{Records: 300, Seed: 9, NoiseRate: 0.9})
+	diff := 0
+	for i := range clean {
+		if clean[i].Name.Text != noisy[i].Name.Text {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("noise rate had no effect")
+	}
+}
+
+func TestGenerateCatalogShape(t *testing.T) {
+	cats := []types.UniText{
+		types.Compose("history", types.LangEnglish),
+		types.Compose("science", types.LangEnglish),
+	}
+	c := GenerateCatalog(CatalogConfig{Authors: 100, Publishers: 30, Books: 500, Seed: 5, Categories: cats})
+	if len(c.Authors) != 100 || len(c.Publishers) != 30 || len(c.Books) != 500 {
+		t.Fatalf("shape: %d/%d/%d", len(c.Authors), len(c.Publishers), len(c.Books))
+	}
+	for _, b := range c.Books {
+		if b.AuthorID < 0 || b.AuthorID >= 100 {
+			t.Fatalf("book %d: bad author fk %d", b.ID, b.AuthorID)
+		}
+		if b.PublisherID < 0 || b.PublisherID >= 30 {
+			t.Fatalf("book %d: bad publisher fk %d", b.ID, b.PublisherID)
+		}
+		if b.Category.Text != "history" && b.Category.Text != "science" {
+			t.Fatalf("book %d: category %q", b.ID, b.Category.Text)
+		}
+	}
+	for _, a := range c.Authors {
+		if a.Name.Phoneme == "" {
+			t.Fatal("author phoneme not materialized")
+		}
+	}
+}
+
+// TestCatalogHasSoundAlikeJoinMatches verifies Example 5 has answers: some
+// publisher names must be within threshold 3 of some author name.
+func TestCatalogHasSoundAlikeJoinMatches(t *testing.T) {
+	c := GenerateCatalog(CatalogConfig{Authors: 200, Publishers: 60, Books: 100, Seed: 11})
+	matches := 0
+	for _, p := range c.Publishers {
+		for _, a := range c.Authors {
+			if phonetic.WithinDistance(a.Name.Phoneme, p.Name.Phoneme, 3) {
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		t.Error("Example 5 workload has no Ψ join matches at threshold 3")
+	}
+	if matches == len(c.Publishers) {
+		t.Error("every publisher matches: workload degenerate")
+	}
+}
+
+func TestCatalogDefaults(t *testing.T) {
+	c := GenerateCatalog(CatalogConfig{Seed: 1})
+	if len(c.Authors) != 1000 || len(c.Publishers) != 200 || len(c.Books) != 5000 {
+		t.Errorf("defaults: %d/%d/%d", len(c.Authors), len(c.Publishers), len(c.Books))
+	}
+	if c.Books[0].Category.Text != "fiction" {
+		t.Errorf("default category = %q", c.Books[0].Category.Text)
+	}
+}

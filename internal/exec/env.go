@@ -1,0 +1,58 @@
+// Package exec interprets physical plans produced by the plan package with
+// a Volcano-style iterator per operator. All data access flows through the
+// Env interface, which the engine implements over its heaps and indexes;
+// the multilingual operators reach the phonetic and semantic runtimes the
+// same way, mirroring how the paper's in-kernel operators call the linked
+// Dhvani converter and the pinned WordNet hierarchies.
+package exec
+
+import (
+	"github.com/mural-db/mural/internal/phonetic"
+	"github.com/mural-db/mural/internal/storage"
+	"github.com/mural-db/mural/internal/types"
+	"github.com/mural-db/mural/internal/wordnet"
+)
+
+// TupleIter streams tuples.
+type TupleIter interface {
+	// Next returns the next tuple; ok=false signals exhaustion.
+	Next() (types.Tuple, bool, error)
+	// Close releases resources. Close is idempotent.
+	Close() error
+}
+
+// Env is the runtime surface the executor needs from the engine.
+type Env interface {
+	// ScanTable streams every live tuple of a base table.
+	ScanTable(table string) (TupleIter, error)
+	// FetchRIDs decodes the tuples at the given RIDs of a base table.
+	FetchRIDs(table string, rids []storage.RID) ([]types.Tuple, error)
+	// IndexSearch probes a B-tree index: nil lo/hi leave the bound open.
+	IndexSearch(index string, lo, hi []byte) ([]storage.RID, int, error)
+	// MTreeSearch probes an M-Tree metric index, returning matching RIDs
+	// and the number of index pages visited.
+	MTreeSearch(index string, phoneme string, threshold int) ([]storage.RID, int, error)
+	// MDISearch probes an MDI pivot-distance index, returning verified
+	// RIDs, pages visited and the raw candidate count.
+	MDISearch(index string, phoneme string, threshold int) ([]storage.RID, int, int, error)
+	// QGramSearch probes a q-gram inverted index, returning verified RIDs
+	// and the count-filter candidate count.
+	QGramSearch(index string, phoneme string, threshold int) ([]storage.RID, int, error)
+	// CustomOperator resolves a predicate registered through the engine's
+	// operator-addition facility (nil when unknown).
+	CustomOperator(name string) func(a, b types.Value) (bool, error)
+	// Phonetic returns the converter registry.
+	Phonetic() *phonetic.Registry
+	// Semantic returns the Ω matcher, or nil when no taxonomy is loaded.
+	Semantic() *wordnet.Matcher
+}
+
+// RunStats aggregates executor-side counters for EXPLAIN ANALYZE and the
+// benchmark harness.
+type RunStats struct {
+	RowsOut        int64
+	IndexPages     int64
+	MDICandidates  int64
+	PsiEvaluations int64
+	OmegaProbes    int64
+}

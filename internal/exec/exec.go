@@ -1,0 +1,930 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/mural-db/mural/internal/plan"
+	"github.com/mural-db/mural/internal/sql"
+	"github.com/mural-db/mural/internal/types"
+)
+
+// Cursor is a running query: column names plus a tuple stream.
+type Cursor struct {
+	Cols  []string
+	Stats *RunStats
+	it    TupleIter
+}
+
+// Next returns the next result row.
+func (c *Cursor) Next() (types.Tuple, bool, error) {
+	t, ok, err := c.it.Next()
+	if ok && c.Stats != nil {
+		c.Stats.RowsOut++
+	}
+	return t, ok, err
+}
+
+// Close releases the cursor.
+func (c *Cursor) Close() error { return c.it.Close() }
+
+// All drains the cursor.
+func (c *Cursor) All() ([]types.Tuple, error) {
+	defer c.Close()
+	var out []types.Tuple
+	for {
+		t, ok, err := c.it.Next()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		if c.Stats != nil {
+			c.Stats.RowsOut++
+		}
+		out = append(out, t)
+	}
+}
+
+// Run instantiates the operator tree for a physical plan.
+func Run(env Env, node *plan.Node) (*Cursor, error) {
+	stats := &RunStats{}
+	ev := &evaluator{env: env, stats: stats}
+	it, err := build(env, ev, node)
+	if err != nil {
+		return nil, err
+	}
+	cols := node.ColNames
+	if cols == nil {
+		for _, ci := range node.Schema() {
+			cols = append(cols, ci.Name)
+		}
+	}
+	return &Cursor{Cols: cols, Stats: stats, it: it}, nil
+}
+
+func build(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
+	switch n.Op {
+	case plan.OpSeqScan:
+		return env.ScanTable(n.Table)
+	case plan.OpBTreeScan, plan.OpMTreeScan, plan.OpMDIScan, plan.OpQGramScan:
+		return buildIndexScan(env, ev, n)
+	case plan.OpFilter:
+		child, err := build(env, ev, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return &filterIter{child: child, cond: n.Cond, ev: ev}, nil
+	case plan.OpProject:
+		child, err := build(env, ev, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return &projectIter{child: child, projs: n.Projs, ev: ev}, nil
+	case plan.OpMaterialize:
+		child, err := build(env, ev, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return &materializeIter{child: child}, nil
+	case plan.OpNLJoin:
+		return buildNLJoin(env, ev, n)
+	case plan.OpHashJoin:
+		return buildHashJoin(env, ev, n)
+	case plan.OpPsiJoin:
+		return buildPsiJoin(env, ev, n)
+	case plan.OpPsiIndexJoin:
+		return buildPsiIndexJoin(env, ev, n)
+	case plan.OpOmegaJoin:
+		return buildOmegaJoin(env, ev, n)
+	case plan.OpAggregate:
+		return buildAggregate(env, ev, n)
+	case plan.OpSort:
+		return buildSort(env, ev, n)
+	case plan.OpDistinct:
+		child, err := build(env, ev, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return &distinctIter{child: child, seen: make(map[string]bool)}, nil
+	case plan.OpLimit:
+		child, err := build(env, ev, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return &limitIter{child: child, n: n.LimitN}, nil
+	default:
+		return nil, fmt.Errorf("exec: unsupported operator %s", n.Op)
+	}
+}
+
+// sliceIter iterates a materialized tuple slice.
+type sliceIter struct {
+	rows []types.Tuple
+	pos  int
+}
+
+func (s *sliceIter) Next() (types.Tuple, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+func (s *sliceIter) Close() error { return nil }
+
+// buildIndexScan probes the index named by the plan node, fetches the heap
+// tuples and replays the recheck condition.
+func buildIndexScan(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
+	var rows []types.Tuple
+	switch n.Op {
+	case plan.OpBTreeScan:
+		var lo, hi []byte
+		if n.Index.EqKey != nil {
+			v, err := ev.eval(n.Index.EqKey, nil)
+			if err != nil {
+				return nil, err
+			}
+			key := types.KeyOf(v)
+			lo, hi = key, key
+		}
+		if n.Index.Lo != nil {
+			v, err := ev.eval(n.Index.Lo, nil)
+			if err != nil {
+				return nil, err
+			}
+			lo = types.KeyOf(v)
+		}
+		if n.Index.Hi != nil {
+			v, err := ev.eval(n.Index.Hi, nil)
+			if err != nil {
+				return nil, err
+			}
+			hi = types.KeyOf(v)
+			// Keys share the class tag; extend so every key with this
+			// prefix is included (recheck trims overshoot).
+			hi = append(hi, 0xFF)
+		}
+		rids, pages, err := env.IndexSearch(n.Index.Index, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		ev.stats.IndexPages += int64(pages)
+		rows, err = env.FetchRIDs(n.Table, rids)
+		if err != nil {
+			return nil, err
+		}
+	case plan.OpMTreeScan, plan.OpMDIScan, plan.OpQGramScan:
+		v, err := ev.eval(n.Index.Probe, nil)
+		if err != nil {
+			return nil, err
+		}
+		ph, _, ok := ev.psiOperand(v, n.Index.Langs)
+		if !ok {
+			return nil, fmt.Errorf("exec: index probe value must be text")
+		}
+		if n.Op == plan.OpMTreeScan {
+			rids, pages, err := env.MTreeSearch(n.Index.Index, ph, n.Index.Threshold)
+			if err != nil {
+				return nil, err
+			}
+			ev.stats.IndexPages += int64(pages)
+			rows, err = env.FetchRIDs(n.Table, rids)
+			if err != nil {
+				return nil, err
+			}
+		} else if n.Op == plan.OpQGramScan {
+			rids, cands, err := env.QGramSearch(n.Index.Index, ph, n.Index.Threshold)
+			if err != nil {
+				return nil, err
+			}
+			ev.stats.MDICandidates += int64(cands)
+			rows, err = env.FetchRIDs(n.Table, rids)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			rids, pages, cands, err := env.MDISearch(n.Index.Index, ph, n.Index.Threshold)
+			if err != nil {
+				return nil, err
+			}
+			ev.stats.IndexPages += int64(pages)
+			ev.stats.MDICandidates += int64(cands)
+			rows, err = env.FetchRIDs(n.Table, rids)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	var it TupleIter = &sliceIter{rows: rows}
+	if n.Cond != nil {
+		it = &filterIter{child: it, cond: n.Cond, ev: ev}
+	}
+	return it, nil
+}
+
+type filterIter struct {
+	child TupleIter
+	cond  plan.Expr
+	ev    *evaluator
+}
+
+func (f *filterIter) Next() (types.Tuple, bool, error) {
+	for {
+		t, ok, err := f.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		pass, err := f.ev.evalBool(f.cond, t)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			return t, true, nil
+		}
+	}
+}
+
+func (f *filterIter) Close() error { return f.child.Close() }
+
+type projectIter struct {
+	child TupleIter
+	projs []plan.Expr
+	ev    *evaluator
+}
+
+func (p *projectIter) Next() (types.Tuple, bool, error) {
+	t, ok, err := p.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(types.Tuple, len(p.projs))
+	for i, e := range p.projs {
+		v, err := p.ev.eval(e, t)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+func (p *projectIter) Close() error { return p.child.Close() }
+
+// materializeIter caches its child's output; Rewind replays it, giving
+// nested-loops joins a cheap inner rescan (the Materialize of Figure 7).
+type materializeIter struct {
+	child  TupleIter
+	rows   []types.Tuple
+	loaded bool
+	pos    int
+}
+
+func (m *materializeIter) load() error {
+	if m.loaded {
+		return nil
+	}
+	for {
+		t, ok, err := m.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		m.rows = append(m.rows, t)
+	}
+	m.loaded = true
+	return m.child.Close()
+}
+
+func (m *materializeIter) Next() (types.Tuple, bool, error) {
+	if err := m.load(); err != nil {
+		return nil, false, err
+	}
+	if m.pos >= len(m.rows) {
+		return nil, false, nil
+	}
+	t := m.rows[m.pos]
+	m.pos++
+	return t, true, nil
+}
+
+func (m *materializeIter) Rewind() { m.pos = 0 }
+
+func (m *materializeIter) Close() error { return m.child.Close() }
+
+// joinedTuple concatenates left and right.
+func joinedTuple(l, r types.Tuple) types.Tuple {
+	out := make(types.Tuple, 0, len(l)+len(r))
+	out = append(out, l...)
+	return append(out, r...)
+}
+
+func buildNLJoin(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
+	left, err := build(env, ev, n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	right, err := build(env, ev, n.Children[1])
+	if err != nil {
+		return nil, err
+	}
+	inner, ok := right.(*materializeIter)
+	if !ok {
+		inner = &materializeIter{child: right}
+	}
+	return &nlJoinIter{ev: ev, outer: left, inner: inner, cond: n.Cond}, nil
+}
+
+type nlJoinIter struct {
+	ev       *evaluator
+	outer    TupleIter
+	inner    *materializeIter
+	cond     plan.Expr
+	curOuter types.Tuple
+	started  bool
+}
+
+func (j *nlJoinIter) Next() (types.Tuple, bool, error) {
+	for {
+		if !j.started || j.curOuter == nil {
+			t, ok, err := j.outer.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.curOuter = t
+			j.inner.Rewind()
+			j.started = true
+		}
+		for {
+			rt, ok, err := j.inner.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				j.curOuter = nil
+				break
+			}
+			joined := joinedTuple(j.curOuter, rt)
+			if j.cond != nil {
+				pass, err := j.ev.evalBool(j.cond, joined)
+				if err != nil {
+					return nil, false, err
+				}
+				if !pass {
+					continue
+				}
+			}
+			return joined, true, nil
+		}
+	}
+}
+
+func (j *nlJoinIter) Close() error {
+	j.outer.Close()
+	return j.inner.Close()
+}
+
+func buildHashJoin(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
+	left, err := build(env, ev, n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	right, err := build(env, ev, n.Children[1])
+	if err != nil {
+		return nil, err
+	}
+	leftWidth := len(n.Children[0].Schema())
+	return &hashJoinIter{
+		ev: ev, probe: left, buildSrc: right,
+		probeCol: n.HashLeft, buildCol: n.HashRight - leftWidth,
+		cond: n.Cond,
+	}, nil
+}
+
+type hashJoinIter struct {
+	ev       *evaluator
+	probe    TupleIter
+	buildSrc TupleIter
+	probeCol int
+	buildCol int
+	cond     plan.Expr
+
+	table   map[string][]types.Tuple
+	cur     types.Tuple // current probe tuple
+	matches []types.Tuple
+	mi      int
+}
+
+func (j *hashJoinIter) init() error {
+	if j.table != nil {
+		return nil
+	}
+	j.table = make(map[string][]types.Tuple)
+	for {
+		t, ok, err := j.buildSrc.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		v := t[j.buildCol]
+		if v.IsNull() {
+			continue
+		}
+		k := string(types.KeyOf(v))
+		j.table[k] = append(j.table[k], t)
+	}
+	return j.buildSrc.Close()
+}
+
+func (j *hashJoinIter) Next() (types.Tuple, bool, error) {
+	if err := j.init(); err != nil {
+		return nil, false, err
+	}
+	for {
+		for j.mi < len(j.matches) {
+			rt := j.matches[j.mi]
+			j.mi++
+			joined := joinedTuple(j.cur, rt)
+			if j.cond != nil {
+				pass, err := j.ev.evalBool(j.cond, joined)
+				if err != nil {
+					return nil, false, err
+				}
+				if !pass {
+					continue
+				}
+			}
+			return joined, true, nil
+		}
+		t, ok, err := j.probe.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.cur = t
+		v := t[j.probeCol]
+		if v.IsNull() {
+			j.matches, j.mi = nil, 0
+			continue
+		}
+		j.matches = j.table[string(types.KeyOf(v))]
+		j.mi = 0
+	}
+}
+
+func (j *hashJoinIter) Close() error {
+	j.probe.Close()
+	return j.buildSrc.Close()
+}
+
+// buildPsiJoin wires the nested-loops Ψ join: the condition is a synthetic
+// Psi expression over the joint schema.
+func buildPsiJoin(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
+	cond := &plan.Psi{
+		L:         &plan.ColIdx{Idx: n.PsiLeftCol},
+		R:         &plan.ColIdx{Idx: n.PsiRightCol},
+		Threshold: n.PsiThreshold,
+		Langs:     n.PsiLangs,
+	}
+	full := cond
+	var fullCond plan.Expr = full
+	if n.Cond != nil {
+		fullCond = &plan.AndOr{L: full, R: n.Cond}
+	}
+	left, err := build(env, ev, n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	right, err := build(env, ev, n.Children[1])
+	if err != nil {
+		return nil, err
+	}
+	inner, ok := right.(*materializeIter)
+	if !ok {
+		inner = &materializeIter{child: right}
+	}
+	return &nlJoinIter{ev: ev, outer: left, inner: inner, cond: fullCond}, nil
+}
+
+// buildPsiIndexJoin probes an M-Tree on the inner relation per outer row.
+func buildPsiIndexJoin(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
+	left, err := build(env, ev, n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	leftWidth := len(n.Children[0].Schema())
+	outerCol := n.PsiLeftCol
+	if outerCol >= leftWidth {
+		outerCol = n.PsiRightCol
+	}
+	recheck := &plan.Psi{
+		L:         &plan.ColIdx{Idx: n.PsiLeftCol},
+		R:         &plan.ColIdx{Idx: n.PsiRightCol},
+		Threshold: n.PsiThreshold,
+		Langs:     n.PsiLangs,
+	}
+	return &psiIndexJoinIter{
+		ev:        ev,
+		env:       env,
+		outer:     left,
+		index:     n.Index.Index,
+		table:     n.Children[1].Table,
+		outerCol:  outerCol,
+		threshold: n.PsiThreshold,
+		langs:     n.PsiLangs,
+		recheck:   recheck,
+		cond:      n.Cond,
+	}, nil
+}
+
+type psiIndexJoinIter struct {
+	ev        *evaluator
+	env       Env
+	outer     TupleIter
+	index     string
+	table     string
+	outerCol  int
+	threshold int
+	langs     []types.LangID
+	recheck   plan.Expr
+	cond      plan.Expr
+
+	cur     types.Tuple
+	matches []types.Tuple
+	mi      int
+}
+
+func (j *psiIndexJoinIter) Next() (types.Tuple, bool, error) {
+	for {
+		for j.mi < len(j.matches) {
+			rt := j.matches[j.mi]
+			j.mi++
+			joined := joinedTuple(j.cur, rt)
+			pass, err := j.ev.evalBool(j.recheck, joined)
+			if err != nil {
+				return nil, false, err
+			}
+			if !pass {
+				continue
+			}
+			if j.cond != nil {
+				p2, err := j.ev.evalBool(j.cond, joined)
+				if err != nil {
+					return nil, false, err
+				}
+				if !p2 {
+					continue
+				}
+			}
+			return joined, true, nil
+		}
+		t, ok, err := j.outer.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.cur = t
+		v := t[j.outerCol]
+		if v.IsNull() {
+			j.matches, j.mi = nil, 0
+			continue
+		}
+		ph, _, okp := j.ev.psiOperand(v, j.langs)
+		if !okp {
+			return nil, false, fmt.Errorf("exec: Ψ join operand must be text")
+		}
+		rids, pages, err := j.env.MTreeSearch(j.index, ph, j.threshold)
+		if err != nil {
+			return nil, false, err
+		}
+		j.ev.stats.IndexPages += int64(pages)
+		rows, err := j.env.FetchRIDs(j.table, rids)
+		if err != nil {
+			return nil, false, err
+		}
+		j.matches, j.mi = rows, 0
+	}
+}
+
+func (j *psiIndexJoinIter) Close() error { return j.outer.Close() }
+
+// buildOmegaJoin wires the Ω join with the closure-memoizing matcher; the
+// planner already arranged the outer side to carry the closure roots when
+// profitable (RHS-outer, §4.3).
+func buildOmegaJoin(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
+	cond := &plan.Omega{
+		L:     &plan.ColIdx{Idx: n.OmegaLeftCol},
+		R:     &plan.ColIdx{Idx: n.OmegaRightCol},
+		Langs: n.OmegaLangs,
+	}
+	var fullCond plan.Expr = cond
+	if n.Cond != nil {
+		fullCond = &plan.AndOr{L: cond, R: n.Cond}
+	}
+	left, err := build(env, ev, n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	right, err := build(env, ev, n.Children[1])
+	if err != nil {
+		return nil, err
+	}
+	inner, ok := right.(*materializeIter)
+	if !ok {
+		inner = &materializeIter{child: right}
+	}
+	return &nlJoinIter{ev: ev, outer: left, inner: inner, cond: fullCond}, nil
+}
+
+func buildAggregate(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
+	child, err := build(env, ev, n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	return &aggregateIter{ev: ev, child: child, node: n}, nil
+}
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	count int64
+	sum   float64
+	min   types.Value
+	max   types.Value
+	any   bool
+}
+
+type aggregateIter struct {
+	ev    *evaluator
+	child TupleIter
+	node  *plan.Node
+
+	out []types.Tuple
+	pos int
+	run bool
+}
+
+func (a *aggregateIter) compute() error {
+	type group struct {
+		keys   []types.Value
+		states []aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+
+	for {
+		t, ok, err := a.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		keys := make([]types.Value, len(a.node.GroupBy))
+		keyBytes := []byte{}
+		for i, g := range a.node.GroupBy {
+			v, err := a.ev.eval(g, t)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+			keyBytes = types.AppendValue(keyBytes, v)
+		}
+		k := string(keyBytes)
+		grp, ok := groups[k]
+		if !ok {
+			grp = &group{keys: keys, states: make([]aggState, len(a.node.Aggs))}
+			groups[k] = grp
+			order = append(order, k)
+		}
+		for i, spec := range a.node.Aggs {
+			st := &grp.states[i]
+			if spec.Arg == nil { // COUNT(*)
+				st.count++
+				continue
+			}
+			v, err := a.ev.eval(spec.Arg, t)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				continue
+			}
+			st.count++
+			switch spec.Kind {
+			case sql.FuncSum, sql.FuncAvg:
+				if k := v.Kind(); k != types.KindInt && k != types.KindFloat {
+					return fmt.Errorf("exec: %s over %s values", spec.Kind, k)
+				}
+				st.sum += v.Float()
+			case sql.FuncMin:
+				if !st.any || types.Compare(v, st.min) < 0 {
+					st.min = v
+				}
+			case sql.FuncMax:
+				if !st.any || types.Compare(v, st.max) > 0 {
+					st.max = v
+				}
+			}
+			st.any = true
+		}
+	}
+	if err := a.child.Close(); err != nil {
+		return err
+	}
+	// A global aggregate over zero rows still yields one row.
+	if len(groups) == 0 && len(a.node.GroupBy) == 0 {
+		grp := &group{states: make([]aggState, len(a.node.Aggs))}
+		groups[""] = grp
+		order = append(order, "")
+	}
+
+	for _, k := range order {
+		grp := groups[k]
+		aggVal := func(i int) types.Value {
+			st := grp.states[i]
+			switch a.node.Aggs[i].Kind {
+			case sql.FuncCount:
+				return types.NewInt(st.count)
+			case sql.FuncSum:
+				if st.count == 0 {
+					return types.Null()
+				}
+				return types.NewFloat(st.sum)
+			case sql.FuncAvg:
+				if st.count == 0 {
+					return types.Null()
+				}
+				return types.NewFloat(st.sum / float64(st.count))
+			case sql.FuncMin:
+				if !st.any {
+					return types.Null()
+				}
+				return st.min
+			case sql.FuncMax:
+				if !st.any {
+					return types.Null()
+				}
+				return st.max
+			default:
+				return types.Null()
+			}
+		}
+		// Output per plan convention: Projs[i] == nil means "next aggregate
+		// in order"; a ColIdx means "group key at that position".
+		out := make(types.Tuple, len(a.node.Projs))
+		aggIdx := 0
+		for i, pe := range a.node.Projs {
+			if pe == nil {
+				out[i] = aggVal(aggIdx)
+				aggIdx++
+				continue
+			}
+			ci := pe.(*plan.ColIdx)
+			out[i] = grp.keys[ci.Idx]
+		}
+		a.out = append(a.out, out)
+	}
+	return nil
+}
+
+func (a *aggregateIter) Next() (types.Tuple, bool, error) {
+	if !a.run {
+		if err := a.compute(); err != nil {
+			return nil, false, err
+		}
+		a.run = true
+	}
+	if a.pos >= len(a.out) {
+		return nil, false, nil
+	}
+	t := a.out[a.pos]
+	a.pos++
+	return t, true, nil
+}
+
+func (a *aggregateIter) Close() error { return a.child.Close() }
+
+func buildSort(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
+	child, err := build(env, ev, n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	return &sortIter{ev: ev, child: child, keys: n.SortKeys, desc: n.SortDesc}, nil
+}
+
+type sortIter struct {
+	ev    *evaluator
+	child TupleIter
+	keys  []plan.Expr
+	desc  []bool
+
+	rows []types.Tuple
+	pos  int
+	run  bool
+}
+
+func (s *sortIter) Next() (types.Tuple, bool, error) {
+	if !s.run {
+		var keyVals [][]types.Value
+		for {
+			t, ok, err := s.child.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			kv := make([]types.Value, len(s.keys))
+			for i, k := range s.keys {
+				v, err := s.ev.eval(k, t)
+				if err != nil {
+					return nil, false, err
+				}
+				kv[i] = v
+			}
+			s.rows = append(s.rows, t)
+			keyVals = append(keyVals, kv)
+		}
+		if err := s.child.Close(); err != nil {
+			return nil, false, err
+		}
+		idx := make([]int, len(s.rows))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			for i := range s.keys {
+				c := types.Compare(keyVals[idx[a]][i], keyVals[idx[b]][i])
+				if c == 0 {
+					continue
+				}
+				if s.desc[i] {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		sorted := make([]types.Tuple, len(s.rows))
+		for i, j := range idx {
+			sorted[i] = s.rows[j]
+		}
+		s.rows = sorted
+		s.run = true
+	}
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+func (s *sortIter) Close() error { return s.child.Close() }
+
+type distinctIter struct {
+	child TupleIter
+	seen  map[string]bool
+}
+
+func (d *distinctIter) Next() (types.Tuple, bool, error) {
+	for {
+		t, ok, err := d.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		k := string(types.EncodeTuple(t))
+		if d.seen[k] {
+			continue
+		}
+		d.seen[k] = true
+		return t, true, nil
+	}
+}
+
+func (d *distinctIter) Close() error { return d.child.Close() }
+
+type limitIter struct {
+	child TupleIter
+	n     int64
+	done  int64
+}
+
+func (l *limitIter) Next() (types.Tuple, bool, error) {
+	if l.done >= l.n {
+		return nil, false, nil
+	}
+	t, ok, err := l.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.done++
+	return t, true, nil
+}
+
+func (l *limitIter) Close() error { return l.child.Close() }

@@ -1,0 +1,478 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/mural-db/mural/internal/phonetic"
+	"github.com/mural-db/mural/internal/plan"
+	"github.com/mural-db/mural/internal/sql"
+	"github.com/mural-db/mural/internal/storage"
+	"github.com/mural-db/mural/internal/types"
+	"github.com/mural-db/mural/internal/wordnet"
+)
+
+// mockEnv backs the executor with in-memory tables; index probes answer by
+// brute force so operator logic can be tested without the storage stack.
+type mockEnv struct {
+	tables  map[string][]types.Tuple
+	phon    *phonetic.Registry
+	matcher *wordnet.Matcher
+	// mtreeCol maps index name -> (table, column position).
+	mtree map[string]struct {
+		table string
+		col   int
+	}
+}
+
+func newMockEnv() *mockEnv {
+	return &mockEnv{
+		tables: map[string][]types.Tuple{},
+		phon:   phonetic.DefaultRegistry(),
+		mtree: map[string]struct {
+			table string
+			col   int
+		}{},
+	}
+}
+
+func (m *mockEnv) ScanTable(table string) (TupleIter, error) {
+	rows, ok := m.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("mock: no table %q", table)
+	}
+	return &sliceIter{rows: rows}, nil
+}
+
+func (m *mockEnv) FetchRIDs(table string, rids []storage.RID) ([]types.Tuple, error) {
+	rows := m.tables[table]
+	out := make([]types.Tuple, 0, len(rids))
+	for _, rid := range rids {
+		if int(rid.Slot) >= len(rows) {
+			return nil, fmt.Errorf("mock: bad rid %v", rid)
+		}
+		out = append(out, rows[rid.Slot])
+	}
+	return out, nil
+}
+
+func (m *mockEnv) IndexSearch(string, []byte, []byte) ([]storage.RID, int, error) {
+	return nil, 0, fmt.Errorf("mock: no btree indexes")
+}
+
+func (m *mockEnv) MTreeSearch(index string, phoneme string, threshold int) ([]storage.RID, int, error) {
+	spec, ok := m.mtree[index]
+	if !ok {
+		return nil, 0, fmt.Errorf("mock: no mtree %q", index)
+	}
+	var rids []storage.RID
+	for i, row := range m.tables[spec.table] {
+		v := row[spec.col]
+		if v.IsNull() {
+			continue
+		}
+		ph := m.phon.ToPhoneme(v.UniText())
+		if phonetic.WithinDistance(ph, phoneme, threshold) {
+			rids = append(rids, storage.RID{Slot: uint16(i)})
+		}
+	}
+	return rids, 1, nil
+}
+
+func (m *mockEnv) MDISearch(string, string, int) ([]storage.RID, int, int, error) {
+	return nil, 0, 0, fmt.Errorf("mock: no mdi indexes")
+}
+
+func (m *mockEnv) QGramSearch(string, string, int) ([]storage.RID, int, error) {
+	return nil, 0, fmt.Errorf("mock: no qgram indexes")
+}
+
+func (m *mockEnv) CustomOperator(string) func(a, b types.Value) (bool, error) { return nil }
+
+func (m *mockEnv) Phonetic() *phonetic.Registry { return m.phon }
+func (m *mockEnv) Semantic() *wordnet.Matcher   { return m.matcher }
+
+func u(text string, lang types.LangID) types.Value {
+	return types.NewUniText(phonetic.DefaultRegistry().Materialize(types.Compose(text, lang)))
+}
+
+func scanNode(table string, cols []plan.ColInfo) *plan.Node {
+	return &plan.Node{Op: plan.OpSeqScan, Table: table, Cols: cols, EstRows: 1}
+}
+
+func runAll(t *testing.T, env Env, node *plan.Node) []types.Tuple {
+	t.Helper()
+	cur, err := Run(env, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := cur.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestFilterAndProject(t *testing.T) {
+	env := newMockEnv()
+	env.tables["t"] = []types.Tuple{
+		{types.NewInt(1), types.NewText("a")},
+		{types.NewInt(2), types.NewText("b")},
+		{types.NewInt(3), types.NewText("c")},
+	}
+	cols := []plan.ColInfo{{Rel: "t", Name: "id", Kind: types.KindInt}, {Rel: "t", Name: "s", Kind: types.KindText}}
+	node := &plan.Node{
+		Op: plan.OpProject,
+		Children: []*plan.Node{{
+			Op:       plan.OpFilter,
+			Children: []*plan.Node{scanNode("t", cols)},
+			Cols:     cols,
+			Cond: &plan.Cmp{Op: sql.OpGt,
+				L: &plan.ColIdx{Idx: 0, Kind: types.KindInt},
+				R: &plan.Const{Val: types.NewInt(1)}},
+		}},
+		Cols:     []plan.ColInfo{{Name: "s", Kind: types.KindText}},
+		ColNames: []string{"s"},
+		Projs:    []plan.Expr{&plan.ColIdx{Idx: 1, Kind: types.KindText}},
+	}
+	rows := runAll(t, env, node)
+	if len(rows) != 2 || rows[0][0].Text() != "b" || rows[1][0].Text() != "c" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestNLJoinCrossProduct(t *testing.T) {
+	env := newMockEnv()
+	env.tables["a"] = []types.Tuple{{types.NewInt(1)}, {types.NewInt(2)}}
+	env.tables["b"] = []types.Tuple{{types.NewText("x")}, {types.NewText("y")}, {types.NewText("z")}}
+	aCols := []plan.ColInfo{{Rel: "a", Name: "n", Kind: types.KindInt}}
+	bCols := []plan.ColInfo{{Rel: "b", Name: "s", Kind: types.KindText}}
+	node := &plan.Node{
+		Op:       plan.OpNLJoin,
+		Children: []*plan.Node{scanNode("a", aCols), scanNode("b", bCols)},
+		Cols:     append(append([]plan.ColInfo{}, aCols...), bCols...),
+	}
+	rows := runAll(t, env, node)
+	if len(rows) != 6 {
+		t.Errorf("cross product rows = %d", len(rows))
+	}
+}
+
+func TestHashJoinMatchesAndSkipsNulls(t *testing.T) {
+	env := newMockEnv()
+	env.tables["l"] = []types.Tuple{
+		{types.NewInt(1), types.NewText("l1")},
+		{types.NewInt(2), types.NewText("l2")},
+		{types.Null(), types.NewText("l3")},
+	}
+	env.tables["r"] = []types.Tuple{
+		{types.NewInt(2), types.NewText("r2")},
+		{types.NewInt(2), types.NewText("r2b")},
+		{types.Null(), types.NewText("r3")},
+	}
+	lCols := []plan.ColInfo{{Rel: "l", Name: "k", Kind: types.KindInt}, {Rel: "l", Name: "v", Kind: types.KindText}}
+	rCols := []plan.ColInfo{{Rel: "r", Name: "k", Kind: types.KindInt}, {Rel: "r", Name: "v", Kind: types.KindText}}
+	node := &plan.Node{
+		Op:        plan.OpHashJoin,
+		Children:  []*plan.Node{scanNode("l", lCols), scanNode("r", rCols)},
+		Cols:      append(append([]plan.ColInfo{}, lCols...), rCols...),
+		HashLeft:  0,
+		HashRight: 2,
+	}
+	rows := runAll(t, env, node)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	for _, r := range rows {
+		if r[0].Int() != 2 {
+			t.Errorf("bad join row %v", r)
+		}
+	}
+}
+
+func TestPsiJoinOperator(t *testing.T) {
+	env := newMockEnv()
+	env.tables["a"] = []types.Tuple{{u("nehru", types.LangEnglish)}, {u("bose", types.LangEnglish)}}
+	env.tables["b"] = []types.Tuple{{u("நேரு", types.LangTamil)}, {u("patel", types.LangEnglish)}}
+	aCols := []plan.ColInfo{{Rel: "a", Name: "n", Kind: types.KindUniText}}
+	bCols := []plan.ColInfo{{Rel: "b", Name: "n", Kind: types.KindUniText}}
+	node := &plan.Node{
+		Op:           plan.OpPsiJoin,
+		Children:     []*plan.Node{scanNode("a", aCols), scanNode("b", bCols)},
+		Cols:         append(append([]plan.ColInfo{}, aCols...), bCols...),
+		PsiThreshold: 2,
+		PsiLeftCol:   0,
+		PsiRightCol:  1,
+	}
+	rows := runAll(t, env, node)
+	if len(rows) != 1 {
+		t.Fatalf("Ψ join rows = %v", rows)
+	}
+	if rows[0][0].UniText().Text != "nehru" {
+		t.Errorf("row = %v", rows[0])
+	}
+}
+
+func TestPsiIndexJoinOperator(t *testing.T) {
+	env := newMockEnv()
+	env.tables["outer"] = []types.Tuple{{u("nehru", types.LangEnglish)}, {u("zzz", types.LangEnglish)}}
+	env.tables["inner"] = []types.Tuple{{u("neru", types.LangEnglish)}, {u("patel", types.LangEnglish)}}
+	env.mtree["ix"] = struct {
+		table string
+		col   int
+	}{"inner", 0}
+	oCols := []plan.ColInfo{{Rel: "o", Name: "n", Kind: types.KindUniText}}
+	iCols := []plan.ColInfo{{Rel: "i", Name: "n", Kind: types.KindUniText}}
+	node := &plan.Node{
+		Op:           plan.OpPsiIndexJoin,
+		Children:     []*plan.Node{scanNode("outer", oCols), scanNode("inner", iCols)},
+		Cols:         append(append([]plan.ColInfo{}, oCols...), iCols...),
+		PsiThreshold: 1,
+		PsiLeftCol:   0,
+		PsiRightCol:  1,
+		Index:        &plan.IndexCond{Index: "ix", Threshold: 1},
+	}
+	rows := runAll(t, env, node)
+	if len(rows) != 1 || rows[0][1].UniText().Text != "neru" {
+		t.Errorf("index Ψ join rows = %v", rows)
+	}
+}
+
+func TestOmegaJoinOperator(t *testing.T) {
+	net := wordnet.Generate(wordnet.Config{Synsets: 2000, Seed: 9})
+	env := newMockEnv()
+	env.matcher = wordnet.NewMatcher(net)
+	env.tables["cat"] = []types.Tuple{
+		{u("historiography", types.LangEnglish)},
+		{u("physics", types.LangEnglish)},
+	}
+	env.tables["concept"] = []types.Tuple{{u("history", types.LangEnglish)}}
+	lCols := []plan.ColInfo{{Rel: "c", Name: "v", Kind: types.KindUniText}}
+	rCols := []plan.ColInfo{{Rel: "k", Name: "v", Kind: types.KindUniText}}
+	node := &plan.Node{
+		Op:            plan.OpOmegaJoin,
+		Children:      []*plan.Node{scanNode("cat", lCols), scanNode("concept", rCols)},
+		Cols:          append(append([]plan.ColInfo{}, lCols...), rCols...),
+		OmegaLeftCol:  0,
+		OmegaRightCol: 1,
+	}
+	rows := runAll(t, env, node)
+	if len(rows) != 1 || rows[0][0].UniText().Text != "historiography" {
+		t.Errorf("Ω join rows = %v", rows)
+	}
+}
+
+func TestAggregateOperator(t *testing.T) {
+	env := newMockEnv()
+	env.tables["t"] = []types.Tuple{
+		{types.NewText("a"), types.NewInt(1)},
+		{types.NewText("a"), types.NewInt(2)},
+		{types.NewText("b"), types.NewInt(10)},
+		{types.NewText("b"), types.Null()},
+	}
+	cols := []plan.ColInfo{{Rel: "t", Name: "g", Kind: types.KindText}, {Rel: "t", Name: "v", Kind: types.KindInt}}
+	node := &plan.Node{
+		Op:       plan.OpAggregate,
+		Children: []*plan.Node{scanNode("t", cols)},
+		Cols: []plan.ColInfo{
+			{Name: "g", Kind: types.KindText},
+			{Name: "count", Kind: types.KindInt},
+			{Name: "sum", Kind: types.KindFloat},
+			{Name: "min", Kind: types.KindInt},
+		},
+		ColNames: []string{"g", "count", "sum", "min"},
+		GroupBy:  []plan.Expr{&plan.ColIdx{Idx: 0, Kind: types.KindText}},
+		Aggs: []plan.AggSpec{
+			{Kind: sql.FuncCount},
+			{Kind: sql.FuncSum, Arg: &plan.ColIdx{Idx: 1, Kind: types.KindInt}},
+			{Kind: sql.FuncMin, Arg: &plan.ColIdx{Idx: 1, Kind: types.KindInt}},
+		},
+		Projs: []plan.Expr{&plan.ColIdx{Idx: 0, Kind: types.KindText}, nil, nil, nil},
+	}
+	rows := runAll(t, env, node)
+	if len(rows) != 2 {
+		t.Fatalf("groups = %v", rows)
+	}
+	byKey := map[string]types.Tuple{}
+	for _, r := range rows {
+		byKey[r[0].Text()] = r
+	}
+	a, b := byKey["a"], byKey["b"]
+	if a[1].Int() != 2 || a[2].Float() != 3 || a[3].Int() != 1 {
+		t.Errorf("group a = %v", a)
+	}
+	// COUNT(*) counts all rows; SUM skips the NULL.
+	if b[1].Int() != 2 || b[2].Float() != 10 || b[3].Int() != 10 {
+		t.Errorf("group b = %v", b)
+	}
+}
+
+func TestGlobalAggregateOnEmptyInput(t *testing.T) {
+	env := newMockEnv()
+	env.tables["t"] = nil
+	cols := []plan.ColInfo{{Rel: "t", Name: "v", Kind: types.KindInt}}
+	node := &plan.Node{
+		Op:       plan.OpAggregate,
+		Children: []*plan.Node{scanNode("t", cols)},
+		Cols:     []plan.ColInfo{{Name: "count", Kind: types.KindInt}, {Name: "sum", Kind: types.KindFloat}},
+		ColNames: []string{"count", "sum"},
+		Aggs: []plan.AggSpec{
+			{Kind: sql.FuncCount},
+			{Kind: sql.FuncSum, Arg: &plan.ColIdx{Idx: 0, Kind: types.KindInt}},
+		},
+		Projs: []plan.Expr{nil, nil},
+	}
+	rows := runAll(t, env, node)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0].Int() != 0 || !rows[0][1].IsNull() {
+		t.Errorf("empty aggregate = %v", rows[0])
+	}
+}
+
+func TestSortLimitDistinct(t *testing.T) {
+	env := newMockEnv()
+	env.tables["t"] = []types.Tuple{
+		{types.NewInt(3)}, {types.NewInt(1)}, {types.NewInt(2)}, {types.NewInt(1)},
+	}
+	cols := []plan.ColInfo{{Rel: "t", Name: "v", Kind: types.KindInt}}
+	node := &plan.Node{
+		Op: plan.OpLimit, LimitN: 2,
+		Children: []*plan.Node{{
+			Op: plan.OpSort,
+			Children: []*plan.Node{{
+				Op:       plan.OpDistinct,
+				Children: []*plan.Node{scanNode("t", cols)},
+				Cols:     cols,
+			}},
+			Cols:     cols,
+			SortKeys: []plan.Expr{&plan.ColIdx{Idx: 0, Kind: types.KindInt}},
+			SortDesc: []bool{true},
+		}},
+		Cols: cols,
+	}
+	rows := runAll(t, env, node)
+	if len(rows) != 2 || rows[0][0].Int() != 3 || rows[1][0].Int() != 2 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestEvaluatorScalarFunctions(t *testing.T) {
+	env := newMockEnv()
+	ev := NewEvaluator(env)
+	uni := &plan.Call{Kind: sql.FuncUniText, Args: []plan.Expr{
+		&plan.Const{Val: types.NewText("Nehru")},
+		&plan.Const{Val: types.NewText("english")},
+	}}
+	v, err := ev.Eval(uni, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ut := v.UniText()
+	if ut.Lang != types.LangEnglish || ut.Phoneme == "" {
+		t.Errorf("unitext() = %+v", ut)
+	}
+	for _, tc := range []struct {
+		kind sql.FuncKind
+		want string
+	}{
+		{sql.FuncText, "Nehru"},
+		{sql.FuncLang, "english"},
+		{sql.FuncPhoneme, ut.Phoneme},
+	} {
+		got, err := ev.Eval(&plan.Call{Kind: tc.kind, Args: []plan.Expr{&plan.Const{Val: v}}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Text() != tc.want {
+			t.Errorf("%s = %q, want %q", tc.kind, got.Text(), tc.want)
+		}
+	}
+	// Errors.
+	if _, err := ev.Eval(&plan.Call{Kind: sql.FuncLang, Args: []plan.Expr{&plan.Const{Val: types.NewInt(1)}}}, nil); err == nil {
+		t.Error("lang(int) must fail")
+	}
+	if _, err := ev.Eval(&plan.Call{Kind: sql.FuncUniText, Args: []plan.Expr{
+		&plan.Const{Val: types.NewText("x")}, &plan.Const{Val: types.NewText("klingon")}}}, nil); err == nil {
+		t.Error("unknown language must fail")
+	}
+}
+
+func TestEvaluatorNullSemantics(t *testing.T) {
+	env := newMockEnv()
+	ev := NewEvaluator(env)
+	cmp := &plan.Cmp{Op: sql.OpEq,
+		L: &plan.Const{Val: types.Null()},
+		R: &plan.Const{Val: types.NewInt(1)}}
+	got, err := ev.EvalBool(cmp, nil)
+	if err != nil || got {
+		t.Errorf("NULL = 1 evaluated %v, %v", got, err)
+	}
+	psi := &plan.Psi{L: &plan.Const{Val: types.Null()}, R: &plan.Const{Val: types.NewText("x")}, Threshold: 3}
+	if got, err := ev.EvalBool(psi, nil); err != nil || got {
+		t.Errorf("Ψ(NULL, x) = %v, %v", got, err)
+	}
+}
+
+func TestEvaluatorPsiLangFilter(t *testing.T) {
+	env := newMockEnv()
+	ev := NewEvaluator(env)
+	tamil := u("நேரு", types.LangTamil)
+	psi := &plan.Psi{
+		L:         &plan.Const{Val: tamil},
+		R:         &plan.Const{Val: types.NewText("Nehru")},
+		Threshold: 2,
+		Langs:     []types.LangID{types.LangEnglish}, // Tamil rows excluded
+	}
+	got, err := ev.EvalBool(psi, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("IN english must exclude a Tamil value")
+	}
+	psi.Langs = []types.LangID{types.LangEnglish, types.LangTamil}
+	if got, _ := ev.EvalBool(psi, nil); !got {
+		t.Error("IN english, tamil must admit the Tamil value")
+	}
+}
+
+func TestOmegaWithoutMatcherErrors(t *testing.T) {
+	env := newMockEnv() // matcher nil
+	ev := NewEvaluator(env)
+	om := &plan.Omega{L: &plan.Const{Val: types.NewText("a")}, R: &plan.Const{Val: types.NewText("b")}}
+	if _, err := ev.Eval(om, nil); err == nil {
+		t.Error("Ω without taxonomy must error")
+	}
+}
+
+func TestRunStatsCount(t *testing.T) {
+	env := newMockEnv()
+	env.tables["t"] = []types.Tuple{{u("a", types.LangEnglish)}, {u("b", types.LangEnglish)}}
+	cols := []plan.ColInfo{{Rel: "t", Name: "n", Kind: types.KindUniText}}
+	node := &plan.Node{
+		Op:       plan.OpFilter,
+		Children: []*plan.Node{scanNode("t", cols)},
+		Cols:     cols,
+		Cond: &plan.Psi{L: &plan.ColIdx{Idx: 0}, R: &plan.Const{Val: types.NewText("a")},
+			Threshold: 0},
+	}
+	cur, err := Run(env, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := cur.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if cur.Stats.PsiEvaluations != 2 {
+		t.Errorf("PsiEvaluations = %d", cur.Stats.PsiEvaluations)
+	}
+	if cur.Stats.RowsOut != 1 {
+		t.Errorf("RowsOut = %d", cur.Stats.RowsOut)
+	}
+}

@@ -1,0 +1,571 @@
+// Package btree implements a disk-backed B+Tree over the storage buffer
+// pool. Keys are arbitrary byte strings compared lexicographically (callers
+// use the order-preserving encoding in the types package); values are heap
+// RIDs. Duplicate keys are supported by keeping entries unique on
+// (key, RID).
+//
+// The engine uses the B+Tree for equality and range access paths, for the
+// parent-edge index of the SemEQUAL taxonomy table (the paper's §5.4
+// "B+Tree index on the parent attribute"), and as the substrate of the MDI
+// pivot-distance index used by the outside-the-server baseline.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"github.com/mural-db/mural/internal/storage"
+)
+
+const (
+	metaPage  = storage.PageID(0)
+	metaMagic = uint32(0xB7EE0001)
+	nodeLeaf  = byte(0)
+	nodeInner = byte(1)
+	// maxKeyLen bounds keys so that a node can always hold a few entries.
+	maxKeyLen = 1024
+)
+
+// BTree is a single-file B+Tree. All methods are safe for concurrent use;
+// writers are serialized.
+type BTree struct {
+	pool *storage.Pool
+	file storage.FileID
+
+	mu         sync.RWMutex
+	root       storage.PageID
+	height     int
+	numEntries int64
+}
+
+// Create initializes a fresh B+Tree in an empty attached file.
+func Create(pool *storage.Pool, file storage.FileID) (*BTree, error) {
+	np, err := pool.DiskPages(file)
+	if err != nil {
+		return nil, err
+	}
+	if np != 0 {
+		return nil, fmt.Errorf("btree: create in non-empty file (%d pages)", np)
+	}
+	meta, err := pool.NewPage(file)
+	if err != nil {
+		return nil, err
+	}
+	defer meta.Unpin()
+	rootH, err := pool.NewPage(file)
+	if err != nil {
+		return nil, err
+	}
+	defer rootH.Unpin()
+	root := &node{typ: nodeLeaf, next: storage.InvalidPageID}
+	if err := writeNode(rootH, root); err != nil {
+		return nil, err
+	}
+	t := &BTree{pool: pool, file: file, root: rootH.Key().Page, height: 1}
+	t.writeMeta(meta)
+	return t, nil
+}
+
+// Open loads an existing B+Tree from its file.
+func Open(pool *storage.Pool, file storage.FileID) (*BTree, error) {
+	h, err := pool.Pin(storage.PageKey{File: file, Page: metaPage})
+	if err != nil {
+		return nil, err
+	}
+	defer h.Unpin()
+	d := h.Data()
+	if binary.LittleEndian.Uint32(d[0:4]) != metaMagic {
+		return nil, fmt.Errorf("btree: bad magic in file %d", file)
+	}
+	t := &BTree{
+		pool:       pool,
+		file:       file,
+		root:       storage.PageID(binary.LittleEndian.Uint32(d[4:8])),
+		height:     int(binary.LittleEndian.Uint32(d[8:12])),
+		numEntries: int64(binary.LittleEndian.Uint64(d[12:20])),
+	}
+	return t, nil
+}
+
+func (t *BTree) writeMeta(h *storage.Handle) {
+	d := h.Data()
+	binary.LittleEndian.PutUint32(d[0:4], metaMagic)
+	binary.LittleEndian.PutUint32(d[4:8], uint32(t.root))
+	binary.LittleEndian.PutUint32(d[8:12], uint32(t.height))
+	binary.LittleEndian.PutUint64(d[12:20], uint64(t.numEntries))
+	h.MarkDirty()
+}
+
+func (t *BTree) syncMeta() error {
+	h, err := t.pool.Pin(storage.PageKey{File: t.file, Page: metaPage})
+	if err != nil {
+		return err
+	}
+	defer h.Unpin()
+	t.writeMeta(h)
+	return nil
+}
+
+// Height returns the tree height in levels (1 = a lone leaf). It is the h
+// quantity in the paper's Table 2 cost symbols.
+func (t *BTree) Height() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.height
+}
+
+// Len returns the number of stored entries.
+func (t *BTree) Len() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.numEntries
+}
+
+// NumPages returns the allocated page count of the index file (the PI
+// quantity of Table 2).
+func (t *BTree) NumPages() (storage.PageID, error) {
+	return t.pool.DiskPages(t.file)
+}
+
+// entry is one (key, rid) pair in a leaf, or one (key, child) separator in
+// an internal node, where child holds entries with keys < key... see node.
+type entry struct {
+	key   []byte
+	rid   storage.RID    // leaf payload
+	child storage.PageID // inner payload: child covering keys <= key boundary semantics below
+}
+
+// node is the in-memory image of one tree page.
+//
+// Leaf: entries sorted by (key, rid); next links the leaf chain.
+// Inner: child pointers are children[0..n] with separator keys keys[0..n-1]:
+// subtree children[i] holds keys k with keys[i-1] <= k < keys[i] (first/last
+// unbounded). We store children as entries[i].child plus an extra rightmost.
+type node struct {
+	typ     byte
+	next    storage.PageID // leaf chain; InvalidPageID at the tail
+	entries []entry
+	right   storage.PageID // inner: rightmost child
+}
+
+// Node wire format (page payload):
+//
+//	[0]     type
+//	[1:3)   entry count
+//	[3:7)   next (leaf) / rightmost child (inner)
+//	entries: keyLen uvarint | key | payload
+//	  leaf payload:  page uint32 | slot uint16
+//	  inner payload: child uint32
+func writeNode(h *storage.Handle, n *node) error {
+	d := h.Data()
+	buf := make([]byte, 0, storage.PagePayload)
+	buf = append(buf, n.typ)
+	var cnt [2]byte
+	binary.LittleEndian.PutUint16(cnt[:], uint16(len(n.entries)))
+	buf = append(buf, cnt[:]...)
+	var link [4]byte
+	if n.typ == nodeLeaf {
+		binary.LittleEndian.PutUint32(link[:], uint32(n.next))
+	} else {
+		binary.LittleEndian.PutUint32(link[:], uint32(n.right))
+	}
+	buf = append(buf, link[:]...)
+	for _, e := range n.entries {
+		buf = binary.AppendUvarint(buf, uint64(len(e.key)))
+		buf = append(buf, e.key...)
+		var p [10]byte
+		binary.LittleEndian.PutUint32(p[0:4], uint32(e.rid.Page))
+		binary.LittleEndian.PutUint16(p[4:6], e.rid.Slot)
+		if n.typ == nodeLeaf {
+			buf = append(buf, p[:6]...)
+		} else {
+			binary.LittleEndian.PutUint32(p[6:10], uint32(e.child))
+			buf = append(buf, p[:]...)
+		}
+	}
+	if len(buf) > storage.PagePayload {
+		return fmt.Errorf("btree: node overflow: %d bytes", len(buf))
+	}
+	copy(d, buf)
+	for i := len(buf); i < len(d); i++ {
+		d[i] = 0
+	}
+	h.MarkDirty()
+	return nil
+}
+
+func readNode(h *storage.Handle) (*node, error) {
+	d := h.Data()
+	n := &node{typ: d[0]}
+	count := int(binary.LittleEndian.Uint16(d[1:3]))
+	link := storage.PageID(binary.LittleEndian.Uint32(d[3:7]))
+	if n.typ == nodeLeaf {
+		n.next = link
+	} else {
+		n.right = link
+	}
+	pos := 7
+	n.entries = make([]entry, 0, count)
+	for i := 0; i < count; i++ {
+		klen, sz := binary.Uvarint(d[pos:])
+		if sz <= 0 || klen > maxKeyLen {
+			return nil, fmt.Errorf("btree: corrupt node: bad key length")
+		}
+		pos += sz
+		key := make([]byte, klen)
+		copy(key, d[pos:pos+int(klen)])
+		pos += int(klen)
+		var e entry
+		e.key = key
+		e.rid = storage.RID{
+			Page: storage.PageID(binary.LittleEndian.Uint32(d[pos : pos+4])),
+			Slot: binary.LittleEndian.Uint16(d[pos+4 : pos+6]),
+		}
+		pos += 6
+		if n.typ == nodeInner {
+			e.child = storage.PageID(binary.LittleEndian.Uint32(d[pos : pos+4]))
+			pos += 4
+		}
+		n.entries = append(n.entries, e)
+	}
+	return n, nil
+}
+
+// nodeSize returns the encoded size of the node.
+func nodeSize(n *node) int {
+	size := 7
+	for _, e := range n.entries {
+		size += uvarintLen(uint64(len(e.key))) + len(e.key)
+		if n.typ == nodeLeaf {
+			size += 6
+		} else {
+			size += 10
+		}
+	}
+	return size
+}
+
+func uvarintLen(x uint64) int {
+	l := 1
+	for x >= 0x80 {
+		x >>= 7
+		l++
+	}
+	return l
+}
+
+// cmpEntry orders leaf entries by (key, rid).
+func cmpEntry(aKey []byte, aRID storage.RID, bKey []byte, bRID storage.RID) int {
+	if c := bytes.Compare(aKey, bKey); c != 0 {
+		return c
+	}
+	switch {
+	case aRID.Page < bRID.Page:
+		return -1
+	case aRID.Page > bRID.Page:
+		return 1
+	case aRID.Slot < bRID.Slot:
+		return -1
+	case aRID.Slot > bRID.Slot:
+		return 1
+	}
+	return 0
+}
+
+// splitResult carries a separator (composite key+rid) and the new right
+// sibling page produced by a node split.
+type splitResult struct {
+	key   []byte
+	rid   storage.RID
+	child storage.PageID
+}
+
+var noSplit = splitResult{child: storage.InvalidPageID}
+
+// Insert adds (key, rid). Inserting an exact duplicate pair is an error.
+func (t *BTree) Insert(key []byte, rid storage.RID) error {
+	if len(key) > maxKeyLen {
+		return fmt.Errorf("btree: key of %d bytes exceeds max %d", len(key), maxKeyLen)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp, err := t.insertAt(t.root, t.height, key, rid)
+	if err != nil {
+		return err
+	}
+	if sp.child != storage.InvalidPageID {
+		// Root split: grow the tree by one level.
+		h, err := t.pool.NewPage(t.file)
+		if err != nil {
+			return err
+		}
+		newRoot := &node{
+			typ:     nodeInner,
+			entries: []entry{{key: sp.key, rid: sp.rid, child: t.root}},
+			right:   sp.child,
+		}
+		if err := writeNode(h, newRoot); err != nil {
+			h.Unpin()
+			return err
+		}
+		t.root = h.Key().Page
+		t.height++
+		h.Unpin()
+	}
+	t.numEntries++
+	return t.syncMeta()
+}
+
+// insertAt descends to the leaf, inserts, and propagates splits upward.
+func (t *BTree) insertAt(page storage.PageID, level int, key []byte, rid storage.RID) (splitResult, error) {
+	h, err := t.pool.Pin(storage.PageKey{File: t.file, Page: page})
+	if err != nil {
+		return noSplit, err
+	}
+	defer h.Unpin()
+	n, err := readNode(h)
+	if err != nil {
+		return noSplit, err
+	}
+
+	if n.typ == nodeLeaf {
+		lo, hi := 0, len(n.entries)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cmpEntry(n.entries[mid].key, n.entries[mid].rid, key, rid) < 0 {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(n.entries) && cmpEntry(n.entries[lo].key, n.entries[lo].rid, key, rid) == 0 {
+			return noSplit, fmt.Errorf("btree: duplicate entry at rid %v", rid)
+		}
+		kcopy := make([]byte, len(key))
+		copy(kcopy, key)
+		n.entries = append(n.entries, entry{})
+		copy(n.entries[lo+1:], n.entries[lo:])
+		n.entries[lo] = entry{key: kcopy, rid: rid}
+		return t.writeOrSplit(h, n)
+	}
+
+	// Inner: separators carry the full (key, rid) composite so duplicate
+	// keys order deterministically across splits; descend into the first
+	// child whose separator exceeds the composite.
+	idx := len(n.entries)
+	for i, e := range n.entries {
+		if cmpEntry(key, rid, e.key, e.rid) < 0 {
+			idx = i
+			break
+		}
+	}
+	var child storage.PageID
+	if idx == len(n.entries) {
+		child = n.right
+	} else {
+		child = n.entries[idx].child
+	}
+	sp, err := t.insertAt(child, level-1, key, rid)
+	if err != nil {
+		return noSplit, err
+	}
+	if sp.child == storage.InvalidPageID {
+		return noSplit, nil
+	}
+	// Child split: insert the separator at idx; the old child keeps the low
+	// half, the new sibling takes entries >= separator.
+	n.entries = append(n.entries, entry{})
+	copy(n.entries[idx+1:], n.entries[idx:])
+	n.entries[idx] = entry{key: sp.key, rid: sp.rid, child: child}
+	if idx+1 == len(n.entries) {
+		n.right = sp.child
+	} else {
+		n.entries[idx+1].child = sp.child
+	}
+	return t.writeOrSplit(h, n)
+}
+
+// writeOrSplit writes n back to h, splitting it first if it no longer fits.
+func (t *BTree) writeOrSplit(h *storage.Handle, n *node) (splitResult, error) {
+	if nodeSize(n) <= storage.PagePayload {
+		return noSplit, writeNode(h, n)
+	}
+	mid := len(n.entries) / 2
+	if n.typ == nodeLeaf {
+		right := node{typ: nodeLeaf, entries: append([]entry(nil), n.entries[mid:]...), next: n.next}
+		rh, err := t.pool.NewPage(t.file)
+		if err != nil {
+			return noSplit, err
+		}
+		defer rh.Unpin()
+		if err := writeNode(rh, &right); err != nil {
+			return noSplit, err
+		}
+		left := node{typ: nodeLeaf, entries: n.entries[:mid], next: rh.Key().Page}
+		if err := writeNode(h, &left); err != nil {
+			return noSplit, err
+		}
+		sep := right.entries[0]
+		return splitResult{key: sep.key, rid: sep.rid, child: rh.Key().Page}, nil
+	}
+	// Inner split: the middle separator moves up.
+	up := n.entries[mid]
+	right := node{
+		typ:     nodeInner,
+		entries: append([]entry(nil), n.entries[mid+1:]...),
+		right:   n.right,
+	}
+	rh, err := t.pool.NewPage(t.file)
+	if err != nil {
+		return noSplit, err
+	}
+	defer rh.Unpin()
+	if err := writeNode(rh, &right); err != nil {
+		return noSplit, err
+	}
+	left := node{
+		typ:     nodeInner,
+		entries: n.entries[:mid],
+		right:   up.child,
+	}
+	if err := writeNode(h, &left); err != nil {
+		return noSplit, err
+	}
+	return splitResult{key: up.key, rid: up.rid, child: rh.Key().Page}, nil
+}
+
+// descendLeaf walks from the root to the leaf that would contain the
+// composite (key, rid).
+func (t *BTree) descendLeaf(key []byte, rid storage.RID) (storage.PageID, error) {
+	page := t.root
+	for level := t.height; level > 1; level-- {
+		h, err := t.pool.Pin(storage.PageKey{File: t.file, Page: page})
+		if err != nil {
+			return storage.InvalidPageID, err
+		}
+		n, err := readNode(h)
+		h.Unpin()
+		if err != nil {
+			return storage.InvalidPageID, err
+		}
+		next := n.right
+		for _, e := range n.entries {
+			if cmpEntry(key, rid, e.key, e.rid) < 0 {
+				next = e.child
+				break
+			}
+		}
+		page = next
+	}
+	return page, nil
+}
+
+// Delete removes the exact (key, rid) entry. Nodes may underflow: the
+// engine's workloads are bulk-load-then-query, and an underfull B+Tree
+// remains correct, just slightly larger.
+func (t *BTree) Delete(key []byte, rid storage.RID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	page, err := t.descendLeaf(key, rid)
+	if err != nil {
+		return err
+	}
+	h, err := t.pool.Pin(storage.PageKey{File: t.file, Page: page})
+	if err != nil {
+		return err
+	}
+	defer h.Unpin()
+	n, err := readNode(h)
+	if err != nil {
+		return err
+	}
+	for i, e := range n.entries {
+		if cmpEntry(e.key, e.rid, key, rid) == 0 {
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+			if err := writeNode(h, n); err != nil {
+				return err
+			}
+			t.numEntries--
+			return t.syncMeta()
+		}
+	}
+	return fmt.Errorf("btree: delete: entry not found")
+}
+
+// Search returns the RIDs stored under key.
+func (t *BTree) Search(key []byte) ([]storage.RID, error) {
+	var out []storage.RID
+	err := t.Range(key, key, func(_ []byte, rid storage.RID) bool {
+		out = append(out, rid)
+		return true
+	})
+	return out, err
+}
+
+// Range visits all entries with lo <= key <= hi in key order. A nil lo or
+// hi leaves that bound open. The callback returns false to stop early.
+func (t *BTree) Range(lo, hi []byte, fn func(key []byte, rid storage.RID) bool) error {
+	_, err := t.RangeCount(lo, hi, fn)
+	return err
+}
+
+// RangeCount is Range plus the number of index pages visited (root-to-leaf
+// path plus leaf chain), which the executor reports for cost accounting.
+func (t *BTree) RangeCount(lo, hi []byte, fn func(key []byte, rid storage.RID) bool) (int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	pagesVisited := 0
+	page := t.root
+	minRID := storage.RID{Page: 0, Slot: 0}
+	for level := t.height; level > 1; level-- {
+		h, err := t.pool.Pin(storage.PageKey{File: t.file, Page: page})
+		if err != nil {
+			return pagesVisited, err
+		}
+		n, err := readNode(h)
+		h.Unpin()
+		if err != nil {
+			return pagesVisited, err
+		}
+		pagesVisited++
+		next := n.right
+		if lo != nil {
+			for _, e := range n.entries {
+				if cmpEntry(lo, minRID, e.key, e.rid) < 0 {
+					next = e.child
+					break
+				}
+			}
+		} else if len(n.entries) > 0 {
+			next = n.entries[0].child
+		}
+		page = next
+	}
+	for page != storage.InvalidPageID {
+		h, err := t.pool.Pin(storage.PageKey{File: t.file, Page: page})
+		if err != nil {
+			return pagesVisited, err
+		}
+		n, err := readNode(h)
+		h.Unpin()
+		if err != nil {
+			return pagesVisited, err
+		}
+		pagesVisited++
+		for _, e := range n.entries {
+			if lo != nil && bytes.Compare(e.key, lo) < 0 {
+				continue
+			}
+			if hi != nil && bytes.Compare(e.key, hi) > 0 {
+				return pagesVisited, nil
+			}
+			if !fn(e.key, e.rid) {
+				return pagesVisited, nil
+			}
+		}
+		page = n.next
+	}
+	return pagesVisited, nil
+}

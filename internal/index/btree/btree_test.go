@@ -1,0 +1,379 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/mural-db/mural/internal/storage"
+)
+
+func newTree(t testing.TB) *BTree {
+	t.Helper()
+	pool := storage.NewPool(256)
+	pool.AttachDisk(1, storage.NewMemDisk())
+	tr, err := Create(pool, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func rid(i int) storage.RID {
+	return storage.RID{Page: storage.PageID(i / 100), Slot: uint16(i % 100)}
+}
+
+func TestInsertSearch(t *testing.T) {
+	tr := newTree(t)
+	if err := tr.Insert([]byte("hello"), rid(1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Search([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != rid(1) {
+		t.Errorf("Search = %v", got)
+	}
+	if got, _ := tr.Search([]byte("absent")); len(got) != 0 {
+		t.Errorf("Search(absent) = %v", got)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestDuplicatePairRejected(t *testing.T) {
+	tr := newTree(t)
+	if err := tr.Insert([]byte("k"), rid(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert([]byte("k"), rid(5)); err == nil {
+		t.Error("exact duplicate must be rejected")
+	}
+	if err := tr.Insert([]byte("k"), rid(6)); err != nil {
+		t.Errorf("same key different rid must be accepted: %v", err)
+	}
+}
+
+func TestDuplicateKeysAcrossSplits(t *testing.T) {
+	tr := newTree(t)
+	// Enough duplicates of one key to force multiple leaf splits.
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if err := tr.Insert([]byte("same-key-for-everyone"), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := tr.Search([]byte("same-key-for-everyone"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Errorf("found %d of %d duplicates", len(got), n)
+	}
+	if tr.Height() < 2 {
+		t.Error("expected the tree to have split")
+	}
+}
+
+func TestManyKeysOrderedScan(t *testing.T) {
+	tr := newTree(t)
+	const n = 5000
+	perm := rand.New(rand.NewSource(3)).Perm(n)
+	for _, i := range perm {
+		key := []byte(fmt.Sprintf("key-%06d", i))
+		if err := tr.Insert(key, rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var keys []string
+	err := tr.Range(nil, nil, func(k []byte, _ storage.RID) bool {
+		keys = append(keys, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != n {
+		t.Fatalf("full scan returned %d keys, want %d", len(keys), n)
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Error("full scan not in key order")
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	tr := newTree(t)
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("%03d", i)), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	err := tr.Range([]byte("010"), []byte("019"), func(k []byte, _ storage.RID) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != "010" || got[9] != "019" {
+		t.Errorf("range [010,019] = %v", got)
+	}
+	// Open lower bound.
+	got = nil
+	tr.Range(nil, []byte("004"), func(k []byte, _ storage.RID) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 5 {
+		t.Errorf("range (,004] = %v", got)
+	}
+	// Open upper bound.
+	got = nil
+	tr.Range([]byte("095"), nil, func(k []byte, _ storage.RID) bool {
+		got = append(got, string(k))
+		return true
+	})
+	if len(got) != 5 {
+		t.Errorf("range [095,) = %v", got)
+	}
+	// Early stop.
+	count := 0
+	tr.Range(nil, nil, func(_ []byte, _ storage.RID) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := newTree(t)
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("k%04d", i)), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i += 2 {
+		if err := tr.Delete([]byte(fmt.Sprintf("k%04d", i)), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 250 {
+		t.Errorf("Len = %d after deletes", tr.Len())
+	}
+	for i := 0; i < 500; i++ {
+		got, _ := tr.Search([]byte(fmt.Sprintf("k%04d", i)))
+		if i%2 == 0 && len(got) != 0 {
+			t.Errorf("deleted key k%04d still present", i)
+		}
+		if i%2 == 1 && len(got) != 1 {
+			t.Errorf("kept key k%04d missing", i)
+		}
+	}
+	if err := tr.Delete([]byte("nope"), rid(0)); err == nil {
+		t.Error("deleting a missing entry must fail")
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	pool := storage.NewPool(64)
+	disk := storage.NewMemDisk()
+	pool.AttachDisk(9, disk)
+	tr, err := Create(pool, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("p%05d", i)), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen through a fresh pool over the same disk.
+	pool2 := storage.NewPool(64)
+	pool2.AttachDisk(9, disk)
+	tr2, err := Open(pool2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != 1000 {
+		t.Errorf("reopened Len = %d", tr2.Len())
+	}
+	got, err := tr2.Search([]byte("p00777"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != rid(777) {
+		t.Errorf("reopened Search = %v", got)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	pool := storage.NewPool(8)
+	disk := storage.NewMemDisk()
+	pool.AttachDisk(2, disk)
+	if _, err := pool.NewPage(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(pool, 2); err == nil {
+		t.Error("Open must reject a file without the btree magic")
+	}
+	if _, err := Create(pool, 2); err == nil {
+		t.Error("Create must reject a non-empty file")
+	}
+}
+
+func TestKeyTooLong(t *testing.T) {
+	tr := newTree(t)
+	if err := tr.Insert(make([]byte, maxKeyLen+1), rid(0)); err == nil {
+		t.Error("oversized key must be rejected")
+	}
+}
+
+// TestRandomizedAgainstModel drives random inserts and deletes against a
+// sorted-slice model, then verifies Search and Range agree exactly.
+func TestRandomizedAgainstModel(t *testing.T) {
+	tr := newTree(t)
+	rng := rand.New(rand.NewSource(99))
+	type pair struct {
+		key string
+		r   storage.RID
+	}
+	model := make(map[pair]bool)
+	var pairs []pair
+	for step := 0; step < 8000; step++ {
+		if len(pairs) == 0 || rng.Intn(4) != 0 {
+			p := pair{
+				key: fmt.Sprintf("k%03d", rng.Intn(200)), // few keys: heavy duplication
+				r:   rid(rng.Intn(10000)),
+			}
+			if model[p] {
+				if err := tr.Insert([]byte(p.key), p.r); err == nil {
+					t.Fatalf("step %d: duplicate accepted", step)
+				}
+				continue
+			}
+			if err := tr.Insert([]byte(p.key), p.r); err != nil {
+				t.Fatalf("step %d: insert: %v", step, err)
+			}
+			model[p] = true
+			pairs = append(pairs, p)
+		} else {
+			i := rng.Intn(len(pairs))
+			p := pairs[i]
+			if err := tr.Delete([]byte(p.key), p.r); err != nil {
+				t.Fatalf("step %d: delete: %v", step, err)
+			}
+			delete(model, p)
+			pairs[i] = pairs[len(pairs)-1]
+			pairs = pairs[:len(pairs)-1]
+		}
+	}
+	if int(tr.Len()) != len(model) {
+		t.Fatalf("Len = %d, model %d", tr.Len(), len(model))
+	}
+	// Compare a full scan with the model.
+	got := make(map[pair]bool)
+	err := tr.Range(nil, nil, func(k []byte, r storage.RID) bool {
+		p := pair{key: string(k), r: r}
+		if got[p] {
+			t.Errorf("duplicate in scan: %v", p)
+		}
+		got[p] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(model) {
+		t.Fatalf("scan %d entries, model %d", len(got), len(model))
+	}
+	for p := range model {
+		if !got[p] {
+			t.Errorf("missing %v", p)
+		}
+	}
+}
+
+func TestRangeCountReportsPages(t *testing.T) {
+	tr := newTree(t)
+	for i := 0; i < 5000; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("key-%06d", i)), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Point lookup should touch ~height pages; a full scan touches many.
+	point, err := tr.RangeCount([]byte("key-002500"), []byte("key-002500"), func([]byte, storage.RID) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := tr.RangeCount(nil, nil, func([]byte, storage.RID) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if point >= full {
+		t.Errorf("point lookup touched %d pages, full scan %d", point, full)
+	}
+	if point > tr.Height()+2 {
+		t.Errorf("point lookup touched %d pages with height %d", point, tr.Height())
+	}
+}
+
+func TestLongKeysForceSplits(t *testing.T) {
+	tr := newTree(t)
+	// Large keys shrink fanout and force deep trees quickly.
+	key := func(i int) []byte {
+		return append(bytes.Repeat([]byte{'x'}, 900), []byte(fmt.Sprintf("%06d", i))...)
+	}
+	for i := 0; i < 200; i++ {
+		if err := tr.Insert(key(i), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		got, err := tr.Search(key(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0] != rid(i) {
+			t.Fatalf("key %d: got %v", i, got)
+		}
+	}
+	if tr.Height() < 3 {
+		t.Errorf("expected height >= 3 with 900-byte keys, got %d", tr.Height())
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := newTree(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("key-%09d", i)), rid(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	tr := newTree(b)
+	for i := 0; i < 100000; i++ {
+		if err := tr.Insert([]byte(fmt.Sprintf("key-%09d", i)), rid(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Search([]byte(fmt.Sprintf("key-%09d", i%100000))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

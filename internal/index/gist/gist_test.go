@@ -1,0 +1,246 @@
+package gist
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/mural-db/mural/internal/storage"
+)
+
+// intervalOps is a minimal GiST extension over 1-D integer intervals,
+// exercising the framework independently of the M-Tree: leaf predicates are
+// points, internal predicates are [lo, hi] covers, queries are ranges.
+type intervalOps struct{}
+
+type rangeQuery struct{ lo, hi int64 }
+
+func encPoint(v int64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v)+(1<<63))
+	return b[:]
+}
+
+func decPoint(b []byte) int64 {
+	return int64(binary.BigEndian.Uint64(b) - (1 << 63))
+}
+
+func encInterval(lo, hi int64) []byte {
+	return append(encPoint(lo), encPoint(hi)...)
+}
+
+func bounds(pred []byte) (int64, int64) {
+	if len(pred) == 8 {
+		v := decPoint(pred)
+		return v, v
+	}
+	return decPoint(pred[:8]), decPoint(pred[8:])
+}
+
+func (intervalOps) Consistent(pred []byte, query any, leaf bool) bool {
+	q := query.(rangeQuery)
+	lo, hi := bounds(pred)
+	return lo <= q.hi && hi >= q.lo
+}
+
+func (intervalOps) Union(entries []Entry) []byte {
+	lo, hi := bounds(entries[0].Pred)
+	for _, e := range entries[1:] {
+		l, h := bounds(e.Pred)
+		if l < lo {
+			lo = l
+		}
+		if h > hi {
+			hi = h
+		}
+	}
+	return encInterval(lo, hi)
+}
+
+func (intervalOps) Penalty(subtreePred, pred []byte) float64 {
+	slo, shi := bounds(subtreePred)
+	lo, hi := bounds(pred)
+	grow := int64(0)
+	if lo < slo {
+		grow += slo - lo
+	}
+	if hi > shi {
+		grow += hi - shi
+	}
+	return float64(grow)
+}
+
+func (intervalOps) PickSplit(entries []Entry) (left, right []Entry) {
+	sorted := append([]Entry(nil), entries...)
+	sort.Slice(sorted, func(i, j int) bool {
+		li, _ := bounds(sorted[i].Pred)
+		lj, _ := bounds(sorted[j].Pred)
+		return li < lj
+	})
+	mid := len(sorted) / 2
+	return sorted[:mid], sorted[mid:]
+}
+
+func newTree(t testing.TB) *Tree {
+	t.Helper()
+	pool := storage.NewPool(256)
+	pool.AttachDisk(1, storage.NewMemDisk())
+	tr, err := Create(pool, 1, intervalOps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func rid(i int) storage.RID {
+	return storage.RID{Page: storage.PageID(i/100 + 1), Slot: uint16(i % 100)}
+}
+
+func TestIntervalSearchMatchesBruteForce(t *testing.T) {
+	tr := newTree(t)
+	rng := rand.New(rand.NewSource(21))
+	const n = 5000
+	points := make([]int64, n)
+	for i := range points {
+		points[i] = rng.Int63n(100000)
+		if err := tr.Insert(encPoint(points[i]), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Height() < 2 {
+		t.Error("expected splits with 5000 points")
+	}
+	for trial := 0; trial < 20; trial++ {
+		lo := rng.Int63n(100000)
+		hi := lo + rng.Int63n(5000)
+		want := make(map[storage.RID]bool)
+		for i, p := range points {
+			if p >= lo && p <= hi {
+				want[rid(i)] = true
+			}
+		}
+		got := make(map[storage.RID]bool)
+		_, err := tr.Search(rangeQuery{lo, hi}, func(pred []byte, r storage.RID) bool {
+			if got[r] {
+				t.Errorf("duplicate rid %v", r)
+			}
+			got[r] = true
+			v := decPoint(pred)
+			if v < lo || v > hi {
+				t.Errorf("leaf consistency violated: %d outside [%d,%d]", v, lo, hi)
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Errorf("[%d,%d]: got %d, want %d", lo, hi, len(got), len(want))
+		}
+		for r := range want {
+			if !got[r] {
+				t.Errorf("[%d,%d]: missing %v", lo, hi, r)
+			}
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := newTree(t)
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(encPoint(int64(i)), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	_, err := tr.Search(rangeQuery{0, 99}, func([]byte, storage.RID) bool {
+		count++
+		return count < 5
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestSearchPrunes(t *testing.T) {
+	tr := newTree(t)
+	for i := 0; i < 20000; i++ {
+		if err := tr.Insert(encPoint(int64(i)), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total, err := tr.NumPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := tr.Search(rangeQuery{500, 510}, func([]byte, storage.RID) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow*4 >= int(total) {
+		t.Errorf("narrow query visited %d of %d pages: pruning ineffective", narrow, total)
+	}
+}
+
+func TestCreateOpenRoundTrip(t *testing.T) {
+	pool := storage.NewPool(64)
+	disk := storage.NewMemDisk()
+	pool.AttachDisk(6, disk)
+	tr, err := Create(pool, 6, intervalOps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert(encPoint(int64(i)), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Open(pool, 6, intervalOps{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != 500 {
+		t.Errorf("reopened Len = %d", tr2.Len())
+	}
+	count := 0
+	if _, err := tr2.Search(rangeQuery{0, 499}, func([]byte, storage.RID) bool {
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 500 {
+		t.Errorf("reopened search found %d", count)
+	}
+	if _, err := Create(pool, 6, intervalOps{}); err == nil {
+		t.Error("Create on non-empty file must fail")
+	}
+}
+
+func TestOpenBadMagic(t *testing.T) {
+	pool := storage.NewPool(8)
+	pool.AttachDisk(2, storage.NewMemDisk())
+	if _, err := pool.NewPage(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(pool, 2, intervalOps{}); err == nil {
+		t.Error("Open must reject garbage")
+	}
+}
+
+func TestOversizePredicateRejected(t *testing.T) {
+	tr := newTree(t)
+	if err := tr.Insert(make([]byte, maxPred+1), rid(0)); err == nil {
+		t.Error("oversize predicate must be rejected")
+	}
+}

@@ -1,0 +1,274 @@
+package mtree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/mural-db/mural/internal/phonetic"
+	"github.com/mural-db/mural/internal/storage"
+)
+
+func newIndex(t testing.TB, policy SplitPolicy) *Index {
+	t.Helper()
+	pool := storage.NewPool(512)
+	pool.AttachDisk(1, storage.NewMemDisk())
+	ix, err := Create(pool, 1, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func rid(i int) storage.RID {
+	return storage.RID{Page: storage.PageID(i/100 + 1), Slot: uint16(i % 100)}
+}
+
+// synthPhonemes builds a deterministic corpus of phoneme-like strings in
+// clusters: base strings plus small perturbations, the same shape the name
+// dataset produces.
+func synthPhonemes(n int) []string {
+	bases := []string{
+		"nehru", "gandi", "aʃok", "kamala", "kriʃnan", "lakʃmi",
+		"patel", "ʃarma", "redi", "ajar", "menon", "varma",
+		"ʧandra", "prakaʃ", "mohan", "ravi", "sureʃ", "anand",
+	}
+	alphabet := []rune("aeiouknrstmplʃʧʤgdbvjhz")
+	rng := rand.New(rand.NewSource(11))
+	out := make([]string, 0, n)
+	for len(out) < n {
+		base := []rune(bases[rng.Intn(len(bases))])
+		// up to 2 random edits
+		for e := rng.Intn(3); e > 0; e-- {
+			switch rng.Intn(3) {
+			case 0: // substitute
+				if len(base) > 0 {
+					base[rng.Intn(len(base))] = alphabet[rng.Intn(len(alphabet))]
+				}
+			case 1: // insert
+				pos := rng.Intn(len(base) + 1)
+				base = append(base[:pos], append([]rune{alphabet[rng.Intn(len(alphabet))]}, base[pos:]...)...)
+			case 2: // delete
+				if len(base) > 1 {
+					pos := rng.Intn(len(base))
+					base = append(base[:pos], base[pos+1:]...)
+				}
+			}
+		}
+		out = append(out, string(base))
+	}
+	return out
+}
+
+// bruteRange is the oracle: linear scan with exact edit distance.
+func bruteRange(corpus []string, q string, k int) map[int]bool {
+	out := make(map[int]bool)
+	for i, s := range corpus {
+		if phonetic.WithinDistance(q, s, k) {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+func TestRangeSearchMatchesBruteForce(t *testing.T) {
+	for _, policy := range []SplitPolicy{SplitRandom, SplitMinMaxRadius} {
+		policy := policy
+		t.Run(policy.String(), func(t *testing.T) {
+			ix := newIndex(t, policy)
+			corpus := synthPhonemes(2000)
+			for i, s := range corpus {
+				if err := ix.Insert(s, rid(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if ix.Len() != 2000 {
+				t.Fatalf("Len = %d", ix.Len())
+			}
+			queries := []string{"nehru", "gandi", "kriʃnan", "zzzzz", "a"}
+			for _, q := range queries {
+				for _, k := range []int{0, 1, 2, 3} {
+					want := bruteRange(corpus, q, k)
+					rids, _, err := ix.RangeSearch(q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := make(map[storage.RID]bool)
+					for _, r := range rids {
+						if got[r] {
+							t.Errorf("q=%q k=%d: duplicate rid %v", q, k, r)
+						}
+						got[r] = true
+					}
+					if len(got) != len(want) {
+						t.Errorf("q=%q k=%d: got %d matches, want %d", q, k, len(got), len(want))
+						continue
+					}
+					for i := range want {
+						if !got[rid(i)] {
+							t.Errorf("q=%q k=%d: missing corpus[%d]=%q", q, k, i, corpus[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPruningBeatsFullScanOnTightQueries(t *testing.T) {
+	ix := newIndex(t, SplitRandom)
+	corpus := synthPhonemes(5000)
+	for i, s := range corpus {
+		if err := ix.Insert(s, rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total, err := ix.NumPages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, visited, err := ix.RangeSearch("nehru", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited >= int(total) {
+		t.Errorf("k=0 search visited %d of %d pages: no pruning at all", visited, total)
+	}
+	// The paper's negative result: at realistic thresholds pruning is poor.
+	_, visited3, err := ix.RangeSearch("nehru", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited3 < visited {
+		t.Errorf("larger threshold should not visit fewer pages (%d < %d)", visited3, visited)
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := newIndex(t, SplitRandom)
+	rids, _, err := ix.RangeSearch("anything", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 0 {
+		t.Errorf("empty index returned %v", rids)
+	}
+	if ix.Height() != 1 || ix.Len() != 0 {
+		t.Errorf("empty index: height %d len %d", ix.Height(), ix.Len())
+	}
+}
+
+func TestPersistenceAcrossOpen(t *testing.T) {
+	pool := storage.NewPool(256)
+	disk := storage.NewMemDisk()
+	pool.AttachDisk(4, disk)
+	ix, err := Create(pool, 4, SplitRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := synthPhonemes(800)
+	for i, s := range corpus {
+		if err := ix.Insert(s, rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	pool2 := storage.NewPool(256)
+	pool2.AttachDisk(4, disk)
+	ix2, err := Open(pool2, 4, SplitRandom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Len() != 800 {
+		t.Fatalf("reopened Len = %d", ix2.Len())
+	}
+	want := bruteRange(corpus, "nehru", 2)
+	rids, _, err := ix2.RangeSearch("nehru", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != len(want) {
+		t.Errorf("reopened search: %d matches, want %d", len(rids), len(want))
+	}
+}
+
+func TestSplitPolicyString(t *testing.T) {
+	if SplitRandom.String() != "random" || SplitMinMaxRadius.String() != "mM-RAD" {
+		t.Error("policy names")
+	}
+	if SplitPolicy(9).String() == "" {
+		t.Error("unknown policy must still render")
+	}
+}
+
+func TestMinMaxRadiusBuildsTighterTree(t *testing.T) {
+	// mM-RAD should never visit more pages than random split on the same
+	// corpus and query set; allow equality (small trees may tie).
+	corpus := synthPhonemes(3000)
+	visit := func(policy SplitPolicy) int {
+		ix := newIndex(t, policy)
+		for i, s := range corpus {
+			if err := ix.Insert(s, rid(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		total := 0
+		for _, q := range []string{"nehru", "patel", "menon"} {
+			_, v, err := ix.RangeSearch(q, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += v
+		}
+		return total
+	}
+	vRand := visit(SplitRandom)
+	vMM := visit(SplitMinMaxRadius)
+	t.Logf("pages visited: random=%d mM-RAD=%d", vRand, vMM)
+	if vMM > vRand*2 {
+		t.Errorf("mM-RAD visited %d pages vs random %d: expected comparable or better pruning", vMM, vRand)
+	}
+}
+
+func BenchmarkInsertRandomSplit(b *testing.B) {
+	ix := newIndex(b, SplitRandom)
+	corpus := synthPhonemes(b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ix.Insert(corpus[i], rid(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRangeSearch(b *testing.B) {
+	ix := newIndex(b, SplitRandom)
+	corpus := synthPhonemes(10000)
+	for i, s := range corpus {
+		if err := ix.Insert(s, rid(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ix.RangeSearch("nehru", 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleIndex_RangeSearch() {
+	pool := storage.NewPool(64)
+	pool.AttachDisk(1, storage.NewMemDisk())
+	ix, _ := Create(pool, 1, SplitRandom)
+	_ = ix.Insert("nehru", storage.RID{Page: 1, Slot: 0})
+	_ = ix.Insert("neru", storage.RID{Page: 1, Slot: 1})
+	_ = ix.Insert("gandi", storage.RID{Page: 1, Slot: 2})
+	rids, _, _ := ix.RangeSearch("nehru", 1)
+	fmt.Println(len(rids))
+	// Output: 2
+}

@@ -1,0 +1,158 @@
+// Package phonetic provides the phonetic substrate for the LexEQUAL (Ψ)
+// operator: grapheme-to-phoneme converters that render multilingual text
+// into a canonical IPA alphabet (standing in for the Dhvani engine used by
+// the paper), and Levenshtein edit-distance routines, including the
+// threshold-banded variant that the paper's cost models assume ("all
+// edit-distance computations were implemented using the diagonal transition
+// algorithm", §3.3).
+package phonetic
+
+// EditDistance returns the Levenshtein distance between a and b, computed
+// over Unicode code points with the classic O(len(a)·len(b)) dynamic
+// program using two rolling rows.
+func EditDistance(a, b string) int {
+	return editDistanceRunes([]rune(a), []rune(b))
+}
+
+func editDistanceRunes(ra, rb []rune) int {
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	// Keep the shorter string as the row for O(min) space.
+	if len(rb) > len(ra) {
+		ra, rb = rb, ra
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		ai := ra[i-1]
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ai == rb[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost        // substitute / match
+			if d := prev[j] + 1; d < m { // delete
+				m = d
+			}
+			if d := cur[j-1] + 1; d < m { // insert
+				m = d
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// BoundedEditDistance reports whether the Levenshtein distance between a and
+// b is at most k, and if so returns the exact distance. It runs the banded
+// (diagonal-restricted) dynamic program in O(k·min(len)) time, in the spirit
+// of the diagonal-transition algorithms surveyed by Navarro that the paper's
+// implementation uses: cells farther than k from the main diagonal can never
+// participate in an alignment of cost ≤ k and are never touched.
+func BoundedEditDistance(a, b string, k int) (int, bool) {
+	return boundedEditDistanceRunes([]rune(a), []rune(b), k)
+}
+
+func boundedEditDistanceRunes(ra, rb []rune, k int) (int, bool) {
+	if k < 0 {
+		return 0, false
+	}
+	// The length gap is an unconditional lower bound on the distance.
+	gap := len(ra) - len(rb)
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap > k {
+		return 0, false
+	}
+	if len(ra) == 0 {
+		return len(rb), len(rb) <= k
+	}
+	if len(rb) == 0 {
+		return len(ra), len(ra) <= k
+	}
+	if len(rb) > len(ra) {
+		ra, rb = rb, ra
+	}
+	n := len(rb)
+	const inf = int(^uint(0) >> 2)
+	prev := make([]int, n+1)
+	cur := make([]int, n+1)
+	for j := 0; j <= n && j <= k; j++ {
+		prev[j] = j
+	}
+	for j := k + 1; j <= n; j++ {
+		prev[j] = inf
+	}
+	for i := 1; i <= len(ra); i++ {
+		lo := i - k
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + k
+		if hi > n {
+			hi = n
+		}
+		if lo > hi {
+			return 0, false
+		}
+		if lo == 1 {
+			if i <= k {
+				cur[0] = i
+			} else {
+				cur[0] = inf
+			}
+		} else {
+			cur[lo-1] = inf
+		}
+		rowMin := inf
+		ai := ra[i-1]
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if ai == rb[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost
+			if j <= i+k-1 && j <= n { // prev[j] is inside last row's band iff |i-1-j| <= k
+				if d := prev[j] + 1; d < m {
+					m = d
+				}
+			}
+			if d := cur[j-1] + 1; d < m {
+				m = d
+			}
+			cur[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if hi < n {
+			cur[hi+1] = inf // seal the band edge for the next row's prev[j-1] read
+		}
+		if rowMin > k {
+			return 0, false // every cell in the band exceeds k: early exit
+		}
+		prev, cur = cur, prev
+	}
+	d := prev[n]
+	if d > k {
+		return 0, false
+	}
+	return d, true
+}
+
+// WithinDistance reports whether the edit distance between a and b is at
+// most k. It is the predicate form used by the Ψ operator.
+func WithinDistance(a, b string, k int) bool {
+	_, ok := BoundedEditDistance(a, b, k)
+	return ok
+}

@@ -1,0 +1,231 @@
+package phonetic
+
+import (
+	"strings"
+	"unicode"
+
+	"github.com/mural-db/mural/internal/types"
+)
+
+// English is a rule-based grapheme-to-phoneme converter for English text.
+//
+// All converters in this package target a deliberately coarse canonical IPA
+// inventory (aspiration dropped, retroflexion merged into the alveolar
+// series, vowel length ignored) so that the same name written in different
+// scripts converges to nearly identical phoneme strings, with residual
+// differences absorbed by the Ψ operator's edit-distance threshold. This is
+// the same canonicalization role the IPA output of Dhvani plays in the
+// paper's prototype.
+type English struct{}
+
+// NewEnglish returns the English converter.
+func NewEnglish() *English { return &English{} }
+
+// Lang implements Converter.
+func (e *English) Lang() types.LangID { return types.LangEnglish }
+
+// ToPhoneme implements Converter using an ordered, context-sensitive rule
+// pass over the lowercased text.
+func (e *English) ToPhoneme(text string) string {
+	var out strings.Builder
+	for i, word := range strings.Fields(strings.ToLower(text)) {
+		if i > 0 {
+			out.WriteByte(' ')
+		}
+		out.WriteString(englishWord(word))
+	}
+	return collapseRuns(out.String())
+}
+
+func englishWord(word string) string {
+	// Keep letters only; punctuation and digits carry no phonemes.
+	runes := make([]rune, 0, len(word))
+	for _, r := range word {
+		if unicode.IsLetter(r) {
+			runes = append(runes, unicode.ToLower(r))
+		}
+	}
+	n := len(runes)
+	var b strings.Builder
+	at := func(i int) rune {
+		if i < 0 || i >= n {
+			return 0
+		}
+		return runes[i]
+	}
+	isVowel := func(r rune) bool {
+		switch r {
+		case 'a', 'e', 'i', 'o', 'u', 'y':
+			return true
+		}
+		return false
+	}
+	// Silent final e: "name", "rose" — but keep the lone "e" of short words.
+	silentFinalE := n > 3 && at(n-1) == 'e' && !isVowel(at(n-2))
+
+	for i := 0; i < n; {
+		r := runes[i]
+		rest := n - i
+		next := at(i + 1)
+		next2 := at(i + 2)
+		switch {
+		// --- trigraphs ---
+		case rest >= 3 && r == 't' && next == 'c' && next2 == 'h': // match
+			b.WriteRune('ʧ')
+			i += 3
+		case rest >= 3 && r == 'i' && next == 'g' && next2 == 'h': // night
+			b.WriteString("ai")
+			i += 3
+		case rest >= 3 && r == 's' && next == 'c' && next2 == 'h': // school
+			b.WriteString("sk")
+			i += 3
+		// --- digraphs ---
+		case rest >= 2 && r == 'c' && next == 'h':
+			b.WriteRune('ʧ')
+			i += 2
+		case rest >= 2 && r == 's' && next == 'h':
+			b.WriteRune('ʃ')
+			i += 2
+		case rest >= 2 && r == 't' && next == 'h':
+			b.WriteRune('t') // dental/θ merged into t for cross-script convergence
+			i += 2
+		case rest >= 2 && r == 'p' && next == 'h':
+			b.WriteRune('f')
+			i += 2
+		case rest >= 2 && r == 'w' && next == 'h':
+			b.WriteRune('v') // w/v merged: Indic scripts do not distinguish
+			i += 2
+		case rest >= 2 && r == 'c' && next == 'k':
+			b.WriteRune('k')
+			i += 2
+		case rest >= 2 && r == 'q' && next == 'u':
+			b.WriteString("kv")
+			i += 2
+		case rest >= 2 && r == 'n' && next == 'g':
+			b.WriteString("ng") // velar nasal kept as n+g in the coarse inventory
+			i += 2
+		case i == 0 && rest >= 2 && r == 'k' && next == 'n': // knight
+			b.WriteRune('n')
+			i += 2
+		case i == 0 && rest >= 2 && r == 'w' && next == 'r': // write
+			b.WriteRune('r')
+			i += 2
+		case i == 0 && rest >= 2 && r == 'p' && next == 's': // psalm
+			b.WriteRune('s')
+			i += 2
+		case rest >= 2 && r == 'g' && next == 'h':
+			// gh: silent after a vowel (high, sigh), g otherwise (ghost)
+			if i > 0 && isVowel(at(i-1)) {
+				// silent
+			} else {
+				b.WriteRune('g')
+			}
+			i += 2
+		case rest >= 2 && r == 'k' && next == 'h': // khan — aspiration dropped
+			b.WriteRune('k')
+			i += 2
+		case rest >= 2 && r == 'b' && next == 'h': // bharat
+			b.WriteRune('b')
+			i += 2
+		case rest >= 2 && r == 'd' && next == 'h': // dharma
+			b.WriteRune('d')
+			i += 2
+		// --- vowel teams ---
+		case rest >= 2 && r == 'e' && next == 'e':
+			b.WriteRune('i')
+			i += 2
+		case rest >= 2 && r == 'e' && next == 'a':
+			b.WriteRune('i')
+			i += 2
+		case rest >= 2 && r == 'o' && next == 'o':
+			b.WriteRune('u')
+			i += 2
+		case rest >= 2 && r == 'a' && (next == 'i' || next == 'y'):
+			b.WriteString("ei")
+			i += 2
+		case rest >= 2 && r == 'a' && (next == 'u' || next == 'w'):
+			b.WriteRune('o')
+			i += 2
+		case rest >= 2 && r == 'a' && next == 'a': // transliterated long a: "raaj"
+			b.WriteRune('a')
+			i += 2
+		case rest >= 2 && r == 'o' && next == 'a':
+			b.WriteRune('o')
+			i += 2
+		case rest >= 2 && r == 'o' && next == 'u':
+			b.WriteString("au")
+			i += 2
+		case rest >= 2 && r == 'o' && (next == 'i' || next == 'y'):
+			b.WriteString("oi")
+			i += 2
+		case rest >= 2 && r == 'e' && (next == 'u' || next == 'w'):
+			b.WriteRune('u')
+			i += 2
+		case rest >= 2 && r == 'i' && next == 'i': // transliterated long i
+			b.WriteRune('i')
+			i += 2
+		case rest >= 2 && r == 'u' && next == 'u': // transliterated long u
+			b.WriteRune('u')
+			i += 2
+		// --- context-sensitive single letters ---
+		case r == 'c':
+			if next == 'e' || next == 'i' || next == 'y' {
+				b.WriteRune('s')
+			} else {
+				b.WriteRune('k')
+			}
+			i++
+		case r == 'g':
+			if next == 'e' || next == 'i' || next == 'y' {
+				b.WriteRune('ʤ')
+			} else {
+				b.WriteRune('g')
+			}
+			i++
+		case r == 'x':
+			b.WriteString("ks")
+			i++
+		case r == 'j':
+			b.WriteRune('ʤ')
+			i++
+		case r == 'y':
+			if i == 0 && isVowel(next) {
+				b.WriteRune('j') // yes
+			} else {
+				b.WriteRune('i') // happy, myth
+			}
+			i++
+		case r == 'w':
+			b.WriteRune('v')
+			i++
+		case r == 'e' && i == n-1 && silentFinalE:
+			i++
+		case isVowel(r):
+			b.WriteRune(r)
+			i++
+		default:
+			switch r {
+			case 'b', 'd', 'f', 'h', 'k', 'l', 'm', 'n', 'p', 'r', 's', 't', 'v', 'z':
+				b.WriteRune(r)
+			case 'ç':
+				b.WriteRune('s')
+			default:
+				// Accented Latin letters fold to their base vowel where obvious.
+				switch r {
+				case 'é', 'è', 'ê', 'ë':
+					b.WriteRune('e')
+				case 'á', 'à', 'â', 'ä':
+					b.WriteRune('a')
+				case 'í', 'ì', 'î', 'ï':
+					b.WriteRune('i')
+				case 'ó', 'ò', 'ô', 'ö':
+					b.WriteRune('o')
+				case 'ú', 'ù', 'û', 'ü':
+					b.WriteRune('u')
+				}
+			}
+			i++
+		}
+	}
+	return b.String()
+}

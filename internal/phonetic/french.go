@@ -1,0 +1,179 @@
+package phonetic
+
+import (
+	"strings"
+	"unicode"
+
+	"github.com/mural-db/mural/internal/types"
+)
+
+// French is a rule-based grapheme-to-phoneme converter covering the French
+// orthography patterns that matter for name and title matching (the paper's
+// running example stores French rows in the Books catalog). As with the
+// other converters, the output is the coarse canonical IPA inventory.
+type French struct{}
+
+// NewFrench returns the French converter.
+func NewFrench() *French { return &French{} }
+
+// Lang implements Converter.
+func (f *French) Lang() types.LangID { return types.LangFrench }
+
+// ToPhoneme implements Converter.
+func (f *French) ToPhoneme(text string) string {
+	var out strings.Builder
+	for i, word := range strings.Fields(strings.ToLower(text)) {
+		if i > 0 {
+			out.WriteByte(' ')
+		}
+		out.WriteString(frenchWord(word))
+	}
+	return collapseRuns(out.String())
+}
+
+// isSoftening reports whether a following letter softens c (→s) or g (→ʒ),
+// including the accented front vowels.
+func isSoftening(r rune) bool {
+	switch r {
+	case 'e', 'i', 'y', 'é', 'è', 'ê', 'ë', 'î', 'ï':
+		return true
+	}
+	return false
+}
+
+func frenchWord(word string) string {
+	runes := make([]rune, 0, len(word))
+	for _, r := range word {
+		if unicode.IsLetter(r) {
+			runes = append(runes, unicode.ToLower(r))
+		}
+	}
+	n := len(runes)
+	var b strings.Builder
+	at := func(i int) rune {
+		if i < 0 || i >= n {
+			return 0
+		}
+		return runes[i]
+	}
+	isVowel := func(r rune) bool {
+		switch r {
+		case 'a', 'e', 'i', 'o', 'u', 'y', 'é', 'è', 'ê', 'ë', 'à', 'â', 'î', 'ï', 'ô', 'û', 'ù':
+			return true
+		}
+		return false
+	}
+	for i := 0; i < n; {
+		r := runes[i]
+		rest := n - i
+		next := at(i + 1)
+		next2 := at(i + 2)
+		switch {
+		case rest >= 3 && r == 'e' && next == 'a' && next2 == 'u': // eau
+			b.WriteRune('o')
+			i += 3
+		case rest >= 2 && r == 'a' && next == 'u': // au
+			b.WriteRune('o')
+			i += 2
+		case rest >= 2 && r == 'o' && next == 'u': // ou
+			b.WriteRune('u')
+			i += 2
+		case rest >= 2 && r == 'o' && next == 'i': // oi
+			b.WriteString("va") // /wa/, w merged to v
+			i += 2
+		case rest >= 2 && r == 'a' && next == 'i': // ai
+			b.WriteRune('e')
+			i += 2
+		case rest >= 2 && r == 'e' && next == 'i': // ei
+			b.WriteRune('e')
+			i += 2
+		case rest >= 2 && r == 'c' && next == 'h': // ch
+			b.WriteRune('ʃ')
+			i += 2
+		case rest >= 2 && r == 'g' && next == 'n': // gn
+			b.WriteString("nj")
+			i += 2
+		case rest >= 2 && r == 'q' && next == 'u': // qu
+			b.WriteRune('k')
+			i += 2
+		case rest >= 2 && r == 'p' && next == 'h':
+			b.WriteRune('f')
+			i += 2
+		case rest >= 2 && r == 't' && next == 'h':
+			b.WriteRune('t')
+			i += 2
+		case r == 'ç':
+			b.WriteRune('s')
+			i++
+		case r == 'é', r == 'è', r == 'ê', r == 'ë':
+			b.WriteRune('e')
+			i++
+		case r == 'à', r == 'â':
+			b.WriteRune('a')
+			i++
+		case r == 'î', r == 'ï':
+			b.WriteRune('i')
+			i++
+		case r == 'ô':
+			b.WriteRune('o')
+			i++
+		case r == 'û', r == 'ù':
+			b.WriteRune('u')
+			i++
+		case r == 'c':
+			if isSoftening(next) {
+				b.WriteRune('s')
+			} else {
+				b.WriteRune('k')
+			}
+			i++
+		case r == 'g':
+			if isSoftening(next) {
+				b.WriteRune('ʒ')
+			} else {
+				b.WriteRune('g')
+			}
+			i++
+		case r == 'j':
+			b.WriteRune('ʒ')
+			i++
+		case r == 'h': // silent
+			i++
+		case r == 'x':
+			if i == n-1 {
+				// final x silent
+			} else {
+				b.WriteString("ks")
+			}
+			i++
+		case r == 'w':
+			b.WriteRune('v')
+			i++
+		case r == 'y':
+			b.WriteRune('i')
+			i++
+		case r == 'e' && i == n-1 && n > 2:
+			// final e muet
+			i++
+		case (r == 's' || r == 't' || r == 'd' || r == 'p' || r == 'z') && i == n-1 && n > 2 && !isVowel(at(i-1)):
+			// final consonant cluster letter silent (corps, chant)
+			i++
+		case (r == 's' || r == 't' || r == 'd' || r == 'p' || r == 'z') && i == n-1 && n > 2 && isVowel(at(i-1)):
+			// final consonant after vowel silent (Paris, chat)
+			i++
+		case r == 's' && isVowel(at(i-1)) && isVowel(next):
+			b.WriteRune('z') // intervocalic s
+			i++
+		case isVowel(r):
+			b.WriteRune(r)
+			i++
+		default:
+			switch r {
+			case 'b', 'd', 'f', 'k', 'l', 'm', 'n', 'p', 'r', 's', 't', 'v', 'z':
+				b.WriteRune(r)
+			}
+			i++
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,259 @@
+package phonetic
+
+import (
+	"strings"
+	"unicode"
+
+	"github.com/mural-db/mural/internal/types"
+)
+
+// Indic scripts (Devanagari, Tamil, Kannada) are abugidas: each consonant
+// letter carries an inherent vowel that is overridden by a dependent vowel
+// sign (matra) or suppressed by a virama. indicScript captures everything a
+// converter needs to walk such text and emit canonical IPA, standing in for
+// the Dhvani engine the paper integrated for Hindi and Kannada.
+type indicScript struct {
+	lang types.LangID
+	// consonants maps a consonant letter to its canonical IPA.
+	consonants map[rune]string
+	// vowels maps independent vowel letters to IPA.
+	vowels map[rune]string
+	// matras maps dependent vowel signs to IPA.
+	matras map[rune]string
+	// virama suppresses the inherent vowel.
+	virama rune
+	// inherent is the IPA of the inherent vowel (schwa, canonicalized 'a').
+	inherent string
+	// finalSchwaDeletion drops the inherent vowel on a word-final consonant
+	// (true for Hindi, false for Tamil and Kannada).
+	finalSchwaDeletion bool
+	// anusvara and visarga signs, mapped to nasal / h.
+	anusvara map[rune]string
+	// voicing, if non-nil, post-processes a consonant's IPA based on its
+	// position (Tamil's positional voicing of the stop series).
+	voicing func(ipa string, initial, afterNasal, betweenVowels bool) string
+}
+
+// ToPhoneme implements Converter.
+func (s *indicScript) ToPhoneme(text string) string {
+	var out strings.Builder
+	for i, word := range strings.Fields(text) {
+		if i > 0 {
+			out.WriteByte(' ')
+		}
+		out.WriteString(s.word(word))
+	}
+	return collapseRuns(out.String())
+}
+
+// Lang implements Converter.
+func (s *indicScript) Lang() types.LangID { return s.lang }
+
+func (s *indicScript) word(word string) string {
+	runes := []rune(word)
+	n := len(runes)
+	var b strings.Builder
+	lastWasVowel := false
+	lastWasNasal := false
+	for i := 0; i < n; i++ {
+		r := runes[i]
+		if ipa, ok := s.consonants[r]; ok {
+			initial := b.Len() == 0
+			if s.voicing != nil {
+				ipa = s.voicing(ipa, initial, lastWasNasal, lastWasVowel)
+			}
+			b.WriteString(ipa)
+			lastWasNasal = isNasalIPA(ipa)
+			lastWasVowel = false
+			// Decide the vowel that follows this consonant.
+			if i+1 < n {
+				next := runes[i+1]
+				if next == s.virama {
+					i++ // conjunct: no vowel
+					continue
+				}
+				if m, ok := s.matras[next]; ok {
+					b.WriteString(m)
+					lastWasVowel = true
+					lastWasNasal = false
+					i++
+					continue
+				}
+			}
+			// Inherent vowel, unless deleted word-finally.
+			atEnd := i+1 >= n || !s.isScriptRune(runes[i+1])
+			if atEnd && s.finalSchwaDeletion {
+				continue
+			}
+			b.WriteString(s.inherent)
+			lastWasVowel = true
+			lastWasNasal = false
+			continue
+		}
+		if ipa, ok := s.vowels[r]; ok {
+			b.WriteString(ipa)
+			lastWasVowel = true
+			lastWasNasal = false
+			continue
+		}
+		if ipa, ok := s.anusvara[r]; ok {
+			b.WriteString(ipa)
+			lastWasNasal = ipa == "n" || ipa == "m"
+			lastWasVowel = false
+			continue
+		}
+		// Unknown rune (Latin letters inside an Indic string, punctuation):
+		// letters pass through lowercased so mixed-script data degrades
+		// gracefully; everything else is dropped.
+		if unicode.IsLetter(r) {
+			b.WriteRune(unicode.ToLower(r))
+			lastWasVowel = false
+			lastWasNasal = false
+		}
+	}
+	return b.String()
+}
+
+func (s *indicScript) isScriptRune(r rune) bool {
+	if _, ok := s.consonants[r]; ok {
+		return true
+	}
+	if _, ok := s.vowels[r]; ok {
+		return true
+	}
+	if _, ok := s.matras[r]; ok {
+		return true
+	}
+	if _, ok := s.anusvara[r]; ok {
+		return true
+	}
+	return r == s.virama
+}
+
+func isNasalIPA(ipa string) bool {
+	switch ipa {
+	case "n", "m", "ng":
+		return true
+	}
+	return false
+}
+
+// NewHindi returns the Devanagari (Hindi) converter. Aspirated and
+// retroflex series are merged into their plain alveolar counterparts per
+// the canonical inventory; word-final schwas are deleted, as in spoken
+// Hindi.
+func NewHindi() Converter {
+	return &indicScript{
+		lang: types.LangHindi,
+		consonants: map[rune]string{
+			'क': "k", 'ख': "k", 'ग': "g", 'घ': "g", 'ङ': "ng",
+			'च': "ʧ", 'छ': "ʧ", 'ज': "ʤ", 'झ': "ʤ", 'ञ': "n",
+			'ट': "t", 'ठ': "t", 'ड': "d", 'ढ': "d", 'ण': "n",
+			'त': "t", 'थ': "t", 'द': "d", 'ध': "d", 'न': "n",
+			'प': "p", 'फ': "f", 'ब': "b", 'भ': "b", 'म': "m",
+			'य': "j", 'र': "r", 'ल': "l", 'व': "v", 'ळ': "l",
+			'श': "ʃ", 'ष': "ʃ", 'स': "s", 'ह': "h",
+			// Nukta letters (precomposed forms U+0958..U+095E):
+			'क़': "k", 'ख़': "k", 'ग़': "g", 'ज़': "z",
+			'ड़': "r", 'ढ़': "r", 'फ़': "f",
+		},
+		vowels: map[rune]string{
+			'अ': "a", 'आ': "a", 'इ': "i", 'ई': "i", 'उ': "u", 'ऊ': "u",
+			'ऋ': "ri", 'ए': "e", 'ऐ': "ei", 'ओ': "o", 'औ': "au",
+		},
+		matras: map[rune]string{
+			'ा': "a", 'ि': "i", 'ी': "i", 'ु': "u", 'ू': "u",
+			'ृ': "ri", 'े': "e", 'ै': "ei", 'ो': "o", 'ौ': "au",
+		},
+		anusvara: map[rune]string{
+			'ं': "n", 'ँ': "n", 'ः': "h",
+		},
+		virama:             '्',
+		inherent:           "a",
+		finalSchwaDeletion: true,
+	}
+}
+
+// NewKannada returns the Kannada converter. Structurally parallel to
+// Devanagari (the scripts are sisters), but Kannada keeps word-final
+// inherent vowels.
+func NewKannada() Converter {
+	return &indicScript{
+		lang: types.LangKannada,
+		consonants: map[rune]string{
+			'ಕ': "k", 'ಖ': "k", 'ಗ': "g", 'ಘ': "g", 'ಙ': "ng",
+			'ಚ': "ʧ", 'ಛ': "ʧ", 'ಜ': "ʤ", 'ಝ': "ʤ", 'ಞ': "n",
+			'ಟ': "t", 'ಠ': "t", 'ಡ': "d", 'ಢ': "d", 'ಣ': "n",
+			'ತ': "t", 'ಥ': "t", 'ದ': "d", 'ಧ': "d", 'ನ': "n",
+			'ಪ': "p", 'ಫ': "f", 'ಬ': "b", 'ಭ': "b", 'ಮ': "m",
+			'ಯ': "j", 'ರ': "r", 'ಲ': "l", 'ವ': "v", 'ಳ': "l",
+			'ಶ': "ʃ", 'ಷ': "ʃ", 'ಸ': "s", 'ಹ': "h",
+		},
+		vowels: map[rune]string{
+			'ಅ': "a", 'ಆ': "a", 'ಇ': "i", 'ಈ': "i", 'ಉ': "u", 'ಊ': "u",
+			'ಎ': "e", 'ಏ': "e", 'ಐ': "ei", 'ಒ': "o", 'ಓ': "o", 'ಔ': "au",
+		},
+		matras: map[rune]string{
+			'ಾ': "a", 'ಿ': "i", 'ೀ': "i", 'ು': "u", 'ೂ': "u",
+			'ೆ': "e", 'ೇ': "e", 'ೈ': "ei", 'ೊ': "o", 'ೋ': "o", 'ೌ': "au",
+		},
+		anusvara: map[rune]string{
+			'ಂ': "n", 'ಃ': "h",
+		},
+		virama:             '್',
+		inherent:           "a",
+		finalSchwaDeletion: false,
+	}
+}
+
+// NewTamil returns the Tamil converter. Tamil's stop series has no
+// phonemic voicing contrast in the script: voicing is positional
+// (word-initial unvoiced, voiced after a nasal and between vowels), which
+// the converter models so that Tamil renderings of names like "Gandhi"
+// recover their voiced stops.
+func NewTamil() Converter {
+	return &indicScript{
+		lang: types.LangTamil,
+		consonants: map[rune]string{
+			'க': "k", 'ங': "ng", 'ச': "ʧ", 'ஞ': "n",
+			'ட': "t", 'ண': "n", 'த': "t", 'ந': "n",
+			'ப': "p", 'ம': "m", 'ய': "j", 'ர': "r",
+			'ல': "l", 'வ': "v", 'ழ': "l", 'ள': "l",
+			'ற': "r", 'ன': "n",
+			// Grantha letters for loan sounds:
+			'ஜ': "ʤ", 'ஷ': "ʃ", 'ஸ': "s", 'ஹ': "h",
+		},
+		vowels: map[rune]string{
+			'அ': "a", 'ஆ': "a", 'இ': "i", 'ஈ': "i", 'உ': "u", 'ஊ': "u",
+			'எ': "e", 'ஏ': "e", 'ஐ': "ei", 'ஒ': "o", 'ஓ': "o", 'ஔ': "au",
+		},
+		matras: map[rune]string{
+			'ா': "a", 'ி': "i", 'ீ': "i", 'ு': "u", 'ூ': "u",
+			'ெ': "e", 'ே': "e", 'ை': "ei", 'ொ': "o", 'ோ': "o", 'ௌ': "au",
+		},
+		anusvara:           map[rune]string{},
+		virama:             '்',
+		inherent:           "a",
+		finalSchwaDeletion: false,
+		voicing: func(ipa string, initial, afterNasal, betweenVowels bool) string {
+			if initial {
+				return ipa
+			}
+			// After a nasal the whole stop series voices (காந்தி → gandi);
+			// between vowels only the velar and the affricate shift
+			// audibly enough to matter for matching (அசோகா → asoga).
+			nasalVoiced := map[string]string{"k": "g", "ʧ": "ʤ", "t": "d", "p": "b"}
+			vowelVoiced := map[string]string{"k": "g", "ʧ": "s"}
+			if afterNasal {
+				if v, ok := nasalVoiced[ipa]; ok {
+					return v
+				}
+			} else if betweenVowels {
+				if v, ok := vowelVoiced[ipa]; ok {
+					return v
+				}
+			}
+			return ipa
+		},
+	}
+}

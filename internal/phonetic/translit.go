@@ -1,0 +1,211 @@
+package phonetic
+
+import (
+	"strings"
+
+	"github.com/mural-db/mural/internal/types"
+)
+
+// Transliteration renders romanized names into native scripts. The dataset
+// generator uses it to build the cross-script homophone clusters that the
+// paper's pre-tagged multilingual names dataset contained: the same name
+// rendered in Latin, Devanagari, Tamil and Kannada scripts converges to
+// nearly identical phoneme strings under the package's converters, which is
+// the property the Ψ workload depends on.
+
+// segment is one phonetic unit of a romanized word.
+type segment struct {
+	key     string
+	isVowel bool
+}
+
+// romanConsonants and romanVowels order matters only through greedy
+// longest-match; the maps are keyed by the romanization digraphs in common
+// Indian-English transliteration practice.
+var romanConsonantKeys = map[string]bool{
+	"chh": true, "kh": true, "gh": true, "ch": true, "jh": true,
+	"th": true, "dh": true, "ph": true, "bh": true, "sh": true,
+	"k": true, "g": true, "c": true, "j": true, "t": true, "d": true,
+	"n": true, "p": true, "b": true, "m": true, "y": true, "r": true,
+	"l": true, "v": true, "w": true, "s": true, "h": true, "z": true,
+	"f": true, "x": true, "q": true,
+}
+
+var romanVowelKeys = map[string]bool{
+	"aa": true, "ai": true, "au": true, "ee": true, "ei": true,
+	"ii": true, "oo": true, "ou": true, "uu": true,
+	"a": true, "e": true, "i": true, "o": true, "u": true,
+}
+
+// segmentRoman splits a lowercase romanized word into consonant and vowel
+// segments, greedy longest match first. Unknown runes are skipped.
+func segmentRoman(word string) []segment {
+	word = strings.ToLower(word)
+	runes := []rune(word)
+	var segs []segment
+	for i := 0; i < len(runes); {
+		matched := false
+		for l := 3; l >= 1; l-- {
+			if i+l > len(runes) {
+				continue
+			}
+			key := string(runes[i : i+l])
+			if romanConsonantKeys[key] {
+				segs = append(segs, segment{key: key, isVowel: false})
+				i += l
+				matched = true
+				break
+			}
+			if romanVowelKeys[key] {
+				segs = append(segs, segment{key: key, isVowel: true})
+				i += l
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			i++
+		}
+	}
+	return segs
+}
+
+// scriptTables describes how one abugida renders romanized segments.
+type scriptTables struct {
+	lang        types.LangID
+	consonants  map[string]string // roman consonant key -> script letter(s)
+	independent map[string]string // roman vowel key -> independent vowel letter
+	matra       map[string]string // roman vowel key -> dependent sign ("" = inherent)
+	virama      string
+	finalVirama bool // write virama on a word-final consonant (Tamil pulli)
+}
+
+// Transliterate renders a romanized name into the script of lang. English
+// and French keep the Latin spelling; Hindi, Tamil and Kannada are rendered
+// through their abugida tables. Unknown languages return the input
+// unchanged.
+func Transliterate(roman string, lang types.LangID) string {
+	switch lang {
+	case types.LangHindi:
+		return renderWords(roman, hindiTables)
+	case types.LangTamil:
+		return renderWords(roman, tamilTables)
+	case types.LangKannada:
+		return renderWords(roman, kannadaTables)
+	default:
+		return roman
+	}
+}
+
+func renderWords(roman string, t *scriptTables) string {
+	words := strings.Fields(roman)
+	out := make([]string, len(words))
+	for i, w := range words {
+		out[i] = renderWord(w, t)
+	}
+	return strings.Join(out, " ")
+}
+
+func renderWord(word string, t *scriptTables) string {
+	segs := segmentRoman(word)
+	var b strings.Builder
+	for i, s := range segs {
+		if s.isVowel {
+			if i == 0 || segs[i-1].isVowel {
+				b.WriteString(t.independent[s.key])
+			} else {
+				b.WriteString(t.matra[s.key])
+			}
+			continue
+		}
+		letter, ok := t.consonants[s.key]
+		if !ok {
+			continue
+		}
+		b.WriteString(letter)
+		// Conjunct or final consonant: suppress the inherent vowel.
+		if i+1 >= len(segs) {
+			if t.finalVirama {
+				b.WriteString(t.virama)
+			}
+		} else if !segs[i+1].isVowel {
+			b.WriteString(t.virama)
+		}
+	}
+	return b.String()
+}
+
+var hindiTables = &scriptTables{
+	lang: types.LangHindi,
+	consonants: map[string]string{
+		"k": "क", "kh": "ख", "g": "ग", "gh": "घ",
+		"ch": "च", "chh": "छ", "j": "ज", "jh": "झ",
+		"t": "त", "th": "थ", "d": "द", "dh": "ध", "n": "न",
+		"p": "प", "ph": "फ", "b": "ब", "bh": "भ", "m": "म",
+		"y": "य", "r": "र", "l": "ल", "v": "व", "w": "व",
+		"s": "स", "sh": "श", "h": "ह", "z": "ज़", "f": "फ़",
+		"c": "क", "q": "क़", "x": "क्स",
+	},
+	independent: map[string]string{
+		"a": "अ", "aa": "आ", "i": "इ", "ii": "ई", "ee": "ई",
+		"u": "उ", "uu": "ऊ", "oo": "ऊ", "e": "ए", "ei": "ए",
+		"ai": "ऐ", "o": "ओ", "au": "औ", "ou": "औ",
+	},
+	matra: map[string]string{
+		"a": "", "aa": "ा", "i": "ि", "ii": "ी", "ee": "ी",
+		"u": "ु", "uu": "ू", "oo": "ू", "e": "े", "ei": "े",
+		"ai": "ै", "o": "ो", "au": "ौ", "ou": "ौ",
+	},
+	virama:      "्",
+	finalVirama: false,
+}
+
+var tamilTables = &scriptTables{
+	lang: types.LangTamil,
+	consonants: map[string]string{
+		"k": "க", "kh": "க", "g": "க", "gh": "க",
+		"ch": "ச", "chh": "ச", "j": "ஜ", "jh": "ஜ",
+		"t": "த", "th": "த", "d": "த", "dh": "த", "n": "ந",
+		"p": "ப", "ph": "ப", "b": "ப", "bh": "ப", "m": "ம",
+		"y": "ய", "r": "ர", "l": "ல", "v": "வ", "w": "வ",
+		"s": "ஸ", "sh": "ஷ", "h": "ஹ", "z": "ஜ", "f": "ப",
+		"c": "க", "q": "க", "x": "க்ஸ",
+	},
+	independent: map[string]string{
+		"a": "அ", "aa": "ஆ", "i": "இ", "ii": "ஈ", "ee": "ஈ",
+		"u": "உ", "uu": "ஊ", "oo": "ஊ", "e": "எ", "ei": "ஏ",
+		"ai": "ஐ", "o": "ஒ", "au": "ஔ", "ou": "ஔ",
+	},
+	matra: map[string]string{
+		"a": "", "aa": "ா", "i": "ி", "ii": "ீ", "ee": "ீ",
+		"u": "ு", "uu": "ூ", "oo": "ூ", "e": "ெ", "ei": "ே",
+		"ai": "ை", "o": "ொ", "au": "ௌ", "ou": "ௌ",
+	},
+	virama:      "்",
+	finalVirama: true,
+}
+
+var kannadaTables = &scriptTables{
+	lang: types.LangKannada,
+	consonants: map[string]string{
+		"k": "ಕ", "kh": "ಖ", "g": "ಗ", "gh": "ಘ",
+		"ch": "ಚ", "chh": "ಛ", "j": "ಜ", "jh": "ಝ",
+		"t": "ತ", "th": "ಥ", "d": "ದ", "dh": "ಧ", "n": "ನ",
+		"p": "ಪ", "ph": "ಫ", "b": "ಬ", "bh": "ಭ", "m": "ಮ",
+		"y": "ಯ", "r": "ರ", "l": "ಲ", "v": "ವ", "w": "ವ",
+		"s": "ಸ", "sh": "ಶ", "h": "ಹ", "z": "ಜ", "f": "ಫ",
+		"c": "ಕ", "q": "ಕ", "x": "ಕ್ಸ",
+	},
+	independent: map[string]string{
+		"a": "ಅ", "aa": "ಆ", "i": "ಇ", "ii": "ಈ", "ee": "ಈ",
+		"u": "ಉ", "uu": "ಊ", "oo": "ಊ", "e": "ಎ", "ei": "ಏ",
+		"ai": "ಐ", "o": "ಒ", "au": "ಔ", "ou": "ಔ",
+	},
+	matra: map[string]string{
+		"a": "", "aa": "ಾ", "i": "ಿ", "ii": "ೀ", "ee": "ೀ",
+		"u": "ು", "uu": "ೂ", "oo": "ೂ", "e": "ೆ", "ei": "ೇ",
+		"ai": "ೈ", "o": "ೊ", "au": "ೌ", "ou": "ೌ",
+	},
+	virama:      "್",
+	finalVirama: true,
+}

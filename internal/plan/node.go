@@ -1,0 +1,194 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mural-db/mural/internal/sql"
+	"github.com/mural-db/mural/internal/types"
+)
+
+// OpType identifies a physical operator.
+type OpType int
+
+// Physical operators.
+const (
+	OpSeqScan OpType = iota
+	OpBTreeScan
+	OpMTreeScan
+	OpMDIScan
+	OpQGramScan
+	OpFilter
+	OpProject
+	OpNLJoin
+	OpHashJoin
+	OpPsiJoin      // nested-loops Ψ join on materialized phonemes
+	OpPsiIndexJoin // probe an M-Tree per outer row
+	OpOmegaJoin    // RHS-outer nested loops with closure memoization (§4.3)
+	OpAggregate
+	OpSort
+	OpLimit
+	OpDistinct
+	OpMaterialize
+)
+
+// String names the operator as EXPLAIN prints it.
+func (o OpType) String() string {
+	switch o {
+	case OpSeqScan:
+		return "SeqScan"
+	case OpBTreeScan:
+		return "IndexScan(BTree)"
+	case OpMTreeScan:
+		return "IndexScan(MTree)"
+	case OpMDIScan:
+		return "IndexScan(MDI)"
+	case OpQGramScan:
+		return "IndexScan(QGram)"
+	case OpFilter:
+		return "Filter"
+	case OpProject:
+		return "Project"
+	case OpNLJoin:
+		return "NestLoopJoin"
+	case OpHashJoin:
+		return "HashJoin"
+	case OpPsiJoin:
+		return "PsiJoin(NL)"
+	case OpPsiIndexJoin:
+		return "PsiJoin(MTree)"
+	case OpOmegaJoin:
+		return "OmegaJoin(NL,closure-cache)"
+	case OpAggregate:
+		return "Aggregate"
+	case OpSort:
+		return "Sort"
+	case OpLimit:
+		return "Limit"
+	case OpDistinct:
+		return "Distinct"
+	case OpMaterialize:
+		return "Materialize"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// AggSpec is one aggregate computed by an Aggregate node.
+type AggSpec struct {
+	Kind sql.FuncKind
+	Arg  Expr // nil for COUNT(*)
+}
+
+// IndexCond carries the index probe parameters of an index scan.
+type IndexCond struct {
+	// Index is the catalog index name.
+	Index string
+	// EqKey probes equality (BTree); Lo/Hi probe a range; for metric scans
+	// Probe and Threshold drive the search.
+	EqKey     Expr
+	Lo, Hi    Expr
+	Probe     Expr // Ψ query operand (constant side)
+	Threshold int
+	Langs     []types.LangID
+	// Col is the indexed column's position in the base-table schema.
+	Col int
+}
+
+// Node is one physical plan operator. EstRows and EstCost are the
+// optimizer's predictions; the executor fills ActualRows/ActualNs when
+// EXPLAIN ANALYZE runs.
+type Node struct {
+	Op       OpType
+	Children []*Node
+	Cols     []ColInfo
+
+	EstRows float64
+	EstCost float64
+
+	// Scan fields.
+	Table string // catalog table name
+	Alias string
+	Index *IndexCond
+
+	// Filter / join condition (positional, over the node's input schema;
+	// for joins the schema is left ++ right).
+	Cond Expr
+
+	// Hash join equi-columns (positions in left/right schemas).
+	HashLeft, HashRight int
+
+	// Psi join parameters.
+	PsiThreshold int
+	PsiLangs     []types.LangID
+	// PsiLeftCol/PsiRightCol are the operand positions in the joint schema.
+	PsiLeftCol, PsiRightCol int
+
+	// Omega join: operand positions in the joint schema; RHSOuter records
+	// that the planner made the closure-providing side the outer input.
+	OmegaLeftCol, OmegaRightCol int
+	OmegaLangs                  []types.LangID
+	RHSOuter                    bool
+
+	// Projection.
+	Projs    []Expr
+	ColNames []string
+
+	// Aggregation.
+	GroupBy []Expr
+	Aggs    []AggSpec
+
+	// Sort keys (positions are relative to the child's schema).
+	SortKeys []Expr
+	SortDesc []bool
+
+	// Limit.
+	LimitN int64
+}
+
+// Schema returns the output columns.
+func (n *Node) Schema() []ColInfo { return n.Cols }
+
+// Format renders the plan tree in EXPLAIN style.
+func Format(n *Node) string {
+	var b strings.Builder
+	format(&b, n, 0)
+	return b.String()
+}
+
+func format(b *strings.Builder, n *Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	b.WriteString(indent)
+	b.WriteString(n.Op.String())
+	switch n.Op {
+	case OpSeqScan:
+		fmt.Fprintf(b, " %s", n.Table)
+		if n.Alias != "" && n.Alias != n.Table {
+			fmt.Fprintf(b, " AS %s", n.Alias)
+		}
+	case OpBTreeScan, OpMTreeScan, OpMDIScan, OpQGramScan:
+		fmt.Fprintf(b, " %s using %s", n.Table, n.Index.Index)
+		if n.Index.Probe != nil {
+			fmt.Fprintf(b, " probe=%s k=%d", ExprString(n.Index.Probe), n.Index.Threshold)
+		}
+		if n.Index.EqKey != nil {
+			fmt.Fprintf(b, " key=%s", ExprString(n.Index.EqKey))
+		}
+		if n.Index.Lo != nil || n.Index.Hi != nil {
+			b.WriteString(" range")
+		}
+	case OpHashJoin:
+		fmt.Fprintf(b, " on $%d = $%d", n.HashLeft, n.HashRight)
+	case OpPsiJoin, OpPsiIndexJoin:
+		fmt.Fprintf(b, " k=%d", n.PsiThreshold)
+	case OpLimit:
+		fmt.Fprintf(b, " %d", n.LimitN)
+	}
+	if n.Cond != nil {
+		fmt.Fprintf(b, " cond=[%s]", ExprString(n.Cond))
+	}
+	fmt.Fprintf(b, "  (rows=%.0f cost=%.1f)\n", n.EstRows, n.EstCost)
+	for _, c := range n.Children {
+		format(b, c, depth+1)
+	}
+}

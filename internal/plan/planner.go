@@ -1,0 +1,1182 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/mural-db/mural/internal/catalog"
+	"github.com/mural-db/mural/internal/phonetic"
+	"github.com/mural-db/mural/internal/sql"
+	"github.com/mural-db/mural/internal/types"
+)
+
+// Options are the optimizer switches. The enable_* settings mirror the
+// PostgreSQL knobs the paper used to force alternative plans for the
+// Example 5 / Figure 7 experiment ("we forced the optimizer to evaluate and
+// run two different execution plans ... by enabling or disabling different
+// optimizer options").
+type Options struct {
+	EnableHashJoin  bool
+	EnableIndexScan bool // B-tree access paths
+	EnableMTree     bool
+	EnableMDI       bool
+	EnableQGram     bool
+	// ForceOrder, when non-empty, pins the join order to the given relation
+	// aliases (left to right).
+	ForceOrder []string
+}
+
+// DefaultOptions enables everything.
+func DefaultOptions() Options {
+	return Options{EnableHashJoin: true, EnableIndexScan: true, EnableMTree: true, EnableMDI: true, EnableQGram: true}
+}
+
+// Planner builds physical plans.
+type Planner struct {
+	Cat  *catalog.Catalog
+	Phon *phonetic.Registry
+	Sem  SemEstimator // nil when no taxonomy is loaded
+	Opts Options
+}
+
+// relation is one FROM-clause entry during planning.
+type relation struct {
+	ref    sql.TableRef
+	table  *catalog.Table
+	schema []ColInfo
+	stats  Stats
+}
+
+// conjunct is one AND-factor of the combined WHERE/ON predicate.
+type conjunct struct {
+	expr sql.Expr
+	rels map[string]bool // relation aliases referenced
+	used bool
+}
+
+// Plan compiles a SELECT into a costed physical plan.
+func (p *Planner) Plan(sel *sql.Select) (*Node, error) {
+	// Resolve relations.
+	rels := make([]*relation, 0, 1+len(sel.Joins))
+	addRel := func(ref sql.TableRef) error {
+		t, ok := p.Cat.TableByName(ref.Table)
+		if !ok {
+			return fmt.Errorf("plan: no such table %q", ref.Table)
+		}
+		r := &relation{ref: ref, table: t, stats: statsFor(p.Cat, ref.Table)}
+		for _, c := range t.Columns {
+			r.schema = append(r.schema, ColInfo{Rel: ref.Name(), Name: c.Name, Kind: c.Kind})
+		}
+		for _, existing := range rels {
+			if existing.ref.Name() == ref.Name() {
+				return fmt.Errorf("plan: duplicate relation name %q (use aliases)", ref.Name())
+			}
+		}
+		rels = append(rels, r)
+		return nil
+	}
+	if err := addRel(sel.From); err != nil {
+		return nil, err
+	}
+	for _, j := range sel.Joins {
+		if err := addRel(j.Table); err != nil {
+			return nil, err
+		}
+	}
+
+	fullSchema := make([]ColInfo, 0)
+	for _, r := range rels {
+		fullSchema = append(fullSchema, r.schema...)
+	}
+
+	// Gather conjuncts from WHERE and every ON clause.
+	var conjuncts []*conjunct
+	var collect func(e sql.Expr) error
+	collect = func(e sql.Expr) error {
+		if e == nil {
+			return nil
+		}
+		if lg, ok := e.(*sql.Logical); ok && lg.Op == sql.OpAnd {
+			if err := collect(lg.Left); err != nil {
+				return err
+			}
+			return collect(lg.Right)
+		}
+		refs, err := referencedRels(e, rels)
+		if err != nil {
+			return err
+		}
+		conjuncts = append(conjuncts, &conjunct{expr: e, rels: refs})
+		return nil
+	}
+	if err := collect(sel.Where); err != nil {
+		return nil, err
+	}
+	for _, j := range sel.Joins {
+		if err := collect(j.Cond); err != nil {
+			return nil, err
+		}
+	}
+
+	se := &selEstimator{
+		stats: map[string]Stats{},
+		phon:  p.Phon,
+		sem:   p.Sem,
+		defK:  p.Cat.LexThreshold(),
+	}
+	for _, r := range rels {
+		se.stats[r.ref.Name()] = r.stats
+	}
+
+	// Enumerate join orders and keep the cheapest plan.
+	orders := p.joinOrders(rels)
+	var best *Node
+	for _, order := range orders {
+		// Reset usage marks for this order.
+		for _, c := range conjuncts {
+			c.used = false
+		}
+		node, err := p.buildJoinTree(order, conjuncts, se)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || node.EstCost < best.EstCost {
+			best = node
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("plan: no join order produced a plan")
+	}
+	// Re-mark conjuncts against the chosen plan to find leftovers. (The
+	// builder consumes every conjunct it can; any leftover is a bug.)
+
+	node := best
+
+	// Aggregation / projection.
+	node, err := p.finishSelect(node, sel, fullSchema, se)
+	if err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+// referencedRels finds which relations an expression touches, validating
+// column references as a side effect.
+func referencedRels(e sql.Expr, rels []*relation) (map[string]bool, error) {
+	out := make(map[string]bool)
+	var err error
+	var walk func(sql.Expr)
+	walk = func(x sql.Expr) {
+		switch n := x.(type) {
+		case *sql.ColumnRef:
+			found := 0
+			for _, r := range rels {
+				if n.Table != "" && n.Table != r.ref.Name() {
+					continue
+				}
+				if r.table.ColumnIndex(n.Column) >= 0 {
+					out[r.ref.Name()] = true
+					found++
+				}
+			}
+			if found == 0 && err == nil {
+				err = fmt.Errorf("plan: unknown column %q", n.String())
+			}
+			if found > 1 && err == nil {
+				err = fmt.Errorf("plan: ambiguous column %q", n.String())
+			}
+		case *sql.Compare:
+			walk(n.Left)
+			walk(n.Right)
+		case *sql.Logical:
+			walk(n.Left)
+			walk(n.Right)
+		case *sql.Not:
+			walk(n.Inner)
+		case *sql.LexEqual:
+			walk(n.Left)
+			walk(n.Right)
+		case *sql.SemEqual:
+			walk(n.Left)
+			walk(n.Right)
+		case *sql.FuncCall:
+			for _, a := range n.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(e)
+	return out, err
+}
+
+// joinOrders enumerates candidate relation orders: all permutations up to 4
+// relations, a greedy order beyond, or the forced order.
+func (p *Planner) joinOrders(rels []*relation) [][]*relation {
+	if len(p.Opts.ForceOrder) > 0 {
+		byName := make(map[string]*relation, len(rels))
+		for _, r := range rels {
+			byName[r.ref.Name()] = r
+		}
+		var order []*relation
+		for _, name := range p.Opts.ForceOrder {
+			if r, ok := byName[strings.ToLower(name)]; ok {
+				order = append(order, r)
+				delete(byName, r.ref.Name())
+			}
+		}
+		for _, r := range rels { // append any unmentioned relations
+			if _, left := byName[r.ref.Name()]; left {
+				order = append(order, r)
+			}
+		}
+		return [][]*relation{order}
+	}
+	if len(rels) == 1 {
+		return [][]*relation{rels}
+	}
+	if len(rels) > 4 {
+		// Greedy: smallest estimated relation first.
+		order := append([]*relation(nil), rels...)
+		for i := range order {
+			min := i
+			for j := i + 1; j < len(order); j++ {
+				if order[j].stats.Rows < order[min].stats.Rows {
+					min = j
+				}
+			}
+			order[i], order[min] = order[min], order[i]
+		}
+		return [][]*relation{order}
+	}
+	var out [][]*relation
+	perm(rels, 0, &out)
+	return out
+}
+
+func perm(rels []*relation, i int, out *[][]*relation) {
+	if i == len(rels) {
+		cp := append([]*relation(nil), rels...)
+		*out = append(*out, cp)
+		return
+	}
+	for j := i; j < len(rels); j++ {
+		rels[i], rels[j] = rels[j], rels[i]
+		perm(rels, i+1, out)
+		rels[i], rels[j] = rels[j], rels[i]
+	}
+}
+
+// buildJoinTree builds a left-deep plan for the given relation order.
+func (p *Planner) buildJoinTree(order []*relation, conjuncts []*conjunct, se *selEstimator) (*Node, error) {
+	joined := map[string]bool{order[0].ref.Name(): true}
+	cur, err := p.buildAccess(order[0], conjuncts, se)
+	if err != nil {
+		return nil, err
+	}
+	for _, rel := range order[1:] {
+		right, err := p.buildAccess(rel, conjuncts, se)
+		if err != nil {
+			return nil, err
+		}
+		joined[rel.ref.Name()] = true
+		cur, err = p.buildJoin(cur, right, rel, joined, conjuncts, se)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Any conjunct never consumed (e.g. referencing no relation, or OR
+	// trees spanning everything) becomes a final filter.
+	cur, err = p.applyFilters(cur, conjuncts, func(c *conjunct) bool { return !c.used }, se)
+	if err != nil {
+		return nil, err
+	}
+	// Every conjunct must have landed somewhere: a leftover means a
+	// semantic error was deferred all the way up — surface it.
+	for _, c := range conjuncts {
+		if !c.used {
+			comp := &Compiler{Schema: cur.Cols, DefaultThreshold: se.defK}
+			if _, err := comp.Compile(c.expr); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("plan: predicate %s could not be placed", sql.ExprString(c.expr))
+		}
+	}
+	return cur, nil
+}
+
+// buildAccess picks the cheapest access path for one relation given its
+// single-relation conjuncts.
+func (p *Planner) buildAccess(rel *relation, conjuncts []*conjunct, se *selEstimator) (*Node, error) {
+	name := rel.ref.Name()
+	var mine []*conjunct
+	for _, c := range conjuncts {
+		if c.used || len(c.rels) != 1 || !c.rels[name] {
+			continue
+		}
+		mine = append(mine, c)
+	}
+
+	seq := &Node{
+		Op:      OpSeqScan,
+		Table:   rel.table.Name,
+		Alias:   name,
+		Cols:    rel.schema,
+		EstRows: rel.stats.Rows,
+		EstCost: rel.stats.Pages*SeqPageCost + rel.stats.Rows*CPUTupleCost,
+	}
+
+	candidates := []*accessCandidate{{node: seq, consumed: nil}}
+
+	// Index paths: one per applicable (conjunct, index) pair.
+	for _, c := range mine {
+		for _, cand := range p.indexCandidates(rel, c, se) {
+			candidates = append(candidates, cand)
+		}
+	}
+
+	// Pick the cheapest candidate after charging residual filters.
+	var best *Node
+	var bestConsumed *conjunct
+	for _, cand := range candidates {
+		node := cand.node
+		if best == nil || node.EstCost < best.EstCost {
+			best = node
+			bestConsumed = cand.consumed
+		}
+	}
+	if bestConsumed != nil {
+		bestConsumed.used = true
+	}
+	// Apply the remaining single-relation conjuncts as a filter.
+	return p.applyFilters(best, mine, func(c *conjunct) bool { return !c.used }, se)
+}
+
+type accessCandidate struct {
+	node     *Node
+	consumed *conjunct
+}
+
+// indexCandidates proposes index scans satisfying the conjunct.
+func (p *Planner) indexCandidates(rel *relation, c *conjunct, se *selEstimator) []*accessCandidate {
+	var out []*accessCandidate
+	name := rel.ref.Name()
+	comp := &Compiler{Schema: rel.schema, DefaultThreshold: se.defK}
+
+	switch x := c.expr.(type) {
+	case *sql.Compare:
+		if !p.Opts.EnableIndexScan {
+			return nil
+		}
+		ref, lit, op, ok := colConstCompare(x)
+		if !ok {
+			return nil
+		}
+		for _, ix := range p.Cat.IndexesOn(rel.table.Name, ref.Column) {
+			if ix.Kind != sql.IndexBTree {
+				continue
+			}
+			sel := se.selectivity(c.expr, rel.schema)
+			rows := rel.stats.Rows * sel
+			descent := 1 + math.Log2(rel.stats.Rows+1)/8 // ≈ tree height in pages
+			cost := descent*RandomPageCost +
+				sel*rel.stats.Pages*SeqPageCost + // leaf chain share
+				rows*(RandomPageCost+CPUTupleCost) // heap fetches
+			recheck, err := comp.Compile(c.expr)
+			if err != nil {
+				continue
+			}
+			node := &Node{
+				Op:      OpBTreeScan,
+				Table:   rel.table.Name,
+				Alias:   name,
+				Cols:    rel.schema,
+				EstRows: math.Max(rows, 0.1),
+				EstCost: cost,
+				Cond:    recheck, // index rechecks: key encoding is inexact for ≐
+				Index:   &IndexCond{Index: ix.Name, Col: rel.table.ColumnIndex(ref.Column)},
+			}
+			key, err := comp.Compile(&sql.Literal{Value: lit.Value})
+			if err != nil {
+				continue
+			}
+			switch op {
+			case sql.OpEq:
+				node.Index.EqKey = key
+			case sql.OpLt, sql.OpLe:
+				node.Index.Hi = key
+			case sql.OpGt, sql.OpGe:
+				node.Index.Lo = key
+			default:
+				continue // <> cannot use an index
+			}
+			out = append(out, &accessCandidate{node: node, consumed: c})
+		}
+	case *sql.LexEqual:
+		ref, lit, ok := psiColConst(x)
+		if !ok {
+			return nil
+		}
+		k := x.Threshold
+		if k < 0 {
+			k = se.defK
+		}
+		sel := se.selectivity(c.expr, rel.schema)
+		rows := math.Max(rel.stats.Rows*sel, 0.1)
+		lbar := rel.stats.avgKeyLen(ref.Column)
+		for _, ix := range p.Cat.IndexesOn(rel.table.Name, ref.Column) {
+			switch ix.Kind {
+			case sql.IndexMTree:
+				if !p.Opts.EnableMTree {
+					continue
+				}
+				// Table 3, Ψ scan with approximate index:
+				// f(k)·(P_AI + P) I/O + f(k)·n·k·l̄ CPU.
+				f := MTreeFraction(k)
+				cost := f*(rel.stats.Pages+rel.stats.Pages)*RandomPageCost +
+					f*rel.stats.Rows*float64(k)*lbar*PsiCharCost +
+					rows*(RandomPageCost+CPUTupleCost)
+				probe, err := comp.Compile(&sql.Literal{Value: lit.Value})
+				if err != nil {
+					continue
+				}
+				recheck, err := comp.Compile(c.expr)
+				if err != nil {
+					continue
+				}
+				out = append(out, &accessCandidate{
+					node: &Node{
+						Op: OpMTreeScan, Table: rel.table.Name, Alias: name,
+						Cols: rel.schema, EstRows: rows, EstCost: cost,
+						Cond:  recheck, // recheck applies the IN-langs filter
+						Index: &IndexCond{Index: ix.Name, Probe: probe, Threshold: k, Langs: x.Langs, Col: rel.table.ColumnIndex(ref.Column)},
+					},
+					consumed: c,
+				})
+			case sql.IndexQGram:
+				if !p.Opts.EnableQGram {
+					continue
+				}
+				// In-memory inverted lists: no page I/O, candidate
+				// verification dominates.
+				fq := QGramFraction(k, 2, lbar)
+				cands := rel.stats.Rows * fq
+				costQ := cands*(float64(k)*lbar*PsiCharCost+CPUOperCost) +
+					rows*(RandomPageCost+CPUTupleCost)
+				probeQ, err := comp.Compile(&sql.Literal{Value: lit.Value})
+				if err != nil {
+					continue
+				}
+				recheckQ, err := comp.Compile(c.expr)
+				if err != nil {
+					continue
+				}
+				out = append(out, &accessCandidate{
+					node: &Node{
+						Op: OpQGramScan, Table: rel.table.Name, Alias: name,
+						Cols: rel.schema, EstRows: rows, EstCost: costQ,
+						Cond:  recheckQ,
+						Index: &IndexCond{Index: ix.Name, Probe: probeQ, Threshold: k, Langs: x.Langs, Col: rel.table.ColumnIndex(ref.Column)},
+					},
+					consumed: c,
+				})
+			case sql.IndexMDI:
+				if !p.Opts.EnableMDI {
+					continue
+				}
+				f := MDIFraction(k, lbar)
+				cands := rel.stats.Rows * f
+				cost := f*rel.stats.Pages*SeqPageCost +
+					cands*(float64(k)*lbar*PsiCharCost) +
+					rows*(RandomPageCost+CPUTupleCost)
+				probe, err := comp.Compile(&sql.Literal{Value: lit.Value})
+				if err != nil {
+					continue
+				}
+				recheck, err := comp.Compile(c.expr)
+				if err != nil {
+					continue
+				}
+				out = append(out, &accessCandidate{
+					node: &Node{
+						Op: OpMDIScan, Table: rel.table.Name, Alias: name,
+						Cols: rel.schema, EstRows: rows, EstCost: cost,
+						Cond:  recheck,
+						Index: &IndexCond{Index: ix.Name, Probe: probe, Threshold: k, Langs: x.Langs, Col: rel.table.ColumnIndex(ref.Column)},
+					},
+					consumed: c,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// colConstCompare matches col-op-const (either side), normalizing so the
+// column is on the left.
+func colConstCompare(x *sql.Compare) (*sql.ColumnRef, *sql.Literal, sql.CmpOp, bool) {
+	if ref, ok := x.Left.(*sql.ColumnRef); ok {
+		if lit, ok2 := x.Right.(*sql.Literal); ok2 {
+			return ref, lit, x.Op, true
+		}
+	}
+	if ref, ok := x.Right.(*sql.ColumnRef); ok {
+		if lit, ok2 := x.Left.(*sql.Literal); ok2 {
+			op := x.Op
+			switch x.Op {
+			case sql.OpLt:
+				op = sql.OpGt
+			case sql.OpLe:
+				op = sql.OpGe
+			case sql.OpGt:
+				op = sql.OpLt
+			case sql.OpGe:
+				op = sql.OpLe
+			}
+			return ref, lit, op, true
+		}
+	}
+	return nil, nil, 0, false
+}
+
+func psiColConst(x *sql.LexEqual) (*sql.ColumnRef, *sql.Literal, bool) {
+	if ref, ok := x.Left.(*sql.ColumnRef); ok {
+		if lit, ok2 := x.Right.(*sql.Literal); ok2 {
+			return ref, lit, true
+		}
+	}
+	if ref, ok := x.Right.(*sql.ColumnRef); ok {
+		if lit, ok2 := x.Left.(*sql.Literal); ok2 {
+			return ref, lit, true
+		}
+	}
+	return nil, nil, false
+}
+
+// applyFilters wraps node in a Filter for every conjunct matching keep that
+// references only columns available in node's schema.
+func (p *Planner) applyFilters(node *Node, conjuncts []*conjunct, keep func(*conjunct) bool, se *selEstimator) (*Node, error) {
+	comp := &Compiler{Schema: node.Cols, DefaultThreshold: se.defK}
+	var exprs []Expr
+	sel := 1.0
+	opCost := 0.0
+	for _, c := range conjuncts {
+		if c.used || !keep(c) {
+			continue
+		}
+		compiled, err := comp.Compile(c.expr)
+		if err != nil {
+			if errors.Is(err, ErrUnknownColumn) {
+				// Not evaluable over this schema yet (other relations).
+				continue
+			}
+			return nil, err
+		}
+		c.used = true
+		exprs = append(exprs, compiled)
+		sel *= se.selectivity(c.expr, node.Cols)
+		opCost += condOpCost(compiled, node.Cols, se)
+	}
+	if len(exprs) == 0 {
+		return node, nil
+	}
+	cond := exprs[0]
+	for _, e := range exprs[1:] {
+		cond = &AndOr{L: cond, R: e}
+	}
+	rows := math.Max(node.EstRows*sel, 0.1)
+	return &Node{
+		Op:       OpFilter,
+		Children: []*Node{node},
+		Cols:     node.Cols,
+		Cond:     cond,
+		EstRows:  rows,
+		EstCost:  node.EstCost + node.EstRows*opCost,
+	}, nil
+}
+
+// condOpCost prices one evaluation of a compiled condition, charging the Ψ
+// and Ω operators their Table 3 CPU terms.
+func condOpCost(e Expr, schema []ColInfo, se *selEstimator) float64 {
+	cost := 0.0
+	Walk(e, func(x Expr) {
+		switch n := x.(type) {
+		case *Cmp:
+			cost += CPUOperCost
+		case *AndOr, *Neg:
+			cost += CPUOperCost / 4
+		case *Like:
+			cost += 4 * CPUOperCost
+		case *Psi:
+			lbar := 8.0
+			if ci, ok := n.L.(*ColIdx); ok && ci.Idx < len(schema) {
+				if st, ok2 := se.stats[schema[ci.Idx].Rel]; ok2 {
+					lbar = st.avgKeyLen(schema[ci.Idx].Name)
+				}
+			}
+			k := float64(n.Threshold)
+			if k < 1 {
+				k = 1
+			}
+			cost += k * lbar * PsiCharCost
+		case *Omega:
+			// Membership probe; closure materialization amortizes across
+			// rows and is charged by the scan/join builders.
+			cost += OmegaProbeCost
+		case *Call:
+			cost += CPUOperCost
+		}
+	})
+	return cost
+}
+
+// buildJoin joins cur (left) with right (the access path of rel), choosing
+// among hash join, Ψ join (NL or index probe), Ω join and generic NL join.
+func (p *Planner) buildJoin(left, right *Node, rel *relation, joined map[string]bool, conjuncts []*conjunct, se *selEstimator) (*Node, error) {
+	name := rel.ref.Name()
+	jointSchema := append(append([]ColInfo{}, left.Cols...), right.Cols...)
+	comp := &Compiler{Schema: jointSchema, DefaultThreshold: se.defK}
+
+	// Find join conjuncts: reference rel plus at least one already-joined
+	// relation, and nothing outside.
+	var joinConjs []*conjunct
+	for _, c := range conjuncts {
+		if c.used || !c.rels[name] || len(c.rels) < 2 {
+			continue
+		}
+		ok := true
+		for r := range c.rels {
+			if !joined[r] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			joinConjs = append(joinConjs, c)
+		}
+	}
+
+	crossRows := left.EstRows * right.EstRows
+	var candidates []*Node
+
+	// Hash join on an equality conjunct.
+	if p.Opts.EnableHashJoin {
+		for _, c := range joinConjs {
+			cmpE, ok := c.expr.(*sql.Compare)
+			if !ok || cmpE.Op != sql.OpEq {
+				continue
+			}
+			lIdx, rIdx, ok := splitJoinCols(cmpE, left.Cols, right.Cols)
+			if !ok {
+				continue
+			}
+			sel := se.selectivity(c.expr, jointSchema)
+			rows := math.Max(crossRows*sel, 0.1)
+			node := &Node{
+				Op:        OpHashJoin,
+				Children:  []*Node{left, right},
+				Cols:      jointSchema,
+				HashLeft:  lIdx,
+				HashRight: rIdx,
+				EstRows:   rows,
+				EstCost: left.EstCost + right.EstCost +
+					right.EstRows*HashBuildCost + left.EstRows*HashProbeCost +
+					rows*CPUTupleCost,
+			}
+			node = markUsedAndFilter(p, node, c, joinConjs, se)
+			candidates = append(candidates, node)
+			c.used = false // restore for other candidates; chosen one re-marks
+		}
+	}
+
+	// Ψ join.
+	for _, c := range joinConjs {
+		psiE, ok := c.expr.(*sql.LexEqual)
+		if !ok {
+			continue
+		}
+		lRef, okL := psiE.Left.(*sql.ColumnRef)
+		rRef, okR := psiE.Right.(*sql.ColumnRef)
+		if !okL || !okR {
+			continue
+		}
+		lIdx := findCol(jointSchema, lRef)
+		rIdx := findCol(jointSchema, rRef)
+		if lIdx < 0 || rIdx < 0 {
+			continue
+		}
+		k := psiE.Threshold
+		if k < 0 {
+			k = se.defK
+		}
+		sel := se.selectivity(c.expr, jointSchema)
+		rows := math.Max(crossRows*sel, 0.1)
+		lbar := (se.lbarOf(jointSchema, lIdx) + se.lbarOf(jointSchema, rIdx)) / 2
+
+		// NL Ψ join (Table 3 join-no-index: P_l + P_r I/O, n_l·n_r·k·l̄ CPU).
+		nl := &Node{
+			Op:           OpPsiJoin,
+			Children:     []*Node{left, &Node{Op: OpMaterialize, Children: []*Node{right}, Cols: right.Cols, EstRows: right.EstRows, EstCost: right.EstCost + right.EstRows*CPUTupleCost}},
+			Cols:         jointSchema,
+			PsiThreshold: k,
+			PsiLangs:     psiE.Langs,
+			PsiLeftCol:   lIdx,
+			PsiRightCol:  rIdx,
+			EstRows:      rows,
+			EstCost: left.EstCost + right.EstCost +
+				left.EstRows*right.EstRows*(float64(k)*lbar*PsiCharCost+MaterializeRowCost) +
+				rows*CPUTupleCost,
+		}
+		candidates = append(candidates, markUsedAndFilter(p, nl, c, joinConjs, se))
+		c.used = false
+
+		// Index Ψ join: probe an M-Tree on the inner column per outer row
+		// (Table 3 join-with-index: P_l + n_l·f(k)·P_AI).
+		if p.Opts.EnableMTree && right.Op == OpSeqScan {
+			innerCol := ""
+			if colOf(right.Cols, rIdx-len(left.Cols)) == rRef.Column {
+				innerCol = rRef.Column
+			} else if colOf(right.Cols, lIdx-len(left.Cols)) == lRef.Column {
+				innerCol = lRef.Column
+			}
+			if innerCol != "" {
+				for _, ix := range p.Cat.IndexesOn(right.Table, innerCol) {
+					if ix.Kind != sql.IndexMTree {
+						continue
+					}
+					f := MTreeFraction(k)
+					idxPages := math.Max(right.EstRows/200, 1) // index page estimate
+					node := &Node{
+						Op:           OpPsiIndexJoin,
+						Children:     []*Node{left, right},
+						Cols:         jointSchema,
+						PsiThreshold: k,
+						PsiLangs:     psiE.Langs,
+						PsiLeftCol:   lIdx,
+						PsiRightCol:  rIdx,
+						Index:        &IndexCond{Index: ix.Name, Threshold: k},
+						EstRows:      rows,
+						EstCost: left.EstCost +
+							left.EstRows*(f*idxPages*RandomPageCost+f*right.EstRows*float64(k)*lbar*PsiCharCost) +
+							rows*(RandomPageCost+CPUTupleCost),
+					}
+					candidates = append(candidates, markUsedAndFilter(p, node, c, joinConjs, se))
+					c.used = false
+				}
+			}
+		}
+	}
+
+	// Ω join: RHS-outer nested loops with closure memoization (§4.3).
+	for _, c := range joinConjs {
+		omE, ok := c.expr.(*sql.SemEqual)
+		if !ok {
+			continue
+		}
+		lRef, okL := omE.Left.(*sql.ColumnRef)
+		rRef, okR := omE.Right.(*sql.ColumnRef)
+		if !okL || !okR {
+			continue
+		}
+		lIdx := findCol(jointSchema, lRef)
+		rIdx := findCol(jointSchema, rRef)
+		if lIdx < 0 || rIdx < 0 {
+			continue
+		}
+		sel := se.selectivity(c.expr, jointSchema)
+		rows := math.Max(crossRows*sel, 0.1)
+		// The closure is computed per distinct RHS value; if the RHS column
+		// comes from the outer (left) input, closures amortize across the
+		// whole inner relation (RHSOuter). Otherwise each outer row may
+		// recompute, which the cache still dampens but costs more.
+		rhsOuter := rIdx < len(left.Cols)
+		closureCost := 0.0
+		if p.Sem != nil {
+			closureCost = p.Sem.AvgClosureFrac() * float64(p.Sem.TaxonomySize()) * OmegaNodeCost
+		} else {
+			closureCost = 100 * OmegaNodeCost
+		}
+		distinctRoots := left.EstRows
+		if !rhsOuter {
+			distinctRoots = right.EstRows
+		}
+		node := &Node{
+			Op:            OpOmegaJoin,
+			Children:      []*Node{left, &Node{Op: OpMaterialize, Children: []*Node{right}, Cols: right.Cols, EstRows: right.EstRows, EstCost: right.EstCost + right.EstRows*CPUTupleCost}},
+			Cols:          jointSchema,
+			OmegaLeftCol:  lIdx,
+			OmegaRightCol: rIdx,
+			OmegaLangs:    omE.Langs,
+			RHSOuter:      rhsOuter,
+			EstRows:       rows,
+			EstCost: left.EstCost + right.EstCost +
+				distinctRoots*closureCost +
+				crossRows*(OmegaProbeCost+MaterializeRowCost) +
+				rows*CPUTupleCost,
+		}
+		candidates = append(candidates, markUsedAndFilter(p, node, c, joinConjs, se))
+		c.used = false
+	}
+
+	// Fallback: generic NL join over all join conjuncts (cross product when
+	// none exist).
+	{
+		var exprs []Expr
+		sel := 1.0
+		opCost := CPUOperCost
+		for _, c := range joinConjs {
+			compiled, err := comp.Compile(c.expr)
+			if err != nil {
+				if errors.Is(err, ErrUnknownColumn) {
+					continue
+				}
+				return nil, err
+			}
+			exprs = append(exprs, compiled)
+			sel *= se.selectivity(c.expr, jointSchema)
+			opCost += condOpCost(compiled, jointSchema, se)
+		}
+		var cond Expr
+		if len(exprs) > 0 {
+			cond = exprs[0]
+			for _, e := range exprs[1:] {
+				cond = &AndOr{L: cond, R: e}
+			}
+		}
+		rows := math.Max(crossRows*sel, 0.1)
+		nl := &Node{
+			Op:       OpNLJoin,
+			Children: []*Node{left, &Node{Op: OpMaterialize, Children: []*Node{right}, Cols: right.Cols, EstRows: right.EstRows, EstCost: right.EstCost + right.EstRows*CPUTupleCost}},
+			Cols:     jointSchema,
+			Cond:     cond,
+			EstRows:  rows,
+			EstCost: left.EstCost + right.EstCost +
+				crossRows*(opCost+MaterializeRowCost) + rows*CPUTupleCost,
+		}
+		// This candidate consumes every join conjunct.
+		candidates = append(candidates, nl)
+	}
+
+	// Pick the cheapest; then mark consumed conjuncts for real.
+	best := candidates[0]
+	for _, cand := range candidates[1:] {
+		if cand.EstCost < best.EstCost {
+			best = cand
+		}
+	}
+	markConsumed(best, joinConjs, comp)
+	// Residual join conjuncts not folded into the chosen node become a
+	// filter above it.
+	return p.applyFilters(best, joinConjs, func(c *conjunct) bool { return !c.used }, se)
+}
+
+// markUsedAndFilter marks c used and wraps node with the other join
+// conjuncts as a residual filter (costed). It restores nothing; the caller
+// resets c.used afterwards because candidates are speculative.
+func markUsedAndFilter(p *Planner, node *Node, c *conjunct, joinConjs []*conjunct, se *selEstimator) *Node {
+	c.used = true
+	comp := &Compiler{Schema: node.Cols, DefaultThreshold: se.defK}
+	var exprs []Expr
+	sel := 1.0
+	opCost := 0.0
+	for _, other := range joinConjs {
+		if other == c {
+			continue
+		}
+		compiled, err := comp.Compile(other.expr)
+		if err != nil {
+			continue
+		}
+		exprs = append(exprs, compiled)
+		sel *= se.selectivity(other.expr, node.Cols)
+		opCost += condOpCost(compiled, node.Cols, se)
+	}
+	if len(exprs) == 0 {
+		return node
+	}
+	cond := exprs[0]
+	for _, e := range exprs[1:] {
+		cond = &AndOr{L: cond, R: e}
+	}
+	rows := math.Max(node.EstRows*sel, 0.1)
+	return &Node{
+		Op:       OpFilter,
+		Children: []*Node{node},
+		Cols:     node.Cols,
+		Cond:     cond,
+		EstRows:  rows,
+		EstCost:  node.EstCost + node.EstRows*opCost,
+	}
+}
+
+// markConsumed marks every join conjunct the chosen subtree evaluates.
+func markConsumed(node *Node, joinConjs []*conjunct, comp *Compiler) {
+	for _, c := range joinConjs {
+		if _, err := comp.Compile(c.expr); err == nil {
+			c.used = true
+		}
+	}
+	_ = node
+}
+
+func (se *selEstimator) lbarOf(schema []ColInfo, idx int) float64 {
+	if idx < 0 || idx >= len(schema) {
+		return 8
+	}
+	st, ok := se.stats[schema[idx].Rel]
+	if !ok {
+		return 8
+	}
+	return st.avgKeyLen(schema[idx].Name)
+}
+
+func findCol(schema []ColInfo, ref *sql.ColumnRef) int {
+	for i, ci := range schema {
+		if ci.Name == ref.Column && (ref.Table == "" || ci.Rel == ref.Table) {
+			return i
+		}
+	}
+	return -1
+}
+
+func colOf(schema []ColInfo, idx int) string {
+	if idx < 0 || idx >= len(schema) {
+		return ""
+	}
+	return schema[idx].Name
+}
+
+// splitJoinCols resolves an equality conjunct to (left position, right
+// position) across a join boundary.
+func splitJoinCols(cmp *sql.Compare, leftCols, rightCols []ColInfo) (int, int, bool) {
+	lRef, ok1 := cmp.Left.(*sql.ColumnRef)
+	rRef, ok2 := cmp.Right.(*sql.ColumnRef)
+	if !ok1 || !ok2 {
+		return 0, 0, false
+	}
+	li := findCol(leftCols, lRef)
+	ri := findCol(rightCols, rRef)
+	if li >= 0 && ri >= 0 {
+		return li, len(leftCols) + ri, true
+	}
+	li = findCol(leftCols, rRef)
+	ri = findCol(rightCols, lRef)
+	if li >= 0 && ri >= 0 {
+		return li, len(leftCols) + ri, true
+	}
+	return 0, 0, false
+}
+
+// finishSelect layers aggregation, distinct, ordering, projection and limit
+// on top of the join tree.
+func (p *Planner) finishSelect(node *Node, sel *sql.Select, fullSchema []ColInfo, se *selEstimator) (*Node, error) {
+	comp := &Compiler{Schema: node.Cols, DefaultThreshold: se.defK}
+
+	hasAgg := len(sel.GroupBy) > 0
+	for _, item := range sel.Items {
+		if fc, ok := item.Expr.(*sql.FuncCall); ok && fc.Kind.IsAggregate() {
+			hasAgg = true
+		}
+	}
+
+	if hasAgg {
+		agg := &Node{Op: OpAggregate, Children: []*Node{node}}
+		var outCols []ColInfo
+		var names []string
+		for _, g := range sel.GroupBy {
+			ce, err := comp.Compile(g)
+			if err != nil {
+				return nil, err
+			}
+			agg.GroupBy = append(agg.GroupBy, ce)
+		}
+		for _, item := range sel.Items {
+			if item.Star {
+				return nil, fmt.Errorf("plan: * cannot be mixed with aggregation")
+			}
+			name := item.Alias
+			if fc, ok := item.Expr.(*sql.FuncCall); ok && fc.Kind.IsAggregate() {
+				spec := AggSpec{Kind: fc.Kind}
+				if !fc.Star {
+					if len(fc.Args) != 1 {
+						return nil, fmt.Errorf("plan: %s takes one argument", fc.Kind)
+					}
+					ce, err := comp.Compile(fc.Args[0])
+					if err != nil {
+						return nil, err
+					}
+					spec.Arg = ce
+				} else if fc.Kind != sql.FuncCount {
+					return nil, fmt.Errorf("plan: %s(*) is not valid", fc.Kind)
+				}
+				agg.Aggs = append(agg.Aggs, spec)
+				if name == "" {
+					name = sql.ExprString(item.Expr)
+				}
+				kind := types.KindInt
+				if fc.Kind == sql.FuncSum || fc.Kind == sql.FuncAvg {
+					kind = types.KindFloat
+				}
+				if fc.Kind == sql.FuncMin || fc.Kind == sql.FuncMax {
+					kind = types.KindText // resolved at runtime
+				}
+				outCols = append(outCols, ColInfo{Name: name, Kind: kind})
+				names = append(names, name)
+				// Marker: aggregate outputs come after group columns; the
+				// executor lays out [groupCols..., aggs...] and the
+				// projection below references them positionally.
+				agg.Projs = append(agg.Projs, nil)
+			} else {
+				// Must be one of the GROUP BY expressions.
+				ce, err := comp.Compile(item.Expr)
+				if err != nil {
+					return nil, err
+				}
+				pos := -1
+				for i, g := range agg.GroupBy {
+					if ExprString(g) == ExprString(ce) {
+						pos = i
+						break
+					}
+				}
+				if pos < 0 {
+					return nil, fmt.Errorf("plan: %s must appear in GROUP BY", sql.ExprString(item.Expr))
+				}
+				if name == "" {
+					name = sql.ExprString(item.Expr)
+				}
+				outCols = append(outCols, ColInfo{Name: name, Kind: ExprKind(ce)})
+				names = append(names, name)
+				agg.Projs = append(agg.Projs, &ColIdx{Idx: pos, Kind: ExprKind(ce)})
+			}
+		}
+		agg.Cols = outCols
+		agg.ColNames = names
+		groups := 1.0
+		if len(agg.GroupBy) > 0 {
+			groups = math.Max(node.EstRows/10, 1)
+		}
+		agg.EstRows = groups
+		agg.EstCost = node.EstCost + node.EstRows*(CPUOperCost*float64(1+len(agg.Aggs)))
+		node = agg
+
+		if sel.Distinct {
+			node = distinctNode(node)
+		}
+		node, err := p.orderAndLimit(node, sel, se)
+		if err != nil {
+			return nil, err
+		}
+		return node, nil
+	}
+
+	// Non-aggregate: optional sort happens over the pre-projection schema
+	// so ORDER BY can reference any input column.
+	var err error
+	node, err = p.orderOnly(node, sel, se)
+	if err != nil {
+		return nil, err
+	}
+
+	// Projection.
+	proj := &Node{Op: OpProject, Children: []*Node{node}}
+	var outCols []ColInfo
+	var names []string
+	for _, item := range sel.Items {
+		if item.Star {
+			for i, ci := range node.Cols {
+				proj.Projs = append(proj.Projs, &ColIdx{Idx: i, Kind: ci.Kind, Display: ci.String()})
+				outCols = append(outCols, ci)
+				names = append(names, ci.Name)
+			}
+			continue
+		}
+		ce, err := comp.Compile(item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		name := item.Alias
+		if name == "" {
+			name = sql.ExprString(item.Expr)
+		}
+		proj.Projs = append(proj.Projs, ce)
+		outCols = append(outCols, ColInfo{Name: name, Kind: ExprKind(ce)})
+		names = append(names, name)
+	}
+	proj.Cols = outCols
+	proj.ColNames = names
+	proj.EstRows = node.EstRows
+	proj.EstCost = node.EstCost + node.EstRows*CPUOperCost*float64(len(proj.Projs))
+	node = proj
+
+	if sel.Distinct {
+		node = distinctNode(node)
+	}
+	if sel.Limit >= 0 {
+		node = &Node{
+			Op: OpLimit, Children: []*Node{node}, Cols: node.Cols, ColNames: node.ColNames,
+			LimitN: sel.Limit, EstRows: math.Min(float64(sel.Limit), node.EstRows), EstCost: node.EstCost,
+		}
+	}
+	return node, nil
+}
+
+func distinctNode(child *Node) *Node {
+	return &Node{
+		Op: OpDistinct, Children: []*Node{child}, Cols: child.Cols, ColNames: child.ColNames,
+		EstRows: math.Max(child.EstRows/2, 1),
+		EstCost: child.EstCost + child.EstRows*HashBuildCost,
+	}
+}
+
+// orderOnly adds a Sort over the current (pre-projection) schema.
+func (p *Planner) orderOnly(node *Node, sel *sql.Select, se *selEstimator) (*Node, error) {
+	if len(sel.OrderBy) == 0 {
+		return node, nil
+	}
+	comp := &Compiler{Schema: node.Cols, DefaultThreshold: se.defK}
+	sort := &Node{Op: OpSort, Children: []*Node{node}, Cols: node.Cols, ColNames: node.ColNames}
+	for _, key := range sel.OrderBy {
+		// An ORDER BY key may name an output column of the node below
+		// (aggregate results like count(*), projection aliases); try that
+		// first, then compile against the input schema.
+		var ce Expr
+		rendered := sql.ExprString(key.Expr)
+		for i, ci := range node.Cols {
+			if ci.Name == rendered {
+				ce = &ColIdx{Idx: i, Kind: ci.Kind, Display: ci.Name}
+				break
+			}
+		}
+		if ce == nil {
+			var err error
+			ce, err = comp.Compile(key.Expr)
+			if err != nil {
+				return nil, err
+			}
+		}
+		sort.SortKeys = append(sort.SortKeys, ce)
+		sort.SortDesc = append(sort.SortDesc, key.Desc)
+	}
+	n := math.Max(node.EstRows, 2)
+	sort.EstRows = node.EstRows
+	sort.EstCost = node.EstCost + n*math.Log2(n)*SortRowCost
+	return sort, nil
+}
+
+// orderAndLimit adds Sort (over the output schema) and Limit for aggregate
+// queries.
+func (p *Planner) orderAndLimit(node *Node, sel *sql.Select, se *selEstimator) (*Node, error) {
+	node, err := p.orderOnly(node, sel, se)
+	if err != nil {
+		return nil, err
+	}
+	if sel.Limit >= 0 {
+		node = &Node{
+			Op: OpLimit, Children: []*Node{node}, Cols: node.Cols, ColNames: node.ColNames,
+			LimitN: sel.Limit, EstRows: math.Min(float64(sel.Limit), node.EstRows), EstCost: node.EstCost,
+		}
+	}
+	return node, nil
+}

@@ -1,0 +1,257 @@
+package plan
+
+import (
+	"encoding/hex"
+
+	"github.com/mural-db/mural/internal/catalog"
+	"github.com/mural-db/mural/internal/phonetic"
+	"github.com/mural-db/mural/internal/sql"
+	"github.com/mural-db/mural/internal/types"
+)
+
+// selEstimator computes predicate selectivities from catalog statistics,
+// implementing §3.4: end-biased histograms with threshold inflation for Ψ,
+// closure-fraction estimates for Ω.
+type selEstimator struct {
+	stats map[string]Stats // by relation alias
+	phon  *phonetic.Registry
+	sem   SemEstimator
+	defK  int
+}
+
+const (
+	defaultEqSel    = 0.005
+	defaultRangeSel = 0.33
+	defaultSel      = 0.25
+	defaultJoinSel  = 0.01
+)
+
+// colStats resolves a column reference to its stats (nil when unknown).
+func (se *selEstimator) colStats(ref *sql.ColumnRef, schema []ColInfo) (*catalog.ColumnStats, Stats, bool) {
+	for _, ci := range schema {
+		if ci.Name != ref.Column {
+			continue
+		}
+		if ref.Table != "" && ci.Rel != ref.Table {
+			continue
+		}
+		st, ok := se.stats[ci.Rel]
+		if !ok {
+			return nil, Stats{}, false
+		}
+		cs := st.Cols[ref.Column]
+		return cs, st, cs != nil
+	}
+	return nil, Stats{}, false
+}
+
+// constKey renders a literal the way ANALYZE keyed it: numerics via the
+// order-preserving key encoding, text as-is (for UNITEXT histograms the
+// phoneme form is produced by psiQueryPhoneme).
+func constKey(v types.Value) (string, bool) {
+	switch v.Kind() {
+	case types.KindText, types.KindUniText:
+		return v.Text(), true
+	case types.KindInt, types.KindFloat:
+		return hex.EncodeToString(types.KeyOf(v)), true
+	case types.KindBool:
+		return v.String(), true
+	default:
+		return "", false
+	}
+}
+
+// psiQueryPhoneme converts a Ψ constant operand to phoneme space. A UNITEXT
+// constant converts with its own language; a bare TEXT constant is read as
+// the first listed language (or English), matching the paper's usage where
+// the query name arrives "in one language".
+func (se *selEstimator) psiQueryPhoneme(v types.Value, langs []types.LangID) (string, bool) {
+	switch v.Kind() {
+	case types.KindUniText:
+		return se.phon.ToPhoneme(v.UniText()), true
+	case types.KindText:
+		lang := types.LangEnglish
+		if len(langs) > 0 {
+			lang = langs[0]
+		}
+		return se.phon.ToPhoneme(types.Compose(v.Text(), lang)), true
+	default:
+		return "", false
+	}
+}
+
+// selectivity estimates the fraction of input rows satisfying the AST
+// conjunct over the given schema. For join conjuncts the input is the cross
+// product.
+func (se *selEstimator) selectivity(e sql.Expr, schema []ColInfo) float64 {
+	switch x := e.(type) {
+	case *sql.Literal:
+		if x.Value.Kind() == types.KindBool {
+			if x.Value.Bool() {
+				return 1
+			}
+			return 0
+		}
+		return defaultSel
+	case *sql.Logical:
+		l := se.selectivity(x.Left, schema)
+		r := se.selectivity(x.Right, schema)
+		if x.Op == sql.OpAnd {
+			return l * r
+		}
+		return l + r - l*r
+	case *sql.Not:
+		return 1 - se.selectivity(x.Inner, schema)
+	case *sql.Like:
+		return 0.1 // PostgreSQL's patternsel-style default
+	case *sql.Compare:
+		return se.compareSel(x, schema)
+	case *sql.LexEqual:
+		return se.psiSel(x, schema)
+	case *sql.SemEqual:
+		return se.omegaSel(x, schema)
+	default:
+		return defaultSel
+	}
+}
+
+func (se *selEstimator) compareSel(x *sql.Compare, schema []ColInfo) float64 {
+	colL, litL := x.Left.(*sql.ColumnRef)
+	colR, litR := x.Right.(*sql.ColumnRef)
+	switch {
+	case litL && litR:
+		// col op col: join-style equality or default.
+		csL, _, okL := se.colStats(colL, schema)
+		csR, _, okR := se.colStats(colR, schema)
+		if x.Op == sql.OpEq && okL && okR && csL.Hist != nil && csR.Hist != nil {
+			return csL.Hist.JoinSelectivity(csR.Hist)
+		}
+		if x.Op == sql.OpEq {
+			return defaultJoinSel
+		}
+		return defaultRangeSel
+	case litL || litR:
+		ref := colL
+		var lit *sql.Literal
+		op := x.Op
+		if litL {
+			l, ok := x.Right.(*sql.Literal)
+			if !ok {
+				return defaultSel
+			}
+			lit = l
+		} else {
+			ref = colR
+			l, ok := x.Left.(*sql.Literal)
+			if !ok {
+				return defaultSel
+			}
+			lit = l
+			// Mirror the operator: const op col == col mirrored-op const.
+			switch x.Op {
+			case sql.OpLt:
+				op = sql.OpGt
+			case sql.OpLe:
+				op = sql.OpGe
+			case sql.OpGt:
+				op = sql.OpLt
+			case sql.OpGe:
+				op = sql.OpLe
+			}
+		}
+		cs, _, ok := se.colStats(ref, schema)
+		key, keyOK := constKey(lit.Value)
+		if !ok || cs.Hist == nil || !keyOK {
+			switch op {
+			case sql.OpEq:
+				return defaultEqSel
+			case sql.OpNe:
+				return 1 - defaultEqSel
+			default:
+				return defaultRangeSel
+			}
+		}
+		switch op {
+		case sql.OpEq:
+			return cs.Hist.EqSelectivity(key)
+		case sql.OpNe:
+			return 1 - cs.Hist.EqSelectivity(key)
+		case sql.OpLt, sql.OpLe:
+			return cs.Hist.RangeSelectivity("", key, false, true)
+		default:
+			return cs.Hist.RangeSelectivity(key, "", true, false)
+		}
+	default:
+		return defaultSel
+	}
+}
+
+func (se *selEstimator) psiSel(x *sql.LexEqual, schema []ColInfo) float64 {
+	k := x.Threshold
+	if k < 0 {
+		k = se.defK
+	}
+	colL, isColL := x.Left.(*sql.ColumnRef)
+	colR, isColR := x.Right.(*sql.ColumnRef)
+	litL, isLitL := x.Left.(*sql.Literal)
+	litR, isLitR := x.Right.(*sql.Literal)
+	switch {
+	case isColL && isColR:
+		csL, _, okL := se.colStats(colL, schema)
+		csR, _, okR := se.colStats(colR, schema)
+		if okL && okR && csL.Hist != nil && csR.Hist != nil {
+			return csL.Hist.ApproxJoinSelectivity(csR.Hist, k)
+		}
+		return defaultJoinSel * float64(k+1)
+	case isColL && isLitR, isColR && isLitL:
+		ref, lit := colL, litR
+		if !isColL {
+			ref, lit = colR, litL
+		}
+		cs, _, ok := se.colStats(ref, schema)
+		ph, phOK := se.psiQueryPhoneme(lit.Value, x.Langs)
+		if ok && cs.Hist != nil && phOK {
+			return cs.Hist.ApproxSelectivity(ph, k)
+		}
+		return defaultEqSel * float64(k+1)
+	default:
+		return defaultEqSel * float64(k+1)
+	}
+}
+
+func (se *selEstimator) omegaSel(x *sql.SemEqual, schema []ColInfo) float64 {
+	if se.sem == nil {
+		return defaultSel
+	}
+	// Ω(lhs, rhs): the closure is computed on the RHS value (§3.4.2: exact
+	// |TC(x)|/n when the concept is known, h̄-based fallback otherwise).
+	if lit, ok := x.Right.(*sql.Literal); ok {
+		lang := types.LangEnglish
+		var text string
+		switch lit.Value.Kind() {
+		case types.KindUniText:
+			u := lit.Value.UniText()
+			text, lang = u.Text, u.Lang
+		case types.KindText:
+			// A bare TEXT concept reads as English; the IN clause names
+			// output languages, not the concept's language.
+			text = lit.Value.Text()
+		}
+		if text != "" {
+			if frac := se.sem.ClosureFrac(text, lang); frac >= 0 {
+				return clamp01(frac)
+			}
+		}
+	}
+	return clamp01(se.sem.AvgClosureFrac())
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,202 @@
+// Package server exposes a mural Engine over the wire protocol: the
+// "inside" half of the outside-the-server experimental setup. One goroutine
+// per connection; cursors are per-connection state, fetched row-at-a-time
+// or in batches exactly as a PL/SQL cursor loop would.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/mural-db/mural/internal/sql"
+	"github.com/mural-db/mural/internal/wire"
+	"github.com/mural-db/mural/mural"
+)
+
+// Server serves one engine over TCP (or any net.Listener).
+type Server struct {
+	eng *mural.Engine
+
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// New wraps an engine.
+func New(eng *mural.Engine) *Server {
+	return &Server{eng: eng, conns: make(map[net.Conn]struct{})}
+}
+
+// Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves in
+// the background. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(ln)
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// session is per-connection cursor state.
+type session struct {
+	cursors map[uint64]*mural.Rows
+	nextID  uint64
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	sess := &session{cursors: make(map[uint64]*mural.Rows), nextID: 1}
+	defer func() {
+		for _, c := range sess.cursors {
+			c.Close()
+		}
+	}()
+	for {
+		typ, payload, err := wire.Read(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Connection torn down mid-frame; nothing to report to.
+				_ = err
+			}
+			return
+		}
+		if err := s.dispatch(bw, sess, typ, payload); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(w io.Writer, sess *session, typ wire.MsgType, payload []byte) error {
+	sendErr := func(err error) error {
+		return wire.Write(w, wire.MsgErr, []byte(err.Error()))
+	}
+	switch typ {
+	case wire.MsgPing:
+		return wire.Write(w, wire.MsgPong, nil)
+	case wire.MsgQuit:
+		return fmt.Errorf("quit")
+	case wire.MsgExec:
+		res, err := s.eng.Exec(string(payload))
+		if err != nil {
+			return sendErr(err)
+		}
+		return wire.Write(w, wire.MsgOK, wire.EncodeUvarint(uint64(res.RowsAffected)))
+	case wire.MsgQuery:
+		q := string(payload)
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			return sendErr(err)
+		}
+		if _, isSelect := stmt.(*sql.Select); !isSelect {
+			res, err := s.eng.Exec(q)
+			if err != nil {
+				return sendErr(err)
+			}
+			return wire.Write(w, wire.MsgOK, wire.EncodeUvarint(uint64(res.RowsAffected)))
+		}
+		rows, err := s.eng.Query(q)
+		if err != nil {
+			return sendErr(err)
+		}
+		id := sess.nextID
+		sess.nextID++
+		sess.cursors[id] = rows
+		return wire.Write(w, wire.MsgRowDesc, wire.EncodeRowDesc(id, rows.Cols))
+	case wire.MsgFetch:
+		id, maxRows, err := wire.DecodeFetch(payload)
+		if err != nil {
+			return sendErr(err)
+		}
+		rows, ok := sess.cursors[id]
+		if !ok {
+			return sendErr(fmt.Errorf("server: no such cursor %d", id))
+		}
+		for i := 0; i < maxRows; i++ {
+			t, more, err := rows.Next()
+			if err != nil {
+				return sendErr(err)
+			}
+			if !more {
+				rows.Close()
+				delete(sess.cursors, id)
+				return wire.Write(w, wire.MsgEnd, nil)
+			}
+			if err := wire.Write(w, wire.MsgRow, wire.EncodeRow(t)); err != nil {
+				return err
+			}
+		}
+		// Batch boundary without exhaustion: client fetches again.
+		return wire.Write(w, wire.MsgOK, wire.EncodeUvarint(uint64(maxRows)))
+	case wire.MsgClose:
+		id, err := wire.DecodeUvarint(payload)
+		if err != nil {
+			return sendErr(err)
+		}
+		if rows, ok := sess.cursors[id]; ok {
+			rows.Close()
+			delete(sess.cursors, id)
+		}
+		return wire.Write(w, wire.MsgOK, wire.EncodeUvarint(0))
+	default:
+		return sendErr(fmt.Errorf("server: unknown message type 0x%02x", typ))
+	}
+}

@@ -1,0 +1,325 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/mural-db/mural/internal/client"
+	"github.com/mural-db/mural/internal/phonetic"
+	"github.com/mural-db/mural/internal/types"
+	"github.com/mural-db/mural/mural"
+)
+
+// startServer spins up an in-memory engine behind a TCP server and returns
+// a connected client.
+func startServer(t testing.TB) (*mural.Engine, *client.Conn) {
+	t.Helper()
+	eng, err := mural.Open(mural.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		conn.Close()
+		srv.Close()
+		eng.Close()
+	})
+	return eng, conn
+}
+
+func TestPing(t *testing.T) {
+	_, conn := startServer(t)
+	if err := conn.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecAndQueryOverWire(t *testing.T) {
+	_, conn := startServer(t)
+	if _, err := conn.Exec(`CREATE TABLE t (id INT, name UNITEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	n, err := conn.Exec(`INSERT INTO t VALUES (1, unitext('Nehru', english)), (2, unitext('Gandhi', english))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("rows affected = %d", n)
+	}
+	cur, err := conn.Query(`SELECT id, text(name) FROM t ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := cur.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0].Int() != 1 || rows[1][1].Text() != "Gandhi" {
+		t.Errorf("rows = %v", rows)
+	}
+	if len(cur.Cols) != 2 || cur.Cols[0] != "id" {
+		t.Errorf("cols = %v", cur.Cols)
+	}
+}
+
+func TestRowAtATimeFetchCountsRoundTrips(t *testing.T) {
+	_, conn := startServer(t)
+	conn.Exec(`CREATE TABLE t (id INT)`)
+	var vals []string
+	for i := 0; i < 50; i++ {
+		vals = append(vals, fmt.Sprintf("(%d)", i))
+	}
+	conn.Exec(`INSERT INTO t VALUES ` + strings.Join(vals, ","))
+
+	conn.FetchSize = 1
+	cur, err := conn.Query(`SELECT id FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := cur.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 50 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if cur.RoundTrips < 50 {
+		t.Errorf("row-at-a-time fetch made only %d round trips", cur.RoundTrips)
+	}
+
+	conn.FetchSize = 100
+	cur2, err := conn.Query(`SELECT id FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cur2.All(); err != nil {
+		t.Fatal(err)
+	}
+	if cur2.RoundTrips > 2 {
+		t.Errorf("batched fetch made %d round trips", cur2.RoundTrips)
+	}
+}
+
+func TestServerErrorPropagates(t *testing.T) {
+	_, conn := startServer(t)
+	if _, err := conn.Exec(`SELECT FROM garbage syntax`); err == nil {
+		t.Error("syntax error must propagate")
+	}
+	if _, err := conn.Query(`SELECT * FROM ghost`); err == nil {
+		t.Error("missing table must propagate")
+	}
+	// The connection stays usable after an error.
+	if err := conn.Ping(); err != nil {
+		t.Errorf("connection broken after error: %v", err)
+	}
+}
+
+func TestQueryNonSelectReturnsOK(t *testing.T) {
+	_, conn := startServer(t)
+	if _, err := conn.Query(`CREATE TABLE t (id INT)`); err == nil {
+		t.Error("Query on DDL should error client-side (MsgOK, no cursor)")
+	}
+}
+
+func TestCursorClose(t *testing.T) {
+	_, conn := startServer(t)
+	conn.Exec(`CREATE TABLE t (id INT)`)
+	conn.Exec(`INSERT INTO t VALUES (1), (2), (3)`)
+	cur, err := conn.Query(`SELECT id FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := cur.Next(); err != nil || !ok {
+		t.Fatal("first row")
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Connection still works.
+	cur2, err := conn.Query(`SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := cur2.All()
+	if rows[0][0].Int() != 3 {
+		t.Error("count after close")
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	eng, conn := startServer(t)
+	conn.Exec(`CREATE TABLE t (id INT)`)
+	conn.Exec(`INSERT INTO t VALUES (1)`)
+	_ = eng
+	// A second client sees the same data.
+	srvAddr := connAddr(t, conn)
+	conn2, err := client.Dial(srvAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	cur, err := conn2.Query(`SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := cur.All()
+	if rows[0][0].Int() != 1 {
+		t.Error("second client sees different data")
+	}
+}
+
+// connAddr digs the remote address out of a live client connection by
+// round-tripping through the engine-side test setup; for simplicity we
+// re-derive it from the Ping below.
+func connAddr(t *testing.T, c *client.Conn) string {
+	t.Helper()
+	return c.RemoteAddr()
+}
+
+func TestPsiScanUDFAgreesWithCore(t *testing.T) {
+	eng, conn := startServer(t)
+	conn.Exec(`CREATE TABLE names (id INT, name UNITEXT)`)
+	base := []string{"nehru", "neru", "gandhi", "gandi", "tagore", "bose", "patel", "mehta"}
+	var vals []string
+	for i, b := range base {
+		vals = append(vals, fmt.Sprintf("(%d, unitext('%s', english))", i, b))
+	}
+	conn.Exec(`INSERT INTO names VALUES ` + strings.Join(vals, ","))
+
+	reg := phonetic.DefaultRegistry()
+	query := types.Compose("nehru", types.LangEnglish)
+	rows, st, err := client.PsiScan(conn, "names", "name", query, 2, nil, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := eng.MustExec(`SELECT count(*) FROM names WHERE name LEXEQUAL 'nehru' THRESHOLD 2`)
+	if int64(len(rows)) != core.Rows[0][0].Int() {
+		t.Errorf("UDF found %d, core found %v", len(rows), core.Rows[0][0])
+	}
+	if st.RowsShipped != len(base) {
+		t.Errorf("no-index scan must ship the whole table: %d", st.RowsShipped)
+	}
+}
+
+func TestPsiScanMDIAgreesWithNoIndex(t *testing.T) {
+	eng, conn := startServer(t)
+	_ = eng
+	conn.Exec(`CREATE TABLE names (id INT, name UNITEXT, pdist INT)`)
+	reg := phonetic.DefaultRegistry()
+	pivot := "aeioun"
+	base := []string{"nehru", "neru", "gandhi", "gandi", "tagore", "bose", "patel", "mehta", "kumar", "kumaran"}
+	var vals []string
+	for i, b := range base {
+		ph := reg.ToPhoneme(types.Compose(b, types.LangEnglish))
+		vals = append(vals, fmt.Sprintf("(%d, unitext('%s', english), %d)", i, b, phonetic.EditDistance(ph, pivot)))
+	}
+	conn.Exec(`INSERT INTO names VALUES ` + strings.Join(vals, ","))
+	conn.Exec(`CREATE INDEX idx_pdist ON names (pdist) USING BTREE`)
+	conn.Exec(`ANALYZE names`)
+
+	query := types.Compose("nehru", types.LangEnglish)
+	noIdx, _, err := client.PsiScan(conn, "names", "name", query, 2, nil, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdiRows, st, err := client.PsiScanMDI(conn, "names", "name", "pdist", pivot, query, 2, nil, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdiRows) != len(noIdx) {
+		t.Errorf("MDI found %d, no-index found %d", len(mdiRows), len(noIdx))
+	}
+	if st.RowsShipped > len(base) {
+		t.Errorf("MDI shipped %d rows of %d", st.RowsShipped, len(base))
+	}
+}
+
+func TestPsiJoinUDF(t *testing.T) {
+	eng, conn := startServer(t)
+	conn.Exec(`CREATE TABLE a (id INT, name UNITEXT)`)
+	conn.Exec(`CREATE TABLE b (id INT, name UNITEXT)`)
+	conn.Exec(`INSERT INTO a VALUES (1, unitext('nehru', english)), (2, unitext('gandhi', english))`)
+	conn.Exec(`INSERT INTO b VALUES (1, unitext('neru', english)), (2, unitext('bose', english))`)
+	reg := phonetic.DefaultRegistry()
+	matches, _, err := client.PsiJoin(conn, "a", "name", "b", "name", 2, nil, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := eng.MustExec(`SELECT count(*) FROM a, b WHERE a.name LEXEQUAL b.name THRESHOLD 2`)
+	if int64(matches) != core.Rows[0][0].Int() {
+		t.Errorf("UDF join = %d, core = %v", matches, core.Rows[0][0])
+	}
+}
+
+func TestClosureUDFAndCoreAgree(t *testing.T) {
+	eng, conn := startServer(t)
+	conn.Exec(`CREATE TABLE tax (id INT, parent INT)`)
+	// A small tree: 0 -> {1, 2}, 1 -> {3, 4}, 2 -> {5}, 4 -> {6, 7}.
+	conn.Exec(`INSERT INTO tax VALUES (0, NULL), (1, 0), (2, 0), (3, 1), (4, 1), (5, 2), (6, 4), (7, 4)`)
+	conn.Exec(`CREATE INDEX idx_parent ON tax (parent) USING BTREE`)
+	conn.Exec(`ANALYZE tax`)
+
+	closure, st, err := client.Closure(conn, "tax", "id", "parent", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(closure) != 5 { // {1,3,4,6,7}
+		t.Errorf("outside closure = %v", closure)
+	}
+	if st.Queries != 5 {
+		t.Errorf("recursive SQL must issue one query per member: %d", st.Queries)
+	}
+
+	scan, err := eng.ComputeClosureScan("tax", "id", "parent", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.Size != 5 {
+		t.Errorf("core scan closure = %d", scan.Size)
+	}
+	if scan.HeapScans < 3 {
+		t.Errorf("per-level scans = %d", scan.HeapScans)
+	}
+	idx, err := eng.ComputeClosureIndex("tax", "id", "parent", "idx_parent", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Size != 5 || idx.IndexProbes != 5 {
+		t.Errorf("core index closure = %+v", idx)
+	}
+	// The pinned-memory oracle agrees too (root has the whole tree).
+	full, _, err := client.Closure(conn, "tax", "id", "parent", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) != 8 {
+		t.Errorf("full closure = %d", len(full))
+	}
+}
+
+func TestSemScanUDF(t *testing.T) {
+	_, conn := startServer(t)
+	conn.Exec(`CREATE TABLE tax (id INT, parent INT)`)
+	conn.Exec(`INSERT INTO tax VALUES (0, NULL), (1, 0), (2, 0), (3, 1)`)
+	conn.Exec(`CREATE TABLE items (iid INT, syn INT)`)
+	conn.Exec(`INSERT INTO items VALUES (100, 3), (101, 2), (102, 1), (103, NULL)`)
+	matches, st, err := client.SemScan(conn, "items", "syn", "tax", "id", "parent", "", "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matches != 2 { // syn 3 and 1 are in TC(1)
+		t.Errorf("SemScan matches = %d", matches)
+	}
+	if st.RowsShipped < 4 {
+		t.Errorf("items must be shipped: %d", st.RowsShipped)
+	}
+}

@@ -1,0 +1,414 @@
+// Package sql implements the engine's SQL dialect: a lexer, a
+// recursive-descent parser and the statement/expression AST. The dialect
+// covers the DDL/DML the paper's experiments need, plus the multilingual
+// predicate syntax of Figures 2 and 4:
+//
+//	expr LEXEQUAL expr [THRESHOLD k] [IN lang, lang, ...]
+//	expr SEMEQUAL expr [IN lang, lang, ...]
+//
+// and a unitext(text, lang) constructor for multilingual literals.
+package sql
+
+import (
+	"strings"
+
+	"github.com/mural-db/mural/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// CreateTable is CREATE TABLE name (col TYPE, ...).
+type CreateTable struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+// ColumnDef declares one column.
+type ColumnDef struct {
+	Name string
+	Kind types.Kind
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct{ Name string }
+
+// IndexKind selects an access method for CREATE INDEX.
+type IndexKind int
+
+// Index kinds accepted by CREATE INDEX ... USING.
+const (
+	IndexBTree IndexKind = iota
+	IndexMTree
+	IndexMDI
+	IndexQGram
+)
+
+// String names the index kind as it appears in SQL.
+func (k IndexKind) String() string {
+	switch k {
+	case IndexBTree:
+		return "BTREE"
+	case IndexMTree:
+		return "MTREE"
+	case IndexMDI:
+		return "MDI"
+	case IndexQGram:
+		return "QGRAM"
+	default:
+		return "INDEX?"
+	}
+}
+
+// CreateIndex is CREATE INDEX name ON table (column) USING kind.
+type CreateIndex struct {
+	Name   string
+	Table  string
+	Column string
+	Kind   IndexKind
+}
+
+// Insert is INSERT INTO table VALUES (...), (...).
+type Insert struct {
+	Table string
+	Rows  [][]Expr
+}
+
+// Delete is DELETE FROM table [WHERE pred].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// Analyze is ANALYZE [table].
+type Analyze struct{ Table string }
+
+// Set is SET name = value.
+type Set struct {
+	Name  string
+	Value string
+}
+
+// Show is SHOW name.
+type Show struct{ Name string }
+
+// Explain wraps a SELECT: EXPLAIN [ANALYZE] SELECT ...
+type Explain struct {
+	Analyze bool
+	Stmt    *Select
+}
+
+// TableRef is one FROM-clause table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Name returns the effective name (alias if present).
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// JoinClause is one JOIN table ON cond.
+type JoinClause struct {
+	Table TableRef
+	Cond  Expr
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectItem is one projection item; Star marks "*".
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+}
+
+// Select is a SELECT statement.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef
+	Joins    []JoinClause
+	Where    Expr
+	GroupBy  []Expr
+	OrderBy  []OrderKey
+	Limit    int64 // -1 when absent
+}
+
+func (*CreateTable) stmt() {}
+func (*DropTable) stmt()   {}
+func (*CreateIndex) stmt() {}
+func (*Insert) stmt()      {}
+func (*Delete) stmt()      {}
+func (*Analyze) stmt()     {}
+func (*Set) stmt()         {}
+func (*Show) stmt()        {}
+func (*Explain) stmt()     {}
+func (*Select) stmt()      {}
+
+// Expr is any expression node.
+type Expr interface{ expr() }
+
+// ColumnRef references a column, optionally qualified by table/alias.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+// String renders the reference.
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// Literal is a constant value.
+type Literal struct{ Value types.Value }
+
+// CmpOp is a comparison operator.
+type CmpOp int
+
+// Comparison operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator.
+func (o CmpOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Compare is a binary comparison.
+type Compare struct {
+	Op          CmpOp
+	Left, Right Expr
+}
+
+// BoolOp is a logical connective.
+type BoolOp int
+
+// Logical connectives.
+const (
+	OpAnd BoolOp = iota
+	OpOr
+)
+
+// Logical is AND/OR of two predicates.
+type Logical struct {
+	Op          BoolOp
+	Left, Right Expr
+}
+
+// Not negates a predicate.
+type Not struct{ Inner Expr }
+
+// Like is the SQL LIKE pattern predicate ("%" any run, "_" any rune),
+// applied to the Text component of UNITEXT values per §3.2.1.
+type Like struct {
+	Left    Expr
+	Pattern Expr
+}
+
+// LexEqual is the Ψ predicate: Left LEXEQUAL Right [THRESHOLD k] [IN langs].
+// Threshold < 0 means "use the session setting" (the paper's workaround for
+// PostgreSQL's binary-only operator facility, §4.2).
+type LexEqual struct {
+	Left, Right Expr
+	Threshold   int
+	Langs       []types.LangID
+}
+
+// SemEqual is the Ω predicate: Left SEMEQUAL Right [IN langs].
+type SemEqual struct {
+	Left, Right Expr
+	Langs       []types.LangID
+}
+
+// FuncKind identifies an aggregate or scalar function.
+type FuncKind int
+
+// Supported functions.
+const (
+	FuncCount FuncKind = iota // COUNT(*) when Arg == nil
+	FuncSum
+	FuncAvg
+	FuncMin
+	FuncMax
+	FuncUniText // unitext(text, lang) constructor (the ⊕ operator)
+	FuncText    // text(u) — ⊖ projection to the Text component
+	FuncLang    // lang(u) — ⊖ projection to the language name
+	FuncPhoneme // phoneme(u) — materialized phoneme string
+	FuncCustom  // an operator registered through the engine's registry
+)
+
+// IsAggregate reports whether the function aggregates rows.
+func (k FuncKind) IsAggregate() bool {
+	switch k {
+	case FuncCount, FuncSum, FuncAvg, FuncMin, FuncMax:
+		return true
+	}
+	return false
+}
+
+// String names the function.
+func (k FuncKind) String() string {
+	switch k {
+	case FuncCount:
+		return "count"
+	case FuncSum:
+		return "sum"
+	case FuncAvg:
+		return "avg"
+	case FuncMin:
+		return "min"
+	case FuncMax:
+		return "max"
+	case FuncUniText:
+		return "unitext"
+	case FuncText:
+		return "text"
+	case FuncLang:
+		return "lang"
+	case FuncPhoneme:
+		return "phoneme"
+	case FuncCustom:
+		return "custom"
+	default:
+		return "func?"
+	}
+}
+
+// FuncCall is a function application. For COUNT(*), Args is nil and Star is
+// true. Kind FuncCustom carries the registered operator's name in Name —
+// the engine-side analog of PostgreSQL's operator addition facility the
+// paper used (§4.2).
+type FuncCall struct {
+	Kind FuncKind
+	Name string // FuncCustom only
+	Args []Expr
+	Star bool
+}
+
+func (*ColumnRef) expr() {}
+func (*Literal) expr()   {}
+func (*Compare) expr()   {}
+func (*Logical) expr()   {}
+func (*Not) expr()       {}
+func (*Like) expr()      {}
+func (*LexEqual) expr()  {}
+func (*SemEqual) expr()  {}
+func (*FuncCall) expr()  {}
+
+// ExprString renders an expression for EXPLAIN output.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *ColumnRef:
+		return x.String()
+	case *Literal:
+		if x.Value.Kind() == types.KindText {
+			return "'" + x.Value.Text() + "'"
+		}
+		return x.Value.String()
+	case *Compare:
+		return ExprString(x.Left) + " " + x.Op.String() + " " + ExprString(x.Right)
+	case *Logical:
+		op := " AND "
+		if x.Op == OpOr {
+			op = " OR "
+		}
+		return "(" + ExprString(x.Left) + op + ExprString(x.Right) + ")"
+	case *Not:
+		return "NOT (" + ExprString(x.Inner) + ")"
+	case *Like:
+		return ExprString(x.Left) + " LIKE " + ExprString(x.Pattern)
+	case *LexEqual:
+		s := ExprString(x.Left) + " LEXEQUAL " + ExprString(x.Right)
+		if x.Threshold >= 0 {
+			s += " THRESHOLD " + itoa(x.Threshold)
+		}
+		if len(x.Langs) > 0 {
+			s += " IN " + langList(x.Langs)
+		}
+		return s
+	case *SemEqual:
+		s := ExprString(x.Left) + " SEMEQUAL " + ExprString(x.Right)
+		if len(x.Langs) > 0 {
+			s += " IN " + langList(x.Langs)
+		}
+		return s
+	case *FuncCall:
+		fname := x.Kind.String()
+		if x.Kind == FuncCustom {
+			fname = x.Name
+		}
+		if x.Star {
+			return fname + "(*)"
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = ExprString(a)
+		}
+		return fname + "(" + strings.Join(args, ", ") + ")"
+	default:
+		return "<expr>"
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func langList(langs []types.LangID) string {
+	parts := make([]string, len(langs))
+	for i, l := range langs {
+		parts[i] = l.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,163 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokString
+	tokNumber
+	tokSymbol // ( ) , ; * . = < > <= >= <>
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are uppercased; idents lowercased
+	pos  int
+}
+
+// keywords recognized by the dialect.
+var keywords = map[string]bool{
+	"CREATE": true, "TABLE": true, "DROP": true, "INDEX": true, "ON": true,
+	"USING": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"SELECT": true, "DISTINCT": true, "FROM": true, "JOIN": true,
+	"WHERE": true, "GROUP": true, "BY": true, "ORDER": true, "LIMIT": true,
+	"AND": true, "OR": true, "NOT": true, "AS": true, "ASC": true,
+	"DESC": true, "SET": true, "SHOW": true, "ANALYZE": true,
+	"EXPLAIN": true, "DELETE": true, "LIKE": true, "LEXEQUAL": true, "SEMEQUAL": true, "THRESHOLD": true,
+	"IN": true, "NULL": true, "TRUE": true, "FALSE": true, "INNER": true,
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+// lex tokenizes the whole input up front; the parser then walks the slice.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.tokens = append(l.tokens, tok)
+		if tok.kind == tokEOF {
+			return l.tokens, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	// Skip whitespace and comments.
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+
+	switch {
+	case c == '\'':
+		// String literal with '' escaping.
+		var b strings.Builder
+		l.pos++
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, fmt.Errorf("sql: unterminated string at offset %d", start)
+			}
+			if l.src[l.pos] == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: b.String(), pos: start}, nil
+			}
+			r, sz := utf8.DecodeRuneInString(l.src[l.pos:])
+			b.WriteRune(r)
+			l.pos += sz
+		}
+
+	case c >= '0' && c <= '9' || (c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9'):
+		l.pos++
+		for l.pos < len(l.src) {
+			d := l.src[l.pos]
+			if (d >= '0' && d <= '9') || d == '.' || d == 'e' || d == 'E' ||
+				((d == '+' || d == '-') && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E')) {
+				l.pos++
+				continue
+			}
+			break
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+		}
+		return token{kind: tokSymbol, text: l.src[start:l.pos], pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return token{kind: tokSymbol, text: l.src[start:l.pos], pos: start}, nil
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokSymbol, text: "<>", pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sql: unexpected '!' at offset %d", start)
+	case strings.ContainsRune("(),;*.=", rune(c)):
+		l.pos++
+		return token{kind: tokSymbol, text: string(c), pos: start}, nil
+	}
+
+	// Identifier or keyword: letters (any script), digits, underscore.
+	r, sz := utf8.DecodeRuneInString(l.src[l.pos:])
+	if unicode.IsLetter(r) || r == '_' {
+		l.pos += sz
+		for l.pos < len(l.src) {
+			r, sz = utf8.DecodeRuneInString(l.src[l.pos:])
+			if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+				l.pos += sz
+				continue
+			}
+			break
+		}
+		word := l.src[start:l.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return token{kind: tokKeyword, text: up, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: strings.ToLower(word), pos: start}, nil
+	}
+	return token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+}

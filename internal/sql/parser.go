@@ -1,0 +1,703 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/mural-db/mural/internal/types"
+)
+
+// Parse parses one SQL statement (an optional trailing semicolon is
+// accepted).
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokSymbol, ";")
+	if !p.at(tokEOF, "") {
+		return nil, fmt.Errorf("sql: trailing input at %q", p.cur().text)
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return token{}, fmt.Errorf("sql: expected %s, found %q (offset %d)", want, t.text, t.pos)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) ident() (string, error) {
+	t, err := p.expect(tokIdent, "")
+	if err != nil {
+		return "", err
+	}
+	return t.text, nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.accept(tokKeyword, "CREATE"):
+		if p.accept(tokKeyword, "TABLE") {
+			return p.createTable()
+		}
+		if p.accept(tokKeyword, "INDEX") {
+			return p.createIndex()
+		}
+		return nil, fmt.Errorf("sql: CREATE must be followed by TABLE or INDEX")
+	case p.accept(tokKeyword, "DROP"):
+		if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DropTable{Name: name}, nil
+	case p.accept(tokKeyword, "INSERT"):
+		return p.insert()
+	case p.accept(tokKeyword, "DELETE"):
+		if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		del := &Delete{Table: table}
+		if p.accept(tokKeyword, "WHERE") {
+			w, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			del.Where = w
+		}
+		return del, nil
+	case p.accept(tokKeyword, "ANALYZE"):
+		a := &Analyze{}
+		if p.at(tokIdent, "") {
+			a.Table, _ = p.ident()
+		}
+		return a, nil
+	case p.accept(tokKeyword, "SET"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokSymbol, "="); err != nil {
+			return nil, err
+		}
+		t := p.cur()
+		switch t.kind {
+		case tokNumber, tokString, tokIdent, tokKeyword:
+			// Keywords are legal setting values (SET enable_mtree = ON).
+			p.pos++
+			val := t.text
+			if t.kind == tokKeyword {
+				val = strings.ToLower(val)
+			}
+			// Comma-separated identifier lists (force_join_order = a, b, c).
+			for t.kind == tokIdent && p.accept(tokSymbol, ",") {
+				next, err := p.expect(tokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				val += "," + next.text
+			}
+			return &Set{Name: name, Value: val}, nil
+		default:
+			return nil, fmt.Errorf("sql: SET %s: bad value %q", name, t.text)
+		}
+	case p.accept(tokKeyword, "SHOW"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &Show{Name: name}, nil
+	case p.accept(tokKeyword, "EXPLAIN"):
+		ex := &Explain{}
+		if p.accept(tokKeyword, "ANALYZE") {
+			ex.Analyze = true
+		}
+		if _, err := p.expect(tokKeyword, "SELECT"); err != nil {
+			return nil, err
+		}
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		ex.Stmt = sel
+		return ex, nil
+	case p.accept(tokKeyword, "SELECT"):
+		return p.selectStmt()
+	default:
+		return nil, fmt.Errorf("sql: unexpected %q at start of statement", p.cur().text)
+	}
+}
+
+func (p *parser) createTable() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		t := p.cur()
+		if t.kind != tokIdent && t.kind != tokKeyword {
+			return nil, fmt.Errorf("sql: expected type after column %q", col)
+		}
+		kind, ok := types.KindFromName(t.text)
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown type %q for column %q", t.text, col)
+		}
+		p.pos++
+		ct.Columns = append(ct.Columns, ColumnDef{Name: col, Kind: kind})
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	if len(ct.Columns) == 0 {
+		return nil, fmt.Errorf("sql: table %q has no columns", name)
+	}
+	return ct, nil
+}
+
+func (p *parser) createIndex() (Statement, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, "("); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	ci := &CreateIndex{Name: name, Table: table, Column: col, Kind: IndexBTree}
+	if p.accept(tokKeyword, "USING") {
+		t := p.cur()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("sql: expected index method after USING")
+		}
+		switch strings.ToUpper(t.text) {
+		case "BTREE":
+			ci.Kind = IndexBTree
+		case "MTREE":
+			ci.Kind = IndexMTree
+		case "MDI":
+			ci.Kind = IndexMDI
+		case "QGRAM":
+			ci.Kind = IndexQGram
+		default:
+			return nil, fmt.Errorf("sql: unknown index method %q", t.text)
+		}
+		p.pos++
+	}
+	return ci, nil
+}
+
+func (p *parser) insert() (Statement, error) {
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: table}
+	for {
+		if _, err := p.expect(tokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	return ins, nil
+}
+
+func (p *parser) selectStmt() (*Select, error) {
+	sel := &Select{Limit: -1}
+	sel.Distinct = p.accept(tokKeyword, "DISTINCT")
+	for {
+		if p.accept(tokSymbol, "*") {
+			sel.Items = append(sel.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept(tokKeyword, "AS") {
+				a, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.tableRef()
+	if err != nil {
+		return nil, err
+	}
+	sel.From = from
+	for {
+		if p.accept(tokKeyword, "INNER") {
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.accept(tokKeyword, "JOIN") {
+			if p.accept(tokSymbol, ",") {
+				// Comma join: cross product constrained by WHERE.
+				tr, err := p.tableRef()
+				if err != nil {
+					return nil, err
+				}
+				sel.Joins = append(sel.Joins, JoinClause{Table: tr})
+				continue
+			}
+			break
+		}
+		tr, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		sel.Joins = append(sel.Joins, JoinClause{Table: tr, Cond: cond})
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		w, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				key.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, key)
+			if p.accept(tokSymbol, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		t, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: bad LIMIT %q", t.text)
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr := TableRef{Table: name}
+	if p.accept(tokKeyword, "AS") {
+		a, err := p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+		tr.Alias = a
+	} else if p.at(tokIdent, "") {
+		tr.Alias, _ = p.ident()
+	}
+	return tr, nil
+}
+
+// Expression grammar (precedence low to high):
+//
+//	expression  = orExpr
+//	orExpr      = andExpr { OR andExpr }
+//	andExpr     = notExpr { AND notExpr }
+//	notExpr     = [NOT] predicate
+//	predicate   = operand [ cmpOp operand
+//	                      | LEXEQUAL operand [THRESHOLD num] [IN langs]
+//	                      | SEMEQUAL operand [IN langs] ]
+//	operand     = literal | funcCall | columnRef | '(' expression ')'
+func (p *parser) expression() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &Logical{Op: OpOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &Logical{Op: OpAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		inner, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Inner: inner}, nil
+	}
+	return p.predicate()
+}
+
+func (p *parser) predicate() (Expr, error) {
+	left, err := p.operand()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tokSymbol {
+		var op CmpOp
+		switch t.text {
+		case "=":
+			op = OpEq
+		case "<>":
+			op = OpNe
+		case "<":
+			op = OpLt
+		case "<=":
+			op = OpLe
+		case ">":
+			op = OpGt
+		case ">=":
+			op = OpGe
+		default:
+			return left, nil
+		}
+		p.pos++
+		right, err := p.operand()
+		if err != nil {
+			return nil, err
+		}
+		return &Compare{Op: op, Left: left, Right: right}, nil
+	}
+	if p.accept(tokKeyword, "LIKE") {
+		pat, err := p.operand()
+		if err != nil {
+			return nil, err
+		}
+		return &Like{Left: left, Pattern: pat}, nil
+	}
+	if p.accept(tokKeyword, "LEXEQUAL") {
+		right, err := p.operand()
+		if err != nil {
+			return nil, err
+		}
+		le := &LexEqual{Left: left, Right: right, Threshold: -1}
+		if p.accept(tokKeyword, "THRESHOLD") {
+			n, err := p.expect(tokNumber, "")
+			if err != nil {
+				return nil, err
+			}
+			k, err := strconv.Atoi(n.text)
+			if err != nil || k < 0 {
+				return nil, fmt.Errorf("sql: bad THRESHOLD %q", n.text)
+			}
+			le.Threshold = k
+		}
+		langs, err := p.langClause()
+		if err != nil {
+			return nil, err
+		}
+		le.Langs = langs
+		return le, nil
+	}
+	if p.accept(tokKeyword, "SEMEQUAL") {
+		right, err := p.operand()
+		if err != nil {
+			return nil, err
+		}
+		se := &SemEqual{Left: left, Right: right}
+		langs, err := p.langClause()
+		if err != nil {
+			return nil, err
+		}
+		se.Langs = langs
+		return se, nil
+	}
+	return left, nil
+}
+
+// langClause parses the optional IN lang, lang, ... suffix of the
+// multilingual predicates.
+func (p *parser) langClause() ([]types.LangID, error) {
+	if !p.accept(tokKeyword, "IN") {
+		return nil, nil
+	}
+	var langs []types.LangID
+	for {
+		t, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		lang, ok := types.LangFromName(t.text)
+		if !ok {
+			return nil, fmt.Errorf("sql: unknown language %q", t.text)
+		}
+		langs = append(langs, lang)
+		if p.accept(tokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	return langs, nil
+}
+
+var funcKinds = map[string]FuncKind{
+	"count": FuncCount, "sum": FuncSum, "avg": FuncAvg,
+	"min": FuncMin, "max": FuncMax, "unitext": FuncUniText,
+	"text": FuncText, "lang": FuncLang, "phoneme": FuncPhoneme,
+}
+
+func (p *parser) operand() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q", t.text)
+			}
+			return &Literal{Value: types.NewFloat(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		return &Literal{Value: types.NewInt(n)}, nil
+	case tokString:
+		p.pos++
+		return &Literal{Value: types.NewText(t.text)}, nil
+	case tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.pos++
+			return &Literal{Value: types.Null()}, nil
+		case "TRUE":
+			p.pos++
+			return &Literal{Value: types.NewBool(true)}, nil
+		case "FALSE":
+			p.pos++
+			return &Literal{Value: types.NewBool(false)}, nil
+		}
+		return nil, fmt.Errorf("sql: unexpected keyword %q in expression", t.text)
+	case tokSymbol:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, fmt.Errorf("sql: unexpected %q in expression", t.text)
+	case tokIdent:
+		// Function call? Unknown names parse as custom operator calls and
+		// resolve against the engine registry at execution time.
+		if p.toks[p.pos+1].kind == tokSymbol && p.toks[p.pos+1].text == "(" {
+			kind, isFunc := funcKinds[t.text]
+			if !isFunc {
+				kind = FuncCustom
+			}
+			p.pos += 2
+			fc := &FuncCall{Kind: kind}
+			if kind == FuncCustom {
+				fc.Name = t.text
+			}
+			if p.accept(tokSymbol, "*") {
+				fc.Star = true
+			} else if !p.at(tokSymbol, ")") {
+				for {
+					// unitext's second argument is a bare language name.
+					if kind == FuncUniText && len(fc.Args) == 1 && p.at(tokIdent, "") {
+						lang, ok := types.LangFromName(p.cur().text)
+						if ok {
+							p.pos++
+							fc.Args = append(fc.Args, &Literal{Value: types.NewText(lang.String())})
+							if p.accept(tokSymbol, ",") {
+								continue
+							}
+							break
+						}
+					}
+					a, err := p.expression()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, a)
+					if p.accept(tokSymbol, ",") {
+						continue
+					}
+					break
+				}
+			}
+			if _, err := p.expect(tokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		// Column reference, optionally qualified.
+		p.pos++
+		ref := &ColumnRef{Column: t.text}
+		if p.accept(tokSymbol, ".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ref.Table = t.text
+			ref.Column = col
+		}
+		return ref, nil
+	default:
+		return nil, fmt.Errorf("sql: unexpected end of input in expression")
+	}
+}

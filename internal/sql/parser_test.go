@@ -1,0 +1,370 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mural-db/mural/internal/types"
+)
+
+func parseSelect(t *testing.T, src string) *Select {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	sel, ok := stmt.(*Select)
+	if !ok {
+		t.Fatalf("Parse(%q) = %T, want *Select", src, stmt)
+	}
+	return sel
+}
+
+func TestParseCreateTable(t *testing.T) {
+	stmt, err := Parse("CREATE TABLE book (id INT, title TEXT, author UNITEXT, price FLOAT, instock BOOL);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTable)
+	if ct.Name != "book" || len(ct.Columns) != 5 {
+		t.Fatalf("parsed %+v", ct)
+	}
+	wantKinds := []types.Kind{types.KindInt, types.KindText, types.KindUniText, types.KindFloat, types.KindBool}
+	for i, w := range wantKinds {
+		if ct.Columns[i].Kind != w {
+			t.Errorf("col %d kind = %v, want %v", i, ct.Columns[i].Kind, w)
+		}
+	}
+}
+
+func TestParseCreateTableErrors(t *testing.T) {
+	bad := []string{
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (x BLOB)",
+		"CREATE TABLE t (x INT",
+		"CREATE VIEW v",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	stmt, err := Parse("CREATE INDEX idx_author ON book (author) USING mtree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := stmt.(*CreateIndex)
+	if ci.Name != "idx_author" || ci.Table != "book" || ci.Column != "author" || ci.Kind != IndexMTree {
+		t.Errorf("parsed %+v", ci)
+	}
+	stmt, err = Parse("CREATE INDEX i ON t (c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.(*CreateIndex).Kind != IndexBTree {
+		t.Error("default index kind must be BTREE")
+	}
+	if _, err := Parse("CREATE INDEX i ON t (c) USING rtree"); err == nil {
+		t.Error("unknown index method must fail")
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt, err := Parse(`INSERT INTO book VALUES (1, 'Discovery of India', unitext('नेहरू', hindi)), (2, 'II', NULL)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*Insert)
+	if ins.Table != "book" || len(ins.Rows) != 2 || len(ins.Rows[0]) != 3 {
+		t.Fatalf("parsed %+v", ins)
+	}
+	fc, ok := ins.Rows[0][2].(*FuncCall)
+	if !ok || fc.Kind != FuncUniText || len(fc.Args) != 2 {
+		t.Fatalf("unitext literal parsed as %#v", ins.Rows[0][2])
+	}
+	if lit := fc.Args[1].(*Literal); lit.Value.Text() != "hindi" {
+		t.Errorf("lang arg = %v", lit.Value)
+	}
+	if lit := ins.Rows[1][2].(*Literal); !lit.Value.IsNull() {
+		t.Error("NULL literal")
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	stmt, err := Parse(`INSERT INTO t VALUES ('it''s')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit := stmt.(*Insert).Rows[0][0].(*Literal)
+	if lit.Value.Text() != "it's" {
+		t.Errorf("escaped string = %q", lit.Value.Text())
+	}
+	if _, err := Parse("SELECT 'unterminated FROM t"); err == nil {
+		t.Error("unterminated string must fail")
+	}
+}
+
+func TestParseSelectBasics(t *testing.T) {
+	sel := parseSelect(t, "SELECT author, title FROM book WHERE price < 10.5 ORDER BY title DESC LIMIT 5")
+	if len(sel.Items) != 2 || sel.From.Table != "book" {
+		t.Fatalf("parsed %+v", sel)
+	}
+	cmp := sel.Where.(*Compare)
+	if cmp.Op != OpLt {
+		t.Error("where op")
+	}
+	if lit := cmp.Right.(*Literal); lit.Value.Float() != 10.5 {
+		t.Error("float literal")
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Error("order by desc")
+	}
+	if sel.Limit != 5 {
+		t.Error("limit")
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	sel := parseSelect(t, "SELECT * FROM t")
+	if len(sel.Items) != 1 || !sel.Items[0].Star {
+		t.Error("star item")
+	}
+	if sel.Limit != -1 {
+		t.Error("absent limit must be -1")
+	}
+}
+
+func TestParseLexEqualFigure2(t *testing.T) {
+	// The paper's Figure 2 query.
+	sel := parseSelect(t, `SELECT author, title, language FROM book
+		WHERE author LEXEQUAL 'Nehru' IN english, hindi, tamil`)
+	le, ok := sel.Where.(*LexEqual)
+	if !ok {
+		t.Fatalf("where = %#v", sel.Where)
+	}
+	if le.Threshold != -1 {
+		t.Errorf("threshold = %d, want -1 (session default)", le.Threshold)
+	}
+	wantLangs := []types.LangID{types.LangEnglish, types.LangHindi, types.LangTamil}
+	if len(le.Langs) != 3 {
+		t.Fatalf("langs = %v", le.Langs)
+	}
+	for i, w := range wantLangs {
+		if le.Langs[i] != w {
+			t.Errorf("lang %d = %v, want %v", i, le.Langs[i], w)
+		}
+	}
+	if le.Left.(*ColumnRef).Column != "author" {
+		t.Error("lhs")
+	}
+	if le.Right.(*Literal).Value.Text() != "Nehru" {
+		t.Error("rhs")
+	}
+}
+
+func TestParseLexEqualThresholdAndJoin(t *testing.T) {
+	sel := parseSelect(t, `SELECT count(*) FROM author a, publisher p
+		WHERE a.name LEXEQUAL p.pname THRESHOLD 3`)
+	if len(sel.Joins) != 1 || sel.Joins[0].Table.Table != "publisher" {
+		t.Fatalf("joins = %+v", sel.Joins)
+	}
+	le := sel.Where.(*LexEqual)
+	if le.Threshold != 3 {
+		t.Errorf("threshold = %d", le.Threshold)
+	}
+	l := le.Left.(*ColumnRef)
+	r := le.Right.(*ColumnRef)
+	if l.Table != "a" || l.Column != "name" || r.Table != "p" || r.Column != "pname" {
+		t.Errorf("operands %v %v", l, r)
+	}
+	fc := sel.Items[0].Expr.(*FuncCall)
+	if fc.Kind != FuncCount || !fc.Star {
+		t.Error("count(*)")
+	}
+}
+
+func TestParseSemEqualFigure4(t *testing.T) {
+	sel := parseSelect(t, `SELECT author, title, category FROM book
+		WHERE category SEMEQUAL 'History' IN english, french, tamil`)
+	se, ok := sel.Where.(*SemEqual)
+	if !ok {
+		t.Fatalf("where = %#v", sel.Where)
+	}
+	if len(se.Langs) != 3 || se.Langs[1] != types.LangFrench {
+		t.Errorf("langs = %v", se.Langs)
+	}
+}
+
+func TestParseUnknownLanguage(t *testing.T) {
+	if _, err := Parse("SELECT * FROM t WHERE a LEXEQUAL 'x' IN klingon"); err == nil {
+		t.Error("unknown language must fail at parse time")
+	}
+}
+
+func TestParseExplicitJoin(t *testing.T) {
+	sel := parseSelect(t, `SELECT b.id FROM book b JOIN author a ON b.authorid = a.id WHERE a.id > 10`)
+	if sel.From.Alias != "b" || len(sel.Joins) != 1 {
+		t.Fatalf("parsed %+v", sel)
+	}
+	j := sel.Joins[0]
+	if j.Table.Alias != "a" || j.Cond == nil {
+		t.Error("join clause")
+	}
+	sel = parseSelect(t, `SELECT x FROM t1 INNER JOIN t2 ON t1.a = t2.b`)
+	if len(sel.Joins) != 1 {
+		t.Error("INNER JOIN")
+	}
+}
+
+func TestParseThreeWayJoin(t *testing.T) {
+	sel := parseSelect(t, `SELECT b.bookid FROM book b
+		JOIN author a ON b.authorid = a.authorid
+		JOIN publisher p ON b.publisherid = p.publisherid
+		WHERE a.aname LEXEQUAL p.pname THRESHOLD 3`)
+	if len(sel.Joins) != 2 {
+		t.Fatalf("joins = %d", len(sel.Joins))
+	}
+}
+
+func TestParseLogicalPrecedence(t *testing.T) {
+	sel := parseSelect(t, "SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	or, ok := sel.Where.(*Logical)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top = %#v", sel.Where)
+	}
+	and, ok := or.Right.(*Logical)
+	if !ok || and.Op != OpAnd {
+		t.Error("AND must bind tighter than OR")
+	}
+	sel = parseSelect(t, "SELECT * FROM t WHERE (a = 1 OR b = 2) AND NOT c = 3")
+	and2 := sel.Where.(*Logical)
+	if and2.Op != OpAnd {
+		t.Error("parens grouping")
+	}
+	if _, ok := and2.Right.(*Not); !ok {
+		t.Error("NOT")
+	}
+}
+
+func TestParseGroupBy(t *testing.T) {
+	sel := parseSelect(t, "SELECT lang(author), count(*) FROM book GROUP BY lang(author)")
+	if len(sel.GroupBy) != 1 {
+		t.Fatal("group by")
+	}
+	if fc := sel.Items[0].Expr.(*FuncCall); fc.Kind != FuncLang {
+		t.Error("lang() projection")
+	}
+}
+
+func TestParseSetShowAnalyze(t *testing.T) {
+	stmt, err := Parse("SET lexequal_threshold = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stmt.(*Set)
+	if s.Name != "lexequal_threshold" || s.Value != "3" {
+		t.Errorf("parsed %+v", s)
+	}
+	stmt, err = Parse("SHOW lexequal_threshold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.(*Show).Name != "lexequal_threshold" {
+		t.Error("show")
+	}
+	stmt, err = Parse("ANALYZE book")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.(*Analyze).Table != "book" {
+		t.Error("analyze table")
+	}
+	stmt, err = Parse("ANALYZE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.(*Analyze).Table != "" {
+		t.Error("analyze all")
+	}
+}
+
+func TestParseExplain(t *testing.T) {
+	stmt, err := Parse("EXPLAIN SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := stmt.(*Explain)
+	if ex.Analyze || ex.Stmt == nil {
+		t.Error("explain")
+	}
+	stmt, err = Parse("EXPLAIN ANALYZE SELECT count(*) FROM t WHERE a LEXEQUAL 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stmt.(*Explain).Analyze {
+		t.Error("explain analyze")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	sel := parseSelect(t, "SELECT * -- trailing comment\nFROM t -- another\n")
+	if sel.From.Table != "t" {
+		t.Error("comments must be skipped")
+	}
+}
+
+func TestParseTrailingGarbage(t *testing.T) {
+	if _, err := Parse("SELECT * FROM t garbage extra"); err == nil {
+		// "garbage" parses as alias; "extra" must fail.
+		t.Error("trailing tokens must fail")
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	sel := parseSelect(t, "SELECT * FROM t WHERE a = -42")
+	lit := sel.Where.(*Compare).Right.(*Literal)
+	if lit.Value.Int() != -42 {
+		t.Errorf("literal = %v", lit.Value)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	sel := parseSelect(t, "SELECT * FROM t WHERE a.x LEXEQUAL 'Nehru' THRESHOLD 2 IN english, tamil AND NOT b < 3")
+	s := ExprString(sel.Where)
+	for _, want := range []string{"LEXEQUAL", "'Nehru'", "THRESHOLD 2", "english, tamil", "NOT", "a.x"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("ExprString = %q: missing %q", s, want)
+		}
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	sel := parseSelect(t, "SELECT DISTINCT author FROM book")
+	if !sel.Distinct {
+		t.Error("distinct flag")
+	}
+}
+
+func TestParseDropTable(t *testing.T) {
+	stmt, err := Parse("DROP TABLE book")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.(*DropTable).Name != "book" {
+		t.Error("drop table")
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	sel := parseSelect(t, "SELECT sum(price), avg(price), min(price), max(price), count(price) FROM book")
+	kinds := []FuncKind{FuncSum, FuncAvg, FuncMin, FuncMax, FuncCount}
+	for i, k := range kinds {
+		fc := sel.Items[i].Expr.(*FuncCall)
+		if fc.Kind != k || fc.Star || len(fc.Args) != 1 {
+			t.Errorf("item %d: %+v", i, fc)
+		}
+	}
+}

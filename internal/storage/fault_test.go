@@ -1,0 +1,138 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// faultDisk wraps a Disk and fails operations on command — the
+// failure-injection harness for the buffer pool and heap layers.
+type faultDisk struct {
+	inner      Disk
+	failReads  atomic.Bool
+	failWrites atomic.Bool
+}
+
+var errInjected = errors.New("injected disk fault")
+
+func (d *faultDisk) ReadPage(id PageID, buf []byte) error {
+	if d.failReads.Load() {
+		return fmt.Errorf("read page %d: %w", id, errInjected)
+	}
+	return d.inner.ReadPage(id, buf)
+}
+
+func (d *faultDisk) WritePage(id PageID, buf []byte) error {
+	if d.failWrites.Load() {
+		return fmt.Errorf("write page %d: %w", id, errInjected)
+	}
+	return d.inner.WritePage(id, buf)
+}
+
+func (d *faultDisk) Allocate() (PageID, error) {
+	if d.failWrites.Load() {
+		return InvalidPageID, fmt.Errorf("allocate: %w", errInjected)
+	}
+	return d.inner.Allocate()
+}
+
+func (d *faultDisk) NumPages() PageID { return d.inner.NumPages() }
+func (d *faultDisk) Sync() error      { return d.inner.Sync() }
+func (d *faultDisk) Close() error     { return d.inner.Close() }
+
+func TestPoolSurfacesReadFaults(t *testing.T) {
+	fd := &faultDisk{inner: NewMemDisk()}
+	pool := NewPool(4)
+	pool.AttachDisk(1, fd)
+	h, err := pool.NewPage(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := h.Key()
+	copy(h.Data(), "content")
+	h.MarkDirty()
+	h.Unpin()
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Evict by detaching, then fail the re-read.
+	if err := pool.DetachDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	pool.AttachDisk(1, fd)
+	fd.failReads.Store(true)
+	if _, err := pool.Pin(key); !errors.Is(err, errInjected) {
+		t.Errorf("Pin must surface the injected fault, got %v", err)
+	}
+	// Recovery after the fault clears.
+	fd.failReads.Store(false)
+	h2, err := pool.Pin(key)
+	if err != nil {
+		t.Fatalf("pool did not recover: %v", err)
+	}
+	if string(h2.Data()[:7]) != "content" {
+		t.Error("content lost across fault")
+	}
+	h2.Unpin()
+}
+
+func TestPoolSurfacesWriteFaultsOnEviction(t *testing.T) {
+	fd := &faultDisk{inner: NewMemDisk()}
+	pool := NewPool(2)
+	pool.AttachDisk(1, fd)
+	// Fill both frames with dirty pages.
+	for i := 0; i < 2; i++ {
+		h, err := pool.NewPage(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Data()[0] = byte(i)
+		h.MarkDirty()
+		h.Unpin()
+	}
+	fd.failWrites.Store(true)
+	// The next allocation needs an eviction, which needs a writeback.
+	if _, err := pool.NewPage(1); !errors.Is(err, errInjected) {
+		t.Errorf("eviction writeback fault must surface, got %v", err)
+	}
+	fd.failWrites.Store(false)
+	if _, err := pool.NewPage(1); err != nil {
+		t.Errorf("pool did not recover after write fault: %v", err)
+	}
+}
+
+func TestHeapSurfacesFaults(t *testing.T) {
+	fd := &faultDisk{inner: NewMemDisk()}
+	pool := NewPool(2)
+	pool.AttachDisk(1, fd)
+	h, err := OpenHeap(pool, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := h.Insert([]byte("row"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.DetachDisk(1); err != nil {
+		t.Fatal(err)
+	}
+	pool.AttachDisk(1, fd)
+	fd.failReads.Store(true)
+	if _, err := h.Get(rid); !errors.Is(err, errInjected) {
+		t.Errorf("heap Get must surface the fault, got %v", err)
+	}
+	it := h.Scan()
+	if _, _, _, err := it.Next(); !errors.Is(err, errInjected) {
+		t.Errorf("heap scan must surface the fault, got %v", err)
+	}
+	fd.failReads.Store(false)
+	got, err := h.Get(rid)
+	if err != nil || string(got) != "row" {
+		t.Errorf("heap did not recover: %v %q", err, got)
+	}
+}

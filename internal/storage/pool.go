@@ -1,0 +1,333 @@
+package storage
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sync"
+)
+
+// FileID identifies one disk file attached to a buffer pool. The catalog
+// assigns stable FileIDs to tables and indexes.
+type FileID uint32
+
+// PageKey addresses one page across all attached files.
+type PageKey struct {
+	File FileID
+	Page PageID
+}
+
+// PoolStats counts buffer pool traffic. DiskReads/DiskWrites are the
+// physical I/O numbers that the cost-model validation experiment (Figure 6)
+// correlates against predicted page counts.
+type PoolStats struct {
+	Hits       uint64
+	Misses     uint64
+	DiskReads  uint64
+	DiskWrites uint64
+	Evictions  uint64
+}
+
+// checksummed page layout: the first 4 bytes of every on-disk page hold the
+// IEEE CRC-32 of the remaining PageSize-4 bytes. Page users (heap, B-tree)
+// see only the payload region.
+const (
+	pageChecksumSize = 4
+	// PagePayload is the number of bytes available to page users.
+	PagePayload = PageSize - pageChecksumSize
+)
+
+type frame struct {
+	sync.RWMutex
+	key   PageKey
+	data  []byte // full PageSize, checksum prefix included
+	pins  int
+	dirty bool
+	ref   bool
+	valid bool
+}
+
+// Pool is a shared buffer pool over a set of attached disk files, with
+// clock (second-chance) eviction. All page access in the engine flows
+// through Pin/Unpin; the pool verifies page checksums on fetch and
+// maintains them on writeback.
+type Pool struct {
+	mu     sync.Mutex
+	frames []frame
+	table  map[PageKey]int
+	disks  map[FileID]Disk
+	hand   int
+	stats  PoolStats
+}
+
+// NewPool creates a pool with the given number of page frames.
+func NewPool(nframes int) *Pool {
+	if nframes < 1 {
+		nframes = 1
+	}
+	p := &Pool{
+		frames: make([]frame, nframes),
+		table:  make(map[PageKey]int, nframes),
+		disks:  make(map[FileID]Disk),
+	}
+	for i := range p.frames {
+		p.frames[i].data = make([]byte, PageSize)
+	}
+	return p
+}
+
+// AttachDisk registers a disk under the given file id.
+func (p *Pool) AttachDisk(id FileID, d Disk) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.disks[id] = d
+}
+
+// DetachDisk flushes and evicts all pages of the file and removes it from
+// the pool. The caller owns closing the disk.
+func (p *Pool) DetachDisk(id FileID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		f := &p.frames[i]
+		if !f.valid || f.key.File != id {
+			continue
+		}
+		if f.pins > 0 {
+			return fmt.Errorf("storage: detach file %d: page %d still pinned", id, f.key.Page)
+		}
+		if f.dirty {
+			if err := p.writeback(f); err != nil {
+				return err
+			}
+		}
+		delete(p.table, f.key)
+		f.valid = false
+	}
+	delete(p.disks, id)
+	return nil
+}
+
+// Handle is a pinned page. Data returns the payload region; MarkDirty must
+// be called after mutating it; Unpin releases the pin. A Handle must not be
+// used after Unpin.
+type Handle struct {
+	pool *Pool
+	idx  int
+	key  PageKey
+}
+
+// Key returns the page's address.
+func (h *Handle) Key() PageKey { return h.key }
+
+// Data returns the page payload (PagePayload bytes). The caller must hold
+// the page lock discipline appropriate to its access (the heap and index
+// layers serialize writers above this level).
+func (h *Handle) Data() []byte {
+	return h.pool.frames[h.idx].data[pageChecksumSize:]
+}
+
+// MarkDirty records that the payload was modified.
+func (h *Handle) MarkDirty() {
+	h.pool.mu.Lock()
+	h.pool.frames[h.idx].dirty = true
+	h.pool.mu.Unlock()
+}
+
+// Unpin releases the pin taken by Pin/NewPage.
+func (h *Handle) Unpin() {
+	h.pool.mu.Lock()
+	f := &h.pool.frames[h.idx]
+	if f.pins > 0 {
+		f.pins--
+	}
+	f.ref = true
+	h.pool.mu.Unlock()
+}
+
+// Pin fetches the page into the pool (reading from disk on a miss) and
+// returns a pinned handle.
+func (p *Pool) Pin(key PageKey) (*Handle, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if idx, ok := p.table[key]; ok {
+		f := &p.frames[idx]
+		f.pins++
+		f.ref = true
+		p.stats.Hits++
+		return &Handle{pool: p, idx: idx, key: key}, nil
+	}
+	p.stats.Misses++
+	disk, ok := p.disks[key.File]
+	if !ok {
+		return nil, fmt.Errorf("storage: pin: file %d not attached", key.File)
+	}
+	idx, err := p.victim()
+	if err != nil {
+		return nil, err
+	}
+	f := &p.frames[idx]
+	if err := disk.ReadPage(key.Page, f.data); err != nil {
+		f.valid = false
+		return nil, err
+	}
+	p.stats.DiskReads++
+	if err := verifyChecksum(f.data); err != nil {
+		f.valid = false
+		return nil, fmt.Errorf("storage: page %v: %w", key, err)
+	}
+	f.key = key
+	f.pins = 1
+	f.dirty = false
+	f.ref = true
+	f.valid = true
+	p.table[key] = idx
+	return &Handle{pool: p, idx: idx, key: key}, nil
+}
+
+// NewPage allocates a fresh page in the file and returns it pinned and
+// zeroed.
+func (p *Pool) NewPage(file FileID) (*Handle, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	disk, ok := p.disks[file]
+	if !ok {
+		return nil, fmt.Errorf("storage: new page: file %d not attached", file)
+	}
+	id, err := disk.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	idx, err := p.victim()
+	if err != nil {
+		return nil, err
+	}
+	f := &p.frames[idx]
+	for i := range f.data {
+		f.data[i] = 0
+	}
+	key := PageKey{File: file, Page: id}
+	f.key = key
+	f.pins = 1
+	f.dirty = true
+	f.ref = true
+	f.valid = true
+	p.table[key] = idx
+	return &Handle{pool: p, idx: idx, key: key}, nil
+}
+
+// victim finds a free or evictable frame using the clock algorithm.
+// Called with p.mu held.
+func (p *Pool) victim() (int, error) {
+	n := len(p.frames)
+	// Two full sweeps: the first clears reference bits, the second evicts.
+	for sweep := 0; sweep < 2*n+1; sweep++ {
+		f := &p.frames[p.hand]
+		idx := p.hand
+		p.hand = (p.hand + 1) % n
+		if !f.valid {
+			return idx, nil
+		}
+		if f.pins > 0 {
+			continue
+		}
+		if f.ref {
+			f.ref = false
+			continue
+		}
+		if f.dirty {
+			if err := p.writeback(f); err != nil {
+				return 0, err
+			}
+		}
+		delete(p.table, f.key)
+		f.valid = false
+		p.stats.Evictions++
+		return idx, nil
+	}
+	return 0, fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", n)
+}
+
+// writeback computes the checksum and writes the frame to its disk.
+// Called with p.mu held.
+func (p *Pool) writeback(f *frame) error {
+	disk, ok := p.disks[f.key.File]
+	if !ok {
+		return fmt.Errorf("storage: writeback: file %d not attached", f.key.File)
+	}
+	stampChecksum(f.data)
+	if err := disk.WritePage(f.key.Page, f.data); err != nil {
+		return err
+	}
+	p.stats.DiskWrites++
+	f.dirty = false
+	return nil
+}
+
+// FlushAll writes back every dirty page.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.valid && f.dirty {
+			if err := p.writeback(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DiskPages returns the allocated page count of an attached file.
+func (p *Pool) DiskPages(file FileID) (PageID, error) {
+	p.mu.Lock()
+	d, ok := p.disks[file]
+	p.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("storage: file %d not attached", file)
+	}
+	return d.NumPages(), nil
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the pool counters (used between benchmark runs).
+func (p *Pool) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = PoolStats{}
+}
+
+func stampChecksum(page []byte) {
+	sum := crc32.ChecksumIEEE(page[pageChecksumSize:])
+	page[0] = byte(sum)
+	page[1] = byte(sum >> 8)
+	page[2] = byte(sum >> 16)
+	page[3] = byte(sum >> 24)
+}
+
+func verifyChecksum(page []byte) error {
+	stored := uint32(page[0]) | uint32(page[1])<<8 | uint32(page[2])<<16 | uint32(page[3])<<24
+	if stored == 0 {
+		// A fresh page that was never written back: all-zero is valid.
+		allZero := true
+		for _, b := range page[pageChecksumSize:] {
+			if b != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			return nil
+		}
+	}
+	if sum := crc32.ChecksumIEEE(page[pageChecksumSize:]); sum != stored {
+		return fmt.Errorf("checksum mismatch: stored %08x computed %08x", stored, crc32.ChecksumIEEE(page[pageChecksumSize:]))
+	}
+	return nil
+}

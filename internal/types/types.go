@@ -1,0 +1,375 @@
+// Package types implements the MURAL value system: the standard relational
+// scalar types plus the UniText multilingual datatype proposed in Section 3.1
+// of the paper. A Value is a small tagged union; tuples are flat slices of
+// values with a binary serialization used by the storage layer and the wire
+// protocol.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind identifies the runtime type of a Value.
+type Kind uint8
+
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindText
+	KindUniText
+)
+
+// String returns the SQL-facing name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindText:
+		return "TEXT"
+	case KindUniText:
+		return "UNITEXT"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// KindFromName parses a SQL type name into a Kind. It accepts the common
+// aliases used by the SQL layer (INTEGER, DOUBLE, VARCHAR, ...).
+func KindFromName(name string) (Kind, bool) {
+	switch strings.ToUpper(name) {
+	case "BOOL", "BOOLEAN":
+		return KindBool, true
+	case "INT", "INTEGER", "BIGINT", "INT4", "INT8":
+		return KindInt, true
+	case "FLOAT", "DOUBLE", "REAL", "FLOAT8", "NUMERIC":
+		return KindFloat, true
+	case "TEXT", "VARCHAR", "CHAR", "STRING":
+		return KindText, true
+	case "UNITEXT":
+		return KindUniText, true
+	default:
+		return KindNull, false
+	}
+}
+
+// LangID identifies a natural language. The zero value LangUnknown marks
+// text whose language has not been declared. Several languages may share a
+// script, so the identifier is carried explicitly alongside the text
+// (Section 3.1: "the explicit identifier is necessary as several languages
+// share a script").
+type LangID uint16
+
+// Well-known language identifiers. The registry in the catalog may define
+// more; these cover the languages exercised by the paper's experiments.
+const (
+	LangUnknown LangID = 0
+	LangEnglish LangID = 1
+	LangHindi   LangID = 2
+	LangTamil   LangID = 3
+	LangKannada LangID = 4
+	LangFrench  LangID = 5
+	LangGerman  LangID = 6
+)
+
+var langNames = map[LangID]string{
+	LangUnknown: "unknown",
+	LangEnglish: "english",
+	LangHindi:   "hindi",
+	LangTamil:   "tamil",
+	LangKannada: "kannada",
+	LangFrench:  "french",
+	LangGerman:  "german",
+}
+
+var langIDs = func() map[string]LangID {
+	m := make(map[string]LangID, len(langNames))
+	for id, name := range langNames {
+		m[name] = id
+	}
+	return m
+}()
+
+// String returns the lowercase language name.
+func (l LangID) String() string {
+	if n, ok := langNames[l]; ok {
+		return n
+	}
+	return fmt.Sprintf("lang(%d)", uint16(l))
+}
+
+// LangFromName resolves a case-insensitive language name.
+func LangFromName(name string) (LangID, bool) {
+	id, ok := langIDs[strings.ToLower(name)]
+	return id, ok
+}
+
+// AllLangs lists the built-in language identifiers, excluding LangUnknown.
+func AllLangs() []LangID {
+	return []LangID{LangEnglish, LangHindi, LangTamil, LangKannada, LangFrench, LangGerman}
+}
+
+// UniText is the multilingual text datatype of Section 3.1: a Unicode
+// string tagged with the identifier of its language. Following the paper's
+// efficiency note, the phonemic (IPA) rendering of the string may be
+// materialized in the value at insert time so that join processing does not
+// repeat grapheme-to-phoneme conversion.
+type UniText struct {
+	Text    string
+	Lang    LangID
+	Phoneme string // materialized IPA string; empty if not materialized
+}
+
+// Compose builds a UniText from its components (the ⊕ operator of §3.1).
+func Compose(text string, lang LangID) UniText {
+	return UniText{Text: text, Lang: lang}
+}
+
+// Decompose splits a UniText into its components (the ⊖ operator of §3.1).
+func (u UniText) Decompose() (string, LangID) {
+	return u.Text, u.Lang
+}
+
+// Equal reports two-component equality (the ≐ operator of §3.2.1): both the
+// text and the language identifier must match. The materialized phoneme
+// string is derived state and does not participate.
+func (u UniText) Equal(v UniText) bool {
+	return u.Text == v.Text && u.Lang == v.Lang
+}
+
+// String renders the value for display.
+func (u UniText) String() string {
+	return fmt.Sprintf("(%q, %s)", u.Text, u.Lang)
+}
+
+// Value is a tagged union holding one SQL scalar. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	f    float64
+	s    string // TEXT payload, or UniText.Text
+	lang LangID
+	ph   string // UniText phoneme payload
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// NewBool wraps a bool.
+func NewBool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// NewInt wraps an int64.
+func NewInt(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// NewFloat wraps a float64.
+func NewFloat(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// NewText wraps a string.
+func NewText(s string) Value { return Value{kind: KindText, s: s} }
+
+// NewUniText wraps a UniText.
+func NewUniText(u UniText) Value {
+	return Value{kind: KindUniText, s: u.Text, lang: u.Lang, ph: u.Phoneme}
+}
+
+// Kind returns the runtime type tag.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Bool returns the boolean payload; it panics on other kinds.
+func (v Value) Bool() bool {
+	v.mustBe(KindBool)
+	return v.b
+}
+
+// Int returns the integer payload; it panics on other kinds.
+func (v Value) Int() int64 {
+	v.mustBe(KindInt)
+	return v.i
+}
+
+// Float returns the float payload, widening INT transparently.
+func (v Value) Float() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	v.mustBe(KindFloat)
+	return v.f
+}
+
+// Text returns the string payload. For UNITEXT it returns the Text
+// component, matching §3.2.1 where ordinary text comparisons apply to the
+// Text component only.
+func (v Value) Text() string {
+	if v.kind == KindUniText {
+		return v.s
+	}
+	v.mustBe(KindText)
+	return v.s
+}
+
+// UniText returns the UniText payload; it panics on other kinds.
+func (v Value) UniText() UniText {
+	v.mustBe(KindUniText)
+	return UniText{Text: v.s, Lang: v.lang, Phoneme: v.ph}
+}
+
+// WithPhoneme returns a copy of a UNITEXT value with the materialized
+// phoneme string attached. It panics on other kinds.
+func (v Value) WithPhoneme(ph string) Value {
+	v.mustBe(KindUniText)
+	v.ph = ph
+	return v
+}
+
+func (v Value) mustBe(k Kind) {
+	if v.kind != k {
+		panic(fmt.Sprintf("types: value is %s, not %s", v.kind, k))
+	}
+}
+
+// String renders the value for display (EXPLAIN output, shell, examples).
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return fmt.Sprintf("%d", v.i)
+	case KindFloat:
+		return fmt.Sprintf("%g", v.f)
+	case KindText:
+		return v.s
+	case KindUniText:
+		return fmt.Sprintf("%s [%s]", v.s, v.lang)
+	default:
+		return fmt.Sprintf("<bad value kind %d>", v.kind)
+	}
+}
+
+// Compare orders two values of the same comparison class. It returns
+// -1, 0, +1. NULLs sort before everything; UNITEXT compares by its Text
+// component (then LangID as a tiebreak, so ordering is total). Numeric kinds
+// compare cross-kind (INT vs FLOAT). Comparing other mixed kinds panics: the
+// analyzer is responsible for rejecting such expressions.
+func Compare(a, b Value) int {
+	if a.kind == KindNull || b.kind == KindNull {
+		switch {
+		case a.kind == b.kind:
+			return 0
+		case a.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if isNumeric(a.kind) && isNumeric(b.kind) {
+		af, bf := a.Float(), b.Float()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if isTextual(a.kind) && isTextual(b.kind) {
+		// UNITEXT orders by its Text component only (§3.2.1): ordinary text
+		// comparisons apply to the Text component, and mixing TEXT with
+		// UNITEXT must stay transitive. Language-sensitive equality is the
+		// separate ≐ operator (Equal).
+		at, bt := a.Text(), b.Text()
+		switch {
+		case at < bt:
+			return -1
+		case at > bt:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.kind == KindBool && b.kind == KindBool {
+		switch {
+		case !a.b && b.b:
+			return -1
+		case a.b && !b.b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	panic(fmt.Sprintf("types: cannot compare %s with %s", a.kind, b.kind))
+}
+
+// Comparable reports whether Compare accepts the two kinds.
+func Comparable(a, b Kind) bool {
+	if a == KindNull || b == KindNull {
+		return true
+	}
+	if isNumeric(a) && isNumeric(b) {
+		return true
+	}
+	if isTextual(a) && isTextual(b) {
+		return true
+	}
+	return a == KindBool && b == KindBool
+}
+
+func isNumeric(k Kind) bool { return k == KindInt || k == KindFloat }
+func isTextual(k Kind) bool { return k == KindText || k == KindUniText }
+
+// Equal reports deep equality of two values, including the language
+// component of UNITEXT (the ≐ semantics). Phoneme materialization is
+// derived state and is ignored.
+func Equal(a, b Value) bool {
+	if a.kind != b.kind {
+		if isNumeric(a.kind) && isNumeric(b.kind) {
+			return a.Float() == b.Float()
+		}
+		return false
+	}
+	switch a.kind {
+	case KindNull:
+		return true
+	case KindUniText:
+		return a.s == b.s && a.lang == b.lang
+	default:
+		return Compare(a, b) == 0
+	}
+}
+
+// Tuple is one row: a flat slice of values.
+type Tuple []Value
+
+// Clone returns a deep-enough copy (values are immutable, so a shallow slice
+// copy suffices).
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// String renders the tuple for display.
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,175 @@
+// Package wire defines the binary client/server protocol used by the
+// outside-the-server implementation path. The paper's baseline evaluates
+// the multilingual operators "outside the server using standard database
+// features (PL/SQL procedures, SQL scripts...)"; its costs come from UDF
+// invocation overhead, process-space crossing and row shipping. This
+// protocol reproduces those costs mechanically: every row crosses a socket,
+// length-prefixed and re-encoded, and every cursor fetch is a round trip.
+//
+// Message framing:
+//
+//	uint32  payload length (big endian)
+//	byte    message type
+//	payload
+//
+// Payload contents use the types package tuple codec plus uvarint/string
+// helpers, so a tuple travels in exactly its storage encoding.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/mural-db/mural/internal/types"
+)
+
+// MsgType tags a protocol message.
+type MsgType byte
+
+// Client → server messages.
+const (
+	MsgQuery MsgType = 0x01 // SQL text; opens a cursor for SELECT
+	MsgExec  MsgType = 0x02 // SQL text; statement without result rows
+	MsgFetch MsgType = 0x03 // cursor id (uvarint), max rows (uvarint)
+	MsgClose MsgType = 0x04 // cursor id (uvarint)
+	MsgPing  MsgType = 0x05
+	MsgQuit  MsgType = 0x06
+)
+
+// Server → client messages.
+const (
+	MsgRowDesc MsgType = 0x81 // cursor id, column count, column names
+	MsgRow     MsgType = 0x82 // one tuple
+	MsgEnd     MsgType = 0x83 // cursor exhausted
+	MsgOK      MsgType = 0x84 // rows affected (uvarint)
+	MsgErr     MsgType = 0x85 // error string
+	MsgPong    MsgType = 0x86
+)
+
+// MaxPayload guards against corrupt frames.
+const MaxPayload = 16 << 20
+
+// Write frames one message.
+func Write(w io.Writer, typ MsgType, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = byte(typ)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("wire: write payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// Read unframes one message.
+func Read(r io.Reader) (MsgType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxPayload {
+		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds max", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: read payload: %w", err)
+	}
+	return MsgType(hdr[4]), payload, nil
+}
+
+// AppendString appends a uvarint-prefixed string.
+func AppendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// ReadString decodes a uvarint-prefixed string, returning it and the bytes
+// consumed.
+func ReadString(buf []byte) (string, int, error) {
+	l, sz := binary.Uvarint(buf)
+	if sz <= 0 || uint64(len(buf)-sz) < l {
+		return "", 0, fmt.Errorf("wire: bad string")
+	}
+	return string(buf[sz : sz+int(l)]), sz + int(l), nil
+}
+
+// EncodeRowDesc builds a MsgRowDesc payload.
+func EncodeRowDesc(cursor uint64, cols []string) []byte {
+	buf := binary.AppendUvarint(nil, cursor)
+	buf = binary.AppendUvarint(buf, uint64(len(cols)))
+	for _, c := range cols {
+		buf = AppendString(buf, c)
+	}
+	return buf
+}
+
+// DecodeRowDesc parses a MsgRowDesc payload.
+func DecodeRowDesc(buf []byte) (cursor uint64, cols []string, err error) {
+	cursor, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return 0, nil, fmt.Errorf("wire: bad row desc cursor")
+	}
+	pos := sz
+	n, sz := binary.Uvarint(buf[pos:])
+	if sz <= 0 {
+		return 0, nil, fmt.Errorf("wire: bad row desc count")
+	}
+	pos += sz
+	cols = make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		s, consumed, err := ReadString(buf[pos:])
+		if err != nil {
+			return 0, nil, err
+		}
+		cols = append(cols, s)
+		pos += consumed
+	}
+	return cursor, cols, nil
+}
+
+// EncodeFetch builds a MsgFetch payload.
+func EncodeFetch(cursor uint64, maxRows int) []byte {
+	buf := binary.AppendUvarint(nil, cursor)
+	return binary.AppendUvarint(buf, uint64(maxRows))
+}
+
+// DecodeFetch parses a MsgFetch payload.
+func DecodeFetch(buf []byte) (cursor uint64, maxRows int, err error) {
+	cursor, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return 0, 0, fmt.Errorf("wire: bad fetch cursor")
+	}
+	n, sz2 := binary.Uvarint(buf[sz:])
+	if sz2 <= 0 {
+		return 0, 0, fmt.Errorf("wire: bad fetch count")
+	}
+	return cursor, int(n), nil
+}
+
+// EncodeRow serializes a tuple.
+func EncodeRow(t types.Tuple) []byte { return types.EncodeTuple(t) }
+
+// DecodeRow deserializes a tuple.
+func DecodeRow(buf []byte) (types.Tuple, error) {
+	t, _, err := types.DecodeTuple(buf)
+	return t, err
+}
+
+// EncodeUvarint / DecodeUvarint wrap single-integer payloads (cursor ids,
+// row counts).
+func EncodeUvarint(v uint64) []byte { return binary.AppendUvarint(nil, v) }
+
+// DecodeUvarint parses a single uvarint payload.
+func DecodeUvarint(buf []byte) (uint64, error) {
+	v, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return 0, fmt.Errorf("wire: bad uvarint payload")
+	}
+	return v, nil
+}

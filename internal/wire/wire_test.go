@@ -1,0 +1,148 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"github.com/mural-db/mural/internal/types"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("SELECT * FROM names")
+	if err := Write(&buf, MsgQuery, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgQuery || !bytes.Equal(got, payload) {
+		t.Errorf("round trip: %v %q", typ, got)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, MsgPing, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgPing || len(got) != 0 {
+		t.Error("empty payload round trip")
+	}
+}
+
+func TestReadTruncatedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, MsgRow, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-2]
+	if _, _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Error("truncated frame must error")
+	}
+	if _, _, err := Read(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream: %v", err)
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	var hdr [5]byte
+	hdr[0], hdr[1], hdr[2], hdr[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	hdr[4] = byte(MsgRow)
+	if _, _, err := Read(bytes.NewReader(hdr[:])); err == nil {
+		t.Error("oversize frame must be rejected before allocation")
+	}
+}
+
+func TestRowDescRoundTrip(t *testing.T) {
+	buf := EncodeRowDesc(42, []string{"id", "name", "यूनिकोड"})
+	cursor, cols, err := DecodeRowDesc(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cursor != 42 || len(cols) != 3 || cols[2] != "यूनिकोड" {
+		t.Errorf("row desc: %d %v", cursor, cols)
+	}
+	if _, _, err := DecodeRowDesc(nil); err == nil {
+		t.Error("empty row desc must error")
+	}
+	if _, _, err := DecodeRowDesc(buf[:3]); err == nil {
+		t.Error("truncated row desc must error")
+	}
+}
+
+func TestFetchRoundTrip(t *testing.T) {
+	buf := EncodeFetch(7, 100)
+	cursor, n, err := DecodeFetch(buf)
+	if err != nil || cursor != 7 || n != 100 {
+		t.Errorf("fetch: %d %d %v", cursor, n, err)
+	}
+	if _, _, err := DecodeFetch(nil); err == nil {
+		t.Error("empty fetch must error")
+	}
+}
+
+func TestRowRoundTrip(t *testing.T) {
+	tup := types.Tuple{
+		types.NewInt(-5),
+		types.NewText("hello"),
+		types.NewUniText(types.UniText{Text: "नेहरू", Lang: types.LangHindi, Phoneme: "neharu"}),
+		types.Null(),
+	}
+	got, err := DecodeRow(EncodeRow(tup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[0].Int() != -5 || got[2].UniText().Phoneme != "neharu" {
+		t.Errorf("row round trip: %v", got)
+	}
+}
+
+func TestStringCodecProperty(t *testing.T) {
+	f := func(s string) bool {
+		buf := AppendString(nil, s)
+		got, n, err := ReadString(buf)
+		return err == nil && got == s && n == len(buf)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUvarintRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		got, err := DecodeUvarint(EncodeUvarint(v))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := DecodeUvarint(nil); err == nil {
+		t.Error("empty uvarint must error")
+	}
+}
+
+func TestMultipleFramesSequential(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		if err := Write(&buf, MsgRow, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		typ, payload, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != MsgRow || payload[0] != byte(i) {
+			t.Errorf("frame %d: %v %v", i, typ, payload)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package wordnet
+
+import "sync"
+
+// ClosureCache memoizes materialized transitive closures as in-memory hash
+// tables, implementing the paper's §4.3 strategy verbatim:
+//
+//	"Every time a closure for a RHS attribute value is computed, it is
+//	materialized as a hash table in the main memory ... the second step of
+//	checking set-membership of a set of LHS attribute values becomes much
+//	faster as the same hash table is used for all LHS values ... the hash
+//	table is checked for possible reuse for several RHS values."
+//
+// Nested-loops Ω joins with the RHS as the outer relation amortize one
+// closure computation across every inner tuple; the cache additionally
+// amortizes across duplicate RHS values.
+type ClosureCache struct {
+	net *Net
+
+	mu    sync.Mutex
+	cache map[SynsetID]map[SynsetID]struct{}
+
+	hits, misses uint64
+}
+
+// NewClosureCache wraps a Net.
+func NewClosureCache(net *Net) *ClosureCache {
+	return &ClosureCache{net: net, cache: make(map[SynsetID]map[SynsetID]struct{})}
+}
+
+// Closure returns the materialized closure of root, computing and caching
+// it on first use. The returned set is shared; callers must not mutate it.
+func (c *ClosureCache) Closure(root SynsetID) map[SynsetID]struct{} {
+	c.mu.Lock()
+	if set, ok := c.cache[root]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return set
+	}
+	c.misses++
+	c.mu.Unlock()
+	// Compute outside the lock: closures can be large.
+	set := c.net.Closure(root)
+	c.mu.Lock()
+	c.cache[root] = set
+	c.mu.Unlock()
+	return set
+}
+
+// Contains reports whether node is in the (cached) closure of root.
+func (c *ClosureCache) Contains(node, root SynsetID) bool {
+	_, ok := c.Closure(root)[node]
+	return ok
+}
+
+// Stats returns cache hit/miss counters.
+func (c *ClosureCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Reset clears the cache and counters (between benchmark configurations).
+func (c *ClosureCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cache = make(map[SynsetID]map[SynsetID]struct{})
+	c.hits, c.misses = 0, 0
+}

@@ -1,0 +1,111 @@
+// Package mural is the public API of the MURAL engine: a from-scratch
+// relational database engine with the multilingual query operators of
+// "On Pushing Multilingual Query Operators into Relational Engines"
+// (Kumaran, Chowdary, Haritsa; ICDE 2006) pushed into its core.
+//
+// The engine provides:
+//
+//   - the UniText multilingual datatype (text + language id + materialized
+//     IPA phoneme string),
+//   - the LexEQUAL (Ψ) operator for phonemic approximate matching of
+//     multilingual names,
+//   - the SemEQUAL (Ω) operator for taxonomic concept matching over
+//     interlinked multilingual WordNet hierarchies pinned in memory,
+//   - a cost-based optimizer with the paper's Table 3 cost models and the
+//     end-biased-histogram selectivity estimators of §3.4, and
+//   - B-tree, M-Tree (GiST) and MDI access methods.
+//
+// Quick start:
+//
+//	db, _ := mural.Open(mural.Config{}) // in-memory
+//	defer db.Close()
+//	db.MustExec(`CREATE TABLE book (id INT, author UNITEXT, title TEXT)`)
+//	db.MustExec(`INSERT INTO book VALUES (1, unitext('नेहरू', hindi), 'Discovery of India')`)
+//	res, _ := db.Exec(`SELECT title FROM book WHERE author LEXEQUAL 'Nehru' THRESHOLD 2 IN english, hindi`)
+//	for _, row := range res.Rows { fmt.Println(row) }
+package mural
+
+import (
+	"github.com/mural-db/mural/internal/phonetic"
+	"github.com/mural-db/mural/internal/types"
+	"github.com/mural-db/mural/internal/wordnet"
+)
+
+// Re-exported value types, so callers can construct and inspect data
+// without reaching into internal packages.
+type (
+	// Value is one SQL scalar.
+	Value = types.Value
+	// Tuple is one row.
+	Tuple = types.Tuple
+	// Kind is a runtime type tag.
+	Kind = types.Kind
+	// LangID identifies a natural language.
+	LangID = types.LangID
+	// UniText is the multilingual text datatype of §3.1.
+	UniText = types.UniText
+)
+
+// Value constructors and kinds.
+var (
+	Null       = types.Null
+	NewBool    = types.NewBool
+	NewInt     = types.NewInt
+	NewFloat   = types.NewFloat
+	NewText    = types.NewText
+	NewUniText = types.NewUniText
+	Compose    = types.Compose
+)
+
+// Kinds.
+const (
+	KindNull    = types.KindNull
+	KindBool    = types.KindBool
+	KindInt     = types.KindInt
+	KindFloat   = types.KindFloat
+	KindText    = types.KindText
+	KindUniText = types.KindUniText
+)
+
+// Languages with built-in converters (German has none and degrades to
+// case-folded text matching).
+const (
+	LangUnknown = types.LangUnknown
+	LangEnglish = types.LangEnglish
+	LangHindi   = types.LangHindi
+	LangTamil   = types.LangTamil
+	LangKannada = types.LangKannada
+	LangFrench  = types.LangFrench
+	LangGerman  = types.LangGerman
+)
+
+// LangFromName resolves a language name ("english", "tamil", ...).
+var LangFromName = types.LangFromName
+
+// WordNet re-exports: generate or supply a taxonomy for the Ω operator.
+type (
+	// WordNet is an interlinked multilingual taxonomy.
+	WordNet = wordnet.Net
+	// WordNetConfig parameterizes GenerateWordNet.
+	WordNetConfig = wordnet.Config
+	// SynsetID identifies a synset.
+	SynsetID = wordnet.SynsetID
+)
+
+// GenerateWordNet builds a deterministic synthetic taxonomy calibrated to
+// the structural statistics of the Princeton WordNet noun hierarchy.
+var GenerateWordNet = wordnet.Generate
+
+// PhoneticRegistry is the grapheme-to-phoneme converter registry.
+type PhoneticRegistry = phonetic.Registry
+
+// DefaultPhonetics returns converters for English, Hindi, Tamil, Kannada
+// and French.
+var DefaultPhonetics = phonetic.DefaultRegistry
+
+// Transliterate renders a romanized name into the script of lang (used by
+// the example applications to build multilingual datasets).
+var Transliterate = phonetic.Transliterate
+
+// EditDistance is the Levenshtein distance over code points.
+var EditDistance = phonetic.EditDistance

@@ -1,0 +1,457 @@
+package mural
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"github.com/mural-db/mural/internal/catalog"
+	"github.com/mural-db/mural/internal/exec"
+	"github.com/mural-db/mural/internal/histogram"
+	"github.com/mural-db/mural/internal/index/btree"
+	"github.com/mural-db/mural/internal/index/mdi"
+	"github.com/mural-db/mural/internal/index/mtree"
+	"github.com/mural-db/mural/internal/index/qgram"
+	"github.com/mural-db/mural/internal/plan"
+	"github.com/mural-db/mural/internal/sql"
+	"github.com/mural-db/mural/internal/storage"
+	"github.com/mural-db/mural/internal/types"
+)
+
+func (e *Engine) execCreateTable(s *sql.CreateTable) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	file := e.cat.AllocateFile()
+	t := &catalog.Table{Name: s.Name, File: file}
+	for _, c := range s.Columns {
+		t.Columns = append(t.Columns, catalog.Column{Name: c.Name, Kind: c.Kind})
+	}
+	if err := e.cat.AddTable(t); err != nil {
+		return nil, err
+	}
+	if err := e.attachFile(file); err != nil {
+		return nil, err
+	}
+	h, err := storage.OpenHeap(e.pool, file)
+	if err != nil {
+		return nil, err
+	}
+	e.heaps[s.Name] = h
+	return &Result{}, e.saveCatalog()
+}
+
+func (e *Engine) execDropTable(s *sql.DropTable) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.cat.TableByName(s.Name)
+	if !ok {
+		return nil, fmt.Errorf("mural: no such table %q", s.Name)
+	}
+	droppedIdx, err := e.cat.DropTable(s.Name)
+	if err != nil {
+		return nil, err
+	}
+	release := func(file storage.FileID) {
+		if d, ok := e.disks[file]; ok {
+			_ = e.pool.DetachDisk(file)
+			_ = d.Close()
+			delete(e.disks, file)
+		}
+	}
+	delete(e.heaps, s.Name)
+	release(t.File)
+	for _, ix := range droppedIdx {
+		delete(e.btrees, ix.Name)
+		delete(e.mtrees, ix.Name)
+		delete(e.mdis, ix.Name)
+		delete(e.qgrams, ix.Name)
+		if ix.Kind != sql.IndexQGram {
+			release(ix.File)
+		}
+	}
+	return &Result{}, e.saveCatalog()
+}
+
+func (e *Engine) execCreateIndex(s *sql.CreateIndex) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.cat.TableByName(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("mural: no such table %q", s.Table)
+	}
+	colIdx := t.ColumnIndex(s.Column)
+	if colIdx < 0 {
+		return nil, fmt.Errorf("mural: no column %q in table %q", s.Column, s.Table)
+	}
+	colKind := t.Columns[colIdx].Kind
+	if (s.Kind == sql.IndexMTree || s.Kind == sql.IndexMDI || s.Kind == sql.IndexQGram) && colKind != types.KindUniText {
+		return nil, fmt.Errorf("mural: %s indexes require a UNITEXT column", s.Kind)
+	}
+	file := e.cat.AllocateFile()
+	if err := e.attachFile(file); err != nil {
+		return nil, err
+	}
+	meta := &catalog.Index{Name: s.Name, Table: s.Table, Column: s.Column, Kind: s.Kind, File: file}
+
+	switch s.Kind {
+	case sql.IndexBTree:
+		bt, err := btree.Create(e.pool, file)
+		if err != nil {
+			return nil, err
+		}
+		e.btrees[s.Name] = bt
+	case sql.IndexMTree:
+		mt, err := mtree.Create(e.pool, file, e.cfg.MTreeSplit)
+		if err != nil {
+			return nil, err
+		}
+		e.mtrees[s.Name] = mt
+	case sql.IndexMDI:
+		meta.Pivot = mdi.DefaultPivot
+		md, err := mdi.Create(e.pool, file, meta.Pivot)
+		if err != nil {
+			return nil, err
+		}
+		e.mdis[s.Name] = md
+	case sql.IndexQGram:
+		e.qgrams[s.Name] = qgram.New(0)
+	}
+	if err := e.cat.AddIndex(meta); err != nil {
+		return nil, err
+	}
+	// Backfill from existing rows.
+	h := e.heaps[s.Table]
+	it := h.Scan()
+	for {
+		rid, rec, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		tup, _, err := types.DecodeTuple(rec)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.indexOne(meta, colIdx, tup, rid); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{}, e.saveCatalog()
+}
+
+// indexOne inserts one tuple's key into an index. Called with e.mu held.
+func (e *Engine) indexOne(meta *catalog.Index, colIdx int, tup types.Tuple, rid storage.RID) error {
+	v := tup[colIdx]
+	if v.IsNull() {
+		return nil
+	}
+	switch meta.Kind {
+	case sql.IndexBTree:
+		return e.btrees[meta.Name].Insert(types.KeyOf(v), rid)
+	case sql.IndexMTree:
+		ph := e.phonemeOf(v)
+		return e.mtrees[meta.Name].Insert(ph, rid)
+	case sql.IndexMDI:
+		ph := e.phonemeOf(v)
+		return e.mdis[meta.Name].Insert(ph, rid)
+	case sql.IndexQGram:
+		return e.qgrams[meta.Name].Insert(e.phonemeOf(v), rid)
+	default:
+		return fmt.Errorf("mural: unknown index kind %v", meta.Kind)
+	}
+}
+
+// phonemeOf returns the phoneme string for a value (UNITEXT uses its
+// materialized phoneme; TEXT converts as English).
+func (e *Engine) phonemeOf(v types.Value) string {
+	switch v.Kind() {
+	case types.KindUniText:
+		return e.phon.ToPhoneme(v.UniText())
+	default:
+		return e.phon.ToPhoneme(types.Compose(v.Text(), types.LangEnglish))
+	}
+}
+
+func (e *Engine) execInsert(s *sql.Insert) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.cat.TableByName(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("mural: no such table %q", s.Table)
+	}
+	h := e.heaps[s.Table]
+	idxs := make([]*catalog.Index, 0)
+	for _, ix := range e.cat.Indexes() {
+		if ix.Table == s.Table {
+			idxs = append(idxs, ix)
+		}
+	}
+	comp := &plan.Compiler{DefaultThreshold: e.cat.LexThreshold()}
+	ev := exec.NewEvaluator(e)
+	var inserted int64
+	for _, row := range s.Rows {
+		if len(row) != len(t.Columns) {
+			return nil, fmt.Errorf("mural: INSERT has %d values, table %q has %d columns", len(row), s.Table, len(t.Columns))
+		}
+		tup := make(types.Tuple, len(row))
+		for i, expr := range row {
+			ce, err := comp.Compile(expr)
+			if err != nil {
+				return nil, err
+			}
+			v, err := ev.Eval(ce, nil)
+			if err != nil {
+				return nil, err
+			}
+			v, err = coerce(v, t.Columns[i].Kind, e)
+			if err != nil {
+				return nil, fmt.Errorf("mural: column %q: %w", t.Columns[i].Name, err)
+			}
+			tup[i] = v
+		}
+		rid, err := h.Insert(types.EncodeTuple(tup))
+		if err != nil {
+			return nil, err
+		}
+		for _, ix := range idxs {
+			if err := e.indexOne(ix, t.ColumnIndex(ix.Column), tup, rid); err != nil {
+				return nil, err
+			}
+		}
+		inserted++
+	}
+	return &Result{RowsAffected: inserted}, nil
+}
+
+// coerce adapts a literal value to the column type: integer widening,
+// TEXT→UNITEXT composition (defaulting to English) with phoneme
+// materialization (the paper materializes phonemes at insert time, §3.1).
+func coerce(v types.Value, want types.Kind, e *Engine) (types.Value, error) {
+	if v.IsNull() {
+		return v, nil
+	}
+	got := v.Kind()
+	if got == want {
+		if want == types.KindUniText {
+			u := v.UniText()
+			if u.Phoneme == "" {
+				return types.NewUniText(e.phon.Materialize(u)), nil
+			}
+		}
+		return v, nil
+	}
+	switch want {
+	case types.KindFloat:
+		if got == types.KindInt {
+			return types.NewFloat(v.Float()), nil
+		}
+	case types.KindInt:
+		if got == types.KindFloat && v.Float() == float64(int64(v.Float())) {
+			return types.NewInt(int64(v.Float())), nil
+		}
+	case types.KindUniText:
+		if got == types.KindText {
+			return types.NewUniText(e.phon.Materialize(types.Compose(v.Text(), types.LangEnglish))), nil
+		}
+	case types.KindText:
+		if got == types.KindUniText {
+			return types.NewText(v.Text()), nil
+		}
+	}
+	return types.Value{}, fmt.Errorf("cannot store %s in %s column", got, want)
+}
+
+// execDelete removes every row matching the predicate, maintaining all
+// indexes. The heap space is tombstoned, not compacted (the engine's
+// workloads are load-then-query).
+func (e *Engine) execDelete(s *sql.Delete) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.cat.TableByName(s.Table)
+	if !ok {
+		return nil, fmt.Errorf("mural: no such table %q", s.Table)
+	}
+	h := e.heaps[s.Table]
+	var idxs []*catalog.Index
+	for _, ix := range e.cat.Indexes() {
+		if ix.Table == s.Table {
+			idxs = append(idxs, ix)
+		}
+	}
+	var cond plan.Expr
+	if s.Where != nil {
+		schema := make([]plan.ColInfo, len(t.Columns))
+		for i, c := range t.Columns {
+			schema[i] = plan.ColInfo{Rel: s.Table, Name: c.Name, Kind: c.Kind}
+		}
+		comp := &plan.Compiler{Schema: schema, DefaultThreshold: e.cat.LexThreshold()}
+		var err error
+		cond, err = comp.Compile(s.Where)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ev := exec.NewEvaluator(e)
+	type victim struct {
+		rid storage.RID
+		tup types.Tuple
+	}
+	var victims []victim
+	it := h.Scan()
+	for {
+		rid, rec, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		tup, _, err := types.DecodeTuple(rec)
+		if err != nil {
+			return nil, err
+		}
+		if cond != nil {
+			pass, err := ev.EvalBool(cond, tup)
+			if err != nil {
+				return nil, err
+			}
+			if !pass {
+				continue
+			}
+		}
+		victims = append(victims, victim{rid: rid, tup: tup})
+	}
+	for _, v := range victims {
+		if err := h.Delete(v.rid); err != nil {
+			return nil, err
+		}
+		for _, ix := range idxs {
+			val := v.tup[t.ColumnIndex(ix.Column)]
+			if val.IsNull() {
+				continue
+			}
+			var err error
+			switch ix.Kind {
+			case sql.IndexBTree:
+				err = e.btrees[ix.Name].Delete(types.KeyOf(val), v.rid)
+			case sql.IndexMTree:
+				err = e.mtrees[ix.Name].Delete(e.phonemeOf(val), v.rid)
+			case sql.IndexMDI:
+				err = e.mdis[ix.Name].Delete(e.phonemeOf(val), v.rid)
+			case sql.IndexQGram:
+				err = e.qgrams[ix.Name].Delete(e.phonemeOf(val), v.rid)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("mural: delete from index %q: %w", ix.Name, err)
+			}
+		}
+	}
+	return &Result{RowsAffected: int64(len(victims))}, nil
+}
+
+func (e *Engine) execAnalyze(s *sql.Analyze) (*Result, error) {
+	var tables []*catalog.Table
+	if s.Table != "" {
+		t, ok := e.cat.TableByName(s.Table)
+		if !ok {
+			return nil, fmt.Errorf("mural: no such table %q", s.Table)
+		}
+		tables = []*catalog.Table{t}
+	} else {
+		tables = e.cat.Tables()
+	}
+	for _, t := range tables {
+		if err := e.analyzeTable(t); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{}, e.saveCatalog()
+}
+
+// analyzeTable gathers the §3.4.1 statistics: row/page counts plus one
+// end-biased histogram per column. UNITEXT columns are summarized in
+// phoneme space so Ψ selectivity estimation can match against real phoneme
+// strings.
+func (e *Engine) analyzeTable(t *catalog.Table) error {
+	e.mu.RLock()
+	h := e.heaps[t.Name]
+	e.mu.RUnlock()
+	if h == nil {
+		return fmt.Errorf("mural: heap for %q not open", t.Name)
+	}
+	keys := make([][]string, len(t.Columns))
+	widths := make([]int64, len(t.Columns))
+	nulls := make([]int64, len(t.Columns))
+	var rows int64
+	it := h.Scan()
+	for {
+		_, rec, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		tup, _, err := types.DecodeTuple(rec)
+		if err != nil {
+			return err
+		}
+		rows++
+		for i, v := range tup {
+			if i >= len(t.Columns) {
+				break
+			}
+			if v.IsNull() {
+				nulls[i]++
+				continue
+			}
+			key := histKey(e, v)
+			keys[i] = append(keys[i], key)
+			widths[i] += int64(len(key))
+		}
+	}
+	st := &catalog.TableStats{
+		Rows:    rows,
+		Pages:   int64(h.NumPages()),
+		Columns: make(map[string]*catalog.ColumnStats, len(t.Columns)),
+	}
+	for i, col := range t.Columns {
+		cs := &catalog.ColumnStats{
+			Hist: histogram.Build(keys[i], histogram.DefaultFrequentValues),
+		}
+		if n := int64(len(keys[i])); n > 0 {
+			cs.AvgWidth = float64(widths[i]) / float64(n)
+		}
+		if rows > 0 {
+			cs.NullFrac = float64(nulls[i]) / float64(rows)
+		}
+		st.Columns[col.Name] = cs
+	}
+	e.cat.SetStats(t.Name, st)
+	return nil
+}
+
+// histKey renders a value the way ANALYZE keys histograms: UNITEXT in
+// phoneme space (so Ψ selectivity matches real phoneme strings), numerics
+// through the order-preserving key encoding (so lexicographic range
+// interpolation is numerically correct), everything else as text.
+func histKey(e *Engine, v types.Value) string {
+	switch v.Kind() {
+	case types.KindUniText:
+		return e.phon.ToPhoneme(v.UniText())
+	case types.KindInt, types.KindFloat:
+		// Hex keeps byte order (so range interpolation is numerically
+		// correct) while staying JSON-safe for catalog persistence.
+		return hex.EncodeToString(types.KeyOf(v))
+	default:
+		return v.String()
+	}
+}
+
+func (e *Engine) saveCatalog() error {
+	if e.cfg.Dir == "" {
+		return nil
+	}
+	return e.cat.Save(e.cfg.Dir)
+}

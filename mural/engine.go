@@ -1,0 +1,507 @@
+package mural
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/mural-db/mural/internal/catalog"
+	"github.com/mural-db/mural/internal/exec"
+	"github.com/mural-db/mural/internal/index/btree"
+	"github.com/mural-db/mural/internal/index/mdi"
+	"github.com/mural-db/mural/internal/index/mtree"
+	"github.com/mural-db/mural/internal/index/qgram"
+	"github.com/mural-db/mural/internal/phonetic"
+	"github.com/mural-db/mural/internal/plan"
+	"github.com/mural-db/mural/internal/sql"
+	"github.com/mural-db/mural/internal/storage"
+	"github.com/mural-db/mural/internal/types"
+	"github.com/mural-db/mural/internal/wordnet"
+)
+
+// Config parameterizes Open.
+type Config struct {
+	// Dir is the database directory; empty means fully in-memory.
+	Dir string
+	// BufferPages sizes the shared buffer pool (default 4096 frames =
+	// 32 MiB).
+	BufferPages int
+	// WordNet supplies the taxonomy pinned in memory for the Ω operator
+	// (§4.3). Nil disables SEMEQUAL until LoadWordNet is called.
+	WordNet *wordnet.Net
+	// Phonetics overrides the converter registry (default: English, Hindi,
+	// Tamil, Kannada, French).
+	Phonetics *phonetic.Registry
+	// MTreeSplit selects the M-Tree split policy for new MTREE indexes;
+	// the zero value is the paper's random split.
+	MTreeSplit MTreeSplitPolicy
+}
+
+// MTreeSplitPolicy re-exports the split policies.
+type MTreeSplitPolicy = mtree.SplitPolicy
+
+// Split policies for CREATE INDEX ... USING MTREE.
+const (
+	MTreeSplitRandom       = mtree.SplitRandom
+	MTreeSplitMinMaxRadius = mtree.SplitMinMaxRadius
+)
+
+// Engine is one open database. It is safe for concurrent use; DDL and
+// inserts serialize against queries coarsely.
+type Engine struct {
+	cfg  Config
+	pool *storage.Pool
+	cat  *catalog.Catalog
+	phon *phonetic.Registry
+
+	mu      sync.RWMutex
+	heaps   map[string]*storage.Heap
+	btrees  map[string]*btree.BTree
+	mtrees  map[string]*mtree.Index
+	mdis    map[string]*mdi.Index
+	qgrams  map[string]*qgram.Index
+	disks   map[storage.FileID]storage.Disk
+	matcher *wordnet.Matcher
+	sem     plan.SemEstimator
+	// operators holds user-registered binary predicates, callable from SQL
+	// as name(a, b) — the analog of PostgreSQL's operator addition
+	// facility the paper's prototype built on (§4.2).
+	operators map[string]func(a, b Value) (bool, error)
+}
+
+// Open opens (or creates) a database.
+func Open(cfg Config) (*Engine, error) {
+	if cfg.BufferPages <= 0 {
+		cfg.BufferPages = 4096
+	}
+	if cfg.Phonetics == nil {
+		cfg.Phonetics = phonetic.DefaultRegistry()
+	}
+	var cat *catalog.Catalog
+	var err error
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("mural: create dir: %w", err)
+		}
+		cat, err = catalog.Load(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		cat = catalog.New()
+	}
+	e := &Engine{
+		cfg:       cfg,
+		pool:      storage.NewPool(cfg.BufferPages),
+		cat:       cat,
+		phon:      cfg.Phonetics,
+		heaps:     make(map[string]*storage.Heap),
+		btrees:    make(map[string]*btree.BTree),
+		mtrees:    make(map[string]*mtree.Index),
+		mdis:      make(map[string]*mdi.Index),
+		qgrams:    make(map[string]*qgram.Index),
+		disks:     make(map[storage.FileID]storage.Disk),
+		operators: make(map[string]func(a, b Value) (bool, error)),
+	}
+	if cfg.WordNet != nil {
+		e.LoadWordNet(cfg.WordNet)
+	}
+	// Reopen persisted tables and indexes.
+	for _, t := range cat.Tables() {
+		if err := e.attachFile(t.File); err != nil {
+			return nil, err
+		}
+		h, err := storage.OpenHeap(e.pool, t.File)
+		if err != nil {
+			return nil, err
+		}
+		e.heaps[t.Name] = h
+	}
+	for _, ix := range cat.Indexes() {
+		if ix.Kind == sql.IndexQGram {
+			// Q-gram lists live in memory; rebuild from the base table
+			// (like the pinned WordNet hierarchies of §4.3).
+			if err := e.rebuildQGram(ix); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := e.attachFile(ix.File); err != nil {
+			return nil, err
+		}
+		switch ix.Kind {
+		case sql.IndexBTree:
+			bt, err := btree.Open(e.pool, ix.File)
+			if err != nil {
+				return nil, err
+			}
+			e.btrees[ix.Name] = bt
+		case sql.IndexMTree:
+			mt, err := mtree.Open(e.pool, ix.File, cfg.MTreeSplit)
+			if err != nil {
+				return nil, err
+			}
+			e.mtrees[ix.Name] = mt
+		case sql.IndexMDI:
+			md, err := mdi.Open(e.pool, ix.File, ix.Pivot)
+			if err != nil {
+				return nil, err
+			}
+			e.mdis[ix.Name] = md
+		}
+	}
+	return e, nil
+}
+
+// attachFile creates/opens the disk for a file id and attaches it.
+func (e *Engine) attachFile(id storage.FileID) error {
+	if _, ok := e.disks[id]; ok {
+		return nil
+	}
+	var d storage.Disk
+	if e.cfg.Dir == "" {
+		d = storage.NewMemDisk()
+	} else {
+		fd, err := storage.OpenFileDisk(filepath.Join(e.cfg.Dir, fmt.Sprintf("file_%d.db", id)))
+		if err != nil {
+			return err
+		}
+		d = fd
+	}
+	e.disks[id] = d
+	e.pool.AttachDisk(id, d)
+	return nil
+}
+
+// LoadWordNet pins a taxonomy in memory for the Ω operator.
+func (e *Engine) LoadWordNet(net *wordnet.Net) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.matcher = wordnet.NewMatcher(net)
+	e.sem = &semEstimator{net: net}
+}
+
+// WordNet returns the pinned taxonomy (nil when none is loaded).
+func (e *Engine) WordNet() *wordnet.Net {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.matcher == nil {
+		return nil
+	}
+	return e.matcher.Net()
+}
+
+// Close flushes and closes every file.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.pool.FlushAll(); err != nil {
+		return err
+	}
+	if e.cfg.Dir != "" {
+		if err := e.cat.Save(e.cfg.Dir); err != nil {
+			return err
+		}
+	}
+	var firstErr error
+	for id, d := range e.disks {
+		if err := e.pool.DetachDisk(id); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := d.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	e.disks = map[storage.FileID]storage.Disk{}
+	return firstErr
+}
+
+// BufferStats exposes buffer pool counters (used by the benchmark harness).
+func (e *Engine) BufferStats() storage.PoolStats { return e.pool.Stats() }
+
+// ResetBufferStats zeroes the pool counters.
+func (e *Engine) ResetBufferStats() { e.pool.ResetStats() }
+
+// semEstimator adapts a wordnet.Net to the planner's SemEstimator (§3.4.2).
+type semEstimator struct{ net *wordnet.Net }
+
+func (s *semEstimator) ClosureFrac(word string, lang types.LangID) float64 {
+	syns := s.net.SynsetsOf(lang, strings.ToLower(word))
+	if len(syns) == 0 {
+		return -1
+	}
+	max := 0
+	for _, id := range syns {
+		if sz := s.net.ClosureSize(id); sz > max {
+			max = sz
+		}
+	}
+	return float64(max) / float64(s.net.NumSynsets())
+}
+
+func (s *semEstimator) AvgClosureFrac() float64 {
+	// Mean closure size equals mean(depth)+1 over a tree, the h̄-based
+	// estimate of §3.4.2.
+	n := s.net.NumSynsets()
+	if n == 0 {
+		return 0
+	}
+	return (s.net.AvgDepth() + 1) / float64(n)
+}
+
+func (s *semEstimator) TaxonomySize() int { return s.net.NumSynsets() }
+
+// Result is a fully materialized statement result.
+type Result struct {
+	// Cols are the output column names (SELECT only).
+	Cols []string
+	// Rows are the output tuples (SELECT only).
+	Rows []Tuple
+	// RowsAffected counts inserted rows for INSERT.
+	RowsAffected int64
+	// Plan is the EXPLAIN rendering when the statement was EXPLAIN, and the
+	// chosen plan for SELECT.
+	Plan string
+	// PlanCost is the optimizer's predicted cost for SELECT/EXPLAIN.
+	PlanCost float64
+	// Elapsed is the executor wall time for SELECT.
+	Elapsed time.Duration
+	// Stats carries executor counters.
+	Stats exec.RunStats
+}
+
+// MustExec runs a statement and panics on error; examples and tests use it
+// for setup.
+func (e *Engine) MustExec(q string) *Result {
+	r, err := e.Exec(q)
+	if err != nil {
+		panic(fmt.Sprintf("mural: %s: %v", q, err))
+	}
+	return r
+}
+
+// Exec parses and runs one statement, materializing the result.
+func (e *Engine) Exec(q string) (*Result, error) {
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sql.CreateTable:
+		return e.execCreateTable(s)
+	case *sql.DropTable:
+		return e.execDropTable(s)
+	case *sql.CreateIndex:
+		return e.execCreateIndex(s)
+	case *sql.Insert:
+		return e.execInsert(s)
+	case *sql.Delete:
+		return e.execDelete(s)
+	case *sql.Analyze:
+		return e.execAnalyze(s)
+	case *sql.Set:
+		e.cat.SetSetting(s.Name, s.Value)
+		return &Result{}, nil
+	case *sql.Show:
+		v, ok := e.cat.Setting(s.Name)
+		res := &Result{Cols: []string{s.Name}}
+		if ok {
+			res.Rows = []Tuple{{types.NewText(v)}}
+		}
+		return res, nil
+	case *sql.Explain:
+		return e.execExplain(s)
+	case *sql.Select:
+		return e.execSelect(s)
+	default:
+		return nil, fmt.Errorf("mural: unsupported statement %T", stmt)
+	}
+}
+
+// Rows is a streaming SELECT result (the server uses it for row-at-a-time
+// cursors).
+type Rows struct {
+	Cols   []string
+	cursor *exec.Cursor
+}
+
+// Next returns the next row.
+func (r *Rows) Next() (Tuple, bool, error) { return r.cursor.Next() }
+
+// Close releases the cursor.
+func (r *Rows) Close() error { return r.cursor.Close() }
+
+// Query plans and starts a SELECT, returning a streaming cursor.
+func (e *Engine) Query(q string) (*Rows, error) {
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("mural: Query requires a SELECT statement")
+	}
+	node, err := e.planSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := exec.Run(e, node)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{Cols: cur.Cols, cursor: cur}, nil
+}
+
+// planner assembles a Planner with the current optimizer settings.
+func (e *Engine) planner() *plan.Planner {
+	opts := plan.DefaultOptions()
+	boolSetting := func(name string, def bool) bool {
+		v, ok := e.cat.Setting(name)
+		if !ok {
+			return def
+		}
+		return v != "off" && v != "false" && v != "0"
+	}
+	opts.EnableHashJoin = boolSetting("enable_hashjoin", true)
+	opts.EnableIndexScan = boolSetting("enable_indexscan", true)
+	opts.EnableMTree = boolSetting("enable_mtree", true)
+	opts.EnableMDI = boolSetting("enable_mdi", true)
+	opts.EnableQGram = boolSetting("enable_qgram", true)
+	if v, ok := e.cat.Setting("force_join_order"); ok && v != "" {
+		for _, part := range strings.Split(v, ",") {
+			if p := strings.TrimSpace(p2l(part)); p != "" {
+				opts.ForceOrder = append(opts.ForceOrder, p)
+			}
+		}
+	}
+	e.mu.RLock()
+	sem := e.sem
+	e.mu.RUnlock()
+	return &plan.Planner{Cat: e.cat, Phon: e.phon, Sem: sem, Opts: opts}
+}
+
+func p2l(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+func (e *Engine) planSelect(sel *sql.Select) (*plan.Node, error) {
+	return e.planner().Plan(sel)
+}
+
+func (e *Engine) execSelect(sel *sql.Select) (*Result, error) {
+	node, err := e.planSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	cur, err := exec.Run(e, node)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := cur.All()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Cols:     cur.Cols,
+		Rows:     rows,
+		Plan:     plan.Format(node),
+		PlanCost: node.EstCost,
+		Elapsed:  time.Since(start),
+		Stats:    *cur.Stats,
+	}, nil
+}
+
+func (e *Engine) execExplain(s *sql.Explain) (*Result, error) {
+	node, err := e.planSelect(s.Stmt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Plan: plan.Format(node), PlanCost: node.EstCost, Cols: []string{"plan"}}
+	if s.Analyze {
+		start := time.Now()
+		cur, err := exec.Run(e, node)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := cur.All()
+		if err != nil {
+			return nil, err
+		}
+		res.Elapsed = time.Since(start)
+		res.Stats = *cur.Stats
+		res.Plan += fmt.Sprintf("Actual: rows=%d elapsed=%s index_pages=%d psi_evals=%d omega_probes=%d\n",
+			len(rows), res.Elapsed, res.Stats.IndexPages, res.Stats.PsiEvaluations, res.Stats.OmegaProbes)
+	}
+	for _, line := range strings.Split(strings.TrimRight(res.Plan, "\n"), "\n") {
+		res.Rows = append(res.Rows, Tuple{types.NewText(line)})
+	}
+	return res, nil
+}
+
+// RegisterOperator installs a binary predicate under the given lowercase
+// name, callable from SQL as name(a, b). It mirrors PostgreSQL's operator
+// addition facility (§4.2): like the paper's Ψ workaround, anything beyond
+// two operands must travel through session settings. Registering a name
+// twice replaces the previous function; built-in function names are
+// rejected.
+func (e *Engine) RegisterOperator(name string, fn func(a, b Value) (bool, error)) error {
+	name = strings.ToLower(name)
+	switch name {
+	case "count", "sum", "avg", "min", "max", "unitext", "text", "lang", "phoneme":
+		return fmt.Errorf("mural: %q is a built-in function", name)
+	}
+	if fn == nil {
+		return fmt.Errorf("mural: nil operator function")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.operators[name] = fn
+	return nil
+}
+
+// CustomOperator implements exec.Env.
+func (e *Engine) CustomOperator(name string) func(a, b types.Value) (bool, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.operators[name]
+}
+
+// rebuildQGram reloads an in-memory q-gram index from its base table.
+func (e *Engine) rebuildQGram(meta *catalog.Index) error {
+	t, ok := e.cat.TableByName(meta.Table)
+	if !ok {
+		return fmt.Errorf("mural: qgram index %q references missing table %q", meta.Name, meta.Table)
+	}
+	colIdx := t.ColumnIndex(meta.Column)
+	ix := qgram.New(0)
+	h := e.heaps[meta.Table]
+	if h != nil {
+		it := h.Scan()
+		for {
+			rid, rec, ok, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			tup, _, err := types.DecodeTuple(rec)
+			if err != nil {
+				return err
+			}
+			if !tup[colIdx].IsNull() {
+				if err := ix.Insert(e.phonemeOf(tup[colIdx]), rid); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	e.qgrams[meta.Name] = ix
+	return nil
+}
+
+// Catalog exposes the metadata store (tables, indexes, stats, settings);
+// the shell and tools use it for introspection.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }

@@ -1,0 +1,128 @@
+package mural
+
+import (
+	"fmt"
+
+	"github.com/mural-db/mural/internal/exec"
+	"github.com/mural-db/mural/internal/phonetic"
+	"github.com/mural-db/mural/internal/storage"
+	"github.com/mural-db/mural/internal/types"
+	"github.com/mural-db/mural/internal/wordnet"
+)
+
+// The Engine implements exec.Env: all executor data access lands here.
+
+// heapScanIter adapts a heap scan to exec.TupleIter, decoding records.
+type heapScanIter struct {
+	it *storage.Iter
+}
+
+// Next implements exec.TupleIter.
+func (h *heapScanIter) Next() (types.Tuple, bool, error) {
+	_, rec, ok, err := h.it.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	tup, _, err := types.DecodeTuple(rec)
+	if err != nil {
+		return nil, false, err
+	}
+	return tup, true, nil
+}
+
+// Close implements exec.TupleIter.
+func (h *heapScanIter) Close() error { return nil }
+
+// ScanTable implements exec.Env.
+func (e *Engine) ScanTable(table string) (exec.TupleIter, error) {
+	e.mu.RLock()
+	h := e.heaps[table]
+	e.mu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("mural: no such table %q", table)
+	}
+	return &heapScanIter{it: h.Scan()}, nil
+}
+
+// FetchRIDs implements exec.Env.
+func (e *Engine) FetchRIDs(table string, rids []storage.RID) ([]types.Tuple, error) {
+	e.mu.RLock()
+	h := e.heaps[table]
+	e.mu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("mural: no such table %q", table)
+	}
+	out := make([]types.Tuple, 0, len(rids))
+	for _, rid := range rids {
+		rec, err := h.Get(rid)
+		if err != nil {
+			return nil, err
+		}
+		tup, _, err := types.DecodeTuple(rec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tup)
+	}
+	return out, nil
+}
+
+// IndexSearch implements exec.Env (B-tree range probe).
+func (e *Engine) IndexSearch(index string, lo, hi []byte) ([]storage.RID, int, error) {
+	e.mu.RLock()
+	bt := e.btrees[index]
+	e.mu.RUnlock()
+	if bt == nil {
+		return nil, 0, fmt.Errorf("mural: no such btree index %q", index)
+	}
+	var rids []storage.RID
+	pages, err := bt.RangeCount(lo, hi, func(_ []byte, rid storage.RID) bool {
+		rids = append(rids, rid)
+		return true
+	})
+	return rids, pages, err
+}
+
+// MTreeSearch implements exec.Env.
+func (e *Engine) MTreeSearch(index string, phoneme string, threshold int) ([]storage.RID, int, error) {
+	e.mu.RLock()
+	mt := e.mtrees[index]
+	e.mu.RUnlock()
+	if mt == nil {
+		return nil, 0, fmt.Errorf("mural: no such mtree index %q", index)
+	}
+	return mt.RangeSearch(phoneme, threshold)
+}
+
+// MDISearch implements exec.Env.
+func (e *Engine) MDISearch(index string, phoneme string, threshold int) ([]storage.RID, int, int, error) {
+	e.mu.RLock()
+	md := e.mdis[index]
+	e.mu.RUnlock()
+	if md == nil {
+		return nil, 0, 0, fmt.Errorf("mural: no such mdi index %q", index)
+	}
+	return md.RangeSearch(phoneme, threshold)
+}
+
+// QGramSearch implements exec.Env.
+func (e *Engine) QGramSearch(index string, phoneme string, threshold int) ([]storage.RID, int, error) {
+	e.mu.RLock()
+	qg := e.qgrams[index]
+	e.mu.RUnlock()
+	if qg == nil {
+		return nil, 0, fmt.Errorf("mural: no such qgram index %q", index)
+	}
+	rids, st, err := qg.RangeSearch(phoneme, threshold)
+	return rids, st.Candidates, err
+}
+
+// Phonetic implements exec.Env.
+func (e *Engine) Phonetic() *phonetic.Registry { return e.phon }
+
+// Semantic implements exec.Env.
+func (e *Engine) Semantic() *wordnet.Matcher {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.matcher
+}

@@ -1,0 +1,212 @@
+package mural
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	e := memEngine(t)
+	e.MustExec(`CREATE TABLE t (id INT, v TEXT)`)
+	e.MustExec(`INSERT INTO t VALUES (1,'a'), (2,'b'), (3,'c'), (4,'d')`)
+	res := e.MustExec(`DELETE FROM t WHERE id < 3`)
+	if res.RowsAffected != 2 {
+		t.Fatalf("deleted %d", res.RowsAffected)
+	}
+	left := e.MustExec(`SELECT id FROM t ORDER BY id`)
+	if len(left.Rows) != 2 || left.Rows[0][0].Int() != 3 {
+		t.Errorf("remaining: %v", left.Rows)
+	}
+	// DELETE without WHERE clears the table.
+	res = e.MustExec(`DELETE FROM t`)
+	if res.RowsAffected != 2 {
+		t.Errorf("full delete removed %d", res.RowsAffected)
+	}
+	if got := e.MustExec(`SELECT count(*) FROM t`); got.Rows[0][0].Int() != 0 {
+		t.Error("table not empty")
+	}
+}
+
+func TestDeleteMaintainsAllIndexes(t *testing.T) {
+	e := memEngine(t)
+	e.MustExec(`CREATE TABLE names (id INT, name UNITEXT)`)
+	// Letter-only names: the G2P drops digits, so digit suffixes would
+	// collapse every row to one phoneme.
+	suffix := func(n int) string {
+		return string(rune('k'+n/10)) + string(rune('k'+n%10))
+	}
+	var vals []string
+	for i := 0; i < 300; i++ {
+		vals = append(vals, fmt.Sprintf("(%d, unitext('nam%s', english))", i, suffix(i%60)))
+	}
+	e.MustExec(`INSERT INTO names VALUES ` + strings.Join(vals, ","))
+	e.MustExec(`CREATE INDEX i_bt ON names (id) USING BTREE`)
+	e.MustExec(`CREATE INDEX i_mt ON names (name) USING MTREE`)
+	e.MustExec(`CREATE INDEX i_md ON names (name) USING MDI`)
+	e.MustExec(`ANALYZE names`)
+
+	before := e.MustExec(`SELECT count(*) FROM names WHERE name LEXEQUAL 'namkl' THRESHOLD 0`)
+	if before.Rows[0][0].Int() != 5 {
+		t.Fatalf("precondition: %v", before.Rows[0][0])
+	}
+	res := e.MustExec(`DELETE FROM names WHERE name LEXEQUAL 'namkl' THRESHOLD 0`)
+	if res.RowsAffected != 5 {
+		t.Fatalf("deleted %d", res.RowsAffected)
+	}
+	// Every access path must now agree on zero matches.
+	for _, setting := range [][2]string{
+		{"enable_mtree", "on"}, {"enable_mtree", "off"},
+	} {
+		e.MustExec(fmt.Sprintf(`SET %s = %s`, setting[0], setting[1]))
+		got := e.MustExec(`SELECT count(*) FROM names WHERE name LEXEQUAL 'namkl' THRESHOLD 0`)
+		if got.Rows[0][0].Int() != 0 {
+			t.Errorf("%s=%s: deleted rows still visible: %v\nplan:\n%s",
+				setting[0], setting[1], got.Rows[0][0], got.Plan)
+		}
+	}
+	// B-tree path too.
+	got := e.MustExec(`SELECT count(*) FROM names WHERE id = 1`)
+	if got.Rows[0][0].Int() != 0 {
+		t.Errorf("btree path sees deleted row")
+	}
+	// Untouched rows survive on all paths.
+	got = e.MustExec(`SELECT count(*) FROM names WHERE name LEXEQUAL 'namkm' THRESHOLD 0`)
+	if got.Rows[0][0].Int() != 5 {
+		t.Errorf("collateral damage: %v", got.Rows[0][0])
+	}
+}
+
+func TestDeleteErrors(t *testing.T) {
+	e := memEngine(t)
+	if _, err := e.Exec(`DELETE FROM ghost`); err == nil {
+		t.Error("delete from missing table must fail")
+	}
+	e.MustExec(`CREATE TABLE t (id INT)`)
+	if _, err := e.Exec(`DELETE FROM t WHERE ghost = 1`); err == nil {
+		t.Error("delete with bad predicate must fail")
+	}
+}
+
+func TestLikeOperator(t *testing.T) {
+	e := memEngine(t)
+	e.MustExec(`CREATE TABLE t (v TEXT, u UNITEXT)`)
+	e.MustExec(`INSERT INTO t VALUES
+		('hello world', unitext('namaste', hindi)),
+		('hello there', unitext('hallo', german)),
+		('goodbye', unitext('adieu', french))`)
+	cases := []struct {
+		pattern string
+		want    int64
+	}{
+		{"hello%", 2},
+		{"%world", 1},
+		{"%o%", 3},
+		{"h_llo%", 2},
+		{"goodbye", 1},
+		{"%zzz%", 0},
+		{"", 0},
+		{"%", 3},
+	}
+	for _, c := range cases {
+		res := e.MustExec(fmt.Sprintf(`SELECT count(*) FROM t WHERE v LIKE '%s'`, c.pattern))
+		if got := res.Rows[0][0].Int(); got != c.want {
+			t.Errorf("LIKE %q = %d, want %d", c.pattern, got, c.want)
+		}
+	}
+	// LIKE on UNITEXT applies to the Text component (§3.2.1).
+	res := e.MustExec(`SELECT count(*) FROM t WHERE u LIKE 'nama%'`)
+	if res.Rows[0][0].Int() != 1 {
+		t.Errorf("LIKE on UNITEXT = %v", res.Rows[0][0])
+	}
+	res = e.MustExec(`SELECT count(*) FROM t WHERE NOT v LIKE 'hello%'`)
+	if res.Rows[0][0].Int() != 1 {
+		t.Errorf("NOT LIKE = %v", res.Rows[0][0])
+	}
+}
+
+func TestInsertAfterDeleteReusesHeap(t *testing.T) {
+	e := memEngine(t)
+	e.MustExec(`CREATE TABLE t (id INT)`)
+	e.MustExec(`INSERT INTO t VALUES (1), (2), (3)`)
+	e.MustExec(`DELETE FROM t WHERE id = 2`)
+	e.MustExec(`INSERT INTO t VALUES (4)`)
+	res := e.MustExec(`SELECT id FROM t ORDER BY id`)
+	if len(res.Rows) != 3 || res.Rows[2][0].Int() != 4 {
+		t.Errorf("rows after delete+insert: %v", res.Rows)
+	}
+}
+
+func TestQGramIndexEndToEnd(t *testing.T) {
+	e := memEngine(t)
+	e.MustExec(`CREATE TABLE names (id INT, name UNITEXT)`)
+	base := []string{"nehru", "neru", "nahru", "gandhi", "gandi", "tagore", "bose", "patel", "mehta", "iyer"}
+	var vals []string
+	id := 0
+	for rep := 0; rep < 20; rep++ {
+		for _, b := range base {
+			vals = append(vals, fmt.Sprintf("(%d, unitext('%s', english))", id, b))
+			id++
+		}
+	}
+	e.MustExec(`INSERT INTO names VALUES ` + strings.Join(vals, ","))
+
+	want := e.MustExec(`SELECT count(*) FROM names WHERE name LEXEQUAL 'nehru' THRESHOLD 2`).Rows[0][0].Int()
+	if want == 0 {
+		t.Fatal("no matches in fixture")
+	}
+
+	e.MustExec(`CREATE INDEX idx_qg ON names (name) USING QGRAM`)
+	e.MustExec(`ANALYZE names`)
+	res := e.MustExec(`SELECT count(*) FROM names WHERE name LEXEQUAL 'nehru' THRESHOLD 2`)
+	if got := res.Rows[0][0].Int(); got != want {
+		t.Errorf("qgram path count = %d, want %d\nplan:\n%s", got, want, res.Plan)
+	}
+	// The planner should pick the q-gram scan at low thresholds on this
+	// selective query once statistics are in.
+	low := e.MustExec(`EXPLAIN SELECT count(*) FROM names WHERE name LEXEQUAL 'nehru' THRESHOLD 1`)
+	if !strings.Contains(low.Plan, "QGram") {
+		t.Logf("note: planner did not pick QGram at k=1:\n%s", low.Plan)
+	}
+	// Toggle off and verify agreement.
+	e.MustExec(`SET enable_qgram = off`)
+	res = e.MustExec(`SELECT count(*) FROM names WHERE name LEXEQUAL 'nehru' THRESHOLD 2`)
+	if strings.Contains(res.Plan, "QGram") {
+		t.Errorf("enable_qgram=off ignored:\n%s", res.Plan)
+	}
+	if res.Rows[0][0].Int() != want {
+		t.Error("count changed with qgram disabled")
+	}
+	e.MustExec(`SET enable_qgram = on`)
+
+	// DELETE maintains the q-gram lists.
+	e.MustExec(`DELETE FROM names WHERE name LEXEQUAL 'nehru' THRESHOLD 0`)
+	res = e.MustExec(`SELECT count(*) FROM names WHERE name LEXEQUAL 'nehru' THRESHOLD 0`)
+	if res.Rows[0][0].Int() != 0 {
+		t.Errorf("qgram sees deleted rows: %v\nplan:\n%s", res.Rows[0][0], res.Plan)
+	}
+}
+
+func TestQGramIndexSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.MustExec(`CREATE TABLE t (id INT, name UNITEXT)`)
+	e.MustExec(`INSERT INTO t VALUES (1, unitext('nehru', english)), (2, unitext('bose', english))`)
+	e.MustExec(`CREATE INDEX qg ON t (name) USING QGRAM`)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	e2.MustExec(`SET enable_mtree = off`)
+	res := e2.MustExec(`SELECT count(*) FROM t WHERE name LEXEQUAL 'nehru' THRESHOLD 1`)
+	if res.Rows[0][0].Int() != 1 {
+		t.Errorf("rebuilt qgram index: %v\nplan:\n%s", res.Rows[0][0], res.Plan)
+	}
+}
