@@ -187,6 +187,17 @@ func (c *Catalog) AddIndex(ix *Index) error {
 	return nil
 }
 
+// RemoveIndex unregisters an index (used to undo a failed CREATE INDEX).
+func (c *Catalog) RemoveIndex(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.indexes[name]; !ok {
+		return fmt.Errorf("catalog: index %q does not exist", name)
+	}
+	delete(c.indexes, name)
+	return nil
+}
+
 // IndexByName looks up an index.
 func (c *Catalog) IndexByName(name string) (*Index, bool) {
 	c.mu.RLock()
@@ -273,8 +284,10 @@ type persisted struct {
 	NextFile storage.FileID         `json:"next_file"`
 }
 
-// Save writes the catalog to dir/catalog.json atomically.
-func (c *Catalog) Save(dir string) error {
+// Marshal renders the catalog as its canonical JSON disk image. The engine
+// logs this image in WAL commit batches so DDL moves atomically with the
+// page mutations it accompanies.
+func (c *Catalog) Marshal() ([]byte, error) {
 	c.mu.RLock()
 	img := persisted{
 		Stats:    c.stats,
@@ -293,8 +306,24 @@ func (c *Catalog) Save(dir string) error {
 
 	data, err := json.MarshalIndent(&img, "", "  ")
 	if err != nil {
-		return fmt.Errorf("catalog: marshal: %w", err)
+		return nil, fmt.Errorf("catalog: marshal: %w", err)
 	}
+	return data, nil
+}
+
+// Save writes the catalog to dir/catalog.json atomically.
+func (c *Catalog) Save(dir string) error {
+	data, err := c.Marshal()
+	if err != nil {
+		return err
+	}
+	return SaveImage(dir, data)
+}
+
+// SaveImage atomically installs a marshaled catalog image as
+// dir/catalog.json. Crash recovery uses it to restore the catalog snapshot
+// carried by the last committed WAL batch.
+func SaveImage(dir string, data []byte) error {
 	tmp := filepath.Join(dir, "catalog.json.tmp")
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return fmt.Errorf("catalog: write: %w", err)

@@ -7,7 +7,9 @@ package client
 import (
 	"bufio"
 	"fmt"
+	"math/rand"
 	"net"
+	"time"
 
 	"github.com/mural-db/mural/internal/types"
 	"github.com/mural-db/mural/internal/wire"
@@ -25,18 +27,69 @@ type Conn struct {
 	FetchSize int
 }
 
-// Dial connects to a mural server.
+// RetryPolicy bounds DialRetry's reconnection attempts: capped exponential
+// backoff with jitter. Retries apply only to connection establishment —
+// never to statements, which are not known to be idempotent.
+type RetryPolicy struct {
+	// Attempts is the total number of dial attempts (minimum 1).
+	Attempts int
+	// BaseDelay is the wait before the first retry (default 25ms); each
+	// subsequent wait doubles.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 1s).
+	MaxDelay time.Duration
+}
+
+// DefaultRetry is a sensible policy for servers that may still be binding
+// their listener when the client starts.
+var DefaultRetry = RetryPolicy{Attempts: 5, BaseDelay: 25 * time.Millisecond, MaxDelay: time.Second}
+
+// Dial connects to a mural server with a single attempt.
 func Dial(addr string) (*Conn, error) {
-	c, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("client: dial: %w", err)
+	return DialRetry(addr, RetryPolicy{Attempts: 1})
+}
+
+// DialRetry connects to a mural server, retrying transient dial failures
+// under the policy. The error after the final attempt wraps the last
+// failure seen.
+func DialRetry(addr string, p RetryPolicy) (*Conn, error) {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
 	}
-	return &Conn{
-		c:         c,
-		br:        bufio.NewReaderSize(c, 64<<10),
-		bw:        bufio.NewWriterSize(c, 64<<10),
-		FetchSize: 1,
-	}, nil
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	maxDelay := p.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = time.Second
+	}
+	var lastErr error
+	delay := base
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			// Full jitter over [delay/2, delay]: spreads reconnection storms
+			// without ever waiting longer than the cap.
+			sleep := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+			time.Sleep(sleep)
+			if delay *= 2; delay > maxDelay {
+				delay = maxDelay
+			}
+		}
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return &Conn{
+			c:         c,
+			br:        bufio.NewReaderSize(c, 64<<10),
+			bw:        bufio.NewWriterSize(c, 64<<10),
+			FetchSize: 1,
+		}, nil
+	}
+	return nil, fmt.Errorf("client: dial %s failed after %d attempts: %w", addr, attempts, lastErr)
 }
 
 // Close tears the connection down.

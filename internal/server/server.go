@@ -11,6 +11,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/mural-db/mural/internal/sql"
 	"github.com/mural-db/mural/internal/wire"
@@ -20,6 +21,11 @@ import (
 // Server serves one engine over TCP (or any net.Listener).
 type Server struct {
 	eng *mural.Engine
+
+	// IdleTimeout bounds how long a connection may sit between requests;
+	// exceeding it closes the connection. Zero means no limit. Set before
+	// Start.
+	IdleTimeout time.Duration
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -108,21 +114,41 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 	}()
 	for {
+		if s.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
 		typ, payload, err := wire.Read(br)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				// Connection torn down mid-frame; nothing to report to.
+				// Connection torn down mid-frame or idled out; nothing to
+				// report to.
 				_ = err
 			}
 			return
 		}
-		if err := s.dispatch(bw, sess, typ, payload); err != nil {
+		if err := s.dispatchSafe(bw, sess, typ, payload); err != nil {
+			// Best effort: push any queued error frame out before closing.
+			_ = bw.Flush()
 			return
 		}
 		if err := bw.Flush(); err != nil {
 			return
 		}
 	}
+}
+
+// dispatchSafe contains a panic from statement execution (a registered
+// operator gone wrong, say) to this one connection: the client gets a
+// MsgErr and a closed connection; the process and every other connection
+// survive.
+func (s *Server) dispatchSafe(w io.Writer, sess *session, typ wire.MsgType, payload []byte) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			_ = wire.Write(w, wire.MsgErr, []byte(fmt.Sprintf("server: internal error: %v", r)))
+			err = fmt.Errorf("server: panic in dispatch: %v", r)
+		}
+	}()
+	return s.dispatch(w, sess, typ, payload)
 }
 
 func (s *Server) dispatch(w io.Writer, sess *session, typ wire.MsgType, payload []byte) error {

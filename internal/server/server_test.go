@@ -2,8 +2,10 @@ package server
 
 import (
 	"fmt"
+	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/mural-db/mural/internal/client"
 	"github.com/mural-db/mural/internal/phonetic"
@@ -321,5 +323,138 @@ func TestSemScanUDF(t *testing.T) {
 	}
 	if st.RowsShipped < 4 {
 		t.Errorf("items must be shipped: %d", st.RowsShipped)
+	}
+}
+
+// TestPanicKillsConnectionNotServer registers an operator that panics and
+// drives it through a query: the connection must get an error and die, the
+// server process and other connections must survive.
+func TestPanicKillsConnectionNotServer(t *testing.T) {
+	eng, conn := startServer(t)
+	if err := eng.RegisterOperator("boom", func(a, b types.Value) (bool, error) {
+		panic("operator exploded")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	conn.Exec(`CREATE TABLE p (id INT)`)
+	conn.Exec(`INSERT INTO p VALUES (1), (2)`)
+	_, err := conn.Exec(`SELECT id FROM p WHERE boom(id, id)`)
+	if err == nil {
+		t.Fatal("panicking operator must surface an error to the client")
+	}
+	if !strings.Contains(err.Error(), "internal error") {
+		t.Errorf("error does not identify the internal failure: %v", err)
+	}
+	// This connection is gone by design...
+	if err := conn.Ping(); err == nil {
+		t.Error("connection survived a panic; it must be torn down")
+	}
+	// ...but the server still accepts new ones with intact data.
+	conn2, err := client.Dial(conn.RemoteAddr())
+	if err != nil {
+		t.Fatalf("server died with the connection: %v", err)
+	}
+	defer conn2.Close()
+	cur, err := conn2.Query(`SELECT count(*) FROM p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := cur.All()
+	if err != nil || rows[0][0].Int() != 2 {
+		t.Errorf("data lost after panic: %v %v", rows, err)
+	}
+}
+
+// TestIdleTimeout checks that a connection idling past the deadline is
+// closed, while one that keeps talking stays up.
+func TestIdleTimeout(t *testing.T) {
+	eng, err := mural.Open(mural.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng)
+	srv.IdleTimeout = 150 * time.Millisecond
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); eng.Close() })
+
+	busy, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer busy.Close()
+	idle, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+	if err := idle.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// The busy connection pings well inside the deadline and must survive
+	// past it; the idle one must be dropped.
+	deadline := time.Now().Add(600 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if err := busy.Ping(); err != nil {
+			t.Fatalf("active connection killed by idle timeout: %v", err)
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+	if err := idle.Ping(); err == nil {
+		t.Error("idle connection survived the timeout")
+	}
+}
+
+// TestDialRetryConnectsToLateServer starts the listener only after the
+// client has begun retrying.
+func TestDialRetryConnectsToLateServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // free the port; nothing listens yet
+
+	eng, err := mural.Open(mural.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng)
+	go func() {
+		time.Sleep(120 * time.Millisecond)
+		if _, err := srv.Start(addr); err != nil {
+			t.Errorf("late server start: %v", err)
+		}
+	}()
+	t.Cleanup(func() { srv.Close(); eng.Close() })
+
+	conn, err := client.DialRetry(addr, client.RetryPolicy{
+		Attempts: 12, BaseDelay: 25 * time.Millisecond, MaxDelay: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("retry never reached the late server: %v", err)
+	}
+	defer conn.Close()
+	if err := conn.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDialRetrySurfacesLastError exhausts the budget against a dead port.
+func TestDialRetrySurfacesLastError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	_, err = client.DialRetry(addr, client.RetryPolicy{Attempts: 3, BaseDelay: time.Millisecond})
+	if err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+	if !strings.Contains(err.Error(), "3 attempts") {
+		t.Errorf("error does not surface the attempt budget: %v", err)
 	}
 }

@@ -1,0 +1,197 @@
+// Crash-simulation harness. CrashDisk and CrashLog wrap the engine's two
+// storage devices (page files and the write-ahead log) around a shared
+// CrashState fuse: after the Nth write operation everything write-shaped
+// fails, as if the machine lost power. The fuse can also "tear" the
+// triggering write — applying only a prefix of the bytes, the way a real
+// sector write dies mid-flight — which is what exercises the WAL's CRC
+// framing and the page checksums.
+//
+// The harness lives in the package proper (not a _test.go file) because the
+// crash-matrix tests in the mural package drive a full engine through it
+// via Config.DiskWrap/Config.WALWrap.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrCrashed is the sentinel returned by every operation after the fuse
+// trips. Tests use errors.Is to distinguish simulated crashes from real
+// faults.
+var ErrCrashed = errors.New("storage: simulated crash")
+
+// CrashState is the shared fuse for a set of CrashDisk/CrashLog wrappers.
+// A limit of N allows exactly N write operations (page writes, allocations,
+// log writes, syncs, truncates) across all wrapped devices before the
+// simulated power loss; a negative limit never trips and simply counts.
+type CrashState struct {
+	mu     sync.Mutex
+	limit  int
+	writes int
+	tear   bool
+	dead   bool
+}
+
+// NewCrashState returns a fuse allowing limit write operations.
+func NewCrashState(limit int) *CrashState {
+	return &CrashState{limit: limit}
+}
+
+// SetTear arranges for the write that trips the fuse to be half-applied
+// (a torn write) instead of dropped entirely.
+func (s *CrashState) SetTear(tear bool) {
+	s.mu.Lock()
+	s.tear = tear
+	s.mu.Unlock()
+}
+
+// Writes returns the number of write operations observed so far.
+func (s *CrashState) Writes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.writes
+}
+
+// Crashed reports whether the fuse has tripped.
+func (s *CrashState) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dead
+}
+
+// consume accounts one write operation. It returns tear=true when this
+// operation is the one that trips the fuse and should be half-applied;
+// err=ErrCrashed when the operation must fail outright.
+func (s *CrashState) consume() (tear bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return false, ErrCrashed
+	}
+	s.writes++
+	if s.limit >= 0 && s.writes > s.limit {
+		s.dead = true
+		if s.tear {
+			return true, nil
+		}
+		return false, ErrCrashed
+	}
+	return false, nil
+}
+
+// CrashDisk wraps a Disk with the fuse.
+type CrashDisk struct {
+	inner Disk
+	state *CrashState
+}
+
+// NewCrashDisk wraps d.
+func NewCrashDisk(d Disk, s *CrashState) *CrashDisk {
+	return &CrashDisk{inner: d, state: s}
+}
+
+// ReadPage implements Disk. Reads pass through: the harness models the
+// on-disk state frozen at the crash, and callers stop on the first write
+// failure anyway.
+func (d *CrashDisk) ReadPage(id PageID, buf []byte) error {
+	return d.inner.ReadPage(id, buf)
+}
+
+// WritePage implements Disk.
+func (d *CrashDisk) WritePage(id PageID, buf []byte) error {
+	tear, err := d.state.consume()
+	if err != nil {
+		return fmt.Errorf("write page %d: %w", id, err)
+	}
+	if tear {
+		// Half the new bytes land, the rest keeps the old content — a torn
+		// page the checksum layer must catch on the next read.
+		torn := make([]byte, PageSize)
+		if err := d.inner.ReadPage(id, torn); err != nil {
+			copy(torn, buf[:PageSize]) // fresh page: old content unknown, zero tail below
+			for i := PageSize / 2; i < PageSize; i++ {
+				torn[i] = 0
+			}
+		}
+		copy(torn[:PageSize/2], buf[:PageSize/2])
+		_ = d.inner.WritePage(id, torn)
+		return fmt.Errorf("write page %d: torn: %w", id, ErrCrashed)
+	}
+	return d.inner.WritePage(id, buf)
+}
+
+// Allocate implements Disk.
+func (d *CrashDisk) Allocate() (PageID, error) {
+	if _, err := d.state.consume(); err != nil {
+		return InvalidPageID, fmt.Errorf("allocate: %w", err)
+	}
+	return d.inner.Allocate()
+}
+
+// NumPages implements Disk.
+func (d *CrashDisk) NumPages() PageID { return d.inner.NumPages() }
+
+// Sync implements Disk.
+func (d *CrashDisk) Sync() error {
+	if _, err := d.state.consume(); err != nil {
+		return err
+	}
+	return d.inner.Sync()
+}
+
+// Close implements Disk. It closes the inner disk without flushing —
+// exactly what abandoning a crashed process does.
+func (d *CrashDisk) Close() error { return d.inner.Close() }
+
+// CrashLog wraps a LogFile with the same fuse.
+type CrashLog struct {
+	inner LogFile
+	state *CrashState
+}
+
+// NewCrashLog wraps f.
+func NewCrashLog(f LogFile, s *CrashState) *CrashLog {
+	return &CrashLog{inner: f, state: s}
+}
+
+// ReadAt implements LogFile.
+func (l *CrashLog) ReadAt(p []byte, off int64) (int, error) {
+	return l.inner.ReadAt(p, off)
+}
+
+// WriteAt implements LogFile.
+func (l *CrashLog) WriteAt(p []byte, off int64) (int, error) {
+	tear, err := l.state.consume()
+	if err != nil {
+		return 0, err
+	}
+	if tear {
+		n := len(p) / 2
+		if n > 0 {
+			_, _ = l.inner.WriteAt(p[:n], off)
+		}
+		return n, ErrCrashed
+	}
+	return l.inner.WriteAt(p, off)
+}
+
+// Truncate implements LogFile.
+func (l *CrashLog) Truncate(size int64) error {
+	if _, err := l.state.consume(); err != nil {
+		return err
+	}
+	return l.inner.Truncate(size)
+}
+
+// Sync implements LogFile.
+func (l *CrashLog) Sync() error {
+	if _, err := l.state.consume(); err != nil {
+		return err
+	}
+	return l.inner.Sync()
+}
+
+// Close implements LogFile.
+func (l *CrashLog) Close() error { return l.inner.Close() }

@@ -71,8 +71,17 @@ func (d *FileDisk) ReadPage(id PageID, buf []byte) error {
 	if id >= d.pages {
 		return fmt.Errorf("storage: read page %d beyond end (%d pages)", id, d.pages)
 	}
-	if _, err := d.f.ReadAt(buf[:PageSize], int64(id)*PageSize); err != nil && err != io.EOF {
+	n, err := d.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
+	if err != nil && err != io.EOF {
 		return fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	if n < PageSize {
+		// Short read at the end of a file that lost its tail (crash between
+		// metadata and data flush): zero-fill so no stale caller bytes leak
+		// through as page content.
+		for i := n; i < PageSize; i++ {
+			buf[i] = 0
+		}
 	}
 	return nil
 }

@@ -57,6 +57,14 @@ type Pool struct {
 	disks  map[FileID]Disk
 	hand   int
 	stats  PoolStats
+	// wal, when set, receives full page images of every batch at commit.
+	// The pool then enforces the WAL rule with a no-steal policy: pages
+	// dirtied by the open batch are never written back (or evicted) before
+	// their images are durable in the log.
+	wal *WAL
+	// batch is the set of pages dirtied since BeginBatch (nil: no open
+	// batch, pages are unlogged and write back freely).
+	batch map[PageKey]bool
 }
 
 // NewPool creates a pool with the given number of page frames.
@@ -73,6 +81,125 @@ func NewPool(nframes int) *Pool {
 		p.frames[i].data = make([]byte, PageSize)
 	}
 	return p
+}
+
+// SetWAL attaches a write-ahead log. Once set, mutations should be wrapped
+// in BeginBatch/CommitBatch so their page images are logged before any
+// writeback.
+func (p *Pool) SetWAL(w *WAL) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wal = w
+}
+
+// BeginBatch starts recording dirtied pages for the next CommitBatch. While
+// a batch is open its pages are pinned in memory (no-steal): they cannot be
+// evicted or flushed, so nothing unlogged ever reaches a data file.
+func (p *Pool) BeginBatch() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.batch != nil {
+		return fmt.Errorf("storage: batch already open")
+	}
+	p.batch = make(map[PageKey]bool)
+	return nil
+}
+
+// BatchPages returns the number of pages dirtied by the open batch (0 when
+// none is open). Long mutations use it to commit in chunks before the
+// no-steal policy pins more pages than the pool holds.
+func (p *Pool) BatchPages() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.batch)
+}
+
+// CommitBatch logs the open batch — the after-images of every page it
+// dirtied, plus an optional catalog snapshot — to the WAL and fsyncs. On
+// success the batch is closed and its pages become ordinary dirty pages,
+// free to be written back lazily. On failure the batch stays open so the
+// caller can AbortBatch. With no WAL attached it simply closes the batch.
+func (p *Pool) CommitBatch(catalog []byte) error {
+	p.mu.Lock()
+	if p.batch == nil {
+		p.mu.Unlock()
+		return fmt.Errorf("storage: commit without open batch")
+	}
+	var recs []WALPageRec
+	if p.wal != nil {
+		recs = make([]WALPageRec, 0, len(p.batch))
+		for key := range p.batch {
+			idx, ok := p.table[key]
+			if !ok {
+				// No-steal guarantees batch pages stay resident until commit.
+				p.mu.Unlock()
+				return fmt.Errorf("storage: batch page %v not resident at commit", key)
+			}
+			f := &p.frames[idx]
+			stampChecksum(f.data)
+			img := make([]byte, PageSize)
+			copy(img, f.data)
+			recs = append(recs, WALPageRec{File: key.File, Page: key.Page, Image: img})
+		}
+		SortPageRecs(recs)
+	}
+	wal := p.wal
+	p.mu.Unlock()
+	// Append outside p.mu: the log has its own lock, and fsync under the
+	// pool lock would stall every reader.
+	if wal != nil && (len(recs) > 0 || catalog != nil) {
+		if err := wal.AppendBatch(recs, catalog); err != nil {
+			return err
+		}
+	}
+	p.mu.Lock()
+	p.batch = nil
+	p.mu.Unlock()
+	return nil
+}
+
+// AbortBatch rolls the open batch back: every page it dirtied is restored
+// to its last committed image (from the WAL) or dropped from the pool so
+// the next access rereads the pre-batch content from disk. Callers must
+// then refresh any in-memory structures built over those pages.
+func (p *Pool) AbortBatch() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.batch == nil {
+		return nil
+	}
+	var firstErr error
+	for key := range p.batch {
+		idx, ok := p.table[key]
+		if !ok {
+			continue
+		}
+		f := &p.frames[idx]
+		restored := false
+		if p.wal != nil {
+			ok, err := p.wal.ReadLatestImage(key, f.data)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			restored = err == nil && ok
+		}
+		if restored {
+			// Content is the committed image; keep it dirty so it reaches
+			// the data file eventually.
+			f.dirty = true
+			continue
+		}
+		// Never committed since the last checkpoint: the data file holds
+		// the authoritative content, drop the frame.
+		if f.pins > 0 && firstErr == nil {
+			firstErr = fmt.Errorf("storage: abort: page %v still pinned", key)
+		}
+		delete(p.table, key)
+		f.valid = false
+		f.dirty = false
+	}
+	p.batch = nil
+	return firstErr
 }
 
 // AttachDisk registers a disk under the given file id.
@@ -130,6 +257,9 @@ func (h *Handle) Data() []byte {
 func (h *Handle) MarkDirty() {
 	h.pool.mu.Lock()
 	h.pool.frames[h.idx].dirty = true
+	if h.pool.batch != nil {
+		h.pool.batch[h.key] = true
+	}
 	h.pool.mu.Unlock()
 }
 
@@ -212,6 +342,9 @@ func (p *Pool) NewPage(file FileID) (*Handle, error) {
 	f.ref = true
 	f.valid = true
 	p.table[key] = idx
+	if p.batch != nil {
+		p.batch[key] = true
+	}
 	return &Handle{pool: p, idx: idx, key: key}, nil
 }
 
@@ -228,6 +361,11 @@ func (p *Pool) victim() (int, error) {
 			return idx, nil
 		}
 		if f.pins > 0 {
+			continue
+		}
+		// WAL rule (no-steal): a page dirtied by the open batch must not be
+		// written back before its log record is durable — treat it as pinned.
+		if p.batch != nil && p.batch[f.key] {
 			continue
 		}
 		if f.ref {
@@ -270,6 +408,10 @@ func (p *Pool) FlushAll() error {
 	for i := range p.frames {
 		f := &p.frames[i]
 		if f.valid && f.dirty {
+			if p.batch != nil && p.batch[f.key] {
+				// Uncommitted batch pages must not reach disk.
+				continue
+			}
 			if err := p.writeback(f); err != nil {
 				return err
 			}

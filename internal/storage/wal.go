@@ -1,0 +1,374 @@
+// Write-ahead log. The WAL makes multi-page mutations atomic and durable:
+// a batch of full page after-images (plus an optional catalog snapshot) is
+// appended to the log and fsynced before any of those pages may reach their
+// data files. Recovery scans the log, validates every frame with a CRC,
+// stops at the first torn or corrupt frame, and redoes exactly the batches
+// whose commit record survived — partially logged batches leave no trace.
+//
+// The log is a flat sequence of frames:
+//
+//	[4] payload length (LE uint32)
+//	[4] IEEE CRC-32 of the payload
+//	[n] payload
+//
+// The payload's first byte is the record type; an LSN is simply the byte
+// offset of a frame in the file. Record types:
+//
+//	walRecPage    [1 type][4 file][4 page][PageSize image]
+//	walRecCatalog [1 type][catalog JSON]
+//	walRecCommit  [1 type][8 commit sequence number]
+//
+// Compared to PostgreSQL's xlog this is a deliberately small design: full
+// page images only (no logical records, so no per-access-method redo code),
+// a single log file truncated at every checkpoint (no segment recycling),
+// and redo-only recovery (the no-steal buffer pool policy makes undo
+// unnecessary).
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+	"sync"
+)
+
+// LogFile is the byte-granular device under the WAL. *os.File satisfies it;
+// tests substitute fault-injecting wrappers that kill or tear writes.
+type LogFile interface {
+	io.ReaderAt
+	io.WriterAt
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// WAL record types.
+const (
+	walRecPage    = byte(1)
+	walRecCatalog = byte(2)
+	walRecCommit  = byte(3)
+)
+
+const walFrameHeader = 8 // length + CRC
+
+// maxWALPayload bounds a single record so a corrupt length field cannot
+// trigger a huge allocation during recovery.
+const maxWALPayload = 16 << 20
+
+// WALPageRec is one full-page after-image in the log.
+type WALPageRec struct {
+	File  FileID
+	Page  PageID
+	Image []byte // full PageSize bytes, checksum prefix included
+}
+
+// WALBatch is one committed batch reconstructed by ScanWAL.
+type WALBatch struct {
+	Seq     uint64
+	Pages   []WALPageRec
+	Catalog []byte // nil when the batch carried no catalog snapshot
+}
+
+// WALScan is the result of scanning a log.
+type WALScan struct {
+	// Batches are the committed batches, in commit order.
+	Batches []WALBatch
+	// ValidBytes is the offset just past the last intact committed frame.
+	ValidBytes int64
+	// Torn reports that the scan stopped at a truncated or corrupt frame
+	// (the expected state after a crash mid-append).
+	Torn bool
+}
+
+// ScanWAL reads the log from offset zero, returning every fully committed
+// batch. It never fails on a torn tail — a short, truncated, or CRC-invalid
+// frame simply ends the scan. Only I/O errors from the device itself are
+// returned.
+func ScanWAL(f LogFile) (*WALScan, error) {
+	res := &WALScan{}
+	var off int64
+	var pending WALBatch
+	head := make([]byte, walFrameHeader)
+	for {
+		if _, err := io.ReadFull(io.NewSectionReader(f, off, walFrameHeader), head); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				res.Torn = err == io.ErrUnexpectedEOF
+				return res, nil
+			}
+			return nil, fmt.Errorf("storage: wal scan at %d: %w", off, err)
+		}
+		length := binary.LittleEndian.Uint32(head[0:4])
+		want := binary.LittleEndian.Uint32(head[4:8])
+		if length == 0 || length > maxWALPayload {
+			res.Torn = true
+			return res, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(io.NewSectionReader(f, off+walFrameHeader, int64(length)), payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				res.Torn = true
+				return res, nil
+			}
+			return nil, fmt.Errorf("storage: wal scan at %d: %w", off, err)
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			res.Torn = true
+			return res, nil
+		}
+		switch payload[0] {
+		case walRecPage:
+			if len(payload) != 1+8+PageSize {
+				res.Torn = true
+				return res, nil
+			}
+			img := make([]byte, PageSize)
+			copy(img, payload[9:])
+			pending.Pages = append(pending.Pages, WALPageRec{
+				File:  FileID(binary.LittleEndian.Uint32(payload[1:5])),
+				Page:  PageID(binary.LittleEndian.Uint32(payload[5:9])),
+				Image: img,
+			})
+		case walRecCatalog:
+			cat := make([]byte, len(payload)-1)
+			copy(cat, payload[1:])
+			pending.Catalog = cat
+		case walRecCommit:
+			if len(payload) != 1+8 {
+				res.Torn = true
+				return res, nil
+			}
+			pending.Seq = binary.LittleEndian.Uint64(payload[1:9])
+			res.Batches = append(res.Batches, pending)
+			pending = WALBatch{}
+			res.ValidBytes = off + walFrameHeader + int64(length)
+		default:
+			// Unknown record type: treat as corruption, stop here.
+			res.Torn = true
+			return res, nil
+		}
+		off += walFrameHeader + int64(length)
+	}
+}
+
+// WALStats counts log traffic.
+type WALStats struct {
+	Commits    uint64
+	PageImages uint64
+	Syncs      uint64
+}
+
+// WAL is an open write-ahead log positioned for appending. It is safe for
+// concurrent use: each AppendBatch is atomic with respect to other appends
+// and to Truncate.
+type WAL struct {
+	mu     sync.Mutex
+	f      LogFile
+	size   int64
+	seq    uint64
+	stats  WALStats
+	latest map[PageKey]int64 // offset of the last committed image per page
+}
+
+// NewWAL wraps an empty (or just-truncated) log file for appending.
+// Callers that may hold a non-empty log must run ScanWAL + recovery first
+// and truncate before appending (Engine.Open does this).
+func NewWAL(f LogFile) *WAL {
+	return &WAL{f: f, latest: make(map[PageKey]int64)}
+}
+
+// Size returns the current log length in bytes.
+func (w *WAL) Size() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// Stats returns a snapshot of the log counters.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// frame appends one record at the current end without syncing.
+// Called with w.mu held.
+func (w *WAL) frame(payload []byte) (int64, error) {
+	head := make([]byte, walFrameHeader)
+	binary.LittleEndian.PutUint32(head[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(head[4:8], crc32.ChecksumIEEE(payload))
+	off := w.size
+	if _, err := w.f.WriteAt(head, off); err != nil {
+		return 0, fmt.Errorf("storage: wal append: %w", err)
+	}
+	if _, err := w.f.WriteAt(payload, off+walFrameHeader); err != nil {
+		return 0, fmt.Errorf("storage: wal append: %w", err)
+	}
+	w.size = off + walFrameHeader + int64(len(payload))
+	return off, nil
+}
+
+// AppendBatch logs a batch — page images, an optional catalog snapshot, and
+// the commit record — and fsyncs. When it returns nil the batch is durable:
+// recovery will redo it. When it returns an error the batch may be torn on
+// disk, which recovery treats as "never happened". The images are copied
+// before return; callers may reuse the buffers.
+func (w *WAL) AppendBatch(pages []WALPageRec, catalog []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	imageOff := make(map[PageKey]int64, len(pages))
+	payload := make([]byte, 1+8+PageSize)
+	for _, pr := range pages {
+		if len(pr.Image) != PageSize {
+			return fmt.Errorf("storage: wal: page image of %d bytes", len(pr.Image))
+		}
+		payload[0] = walRecPage
+		binary.LittleEndian.PutUint32(payload[1:5], uint32(pr.File))
+		binary.LittleEndian.PutUint32(payload[5:9], uint32(pr.Page))
+		copy(payload[9:], pr.Image)
+		off, err := w.frame(payload)
+		if err != nil {
+			return err
+		}
+		imageOff[PageKey{File: pr.File, Page: pr.Page}] = off + walFrameHeader + 9
+		w.stats.PageImages++
+	}
+	if catalog != nil {
+		if _, err := w.frame(append([]byte{walRecCatalog}, catalog...)); err != nil {
+			return err
+		}
+	}
+	w.seq++
+	commit := make([]byte, 1+8)
+	commit[0] = walRecCommit
+	binary.LittleEndian.PutUint64(commit[1:9], w.seq)
+	if _, err := w.frame(commit); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("storage: wal sync: %w", err)
+	}
+	w.stats.Syncs++
+	w.stats.Commits++
+	for k, off := range imageOff {
+		w.latest[k] = off
+	}
+	return nil
+}
+
+// ReadLatestImage fills buf (PageSize bytes) with the most recently
+// committed image of the page, reporting whether one exists in the log.
+// The buffer pool uses it to roll an aborted batch's pages back to their
+// committed content without touching the data file.
+func (w *WAL) ReadLatestImage(key PageKey, buf []byte) (bool, error) {
+	w.mu.Lock()
+	off, ok := w.latest[key]
+	w.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if _, err := io.ReadFull(io.NewSectionReader(w.f, off, PageSize), buf[:PageSize]); err != nil {
+		return false, fmt.Errorf("storage: wal read image: %w", err)
+	}
+	return true, nil
+}
+
+// Truncate empties the log (the checkpoint operation). The caller must have
+// made all logged work durable in the data files first.
+func (w *WAL) Truncate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("storage: wal truncate: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("storage: wal sync: %w", err)
+	}
+	w.stats.Syncs++
+	w.size = 0
+	w.latest = make(map[PageKey]int64)
+	return nil
+}
+
+// Close closes the underlying device.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}
+
+// SortPageRecs orders page records deterministically (by file, then page).
+// Batch commit uses it so that identical workloads produce identical logs.
+func SortPageRecs(recs []WALPageRec) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].File != recs[j].File {
+			return recs[i].File < recs[j].File
+		}
+		return recs[i].Page < recs[j].Page
+	})
+}
+
+// MemLog is an in-memory LogFile for tests.
+type MemLog struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+// NewMemLog returns an empty in-memory log device.
+func NewMemLog() *MemLog { return &MemLog{} }
+
+// ReadAt implements io.ReaderAt.
+func (m *MemLog) ReadAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off >= int64(len(m.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.buf[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt.
+func (m *MemLog) WriteAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(m.buf)) {
+		grown := make([]byte, end)
+		copy(grown, m.buf)
+		m.buf = grown
+	}
+	copy(m.buf[off:], p)
+	return len(p), nil
+}
+
+// Truncate implements LogFile.
+func (m *MemLog) Truncate(size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if size <= int64(len(m.buf)) {
+		m.buf = m.buf[:size]
+	} else {
+		grown := make([]byte, size)
+		copy(grown, m.buf)
+		m.buf = grown
+	}
+	return nil
+}
+
+// Sync implements LogFile.
+func (m *MemLog) Sync() error { return nil }
+
+// Close implements LogFile.
+func (m *MemLog) Close() error { return nil }
+
+// Len returns the current log length.
+func (m *MemLog) Len() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int64(len(m.buf))
+}

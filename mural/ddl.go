@@ -3,6 +3,7 @@ package mural
 import (
 	"encoding/hex"
 	"fmt"
+	"os"
 
 	"github.com/mural-db/mural/internal/catalog"
 	"github.com/mural-db/mural/internal/exec"
@@ -28,15 +29,44 @@ func (e *Engine) execCreateTable(s *sql.CreateTable) (*Result, error) {
 	if err := e.cat.AddTable(t); err != nil {
 		return nil, err
 	}
+	undo := func() {
+		_, _ = e.cat.DropTable(s.Name)
+		delete(e.heaps, s.Name)
+	}
 	if err := e.attachFile(file); err != nil {
+		undo()
+		return nil, err
+	}
+	if err := e.beginBatch(); err != nil {
+		undo()
 		return nil, err
 	}
 	h, err := storage.OpenHeap(e.pool, file)
 	if err != nil {
+		_ = e.rollbackBatch("")
+		undo()
 		return nil, err
 	}
 	e.heaps[s.Name] = h
+	if err := e.commitDDL(); err != nil {
+		_ = e.rollbackBatch("")
+		undo()
+		return nil, err
+	}
 	return &Result{}, e.saveCatalog()
+}
+
+// commitDDL commits the open batch together with a snapshot of the catalog,
+// so the schema change and its page mutations become durable atomically.
+func (e *Engine) commitDDL() error {
+	if e.wal == nil {
+		return nil
+	}
+	img, err := e.cat.Marshal()
+	if err != nil {
+		return err
+	}
+	return e.commitBatch(img)
 }
 
 func (e *Engine) execDropTable(s *sql.DropTable) (*Result, error) {
@@ -50,11 +80,29 @@ func (e *Engine) execDropTable(s *sql.DropTable) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Commit the catalog change before releasing anything: if the commit
+	// fails, the drop is undone in memory and nothing was touched.
+	if e.wal != nil {
+		if err := e.beginBatch(); err == nil {
+			err = e.commitDDL()
+		}
+		if err != nil {
+			_ = e.rollbackBatch("")
+			_ = e.cat.AddTable(t)
+			for _, ix := range droppedIdx {
+				_ = e.cat.AddIndex(ix)
+			}
+			return nil, err
+		}
+	}
 	release := func(file storage.FileID) {
 		if d, ok := e.disks[file]; ok {
 			_ = e.pool.DetachDisk(file)
 			_ = d.Close()
 			delete(e.disks, file)
+		}
+		if e.cfg.Dir != "" {
+			_ = os.Remove(dataFilePath(e.cfg.Dir, file))
 		}
 	}
 	delete(e.heaps, s.Name)
@@ -86,59 +134,112 @@ func (e *Engine) execCreateIndex(s *sql.CreateIndex) (*Result, error) {
 	if (s.Kind == sql.IndexMTree || s.Kind == sql.IndexMDI || s.Kind == sql.IndexQGram) && colKind != types.KindUniText {
 		return nil, fmt.Errorf("mural: %s indexes require a UNITEXT column", s.Kind)
 	}
+	if _, dup := e.cat.IndexByName(s.Name); dup {
+		return nil, fmt.Errorf("mural: index %q already exists", s.Name)
+	}
 	file := e.cat.AllocateFile()
 	if err := e.attachFile(file); err != nil {
 		return nil, err
 	}
 	meta := &catalog.Index{Name: s.Name, Table: s.Table, Column: s.Column, Kind: s.Kind, File: file}
 
+	// The catalog entry is added only after a complete backfill, so a crash
+	// or error mid-build leaves at worst an orphan file that recovery (or
+	// the cleanup below) removes — never a half-built index the planner
+	// could choose.
+	cleanup := func() {
+		delete(e.btrees, s.Name)
+		delete(e.mtrees, s.Name)
+		delete(e.mdis, s.Name)
+		delete(e.qgrams, s.Name)
+		if d, ok := e.disks[file]; ok {
+			_ = e.pool.DetachDisk(file)
+			_ = d.Close()
+			delete(e.disks, file)
+		}
+		if e.cfg.Dir != "" {
+			_ = os.Remove(dataFilePath(e.cfg.Dir, file))
+		}
+	}
+	if err := e.beginBatch(); err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Result, error) {
+		_ = e.pool.AbortBatch()
+		cleanup()
+		return nil, err
+	}
+
 	switch s.Kind {
 	case sql.IndexBTree:
 		bt, err := btree.Create(e.pool, file)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		e.btrees[s.Name] = bt
 	case sql.IndexMTree:
 		mt, err := mtree.Create(e.pool, file, e.cfg.MTreeSplit)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		e.mtrees[s.Name] = mt
 	case sql.IndexMDI:
 		meta.Pivot = mdi.DefaultPivot
 		md, err := mdi.Create(e.pool, file, meta.Pivot)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		e.mdis[s.Name] = md
 	case sql.IndexQGram:
 		e.qgrams[s.Name] = qgram.New(0)
 	}
-	if err := e.cat.AddIndex(meta); err != nil {
-		return nil, err
-	}
-	// Backfill from existing rows.
+	// Backfill from existing rows, committing in chunks so the no-steal
+	// policy never pins more pages than the pool holds. The heap is not
+	// mutated, so any committed prefix of the build is consistent; the
+	// index only becomes visible when the final batch commits the catalog
+	// entry.
 	h := e.heaps[s.Table]
 	it := h.Scan()
 	for {
 		rid, rec, ok, err := it.Next()
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if !ok {
 			break
 		}
 		tup, _, err := types.DecodeTuple(rec)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if err := e.indexOne(meta, colIdx, tup, rid); err != nil {
-			return nil, err
+			return fail(err)
 		}
+		if e.wal != nil && e.pool.BatchPages() >= createIndexChunkPages {
+			if err := e.commitBatch(nil); err != nil {
+				return fail(err)
+			}
+			if err := e.beginBatch(); err != nil {
+				cleanup()
+				return nil, err
+			}
+		}
+	}
+	if err := e.cat.AddIndex(meta); err != nil {
+		return fail(err)
+	}
+	if err := e.commitDDL(); err != nil {
+		_ = e.pool.AbortBatch()
+		_ = e.cat.RemoveIndex(meta.Name)
+		cleanup()
+		return nil, err
 	}
 	return &Result{}, e.saveCatalog()
 }
+
+// createIndexChunkPages bounds how many dirty pages a CREATE INDEX backfill
+// accumulates before committing an intermediate batch.
+const createIndexChunkPages = 256
 
 // indexOne inserts one tuple's key into an index. Called with e.mu held.
 func (e *Engine) indexOne(meta *catalog.Index, colIdx int, tup types.Tuple, rid storage.RID) error {
@@ -189,7 +290,9 @@ func (e *Engine) execInsert(s *sql.Insert) (*Result, error) {
 	}
 	comp := &plan.Compiler{DefaultThreshold: e.cat.LexThreshold()}
 	ev := exec.NewEvaluator(e)
-	var inserted int64
+	// Evaluate every row before touching storage, so value errors (bad
+	// coercion, unknown function) never require a rollback at all.
+	tuples := make([]types.Tuple, 0, len(s.Rows))
 	for _, row := range s.Rows {
 		if len(row) != len(t.Columns) {
 			return nil, fmt.Errorf("mural: INSERT has %d values, table %q has %d columns", len(row), s.Table, len(t.Columns))
@@ -210,16 +313,34 @@ func (e *Engine) execInsert(s *sql.Insert) (*Result, error) {
 			}
 			tup[i] = v
 		}
+		tuples = append(tuples, tup)
+	}
+	// The statement is one atomic batch: heap insert plus every index
+	// insert either all commit or all roll back.
+	if err := e.beginBatch(); err != nil {
+		return nil, err
+	}
+	var inserted int64
+	for _, tup := range tuples {
 		rid, err := h.Insert(types.EncodeTuple(tup))
 		if err != nil {
+			_ = e.rollbackBatch(s.Table)
 			return nil, err
 		}
 		for _, ix := range idxs {
 			if err := e.indexOne(ix, t.ColumnIndex(ix.Column), tup, rid); err != nil {
+				_ = e.rollbackBatch(s.Table)
 				return nil, err
 			}
 		}
 		inserted++
+	}
+	if err := e.commitBatch(nil); err != nil {
+		_ = e.rollbackBatch(s.Table)
+		return nil, err
+	}
+	if err := e.maybeCheckpointLocked(); err != nil {
+		return nil, err
 	}
 	return &Result{RowsAffected: inserted}, nil
 }
@@ -322,8 +443,14 @@ func (e *Engine) execDelete(s *sql.Delete) (*Result, error) {
 		}
 		victims = append(victims, victim{rid: rid, tup: tup})
 	}
+	// All victims were collected read-only above; the mutations form one
+	// atomic batch across heap and every index.
+	if err := e.beginBatch(); err != nil {
+		return nil, err
+	}
 	for _, v := range victims {
 		if err := h.Delete(v.rid); err != nil {
+			_ = e.rollbackBatch(s.Table)
 			return nil, err
 		}
 		for _, ix := range idxs {
@@ -343,9 +470,17 @@ func (e *Engine) execDelete(s *sql.Delete) (*Result, error) {
 				err = e.qgrams[ix.Name].Delete(e.phonemeOf(val), v.rid)
 			}
 			if err != nil {
+				_ = e.rollbackBatch(s.Table)
 				return nil, fmt.Errorf("mural: delete from index %q: %w", ix.Name, err)
 			}
 		}
+	}
+	if err := e.commitBatch(nil); err != nil {
+		_ = e.rollbackBatch(s.Table)
+		return nil, err
+	}
+	if err := e.maybeCheckpointLocked(); err != nil {
+		return nil, err
 	}
 	return &Result{RowsAffected: int64(len(victims))}, nil
 }
@@ -363,6 +498,19 @@ func (e *Engine) execAnalyze(s *sql.Analyze) (*Result, error) {
 	}
 	for _, t := range tables {
 		if err := e.analyzeTable(t); err != nil {
+			return nil, err
+		}
+	}
+	// Log the refreshed stats as a committed catalog snapshot; otherwise a
+	// later crash replaying an older snapshot would silently revert them.
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.wal != nil {
+		if err := e.beginBatch(); err != nil {
+			return nil, err
+		}
+		if err := e.commitDDL(); err != nil {
+			_ = e.rollbackBatch("")
 			return nil, err
 		}
 	}

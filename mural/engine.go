@@ -3,7 +3,6 @@ package mural
 import (
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
 	"sync"
 	"time"
@@ -38,6 +37,19 @@ type Config struct {
 	// MTreeSplit selects the M-Tree split policy for new MTREE indexes;
 	// the zero value is the paper's random split.
 	MTreeSplit MTreeSplitPolicy
+	// WALDisabled turns off write-ahead logging and crash recovery for
+	// on-disk databases. Mutations then reach the data files with no
+	// atomicity across heap, indexes and catalog — only safe for bulk
+	// loads that re-create the database on failure.
+	WALDisabled bool
+	// CheckpointBytes is the WAL size that triggers an automatic
+	// checkpoint after a commit (default 4 MiB).
+	CheckpointBytes int64
+	// DiskWrap, when set, wraps every data-file disk the engine opens.
+	// Fault-injection harnesses use it to kill or tear writes mid-workload.
+	DiskWrap func(name string, d storage.Disk) storage.Disk
+	// WALWrap, when set, wraps the write-ahead log device the same way.
+	WALWrap func(f storage.LogFile) storage.LogFile
 }
 
 // MTreeSplitPolicy re-exports the split policies.
@@ -56,6 +68,10 @@ type Engine struct {
 	pool *storage.Pool
 	cat  *catalog.Catalog
 	phon *phonetic.Registry
+	// wal is the write-ahead log (nil for in-memory databases and
+	// WALDisabled); recovery reports what replay did at Open.
+	wal      *storage.WAL
+	recovery RecoveryStats
 
 	mu      sync.RWMutex
 	heaps   map[string]*storage.Heap
@@ -82,13 +98,37 @@ func Open(cfg Config) (*Engine, error) {
 	}
 	var cat *catalog.Catalog
 	var err error
+	var wal *storage.WAL
+	var recStats RecoveryStats
 	if cfg.Dir != "" {
 		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("mural: create dir: %w", err)
 		}
+		if !cfg.WALDisabled {
+			// Crash recovery: replay committed WAL batches into the data
+			// files and restore the logged catalog snapshot before loading
+			// anything.
+			wal, recStats, err = openWALWithRecovery(&cfg)
+			if err != nil {
+				return nil, err
+			}
+		}
 		cat, err = catalog.Load(cfg.Dir)
 		if err != nil {
+			if wal != nil {
+				wal.Close()
+			}
 			return nil, err
+		}
+		if !cfg.WALDisabled {
+			// Uncommitted DDL may have left data files the recovered
+			// catalog never references; their ids will be reused.
+			removed, err := removeOrphanFiles(cfg.Dir, cat)
+			if err != nil {
+				wal.Close()
+				return nil, err
+			}
+			recStats.OrphansRemoved = removed
 		}
 	} else {
 		cat = catalog.New()
@@ -98,6 +138,8 @@ func Open(cfg Config) (*Engine, error) {
 		pool:      storage.NewPool(cfg.BufferPages),
 		cat:       cat,
 		phon:      cfg.Phonetics,
+		wal:       wal,
+		recovery:  recStats,
 		heaps:     make(map[string]*storage.Heap),
 		btrees:    make(map[string]*btree.BTree),
 		mtrees:    make(map[string]*mtree.Index),
@@ -105,6 +147,9 @@ func Open(cfg Config) (*Engine, error) {
 		qgrams:    make(map[string]*qgram.Index),
 		disks:     make(map[storage.FileID]storage.Disk),
 		operators: make(map[string]func(a, b Value) (bool, error)),
+	}
+	if wal != nil {
+		e.pool.SetWAL(wal)
 	}
 	if cfg.WordNet != nil {
 		e.LoadWordNet(cfg.WordNet)
@@ -165,11 +210,14 @@ func (e *Engine) attachFile(id storage.FileID) error {
 	if e.cfg.Dir == "" {
 		d = storage.NewMemDisk()
 	} else {
-		fd, err := storage.OpenFileDisk(filepath.Join(e.cfg.Dir, fmt.Sprintf("file_%d.db", id)))
+		fd, err := storage.OpenFileDisk(dataFilePath(e.cfg.Dir, id))
 		if err != nil {
 			return err
 		}
 		d = fd
+	}
+	if e.cfg.DiskWrap != nil {
+		d = e.cfg.DiskWrap(fmt.Sprintf("file_%d", id), d)
 	}
 	e.disks[id] = d
 	e.pool.AttachDisk(id, d)
@@ -194,19 +242,13 @@ func (e *Engine) WordNet() *wordnet.Net {
 	return e.matcher.Net()
 }
 
-// Close flushes and closes every file.
+// Close checkpoints (flushing every dirty page, saving the catalog, and
+// truncating the WAL) and closes every file. A database closed cleanly
+// reopens without any replay work.
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if err := e.pool.FlushAll(); err != nil {
-		return err
-	}
-	if e.cfg.Dir != "" {
-		if err := e.cat.Save(e.cfg.Dir); err != nil {
-			return err
-		}
-	}
-	var firstErr error
+	firstErr := e.checkpointLocked()
 	for id, d := range e.disks {
 		if err := e.pool.DetachDisk(id); err != nil && firstErr == nil {
 			firstErr = err
@@ -216,6 +258,12 @@ func (e *Engine) Close() error {
 		}
 	}
 	e.disks = map[storage.FileID]storage.Disk{}
+	if e.wal != nil {
+		if err := e.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		e.wal = nil
+	}
 	return firstErr
 }
 

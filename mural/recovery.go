@@ -1,0 +1,300 @@
+package mural
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/mural-db/mural/internal/catalog"
+	"github.com/mural-db/mural/internal/index/btree"
+	"github.com/mural-db/mural/internal/index/mdi"
+	"github.com/mural-db/mural/internal/index/mtree"
+	"github.com/mural-db/mural/internal/sql"
+	"github.com/mural-db/mural/internal/storage"
+)
+
+// walFileName is the single write-ahead log of an on-disk database.
+const walFileName = "wal.log"
+
+// defaultCheckpointBytes triggers an automatic checkpoint once the WAL
+// grows past this size after a commit.
+const defaultCheckpointBytes = 4 << 20
+
+// RecoveryStats reports what crash recovery did at Open.
+type RecoveryStats struct {
+	// BatchesReplayed counts committed WAL batches redone into data files.
+	BatchesReplayed int
+	// PagesApplied counts page images written during replay.
+	PagesApplied int
+	// TornTail reports that the log ended in a truncated or corrupt frame
+	// (discarded, as an in-flight batch at crash time).
+	TornTail bool
+	// CatalogRestored reports that the catalog was rolled forward from a
+	// logged snapshot.
+	CatalogRestored bool
+	// OrphansRemoved counts data files deleted because no recovered catalog
+	// references them (debris of uncommitted DDL).
+	OrphansRemoved int
+}
+
+// openWALWithRecovery opens dir's write-ahead log, replays every committed
+// batch into the data files, restores the last committed catalog snapshot,
+// and truncates the log. It returns the log positioned for appending. The
+// caller loads the catalog afterwards, so it observes the recovered state.
+func openWALWithRecovery(cfg *Config) (*storage.WAL, RecoveryStats, error) {
+	var stats RecoveryStats
+	f, err := os.OpenFile(filepath.Join(cfg.Dir, walFileName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, stats, fmt.Errorf("mural: open wal: %w", err)
+	}
+	var lf storage.LogFile = f
+	if cfg.WALWrap != nil {
+		lf = cfg.WALWrap(lf)
+	}
+	scan, err := storage.ScanWAL(lf)
+	if err != nil {
+		lf.Close()
+		return nil, stats, fmt.Errorf("mural: scan wal: %w", err)
+	}
+	stats.TornTail = scan.Torn
+
+	// Redo: write every committed page image into its data file, in commit
+	// order. Later images of the same page overwrite earlier ones, so the
+	// files converge on the last committed state.
+	files := make(map[storage.FileID]*os.File)
+	var lastCatalog []byte
+	for _, b := range scan.Batches {
+		for _, pr := range b.Pages {
+			df, ok := files[pr.File]
+			if !ok {
+				df, err = os.OpenFile(dataFilePath(cfg.Dir, pr.File), os.O_RDWR|os.O_CREATE, 0o644)
+				if err != nil {
+					closeAll(files)
+					lf.Close()
+					return nil, stats, fmt.Errorf("mural: recover: %w", err)
+				}
+				files[pr.File] = df
+			}
+			if _, err := df.WriteAt(pr.Image, int64(pr.Page)*storage.PageSize); err != nil {
+				closeAll(files)
+				lf.Close()
+				return nil, stats, fmt.Errorf("mural: recover page %d of file %d: %w", pr.Page, pr.File, err)
+			}
+			stats.PagesApplied++
+		}
+		if b.Catalog != nil {
+			lastCatalog = b.Catalog
+		}
+		stats.BatchesReplayed++
+	}
+	// Durability order: data files first, then the catalog, and only then
+	// may the log be truncated — a crash anywhere in between replays again.
+	for _, df := range files {
+		if err := df.Sync(); err != nil {
+			closeAll(files)
+			lf.Close()
+			return nil, stats, fmt.Errorf("mural: recover: sync: %w", err)
+		}
+	}
+	closeAll(files)
+	if lastCatalog != nil {
+		if err := catalog.SaveImage(cfg.Dir, lastCatalog); err != nil {
+			lf.Close()
+			return nil, stats, fmt.Errorf("mural: recover: %w", err)
+		}
+		stats.CatalogRestored = true
+	}
+	wal := storage.NewWAL(lf)
+	if err := wal.Truncate(); err != nil {
+		lf.Close()
+		return nil, stats, err
+	}
+	return wal, stats, nil
+}
+
+func closeAll(files map[storage.FileID]*os.File) {
+	for _, f := range files {
+		f.Close()
+	}
+}
+
+// dataFilePath names the page file of one table or index.
+func dataFilePath(dir string, id storage.FileID) string {
+	return filepath.Join(dir, fmt.Sprintf("file_%d.db", id))
+}
+
+// removeOrphanFiles deletes data files that the (recovered) catalog does
+// not reference: the debris of DDL batches that never committed. Removing
+// them matters beyond tidiness — file ids of uncommitted DDL are reused
+// after recovery, and a stale non-empty file would corrupt the reused id.
+func removeOrphanFiles(dir string, cat *catalog.Catalog) (int, error) {
+	referenced := make(map[string]bool)
+	for _, t := range cat.Tables() {
+		referenced[filepath.Base(dataFilePath(dir, t.File))] = true
+	}
+	for _, ix := range cat.Indexes() {
+		if ix.Kind != sql.IndexQGram {
+			referenced[filepath.Base(dataFilePath(dir, ix.File))] = true
+		}
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "file_*.db"))
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, m := range matches {
+		if referenced[filepath.Base(m)] {
+			continue
+		}
+		if err := os.Remove(m); err != nil {
+			return removed, fmt.Errorf("mural: remove orphan %s: %w", m, err)
+		}
+		removed++
+	}
+	return removed, nil
+}
+
+// beginBatch opens a logged mutation batch. In-memory databases (no WAL)
+// keep their original non-transactional semantics and skip batching.
+func (e *Engine) beginBatch() error {
+	if e.wal == nil {
+		return nil
+	}
+	return e.pool.BeginBatch()
+}
+
+// commitBatch makes the open batch durable, optionally bundling a catalog
+// snapshot so DDL commits atomically with its page mutations.
+func (e *Engine) commitBatch(catalogImage []byte) error {
+	if e.wal == nil {
+		return nil
+	}
+	return e.pool.CommitBatch(catalogImage)
+}
+
+// rollbackBatch aborts the open batch: the pool rolls every dirtied page
+// back to its last committed image, and the in-memory structures over the
+// named table (heap, persistent indexes, q-gram lists) are reopened from
+// the rolled-back pages so memory agrees with storage again. This is what
+// makes a failed statement leave no trace.
+func (e *Engine) rollbackBatch(table string) error {
+	if e.wal == nil {
+		return nil
+	}
+	firstErr := e.pool.AbortBatch()
+	if table == "" {
+		return firstErr
+	}
+	t, ok := e.cat.TableByName(table)
+	if !ok {
+		return firstErr
+	}
+	if _, open := e.heaps[table]; open {
+		h, err := storage.OpenHeap(e.pool, t.File)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			e.heaps[table] = h
+		}
+	}
+	for _, ix := range e.cat.Indexes() {
+		if ix.Table != table {
+			continue
+		}
+		if err := e.reopenIndex(ix); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// reopenIndex reloads one index's in-memory handle from its (rolled-back)
+// pages. Called with e.mu held.
+func (e *Engine) reopenIndex(ix *catalog.Index) error {
+	switch ix.Kind {
+	case sql.IndexBTree:
+		if _, open := e.btrees[ix.Name]; open {
+			bt, err := btree.Open(e.pool, ix.File)
+			if err != nil {
+				return err
+			}
+			e.btrees[ix.Name] = bt
+		}
+	case sql.IndexMTree:
+		if _, open := e.mtrees[ix.Name]; open {
+			mt, err := mtree.Open(e.pool, ix.File, e.cfg.MTreeSplit)
+			if err != nil {
+				return err
+			}
+			e.mtrees[ix.Name] = mt
+		}
+	case sql.IndexMDI:
+		if _, open := e.mdis[ix.Name]; open {
+			md, err := mdi.Open(e.pool, ix.File, ix.Pivot)
+			if err != nil {
+				return err
+			}
+			e.mdis[ix.Name] = md
+		}
+	case sql.IndexQGram:
+		if _, open := e.qgrams[ix.Name]; open {
+			return e.rebuildQGram(ix)
+		}
+	}
+	return nil
+}
+
+// checkpointLocked flushes every dirty page, syncs the data files, saves
+// the catalog, and truncates the WAL. After it returns, the data files
+// alone carry the full database state. Called with e.mu held and no batch
+// open.
+func (e *Engine) checkpointLocked() error {
+	if err := e.pool.FlushAll(); err != nil {
+		return err
+	}
+	for _, d := range e.disks {
+		if err := d.Sync(); err != nil {
+			return err
+		}
+	}
+	if e.cfg.Dir != "" {
+		if err := e.cat.Save(e.cfg.Dir); err != nil {
+			return err
+		}
+	}
+	if e.wal != nil {
+		return e.wal.Truncate()
+	}
+	return nil
+}
+
+// maybeCheckpointLocked checkpoints when the WAL has outgrown the
+// configured threshold. Called with e.mu held after a successful commit.
+func (e *Engine) maybeCheckpointLocked() error {
+	if e.wal == nil || e.wal.Size() < e.checkpointBytes() {
+		return nil
+	}
+	return e.checkpointLocked()
+}
+
+func (e *Engine) checkpointBytes() int64 {
+	if e.cfg.CheckpointBytes > 0 {
+		return e.cfg.CheckpointBytes
+	}
+	return defaultCheckpointBytes
+}
+
+// Checkpoint forces a checkpoint: all committed work moves into the data
+// files and the WAL is truncated. Servers call it on graceful shutdown;
+// long-running loaders can call it to bound recovery time.
+func (e *Engine) Checkpoint() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.checkpointLocked()
+}
+
+// LastRecovery reports what crash recovery did when this engine opened
+// (zero value for in-memory databases or clean starts).
+func (e *Engine) LastRecovery() RecoveryStats { return e.recovery }
