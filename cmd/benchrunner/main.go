@@ -8,6 +8,7 @@
 //	benchrunner -exp table4 -names 25000 # paper-scale Ψ experiment
 //	benchrunner -exp fig8 -synsets 111223 -full
 //	benchrunner -exp fig6|fig7|regress|ablation
+//	benchrunner -snapshot BENCH_PR2.json # reduced-scale JSON perf snapshot
 package main
 
 import (
@@ -28,8 +29,16 @@ func main() {
 		synsets = flag.Int("synsets", 20000, "taxonomy size for fig8 (paper: 111223)")
 		full    = flag.Bool("full", false, "paper-scale settings (slow)")
 		seed    = flag.Int64("seed", 2006, "dataset seed")
+		snap    = flag.String("snapshot", "", "write a reduced-scale JSON perf snapshot to this path and exit")
 	)
 	flag.Parse()
+	if *snap != "" {
+		if err := runSnapshot(*snap, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *full {
 		*names = 25000
 		*synsets = wordnet.WordNetSynsets

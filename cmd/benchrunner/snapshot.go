@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/mural-db/mural/internal/bench"
+	"github.com/mural-db/mural/internal/metrics"
+)
+
+// perfSnapshot is the machine-readable performance record the CI run
+// archives (BENCH_PR2.json): small-scale timings for the paper's headline
+// experiments plus the engine-wide metric counters they drove.
+type perfSnapshot struct {
+	GeneratedAt string `json:"generated_at"`
+	Seed        int64  `json:"seed"`
+
+	Table4 []struct {
+		Impl    string  `json:"impl"`
+		Index   string  `json:"index"`
+		ScanSec float64 `json:"scan_sec"`
+		JoinSec float64 `json:"join_sec"`
+	} `json:"table4"`
+
+	Fig6 struct {
+		LogCorrelation float64 `json:"log_correlation"`
+		Points         int     `json:"points"`
+	} `json:"fig6"`
+
+	Fig7 struct {
+		Plan1Sec           float64 `json:"plan1_sec"`
+		Plan2Sec           float64 `json:"plan2_sec"`
+		RuntimeRatio       float64 `json:"runtime_ratio"`
+		ChosenMatchesPlan1 bool    `json:"chosen_matches_plan1"`
+	} `json:"fig7"`
+
+	Fig8 []struct {
+		Series      string  `json:"series"`
+		ClosureSize int     `json:"closure_size"`
+		Seconds     float64 `json:"seconds"`
+	} `json:"fig8"`
+
+	// Metrics is the default-registry counter snapshot after the runs:
+	// psi/omega evaluation counts, M-Tree distance computations, buffer
+	// pool traffic and friends.
+	Metrics map[string]int64 `json:"metrics"`
+}
+
+// runSnapshot executes the reduced-scale benchmark suite and writes the JSON
+// snapshot to path.
+func runSnapshot(path string, seed int64) error {
+	metrics.Default.Reset()
+	snap := perfSnapshot{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Seed:        seed,
+	}
+
+	fmt.Println("snapshot: table4 (reduced scale)")
+	t4, err := bench.RunTable4(bench.Table4Config{Names: 1500, ProbeNames: 20, Threshold: 3, Queries: 3, Seed: seed})
+	if err != nil {
+		return fmt.Errorf("table4: %w", err)
+	}
+	for _, r := range t4 {
+		snap.Table4 = append(snap.Table4, struct {
+			Impl    string  `json:"impl"`
+			Index   string  `json:"index"`
+			ScanSec float64 `json:"scan_sec"`
+			JoinSec float64 `json:"join_sec"`
+		}{r.Impl, r.Index, r.ScanSec, r.JoinSec})
+	}
+
+	fmt.Println("snapshot: fig6 (reduced scale)")
+	f6, err := bench.RunFigure6(bench.Fig6Config{
+		TableSizes: []int{300, 1000}, Thresholds: []int{1, 2}, DupFactors: []int{1}, Seed: seed})
+	if err != nil {
+		return fmt.Errorf("fig6: %w", err)
+	}
+	snap.Fig6.LogCorrelation = f6.LogCorrelation
+	snap.Fig6.Points = len(f6.Points)
+
+	fmt.Println("snapshot: fig7 (reduced scale)")
+	f7, err := bench.RunFigure7(bench.Fig7Config{Authors: 200, Publishers: 50, Books: 1500, Seed: seed})
+	if err != nil {
+		return fmt.Errorf("fig7: %w", err)
+	}
+	snap.Fig7.Plan1Sec = f7.Plan1.RuntimeSec
+	snap.Fig7.Plan2Sec = f7.Plan2.RuntimeSec
+	if f7.Plan1.RuntimeSec > 0 {
+		snap.Fig7.RuntimeRatio = f7.Plan2.RuntimeSec / f7.Plan1.RuntimeSec
+	}
+	snap.Fig7.ChosenMatchesPlan1 = f7.ChosenMatchesPlan1
+
+	fmt.Println("snapshot: fig8 (reduced scale)")
+	f8, err := bench.RunFigure8(bench.Fig8Config{
+		Synsets: 5000, Targets: []int{100, 300}, MaxOutsideNoIndex: 300, Seed: seed, IncludePinned: true})
+	if err != nil {
+		return fmt.Errorf("fig8: %w", err)
+	}
+	for _, p := range f8 {
+		snap.Fig8 = append(snap.Fig8, struct {
+			Series      string  `json:"series"`
+			ClosureSize int     `json:"closure_size"`
+			Seconds     float64 `json:"seconds"`
+		}{p.Series, p.ClosureSize, p.Seconds})
+	}
+
+	// Counter snapshot of everything the runs drove through the engine.
+	reg := metrics.Default.Snapshot()
+	snap.Metrics = reg.Counters
+
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("snapshot: wrote %s\n", path)
+	return nil
+}

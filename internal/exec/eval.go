@@ -14,6 +14,9 @@ import (
 type evaluator struct {
 	env   Env
 	stats *RunStats
+	// collector, when non-nil, makes build wrap every operator with a
+	// timing iterator (EXPLAIN ANALYZE).
+	collector *ExecStats
 }
 
 // eval evaluates e over t.
@@ -225,6 +228,7 @@ func (ev *evaluator) evalPsi(x *plan.Psi, t types.Tuple) (types.Value, error) {
 	if ev.stats != nil {
 		ev.stats.PsiEvaluations++
 	}
+	mPsiEvals.Inc()
 	return types.NewBool(phonetic.WithinDistance(lph, rph, x.Threshold)), nil
 }
 
@@ -272,6 +276,7 @@ func (ev *evaluator) evalOmega(x *plan.Omega, t types.Tuple) (types.Value, error
 	if ev.stats != nil {
 		ev.stats.OmegaProbes++
 	}
+	mOmegaProbes.Inc()
 	return types.NewBool(m.Match(lu, ru, x.Langs)), nil
 }
 

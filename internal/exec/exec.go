@@ -49,8 +49,15 @@ func (c *Cursor) All() ([]types.Tuple, error) {
 
 // Run instantiates the operator tree for a physical plan.
 func Run(env Env, node *plan.Node) (*Cursor, error) {
+	return RunWithStats(env, node, nil)
+}
+
+// RunWithStats instantiates the operator tree with per-operator statistics
+// collection (EXPLAIN ANALYZE). A nil collector makes this identical to Run:
+// no wrapper iterators are interposed.
+func RunWithStats(env Env, node *plan.Node, es *ExecStats) (*Cursor, error) {
 	stats := &RunStats{}
-	ev := &evaluator{env: env, stats: stats}
+	ev := &evaluator{env: env, stats: stats, collector: es}
 	it, err := build(env, ev, node)
 	if err != nil {
 		return nil, err
@@ -64,7 +71,17 @@ func Run(env Env, node *plan.Node) (*Cursor, error) {
 	return &Cursor{Cols: cols, Stats: stats, it: it}, nil
 }
 
+// build instantiates one operator and, when a collector is active, wraps it
+// so rows and wall time are attributed to its plan node.
 func build(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
+	it, err := buildOp(env, ev, n)
+	if err != nil || ev.collector == nil {
+		return it, err
+	}
+	return ev.collector.wrap(n, it), nil
+}
+
+func buildOp(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 	switch n.Op {
 	case plan.OpSeqScan:
 		return env.ScanTable(n.Table)
@@ -333,17 +350,24 @@ func buildNLJoin(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner, ok := right.(*materializeIter)
-	if !ok {
-		inner = &materializeIter{child: right}
+	return &nlJoinIter{ev: ev, outer: left, inner: asRewindable(right), cond: n.Cond}, nil
+}
+
+// asRewindable returns right as a rewindable iterator, materializing it when
+// it cannot rescan on its own. A stats-wrapped Materialize stays rewindable
+// (rewindStatsIter forwards Rewind), so the instrumented plan runs the same
+// shape as the bare one.
+func asRewindable(right TupleIter) rewindIter {
+	if r, ok := right.(rewindIter); ok {
+		return r
 	}
-	return &nlJoinIter{ev: ev, outer: left, inner: inner, cond: n.Cond}, nil
+	return &materializeIter{child: right}
 }
 
 type nlJoinIter struct {
 	ev       *evaluator
 	outer    TupleIter
-	inner    *materializeIter
+	inner    rewindIter
 	cond     plan.Expr
 	curOuter types.Tuple
 	started  bool
@@ -505,11 +529,7 @@ func buildPsiJoin(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner, ok := right.(*materializeIter)
-	if !ok {
-		inner = &materializeIter{child: right}
-	}
-	return &nlJoinIter{ev: ev, outer: left, inner: inner, cond: fullCond}, nil
+	return &nlJoinIter{ev: ev, outer: left, inner: asRewindable(right), cond: fullCond}, nil
 }
 
 // buildPsiIndexJoin probes an M-Tree on the inner relation per outer row.
@@ -634,11 +654,7 @@ func buildOmegaJoin(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	inner, ok := right.(*materializeIter)
-	if !ok {
-		inner = &materializeIter{child: right}
-	}
-	return &nlJoinIter{ev: ev, outer: left, inner: inner, cond: fullCond}, nil
+	return &nlJoinIter{ev: ev, outer: left, inner: asRewindable(right), cond: fullCond}, nil
 }
 
 func buildAggregate(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {

@@ -1,0 +1,171 @@
+package exec
+
+import (
+	"time"
+
+	"github.com/mural-db/mural/internal/metrics"
+	"github.com/mural-db/mural/internal/plan"
+	"github.com/mural-db/mural/internal/types"
+)
+
+// Engine-wide operator counters: every Ψ (LexEQUAL) evaluation runs an
+// edit-distance over phoneme strings and every Ω (SemEQUAL) evaluation probes
+// a hypernym closure, so these two counters are the CPU story of the paper's
+// Table 3 on the /metrics endpoint.
+var (
+	mPsiEvals    = metrics.Default.Counter("mural_psi_evaluations_total")
+	mOmegaProbes = metrics.Default.Counter("mural_omega_probes_total")
+)
+
+// OpStats is what one plan operator measured while running under EXPLAIN
+// ANALYZE. Counters are totals across all loops (rescans), mirroring
+// PostgreSQL's convention of reporting aggregate, not per-loop, figures.
+type OpStats struct {
+	// Rows is the number of tuples the operator emitted.
+	Rows int64
+	// Nexts is the number of Next() calls answered (Rows plus exhausted
+	// pulls).
+	Nexts int64
+	// Loops is the number of passes over the operator: 1, plus one per
+	// Rewind by a nested-loops join parent.
+	Loops int64
+	// Elapsed is cumulative wall time inside Next(), children included
+	// (subtract a child's Elapsed for self time).
+	Elapsed time.Duration
+}
+
+// ExecStats collects per-operator statistics for one query execution. A nil
+// *ExecStats disables collection entirely: the executor then builds the exact
+// iterator tree it would without instrumentation (no wrappers, no atomics,
+// zero allocations).
+type ExecStats struct {
+	byNode map[*plan.Node]*OpStats
+}
+
+// NewExecStats returns an empty collector.
+func NewExecStats() *ExecStats {
+	return &ExecStats{byNode: make(map[*plan.Node]*OpStats)}
+}
+
+// Stats returns (creating on first use) the bucket for a plan node.
+func (es *ExecStats) Stats(n *plan.Node) *OpStats {
+	st, ok := es.byNode[n]
+	if !ok {
+		st = &OpStats{Loops: 1}
+		es.byNode[n] = st
+	}
+	return st
+}
+
+// Actual reports a node's measured figures in the plan package's neutral
+// form, shaped for plan.FormatAnalyze.
+func (es *ExecStats) Actual(n *plan.Node) (plan.Actual, bool) {
+	if es == nil {
+		return plan.Actual{}, false
+	}
+	st, ok := es.byNode[n]
+	if !ok {
+		return plan.Actual{}, false
+	}
+	return plan.Actual{
+		Rows:    st.Rows,
+		Nexts:   st.Nexts,
+		Loops:   st.Loops,
+		Elapsed: st.Elapsed,
+	}, true
+}
+
+// rewindIter is the executor's rewindable-input contract: nested-loops joins
+// rescan their inner side through it. materializeIter implements it, and so
+// does the instrumented wrapper around a rewindable child.
+type rewindIter interface {
+	TupleIter
+	Rewind()
+}
+
+// wrap interposes a timing wrapper for node n. Children wrapped earlier keep
+// their own buckets, so parent Elapsed includes child time (standard EXPLAIN
+// ANALYZE semantics). Rewindability is preserved — and only real
+// rewindability: wrapping a non-rewindable iterator must not fabricate a
+// Rewind method, or a nested-loops join would silently rescan nothing.
+func (es *ExecStats) wrap(n *plan.Node, it TupleIter) TupleIter {
+	st := es.Stats(n)
+	if r, ok := it.(rewindIter); ok {
+		return &rewindStatsIter{statsIter: statsIter{child: it, st: st}, rewinder: r}
+	}
+	return &statsIter{child: it, st: st}
+}
+
+// statsIter times and counts Next() calls for one operator.
+type statsIter struct {
+	child TupleIter
+	st    *OpStats
+}
+
+func (s *statsIter) Next() (types.Tuple, bool, error) {
+	start := time.Now()
+	t, ok, err := s.child.Next()
+	s.st.Elapsed += time.Since(start)
+	s.st.Nexts++
+	if ok {
+		s.st.Rows++
+	}
+	return t, ok, err
+}
+
+func (s *statsIter) Close() error { return s.child.Close() }
+
+// rewindStatsIter additionally forwards Rewind, counting each rescan as a
+// loop. Nested-loops joins rewind the inner side before the first pass as
+// well; only a rewind that follows at least one Next starts a genuinely new
+// pass, so Loops ends up as the number of passes (PostgreSQL's convention).
+type rewindStatsIter struct {
+	statsIter
+	rewinder  rewindIter
+	lastNexts int64
+}
+
+func (s *rewindStatsIter) Rewind() {
+	s.rewinder.Rewind()
+	if s.st.Nexts > s.lastNexts {
+		s.st.Loops++
+		s.lastNexts = s.st.Nexts
+	}
+}
+
+// Tracer receives query lifecycle callbacks. Implementations must be safe
+// for concurrent use; the engine invokes them inline, so they should return
+// quickly. OperatorSpan fires once per plan operator after an EXPLAIN
+// ANALYZE (or traced) execution completes, in depth-first plan order.
+type Tracer interface {
+	// QueryStart fires before planning+execution of a statement.
+	QueryStart(query string)
+	// QueryEnd fires after the statement finishes (err nil on success).
+	QueryEnd(query string, elapsed time.Duration, rows int64, err error)
+	// OperatorSpan reports one operator's measured execution.
+	OperatorSpan(op string, rows int64, loops int64, elapsed time.Duration)
+}
+
+// EmitSpans walks the plan tree depth-first and reports every measured
+// operator to the tracer.
+func (es *ExecStats) EmitSpans(root *plan.Node, tr Tracer) {
+	if es == nil || tr == nil || root == nil {
+		return
+	}
+	var walk func(n *plan.Node)
+	walk = func(n *plan.Node) {
+		if st, ok := es.byNode[n]; ok {
+			tr.OperatorSpan(n.Op.String(), st.Rows, st.Loops, st.Elapsed)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+}
+
+// NewSliceCursor wraps pre-materialized rows as a Cursor; the server uses it
+// to stream EXPLAIN output through the ordinary row protocol.
+func NewSliceCursor(cols []string, rows []types.Tuple) *Cursor {
+	return &Cursor{Cols: cols, it: &sliceIter{rows: rows}}
+}

@@ -197,6 +197,7 @@ func writeNode(h *storage.Handle, n *node) error {
 }
 
 func readNode(h *storage.Handle) (*node, error) {
+	mNodeVisits.Inc()
 	d := h.Data()
 	n := &node{typ: d[0]}
 	count := int(binary.LittleEndian.Uint16(d[1:3]))

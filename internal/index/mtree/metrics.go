@@ -1,0 +1,13 @@
+package mtree
+
+import "github.com/mural-db/mural/internal/metrics"
+
+// M-Tree observability counters. Distance computations are the dominant
+// CPU cost of a metric-index probe (each is an O(len²) edit-distance
+// evaluation), so exposing their count alongside node visits lets the bench
+// harness verify the triangle-inequality pruning claimed in §4.2.1.
+var (
+	mDistComps   = metrics.Default.Counter("mural_mtree_distance_comps_total")
+	mNodeVisits  = metrics.Default.Counter("mural_mtree_node_visits_total")
+	mRangeProbes = metrics.Default.Counter("mural_mtree_range_searches_total")
+)

@@ -112,6 +112,7 @@ func isLeafGroup(entries []gist.Entry) bool {
 }
 
 func dist(a, b []byte) int {
+	mDistComps.Inc()
 	return phonetic.EditDistance(string(a), string(b))
 }
 
@@ -122,6 +123,7 @@ func (o *ops) Consistent(pred []byte, query any, leaf bool) bool {
 	if !ok {
 		return true
 	}
+	mDistComps.Inc()
 	if leaf {
 		return phonetic.WithinDistance(q.Phoneme, string(pred), q.Threshold)
 	}
@@ -291,6 +293,8 @@ func (ix *Index) RangeSearch(phoneme string, threshold int) ([]storage.RID, int,
 			rids = append(rids, rid)
 			return true
 		})
+	mRangeProbes.Inc()
+	mNodeVisits.Add(int64(pages))
 	return rids, pages, err
 }
 

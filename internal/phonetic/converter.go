@@ -5,7 +5,17 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/mural-db/mural/internal/metrics"
 	"github.com/mural-db/mural/internal/types"
+)
+
+// G2P observability: conversions vs cache hits separates "the converter
+// ran" from "the materialized phoneme string (§3.1) was reused" — the
+// ratio is the payoff of phoneme materialization at insert time.
+var (
+	mG2PConversions = metrics.Default.Counter("mural_g2p_conversions_total")
+	mG2PCacheHits   = metrics.Default.Counter("mural_g2p_cache_hits_total")
+	mG2PFallbacks   = metrics.Default.Counter("mural_g2p_fallbacks_total")
 )
 
 // Converter renders text of one language into a canonical IPA phoneme
@@ -77,11 +87,14 @@ func (r *Registry) Langs() []types.LangID {
 // case-insensitive approximate string matching rather than failing.
 func (r *Registry) ToPhoneme(u types.UniText) string {
 	if u.Phoneme != "" {
+		mG2PCacheHits.Inc()
 		return u.Phoneme
 	}
 	if c, ok := r.Lookup(u.Lang); ok {
+		mG2PConversions.Inc()
 		return c.ToPhoneme(u.Text)
 	}
+	mG2PFallbacks.Inc()
 	return strings.ToLower(u.Text)
 }
 
@@ -168,5 +181,6 @@ func (r *Registry) ConvertString(text string, lang types.LangID) (string, error)
 	if !ok {
 		return "", fmt.Errorf("%w: %s", errUnknownLang, lang)
 	}
+	mG2PConversions.Inc()
 	return c.ToPhoneme(text), nil
 }

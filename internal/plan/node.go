@@ -3,6 +3,7 @@ package plan
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"github.com/mural-db/mural/internal/sql"
 	"github.com/mural-db/mural/internal/types"
@@ -149,14 +150,50 @@ type Node struct {
 // Schema returns the output columns.
 func (n *Node) Schema() []ColInfo { return n.Cols }
 
+// EstimatedRows is the uniform cardinality accessor: the optimizer's own
+// estimate when the node carries one, else the largest child estimate (pure
+// pass-through operators like Materialize or Project never shrink their
+// input, so inheriting the child's cardinality beats printing a zero).
+func (n *Node) EstimatedRows() float64 {
+	if n.EstRows > 0 {
+		return n.EstRows
+	}
+	max := 0.0
+	for _, c := range n.Children {
+		if r := c.EstimatedRows(); r > max {
+			max = r
+		}
+	}
+	return max
+}
+
+// Actual holds executor-measured figures for one plan node; the exec package
+// fills it during EXPLAIN ANALYZE. Counters are totals across all loops.
+type Actual struct {
+	Rows    int64
+	Nexts   int64
+	Loops   int64
+	Elapsed time.Duration
+}
+
 // Format renders the plan tree in EXPLAIN style.
 func Format(n *Node) string {
 	var b strings.Builder
-	format(&b, n, 0)
+	format(&b, n, 0, nil)
 	return b.String()
 }
 
-func format(b *strings.Builder, n *Node, depth int) {
+// FormatAnalyze renders the plan tree in EXPLAIN ANALYZE style: each node
+// line carries estimated rows/cost plus the measured rows, loops and wall
+// time looked up through actuals (which may report a miss for operators that
+// never ran, printed as "never executed").
+func FormatAnalyze(n *Node, actuals func(*Node) (Actual, bool)) string {
+	var b strings.Builder
+	format(&b, n, 0, actuals)
+	return b.String()
+}
+
+func format(b *strings.Builder, n *Node, depth int, actuals func(*Node) (Actual, bool)) {
 	indent := strings.Repeat("  ", depth)
 	b.WriteString(indent)
 	b.WriteString(n.Op.String())
@@ -187,8 +224,16 @@ func format(b *strings.Builder, n *Node, depth int) {
 	if n.Cond != nil {
 		fmt.Fprintf(b, " cond=[%s]", ExprString(n.Cond))
 	}
-	fmt.Fprintf(b, "  (rows=%.0f cost=%.1f)\n", n.EstRows, n.EstCost)
+	fmt.Fprintf(b, "  (rows=%.0f cost=%.1f)", n.EstimatedRows(), n.EstCost)
+	if actuals != nil {
+		if a, ok := actuals(n); ok {
+			fmt.Fprintf(b, " (actual rows=%d loops=%d time=%s)", a.Rows, a.Loops, a.Elapsed.Round(time.Microsecond))
+		} else {
+			b.WriteString(" (never executed)")
+		}
+	}
+	b.WriteString("\n")
 	for _, c := range n.Children {
-		format(b, c, depth+1)
+		format(b, c, depth+1, actuals)
 	}
 }

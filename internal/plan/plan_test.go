@@ -344,3 +344,31 @@ func TestWalkVisitsAll(t *testing.T) {
 		t.Errorf("Walk visited %d nodes, want 8", count)
 	}
 }
+
+func TestEstimatedRowsFallback(t *testing.T) {
+	scan := &Node{Op: OpSeqScan, Table: "t", EstRows: 40}
+	proj := &Node{Op: OpProject, Children: []*Node{scan}} // planner left EstRows zero
+	if got := proj.EstimatedRows(); got != 40 {
+		t.Errorf("pass-through EstimatedRows = %v, want 40 (widest child)", got)
+	}
+	scan.EstRows = 0
+	if got := proj.EstimatedRows(); got != 0 {
+		t.Errorf("no estimates anywhere: EstimatedRows = %v, want 0", got)
+	}
+	proj.EstRows = 7 // own estimate wins over children
+	if got := proj.EstimatedRows(); got != 7 {
+		t.Errorf("own estimate: EstimatedRows = %v, want 7", got)
+	}
+	join := &Node{Op: OpNLJoin, Children: []*Node{
+		{Op: OpSeqScan, EstRows: 3},
+		{Op: OpMaterialize, Children: []*Node{{Op: OpSeqScan, EstRows: 9}}},
+	}}
+	if got := join.EstimatedRows(); got != 9 {
+		t.Errorf("recursive fallback: EstimatedRows = %v, want 9", got)
+	}
+	// Format never prints rows=0 for a pass-through node over an estimated scan.
+	out := Format(&Node{Op: OpProject, Children: []*Node{{Op: OpSeqScan, Table: "t", EstRows: 40}}})
+	if !strings.Contains(out, "Project  (rows=40") {
+		t.Errorf("Format output:\n%s", out)
+	}
+}

@@ -1,0 +1,14 @@
+package server
+
+import "github.com/mural-db/mural/internal/metrics"
+
+// Per-connection protocol counters. idle_timeouts and panics_recovered
+// witness the PR 1 robustness paths (idle reaping, per-connection panic
+// containment) actually firing in production rather than only in tests.
+var (
+	mRequests     = metrics.Default.Counter("mural_server_requests_total")
+	mErrors       = metrics.Default.Counter("mural_server_errors_total")
+	mIdleTimeouts = metrics.Default.Counter("mural_server_idle_timeouts_total")
+	mPanics       = metrics.Default.Counter("mural_server_panics_recovered_total")
+	mReqLatNs     = metrics.Default.Histogram("mural_server_request_latency_ns", metrics.DurationBuckets)
+)

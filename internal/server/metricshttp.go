@@ -1,0 +1,62 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/mural-db/mural/internal/metrics"
+)
+
+// MetricsServer is the optional HTTP scrape endpoint. It is independent of
+// the wire-protocol Server so it can also front an embedded Engine.
+type MetricsServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	addr string
+}
+
+// MetricsHandler serves a registry: Prometheus text exposition at the bare
+// path, JSON when the client asks for it (Accept: application/json or
+// ?format=json).
+func MetricsHandler(reg *metrics.Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		wantJSON := r.URL.Query().Get("format") == "json" ||
+			strings.Contains(r.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+			_ = reg.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+}
+
+// StartMetrics serves the default metrics registry over HTTP at addr
+// ("127.0.0.1:0" for an ephemeral port): GET /metrics returns Prometheus
+// text, GET /metrics?format=json (or Accept: application/json) returns JSON.
+// The returned server's Addr reports the bound address.
+func StartMetrics(addr string) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: metrics listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(metrics.Default))
+	ms := &MetricsServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		addr: ln.Addr().String(),
+	}
+	go func() { _ = ms.srv.Serve(ln) }()
+	return ms, nil
+}
+
+// Addr returns the bound listen address.
+func (m *MetricsServer) Addr() string { return m.addr }
+
+// Close stops the endpoint.
+func (m *MetricsServer) Close() error { return m.srv.Close() }

@@ -119,9 +119,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		typ, payload, err := wire.Read(br)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				// Connection torn down mid-frame or idled out; nothing to
-				// report to.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				mIdleTimeouts.Inc()
+			} else if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Connection torn down mid-frame; nothing to report to.
 				_ = err
 			}
 			return
@@ -144,6 +146,8 @@ func (s *Server) serveConn(conn net.Conn) {
 func (s *Server) dispatchSafe(w io.Writer, sess *session, typ wire.MsgType, payload []byte) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			mPanics.Inc()
+			mErrors.Inc()
 			_ = wire.Write(w, wire.MsgErr, []byte(fmt.Sprintf("server: internal error: %v", r)))
 			err = fmt.Errorf("server: panic in dispatch: %v", r)
 		}
@@ -152,7 +156,11 @@ func (s *Server) dispatchSafe(w io.Writer, sess *session, typ wire.MsgType, payl
 }
 
 func (s *Server) dispatch(w io.Writer, sess *session, typ wire.MsgType, payload []byte) error {
+	mRequests.Inc()
+	start := time.Now()
+	defer func() { mReqLatNs.Observe(int64(time.Since(start))) }()
 	sendErr := func(err error) error {
+		mErrors.Inc()
 		return wire.Write(w, wire.MsgErr, []byte(err.Error()))
 	}
 	switch typ {
@@ -172,16 +180,24 @@ func (s *Server) dispatch(w io.Writer, sess *session, typ wire.MsgType, payload 
 		if err != nil {
 			return sendErr(err)
 		}
+		var rows *mural.Rows
 		if _, isSelect := stmt.(*sql.Select); !isSelect {
 			res, err := s.eng.Exec(q)
 			if err != nil {
 				return sendErr(err)
 			}
-			return wire.Write(w, wire.MsgOK, wire.EncodeUvarint(uint64(res.RowsAffected)))
-		}
-		rows, err := s.eng.Query(q)
-		if err != nil {
-			return sendErr(err)
+			if len(res.Cols) == 0 {
+				return wire.Write(w, wire.MsgOK, wire.EncodeUvarint(uint64(res.RowsAffected)))
+			}
+			// Row-bearing non-SELECTs (EXPLAIN [ANALYZE], SHOW) stream
+			// their materialized output through the cursor protocol.
+			rows = mural.StaticRows(res.Cols, res.Rows)
+		} else {
+			var err error
+			rows, err = s.eng.Query(q)
+			if err != nil {
+				return sendErr(err)
+			}
 		}
 		id := sess.nextID
 		sess.nextID++

@@ -330,6 +330,7 @@ func TestSemScanUDF(t *testing.T) {
 // drives it through a query: the connection must get an error and die, the
 // server process and other connections must survive.
 func TestPanicKillsConnectionNotServer(t *testing.T) {
+	panicsBefore := mPanics.Value()
 	eng, conn := startServer(t)
 	if err := eng.RegisterOperator("boom", func(a, b types.Value) (bool, error) {
 		panic("operator exploded")
@@ -363,11 +364,15 @@ func TestPanicKillsConnectionNotServer(t *testing.T) {
 	if err != nil || rows[0][0].Int() != 2 {
 		t.Errorf("data lost after panic: %v %v", rows, err)
 	}
+	if got := mPanics.Value() - panicsBefore; got < 1 {
+		t.Errorf("panics_recovered counter moved by %d, want >= 1", got)
+	}
 }
 
 // TestIdleTimeout checks that a connection idling past the deadline is
 // closed, while one that keeps talking stays up.
 func TestIdleTimeout(t *testing.T) {
+	idleBefore := mIdleTimeouts.Value()
 	eng, err := mural.Open(mural.Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -404,6 +409,9 @@ func TestIdleTimeout(t *testing.T) {
 	}
 	if err := idle.Ping(); err == nil {
 		t.Error("idle connection survived the timeout")
+	}
+	if got := mIdleTimeouts.Value() - idleBefore; got < 1 {
+		t.Errorf("idle_timeouts counter moved by %d, want >= 1", got)
 	}
 }
 

@@ -1,0 +1,23 @@
+package storage
+
+import "github.com/mural-db/mural/internal/metrics"
+
+// Engine-wide storage metrics, published into the default registry. These
+// mirror the per-pool / per-WAL Stats structs (which benchmark code reads
+// directly) but aggregate across every open database in the process, which
+// is what the /metrics endpoint wants. Updates are single atomic adds on
+// paths that already hold the pool or WAL mutex.
+var (
+	mPoolHits      = metrics.Default.Counter("mural_bufferpool_hits_total")
+	mPoolMisses    = metrics.Default.Counter("mural_bufferpool_misses_total")
+	mPoolReads     = metrics.Default.Counter("mural_bufferpool_disk_reads_total")
+	mPoolWrites    = metrics.Default.Counter("mural_bufferpool_disk_writes_total")
+	mPoolEvictions = metrics.Default.Counter("mural_bufferpool_evictions_total")
+	mPoolFlushes   = metrics.Default.Counter("mural_bufferpool_flushes_total")
+
+	mWALCommits     = metrics.Default.Counter("mural_wal_commits_total")
+	mWALPageImages  = metrics.Default.Counter("mural_wal_page_images_total")
+	mWALSyncs       = metrics.Default.Counter("mural_wal_fsyncs_total")
+	mWALBytes       = metrics.Default.Counter("mural_wal_bytes_total")
+	mWALCheckpoints = metrics.Default.Counter("mural_wal_checkpoints_total")
+)

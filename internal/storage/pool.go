@@ -284,9 +284,11 @@ func (p *Pool) Pin(key PageKey) (*Handle, error) {
 		f.pins++
 		f.ref = true
 		p.stats.Hits++
+		mPoolHits.Inc()
 		return &Handle{pool: p, idx: idx, key: key}, nil
 	}
 	p.stats.Misses++
+	mPoolMisses.Inc()
 	disk, ok := p.disks[key.File]
 	if !ok {
 		return nil, fmt.Errorf("storage: pin: file %d not attached", key.File)
@@ -301,6 +303,7 @@ func (p *Pool) Pin(key PageKey) (*Handle, error) {
 		return nil, err
 	}
 	p.stats.DiskReads++
+	mPoolReads.Inc()
 	if err := verifyChecksum(f.data); err != nil {
 		f.valid = false
 		return nil, fmt.Errorf("storage: page %v: %w", key, err)
@@ -380,6 +383,7 @@ func (p *Pool) victim() (int, error) {
 		delete(p.table, f.key)
 		f.valid = false
 		p.stats.Evictions++
+		mPoolEvictions.Inc()
 		return idx, nil
 	}
 	return 0, fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", n)
@@ -397,6 +401,7 @@ func (p *Pool) writeback(f *frame) error {
 		return err
 	}
 	p.stats.DiskWrites++
+	mPoolWrites.Inc()
 	f.dirty = false
 	return nil
 }
@@ -405,6 +410,7 @@ func (p *Pool) writeback(f *frame) error {
 func (p *Pool) FlushAll() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	mPoolFlushes.Inc()
 	for i := range p.frames {
 		f := &p.frames[i]
 		if f.valid && f.dirty {

@@ -206,6 +206,7 @@ func (w *WAL) frame(payload []byte) (int64, error) {
 		return 0, fmt.Errorf("storage: wal append: %w", err)
 	}
 	w.size = off + walFrameHeader + int64(len(payload))
+	mWALBytes.Add(walFrameHeader + int64(len(payload)))
 	return off, nil
 }
 
@@ -233,6 +234,7 @@ func (w *WAL) AppendBatch(pages []WALPageRec, catalog []byte) error {
 		}
 		imageOff[PageKey{File: pr.File, Page: pr.Page}] = off + walFrameHeader + 9
 		w.stats.PageImages++
+		mWALPageImages.Inc()
 	}
 	if catalog != nil {
 		if _, err := w.frame(append([]byte{walRecCatalog}, catalog...)); err != nil {
@@ -251,6 +253,8 @@ func (w *WAL) AppendBatch(pages []WALPageRec, catalog []byte) error {
 	}
 	w.stats.Syncs++
 	w.stats.Commits++
+	mWALSyncs.Inc()
+	mWALCommits.Inc()
 	for k, off := range imageOff {
 		w.latest[k] = off
 	}
@@ -286,6 +290,8 @@ func (w *WAL) Truncate() error {
 		return fmt.Errorf("storage: wal sync: %w", err)
 	}
 	w.stats.Syncs++
+	mWALSyncs.Inc()
+	mWALCheckpoints.Inc()
 	w.size = 0
 	w.latest = make(map[PageKey]int64)
 	return nil

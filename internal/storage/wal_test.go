@@ -87,7 +87,7 @@ func TestWALTornTail(t *testing.T) {
 		if i == 2 {
 			cat = []byte("catalog image")
 		}
-		if err := w.AppendBatch([]WALPageRec{walPage(1, PageID(i), byte(i + 1))}, cat); err != nil {
+		if err := w.AppendBatch([]WALPageRec{walPage(1, PageID(i), byte(i+1))}, cat); err != nil {
 			t.Fatal(err)
 		}
 		commitEnds = append(commitEnds, full.Len())
@@ -122,7 +122,7 @@ func TestWALBitFlip(t *testing.T) {
 	log := NewMemLog()
 	w := NewWAL(log)
 	for i := 0; i < 3; i++ {
-		if err := w.AppendBatch([]WALPageRec{walPage(1, PageID(i), byte(i + 1))}, nil); err != nil {
+		if err := w.AppendBatch([]WALPageRec{walPage(1, PageID(i), byte(i+1))}, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -229,7 +229,7 @@ func TestWALConcurrentAppendAndCheckpoint(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < batchesPerWriter; i++ {
-				pages := []WALPageRec{walPage(FileID(g+1), PageID(i), byte(g + 1))}
+				pages := []WALPageRec{walPage(FileID(g+1), PageID(i), byte(g+1))}
 				if err := w.AppendBatch(pages, nil); err != nil {
 					t.Errorf("writer %d: %v", g, err)
 					return

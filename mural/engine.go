@@ -2,6 +2,7 @@ package mural
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"sync"
@@ -50,6 +51,16 @@ type Config struct {
 	DiskWrap func(name string, d storage.Disk) storage.Disk
 	// WALWrap, when set, wraps the write-ahead log device the same way.
 	WALWrap func(f storage.LogFile) storage.LogFile
+	// SlowQueryThreshold enables the slow-query log: statements that take
+	// at least this long are written to SlowQueryLog as one JSON line each.
+	// Zero disables logging.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query lines (required for the threshold to
+	// have any effect; os.Stderr is a reasonable choice).
+	SlowQueryLog io.Writer
+	// Tracer, when set, receives query lifecycle callbacks (and per-operator
+	// spans for EXPLAIN ANALYZE executions).
+	Tracer exec.Tracer
 }
 
 // MTreeSplitPolicy re-exports the split policies.
@@ -72,6 +83,8 @@ type Engine struct {
 	// WALDisabled); recovery reports what replay did at Open.
 	wal      *storage.WAL
 	recovery RecoveryStats
+	// slowMu serializes slow-query log writes.
+	slowMu sync.Mutex
 
 	mu      sync.RWMutex
 	heaps   map[string]*storage.Heap
@@ -150,6 +163,7 @@ func Open(cfg Config) (*Engine, error) {
 	}
 	if wal != nil {
 		e.pool.SetWAL(wal)
+		publishRecoveryStats(recStats)
 	}
 	if cfg.WordNet != nil {
 		e.LoadWordNet(cfg.WordNet)
@@ -331,8 +345,25 @@ func (e *Engine) MustExec(q string) *Result {
 	return r
 }
 
-// Exec parses and runs one statement, materializing the result.
+// Exec parses and runs one statement, materializing the result. Every call
+// is observed: engine query counters and the latency histogram always
+// update, statements slower than Config.SlowQueryThreshold are logged, and
+// the configured Tracer sees start/end events.
 func (e *Engine) Exec(q string) (*Result, error) {
+	if tr := e.cfg.Tracer; tr != nil {
+		tr.QueryStart(q)
+	}
+	start := time.Now()
+	res, err := e.exec(q)
+	var rows int64
+	if res != nil {
+		rows = int64(len(res.Rows)) + res.RowsAffected
+	}
+	e.observe(q, rows, time.Since(start), err)
+	return res, err
+}
+
+func (e *Engine) exec(q string) (*Result, error) {
 	stmt, err := sql.Parse(q)
 	if err != nil {
 		return nil, err
@@ -374,6 +405,13 @@ func (e *Engine) Exec(q string) (*Result, error) {
 type Rows struct {
 	Cols   []string
 	cursor *exec.Cursor
+}
+
+// StaticRows wraps already-materialized rows as a streaming Rows; the server
+// uses it to push EXPLAIN and SHOW output through the ordinary cursor
+// protocol.
+func StaticRows(cols []string, rows []Tuple) *Rows {
+	return &Rows{Cols: cols, cursor: exec.NewSliceCursor(cols, rows)}
 }
 
 // Next returns the next row.
@@ -466,10 +504,11 @@ func (e *Engine) execExplain(s *sql.Explain) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Plan: plan.Format(node), PlanCost: node.EstCost, Cols: []string{"plan"}}
+	res := &Result{PlanCost: node.EstCost, Cols: []string{"plan"}}
 	if s.Analyze {
+		es := exec.NewExecStats()
 		start := time.Now()
-		cur, err := exec.Run(e, node)
+		cur, err := exec.RunWithStats(e, node, es)
 		if err != nil {
 			return nil, err
 		}
@@ -479,8 +518,14 @@ func (e *Engine) execExplain(s *sql.Explain) (*Result, error) {
 		}
 		res.Elapsed = time.Since(start)
 		res.Stats = *cur.Stats
+		res.Plan = plan.FormatAnalyze(node, es.Actual)
 		res.Plan += fmt.Sprintf("Actual: rows=%d elapsed=%s index_pages=%d psi_evals=%d omega_probes=%d\n",
 			len(rows), res.Elapsed, res.Stats.IndexPages, res.Stats.PsiEvaluations, res.Stats.OmegaProbes)
+		if tr := e.cfg.Tracer; tr != nil {
+			es.EmitSpans(node, tr)
+		}
+	} else {
+		res.Plan = plan.Format(node)
 	}
 	for _, line := range strings.Split(strings.TrimRight(res.Plan, "\n"), "\n") {
 		res.Rows = append(res.Rows, Tuple{types.NewText(line)})

@@ -1,0 +1,75 @@
+package mural
+
+import (
+	"encoding/json"
+	"time"
+
+	"github.com/mural-db/mural/internal/metrics"
+)
+
+// Engine-level query counters and the latency histogram backing the
+// /metrics endpoint.
+var (
+	mQueries     = metrics.Default.Counter("mural_engine_queries_total")
+	mQueryErrors = metrics.Default.Counter("mural_engine_query_errors_total")
+	mSlowQueries = metrics.Default.Counter("mural_engine_slow_queries_total")
+	mQueryLatNs  = metrics.Default.Histogram("mural_engine_query_latency_ns", metrics.DurationBuckets)
+)
+
+// publishRecoveryStats exposes what crash recovery did at Open as gauges, so
+// a scrape right after a restart shows whether (and how much) replay ran.
+func publishRecoveryStats(rs RecoveryStats) {
+	reg := metrics.Default
+	reg.Gauge("mural_recovery_batches_replayed").Set(int64(rs.BatchesReplayed))
+	reg.Gauge("mural_recovery_pages_applied").Set(int64(rs.PagesApplied))
+	reg.Gauge("mural_recovery_orphans_removed").Set(int64(rs.OrphansRemoved))
+	torn := int64(0)
+	if rs.TornTail {
+		torn = 1
+	}
+	reg.Gauge("mural_recovery_torn_tail").Set(torn)
+	restored := int64(0)
+	if rs.CatalogRestored {
+		restored = 1
+	}
+	reg.Gauge("mural_recovery_catalog_restored").Set(restored)
+}
+
+// slowQueryRecord is one line of the structured slow-query log.
+type slowQueryRecord struct {
+	TS        string  `json:"ts"`
+	Query     string  `json:"query"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Rows      int64   `json:"rows"`
+	Err       string  `json:"err,omitempty"`
+}
+
+// observe records one finished statement: metrics, the slow-query log, and
+// the tracer's QueryEnd hook.
+func (e *Engine) observe(q string, rows int64, elapsed time.Duration, err error) {
+	mQueries.Inc()
+	mQueryLatNs.Observe(int64(elapsed))
+	if err != nil {
+		mQueryErrors.Inc()
+	}
+	if thr := e.cfg.SlowQueryThreshold; thr > 0 && elapsed >= thr && e.cfg.SlowQueryLog != nil {
+		mSlowQueries.Inc()
+		rec := slowQueryRecord{
+			TS:        time.Now().UTC().Format(time.RFC3339Nano),
+			Query:     q,
+			ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+			Rows:      rows,
+		}
+		if err != nil {
+			rec.Err = err.Error()
+		}
+		if line, jerr := json.Marshal(rec); jerr == nil {
+			e.slowMu.Lock()
+			e.cfg.SlowQueryLog.Write(append(line, '\n'))
+			e.slowMu.Unlock()
+		}
+	}
+	if tr := e.cfg.Tracer; tr != nil {
+		tr.QueryEnd(q, elapsed, rows, err)
+	}
+}
