@@ -8,7 +8,8 @@
 //	benchrunner -exp table4 -names 25000 # paper-scale Ψ experiment
 //	benchrunner -exp fig8 -synsets 111223 -full
 //	benchrunner -exp fig6|fig7|regress|ablation
-//	benchrunner -snapshot BENCH_PR2.json # reduced-scale JSON perf snapshot
+//	benchrunner -exp snapshot            # reduced-scale JSON perf snapshot (BENCH_PR3.json)
+//	benchrunner -snapshot out.json       # same, to an explicit path
 package main
 
 import (
@@ -29,10 +30,16 @@ func main() {
 		synsets = flag.Int("synsets", 20000, "taxonomy size for fig8 (paper: 111223)")
 		full    = flag.Bool("full", false, "paper-scale settings (slow)")
 		seed    = flag.Int64("seed", 2006, "dataset seed")
-		snap    = flag.String("snapshot", "", "write a reduced-scale JSON perf snapshot to this path and exit")
+		snap    = flag.String("snapshot", "BENCH_PR3.json", "perf snapshot output path (implies -exp snapshot when set explicitly)")
 	)
 	flag.Parse()
-	if *snap != "" {
+	snapSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "snapshot" {
+			snapSet = true
+		}
+	})
+	if *exp == "snapshot" || snapSet {
 		if err := runSnapshot(*snap, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "snapshot: %v\n", err)
 			os.Exit(1)

@@ -1,0 +1,144 @@
+// Command murallint runs the project's static-analysis suite — pinbalance,
+// iterclose, walorder, errdrop, metricname — plus a selected set of go vet
+// passes over the module. It exits non-zero if any check reports a finding.
+//
+// Usage:
+//
+//	go run ./cmd/murallint [-run name[,name...]] [-novet] [packages]
+//
+// Packages default to ./... . Diagnostics print as
+// path:line:col: message [analyzer].
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+
+	"github.com/mural-db/mural/internal/lint/analysis"
+	"github.com/mural-db/mural/internal/lint/errdrop"
+	"github.com/mural-db/mural/internal/lint/iterclose"
+	"github.com/mural-db/mural/internal/lint/load"
+	"github.com/mural-db/mural/internal/lint/metricname"
+	"github.com/mural-db/mural/internal/lint/pinbalance"
+	"github.com/mural-db/mural/internal/lint/walorder"
+)
+
+var analyzers = []*analysis.Analyzer{
+	errdrop.Analyzer,
+	iterclose.Analyzer,
+	metricname.Analyzer,
+	pinbalance.Analyzer,
+	walorder.Analyzer,
+}
+
+// vetPasses are the vet analyzers murallint layers under its own checks.
+var vetPasses = []string{
+	"atomic", "bools", "copylocks", "errorsas", "loopclosure",
+	"lostcancel", "nilfunc", "printf", "stdmethods", "unreachable",
+	"unusedresult",
+}
+
+func main() {
+	runFilter := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	noVet := flag.Bool("novet", false, "skip the go vet passes")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := analyzers
+	if *runFilter != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*runFilter, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "murallint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	failed := false
+	if !*noVet {
+		failed = runVet(patterns) || failed
+	}
+
+	pkgs, err := load.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "murallint: %v\n", err)
+		os.Exit(2)
+	}
+
+	// All packages share one FileSet (load.Load builds them on a single one).
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range selected {
+			pass := &analysis.Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				ImportPath: pkg.ImportPath,
+				TypesInfo:  pkg.Info,
+				Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "murallint: %s: %s: %v\n", a.Name, pkg.ImportPath, err)
+				failed = true
+			}
+		}
+	}
+
+	if len(pkgs) > 0 {
+		fset := pkgs[0].Fset
+		sort.SliceStable(diags, func(i, j int) bool {
+			pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+			if pi.Filename != pj.Filename {
+				return pi.Filename < pj.Filename
+			}
+			return pi.Offset < pj.Offset
+		})
+		for _, d := range diags {
+			fmt.Printf("%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer.Name)
+		}
+	}
+	if len(diags) > 0 || failed {
+		os.Exit(1)
+	}
+}
+
+// runVet shells out to the selected go vet passes; vet's own diagnostics go
+// straight to stderr. Returns true on findings.
+func runVet(patterns []string) bool {
+	args := []string{"vet"}
+	for _, p := range vetPasses {
+		args = append(args, "-"+p)
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return true
+	}
+	return false
+}

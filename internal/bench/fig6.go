@@ -61,7 +61,7 @@ func RunFigure6(cfg Fig6Config) (*Fig6Result, error) {
 				return nil, err
 			}
 			if err := loadFig6Tables(eng, size, dup, cfg.Seed); err != nil {
-				eng.Close()
+				_ = eng.Close()
 				return nil, err
 			}
 			for _, k := range cfg.Thresholds {
@@ -69,12 +69,12 @@ func RunFigure6(cfg Fig6Config) (*Fig6Result, error) {
 					`SELECT count(*) FROM lhs l, rhs r WHERE l.name LEXEQUAL r.name THRESHOLD %d`, k)
 				// Warm once (buffer pool effects), then measure.
 				if _, err := eng.Exec(q); err != nil {
-					eng.Close()
+					_ = eng.Close()
 					return nil, err
 				}
 				r, err := eng.Exec(q)
 				if err != nil {
-					eng.Close()
+					_ = eng.Close()
 					return nil, err
 				}
 				res.Points = append(res.Points, Fig6Point{
@@ -84,7 +84,7 @@ func RunFigure6(cfg Fig6Config) (*Fig6Result, error) {
 					Rows:      r.Rows[0][0].Int(),
 				})
 			}
-			eng.Close()
+			_ = eng.Close()
 		}
 	}
 	// Also sweep scan-type queries for spread at the low end.
@@ -93,18 +93,18 @@ func RunFigure6(cfg Fig6Config) (*Fig6Result, error) {
 		return nil, err
 	}
 	if err := loadFig6Tables(eng, cfg.TableSizes[len(cfg.TableSizes)-1], 1, cfg.Seed+7); err != nil {
-		eng.Close()
+		_ = eng.Close()
 		return nil, err
 	}
 	for _, k := range cfg.Thresholds {
 		q := fmt.Sprintf(`SELECT count(*) FROM rhs r WHERE r.name LEXEQUAL 'nehru' THRESHOLD %d`, k)
 		if _, err := eng.Exec(q); err != nil {
-			eng.Close()
+			_ = eng.Close()
 			return nil, err
 		}
 		r, err := eng.Exec(q)
 		if err != nil {
-			eng.Close()
+			_ = eng.Close()
 			return nil, err
 		}
 		res.Points = append(res.Points, Fig6Point{
@@ -114,7 +114,7 @@ func RunFigure6(cfg Fig6Config) (*Fig6Result, error) {
 			Rows:      r.Rows[0][0].Int(),
 		})
 	}
-	eng.Close()
+	_ = eng.Close()
 
 	var xs, ys []float64
 	for _, p := range res.Points {

@@ -58,7 +58,7 @@ func RunFigure7(cfg Fig7Config) (*Fig7Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer eng.Close()
+	defer func() { _ = eng.Close() }()
 
 	cat := dataset.GenerateCatalog(dataset.CatalogConfig{
 		Authors: cfg.Authors, Publishers: cfg.Publishers, Books: cfg.Books, Seed: cfg.Seed,

@@ -66,7 +66,7 @@ func RunRegression(cfg RegressionConfig) (*RegressionResult, error) {
 			`CREATE TABLE u (uid INT, tid INT)`,
 		} {
 			if _, err := eng.Exec(ddl); err != nil {
-				eng.Close()
+				_ = eng.Close()
 				return nil, err
 			}
 		}
@@ -79,16 +79,16 @@ func RunRegression(cfg RegressionConfig) (*RegressionResult, error) {
 			}
 		}
 		if err := batchInsert("t", rows, execQ); err != nil {
-			eng.Close()
+			_ = eng.Close()
 			return nil, err
 		}
 		if err := batchInsert("u", urows, execQ); err != nil {
-			eng.Close()
+			_ = eng.Close()
 			return nil, err
 		}
 		if multilingual {
 			if _, err := eng.Exec(`CREATE TABLE names (id INT, name UNITEXT)`); err != nil {
-				eng.Close()
+				_ = eng.Close()
 				return nil, err
 			}
 			var nrows []string
@@ -96,7 +96,7 @@ func RunRegression(cfg RegressionConfig) (*RegressionResult, error) {
 				nrows = append(nrows, fmt.Sprintf("(%d, unitext('name%d', english))", i, i%50))
 			}
 			if err := batchInsert("names", nrows, execQ); err != nil {
-				eng.Close()
+				_ = eng.Close()
 				return nil, err
 			}
 			for _, q := range []string{
@@ -104,13 +104,13 @@ func RunRegression(cfg RegressionConfig) (*RegressionResult, error) {
 				`CREATE INDEX idx_n_mdi ON names (name) USING MDI`,
 			} {
 				if _, err := eng.Exec(q); err != nil {
-					eng.Close()
+					_ = eng.Close()
 					return nil, err
 				}
 			}
 		}
 		if _, err := eng.Exec(`ANALYZE`); err != nil {
-			eng.Close()
+			_ = eng.Close()
 			return nil, err
 		}
 		return eng, nil
@@ -140,7 +140,7 @@ func RunRegression(cfg RegressionConfig) (*RegressionResult, error) {
 		return nil, err
 	}
 	plainSec, err := run(plainEng)
-	plainEng.Close()
+	_ = plainEng.Close()
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +149,7 @@ func RunRegression(cfg RegressionConfig) (*RegressionResult, error) {
 		return nil, err
 	}
 	multiSec, err := run(multiEng)
-	multiEng.Close()
+	_ = multiEng.Close()
 	if err != nil {
 		return nil, err
 	}

@@ -148,7 +148,7 @@ func NewNamesDB(cfg NamesConfig) (*NamesDB, error) {
 	}
 	conn, err := client.Dial(addr)
 	if err != nil {
-		srv.Close()
+		_ = srv.Close()
 		return nil, err
 	}
 	db.Srv = srv
@@ -159,13 +159,13 @@ func NewNamesDB(cfg NamesConfig) (*NamesDB, error) {
 // Close tears the fixture down.
 func (db *NamesDB) Close() {
 	if db.Conn != nil {
-		db.Conn.Close()
+		_ = db.Conn.Close()
 	}
 	if db.Srv != nil {
-		db.Srv.Close()
+		_ = db.Srv.Close()
 	}
 	if db.Eng != nil {
-		db.Eng.Close()
+		_ = db.Eng.Close()
 	}
 }
 
@@ -228,7 +228,7 @@ func NewTaxonomyDB(cfg TaxonomyConfig) (*TaxonomyDB, error) {
 	}
 	conn, err := client.Dial(addr)
 	if err != nil {
-		srv.Close()
+		_ = srv.Close()
 		return nil, err
 	}
 	// Closure computation dominates; batch row shipping so the outside
@@ -242,13 +242,13 @@ func NewTaxonomyDB(cfg TaxonomyConfig) (*TaxonomyDB, error) {
 // Close tears the fixture down.
 func (db *TaxonomyDB) Close() {
 	if db.Conn != nil {
-		db.Conn.Close()
+		_ = db.Conn.Close()
 	}
 	if db.Srv != nil {
-		db.Srv.Close()
+		_ = db.Srv.Close()
 	}
 	if db.Eng != nil {
-		db.Eng.Close()
+		_ = db.Eng.Close()
 	}
 }
 

@@ -67,7 +67,7 @@ func PsiScan(conn *Conn, table, nameCol string, query types.UniText, k int, lang
 	if err != nil {
 		return nil, st, err
 	}
-	defer cur.Close()
+	defer func() { _ = cur.Close() }()
 	col, err := colIndex(cur.Cols, nameCol)
 	if err != nil {
 		return nil, st, err
@@ -113,7 +113,7 @@ func PsiScanMDI(conn *Conn, table, nameCol, pdistCol, pivot string, query types.
 	if err != nil {
 		return nil, st, err
 	}
-	defer cur.Close()
+	defer func() { _ = cur.Close() }()
 	col, err := colIndex(cur.Cols, nameCol)
 	if err != nil {
 		return nil, st, err
@@ -150,7 +150,7 @@ func PsiJoin(conn *Conn, t1, col1, t2, col2 string, k int, langs []types.LangID,
 		if err != nil {
 			return nil, 0, 0, err
 		}
-		defer cur.Close()
+		defer func() { _ = cur.Close() }()
 		idx, err := colIndex(cur.Cols, col)
 		if err != nil {
 			return nil, 0, 0, err
@@ -210,7 +210,7 @@ func PsiJoinMDI(conn *Conn, t1, col1, t2, col2, pdistCol, pivot string, k int, l
 	}
 	lIdx, err := colIndex(cur.Cols, col1)
 	if err != nil {
-		cur.Close()
+		_ = cur.Close()
 		return 0, st, err
 	}
 	outer, err := cur.All()
@@ -238,7 +238,7 @@ func PsiJoinMDI(conn *Conn, t1, col1, t2, col2, pdistCol, pivot string, k int, l
 		}
 		rIdx, err := colIndex(inCur.Cols, col2)
 		if err != nil {
-			inCur.Close()
+			_ = inCur.Close()
 			return matches, st, err
 		}
 		cands, err := inCur.All()
@@ -319,7 +319,7 @@ func SemScan(conn *Conn, dataTable, catSynCol string, taxTable, idCol, parentCol
 	if err != nil {
 		return 0, st, err
 	}
-	defer cur.Close()
+	defer func() { _ = cur.Close() }()
 	col, err := colIndex(cur.Cols, catSynCol)
 	if err != nil {
 		return 0, st, err
@@ -356,7 +356,7 @@ func PsiJoinNested(conn *Conn, outer, outerCol, inner, innerCol string, k int, l
 	}
 	oIdx, err := colIndex(outerCur.Cols, outerCol)
 	if err != nil {
-		outerCur.Close()
+		_ = outerCur.Close()
 		return 0, st, err
 	}
 	outerRows, err := outerCur.All()
@@ -378,7 +378,7 @@ func PsiJoinNested(conn *Conn, outer, outerCol, inner, innerCol string, k int, l
 		}
 		iIdx, err := colIndex(innerCur.Cols, innerCol)
 		if err != nil {
-			innerCur.Close()
+			_ = innerCur.Close()
 			return matches, st, err
 		}
 		for {

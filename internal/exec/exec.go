@@ -1,9 +1,11 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
+	"github.com/mural-db/mural/internal/invariant"
 	"github.com/mural-db/mural/internal/plan"
 	"github.com/mural-db/mural/internal/sql"
 	"github.com/mural-db/mural/internal/types"
@@ -11,13 +13,15 @@ import (
 
 // Cursor is a running query: column names plus a tuple stream.
 type Cursor struct {
-	Cols  []string
-	Stats *RunStats
-	it    TupleIter
+	Cols   []string
+	Stats  *RunStats
+	it     TupleIter
+	closed bool
 }
 
 // Next returns the next result row.
 func (c *Cursor) Next() (types.Tuple, bool, error) {
+	invariant.Assert(!c.closed, "exec: Next on a closed cursor")
 	t, ok, err := c.it.Next()
 	if ok && c.Stats != nil {
 		c.Stats.RowsOut++
@@ -25,13 +29,16 @@ func (c *Cursor) Next() (types.Tuple, bool, error) {
 	return t, ok, err
 }
 
-// Close releases the cursor.
-func (c *Cursor) Close() error { return c.it.Close() }
+// Close releases the cursor. Close is idempotent.
+func (c *Cursor) Close() error {
+	c.closed = true
+	return c.it.Close()
+}
 
-// All drains the cursor.
-func (c *Cursor) All() ([]types.Tuple, error) {
-	defer c.Close()
-	var out []types.Tuple
+// All drains the cursor and closes it; a close failure surfaces in the
+// returned error.
+func (c *Cursor) All() (out []types.Tuple, err error) {
+	defer func() { err = errors.Join(err, c.Close()) }()
 	for {
 		t, ok, err := c.it.Next()
 		if err != nil {
@@ -348,7 +355,7 @@ func buildNLJoin(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 	}
 	right, err := build(env, ev, n.Children[1])
 	if err != nil {
-		return nil, err
+		return nil, errors.Join(err, left.Close())
 	}
 	return &nlJoinIter{ev: ev, outer: left, inner: asRewindable(right), cond: n.Cond}, nil
 }
@@ -409,8 +416,7 @@ func (j *nlJoinIter) Next() (types.Tuple, bool, error) {
 }
 
 func (j *nlJoinIter) Close() error {
-	j.outer.Close()
-	return j.inner.Close()
+	return errors.Join(j.outer.Close(), j.inner.Close())
 }
 
 func buildHashJoin(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
@@ -420,7 +426,7 @@ func buildHashJoin(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 	}
 	right, err := build(env, ev, n.Children[1])
 	if err != nil {
-		return nil, err
+		return nil, errors.Join(err, left.Close())
 	}
 	leftWidth := len(n.Children[0].Schema())
 	return &hashJoinIter{
@@ -503,8 +509,7 @@ func (j *hashJoinIter) Next() (types.Tuple, bool, error) {
 }
 
 func (j *hashJoinIter) Close() error {
-	j.probe.Close()
-	return j.buildSrc.Close()
+	return errors.Join(j.probe.Close(), j.buildSrc.Close())
 }
 
 // buildPsiJoin wires the nested-loops Ψ join: the condition is a synthetic
@@ -527,7 +532,7 @@ func buildPsiJoin(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 	}
 	right, err := build(env, ev, n.Children[1])
 	if err != nil {
-		return nil, err
+		return nil, errors.Join(err, left.Close())
 	}
 	return &nlJoinIter{ev: ev, outer: left, inner: asRewindable(right), cond: fullCond}, nil
 }
@@ -652,7 +657,7 @@ func buildOmegaJoin(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 	}
 	right, err := build(env, ev, n.Children[1])
 	if err != nil {
-		return nil, err
+		return nil, errors.Join(err, left.Close())
 	}
 	return &nlJoinIter{ev: ev, outer: left, inner: asRewindable(right), cond: fullCond}, nil
 }

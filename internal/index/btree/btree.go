@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/mural-db/mural/internal/invariant"
 	"github.com/mural-db/mural/internal/storage"
 )
 
@@ -159,6 +160,21 @@ type node struct {
 //	  leaf payload:  page uint32 | slot uint16
 //	  inner payload: child uint32
 func writeNode(h *storage.Handle, n *node) error {
+	if invariant.Enabled {
+		for i := 1; i < len(n.entries); i++ {
+			prev, cur := n.entries[i-1], n.entries[i]
+			if n.typ == nodeLeaf {
+				// Leaf entries are strictly ordered by (key, rid).
+				invariant.Assertf(cmpEntry(prev.key, prev.rid, cur.key, cur.rid) < 0,
+					"btree: leaf entries out of order at slot %d (key %x >= %x)", i, prev.key, cur.key)
+			} else {
+				// Inner separators are non-decreasing by key (duplicate
+				// keys may straddle a split boundary).
+				invariant.Assertf(bytes.Compare(prev.key, cur.key) <= 0,
+					"btree: separator keys out of order at slot %d (key %x > %x)", i, prev.key, cur.key)
+			}
+		}
+	}
 	d := h.Data()
 	buf := make([]byte, 0, storage.PagePayload)
 	buf = append(buf, n.typ)

@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"github.com/mural-db/mural/internal/index/gist"
+	"github.com/mural-db/mural/internal/invariant"
 	"github.com/mural-db/mural/internal/phonetic"
 	"github.com/mural-db/mural/internal/storage"
 )
@@ -143,6 +144,16 @@ func (o *ops) Union(entries []gist.Entry) []byte {
 			radius = d
 		}
 	}
+	if invariant.Enabled {
+		// The covering invariant: every member (plus its own radius) must
+		// lie within the routing radius, or Consistent would prune live
+		// subtrees and searches would silently miss matches.
+		for _, e := range entries {
+			d := dist(routing, objectOf(e, leafLevel)) + radiusOf(e, leafLevel)
+			invariant.Assertf(d <= radius,
+				"mtree: member at distance %d escapes covering radius %d of routing object %q", d, radius, routing)
+		}
+	}
 	return encodeRouting(radius, routing)
 }
 
@@ -251,6 +262,14 @@ func assignBalanced(entries []gist.Entry, pa, pb int, leafLevel bool) (left, rig
 			right = append(right, e)
 		}
 	}
+	// Both groups must be non-empty and conserve the overflowing node's
+	// entries, and the size cap must hold so neither side re-overflows.
+	invariant.Assertf(len(left) > 0 && len(right) > 0,
+		"mtree: split produced an empty group (%d/%d of %d entries)", len(left), len(right), n)
+	invariant.Assertf(len(left)+len(right) == n,
+		"mtree: split dropped entries (%d+%d != %d)", len(left), len(right), n)
+	invariant.Assertf(len(left) <= cap1+1 && len(right) <= cap1+1,
+		"mtree: split group exceeds balance cap %d (%d/%d)", cap1+1, len(left), len(right))
 	return left, right
 }
 

@@ -1,0 +1,22 @@
+//go:build !muralinvariants
+
+// Package invariant provides engine-internal runtime assertions that cost
+// nothing in production builds. Assert and Assertf compile to no-ops unless
+// the muralinvariants build tag is set, in which case a violated invariant
+// panics with its message. Guard any assertion whose condition is expensive
+// to evaluate (checksums, sortedness sweeps) behind `if invariant.Enabled`.
+//
+// Run the checked build with:
+//
+//	go test -tags muralinvariants ./...
+package invariant
+
+// Enabled reports whether assertions are compiled in.
+const Enabled = false
+
+// Assert panics with msg when cond is false, in checked builds only.
+func Assert(cond bool, msg string) {}
+
+// Assertf panics with the formatted message when cond is false, in checked
+// builds only.
+func Assertf(cond bool, format string, args ...any) {}

@@ -1,0 +1,14 @@
+//go:build !muralinvariants
+
+package invariant
+
+import "testing"
+
+func TestAssertionsAreNoOps(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the muralinvariants tag")
+	}
+	// Violated assertions must be inert in production builds.
+	Assert(false, "must not panic")
+	Assertf(false, "must not panic: %d", 42)
+}

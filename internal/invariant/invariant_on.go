@@ -1,0 +1,22 @@
+//go:build muralinvariants
+
+package invariant
+
+import "fmt"
+
+// Enabled reports whether assertions are compiled in.
+const Enabled = true
+
+// Assert panics with msg when cond is false.
+func Assert(cond bool, msg string) {
+	if !cond {
+		panic("invariant violation: " + msg)
+	}
+}
+
+// Assertf panics with the formatted message when cond is false.
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic("invariant violation: " + fmt.Sprintf(format, args...))
+	}
+}

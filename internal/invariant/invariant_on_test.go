@@ -1,0 +1,34 @@
+//go:build muralinvariants
+
+package invariant
+
+import (
+	"strings"
+	"testing"
+)
+
+func expectPanic(t *testing.T, want string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, want) {
+			t.Fatalf("expected panic containing %q, got %v", want, r)
+		}
+	}()
+	f()
+}
+
+func TestAssertionsFire(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled must be true under the muralinvariants tag")
+	}
+	Assert(true, "fine")
+	Assertf(true, "fine %d", 1)
+	expectPanic(t, "invariant violation: pin count", func() {
+		Assert(false, "pin count")
+	})
+	expectPanic(t, "invariant violation: got 7", func() {
+		Assertf(false, "got %d", 7)
+	})
+}

@@ -1,0 +1,52 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer is a named check
+// with a Run function; a Pass hands it one type-checked package and a sink
+// for diagnostics. The module cannot vendor x/tools, so murallint carries
+// this small compatible core instead — analyzers written against it port to
+// the upstream API by changing only the import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run filters.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer reports.
+	Doc string
+	// Run applies the check to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer *Analyzer
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	// ImportPath is the package's import path (Pkg.Path can be vendored).
+	ImportPath string
+	TypesInfo  *types.Info
+	// Report delivers one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer})
+}
+
+// Position resolves a token.Pos against the pass's file set.
+func (p *Pass) Position(pos token.Pos) token.Position { return p.Fset.Position(pos) }

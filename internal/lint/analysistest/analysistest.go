@@ -1,0 +1,159 @@
+// Package analysistest runs an analyzer over a golden testdata package and
+// diffs its diagnostics against `// want "regexp"` comments, in the style
+// of golang.org/x/tools/go/analysis/analysistest. A want comment applies to
+// the line it sits on; multiple quoted regexps on one comment expect
+// multiple diagnostics on that line.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/mural-db/mural/internal/lint/analysis"
+	"github.com/mural-db/mural/internal/lint/load"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run checks one analyzer against the golden package in dir.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		t.Fatalf("analysistest: no Go files in %s", dir)
+	}
+	sort.Strings(goFiles)
+
+	fset := token.NewFileSet()
+	pkg, err := load.Check(fset, load.StdImporter(fset), filepath.Base(dir), dir, goFiles)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	wants := collectWants(t, dir, goFiles)
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		ImportPath: pkg.ImportPath,
+		TypesInfo:  pkg.Info,
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+		if !wants.match(key, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	for key, res := range wants.byLine {
+		for _, re := range res {
+			t.Errorf("%s: expected diagnostic matching %q, got none", key, re)
+		}
+	}
+}
+
+type wantSet struct {
+	byLine map[string][]*regexp.Regexp
+}
+
+// match pops the first regexp on the line that matches msg.
+func (w *wantSet) match(key, msg string) bool {
+	res := w.byLine[key]
+	for i, re := range res {
+		if re.MatchString(msg) {
+			res = append(res[:i], res[i+1:]...)
+			if len(res) == 0 {
+				delete(w.byLine, key)
+			} else {
+				w.byLine[key] = res
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(t *testing.T, dir string, goFiles []string) *wantSet {
+	t.Helper()
+	w := &wantSet{byLine: map[string][]*regexp.Regexp{}}
+	for _, name := range goFiles {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", name, i+1)
+			for _, lit := range splitQuoted(m[1]) {
+				pat, err := strconv.Unquote(lit)
+				if err != nil {
+					t.Fatalf("analysistest: %s: bad want literal %s: %v", key, lit, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("analysistest: %s: bad want regexp %q: %v", key, pat, err)
+				}
+				w.byLine[key] = append(w.byLine[key], re)
+			}
+		}
+	}
+	return w
+}
+
+// splitQuoted extracts successive double-quoted or backquoted Go string
+// literals.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		start := strings.IndexAny(s, "\"`")
+		if start < 0 {
+			return out
+		}
+		quote := s[start]
+		rest := s[start+1:]
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			if quote == '"' && rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == quote {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return out
+		}
+		out = append(out, s[start:start+end+2])
+		s = rest[end+1:]
+	}
+}

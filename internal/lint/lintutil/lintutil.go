@@ -1,0 +1,213 @@
+// Package lintutil holds the shared plumbing of the murallint analyzers:
+// the //lint: annotation grammar and small AST/type helpers.
+//
+// Annotation grammar. A directive is a comment of the form
+//
+//	//lint:<directive>[ <reason>]
+//
+// placed either at the end of the statement it applies to or alone on the
+// line immediately above it. Directives recognized by the suite:
+//
+//	//lint:pin-escapes   — pinbalance: this Pin/NewPage handle deliberately
+//	                       outlives the function (ownership is transferred).
+//	//lint:iter-escapes  — iterclose: this iterator deliberately outlives
+//	                       the function.
+//	//lint:errdrop-ok    — errdrop: discarding this error is intentional.
+//	//lint:wal-exempt    — walorder: this page write is exempt from the
+//	                       log-before-write discipline (e.g. it IS the
+//	                       logging path).
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/mural-db/mural/internal/lint/analysis"
+)
+
+// Annotations indexes every //lint: directive of a package by file and line.
+type Annotations struct {
+	fset *token.FileSet
+	// byLine maps "filename:line" to the directives on that line.
+	byLine map[string][]string
+}
+
+// CollectAnnotations scans the pass's files for //lint: directives.
+func CollectAnnotations(pass *analysis.Pass) *Annotations {
+	a := &Annotations{fset: pass.Fset, byLine: make(map[string][]string)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "lint:") {
+					continue
+				}
+				directive := strings.TrimPrefix(text, "lint:")
+				if i := strings.IndexAny(directive, " \t"); i >= 0 {
+					directive = directive[:i]
+				}
+				p := pass.Fset.Position(c.Pos())
+				key := posKey(p.Filename, p.Line)
+				a.byLine[key] = append(a.byLine[key], directive)
+			}
+		}
+	}
+	return a
+}
+
+// Has reports whether the directive annotates pos: same line, or alone on
+// the line directly above.
+func (a *Annotations) Has(pos token.Pos, directive string) bool {
+	p := a.fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, d := range a.byLine[posKey(p.Filename, line)] {
+			if d == directive {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func posKey(file string, line int) string {
+	return file + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// NamedType returns the defined (named) type under t, unwrapping pointers,
+// or nil.
+func NamedType(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// TypeName returns the bare name of the defined type under t ("" if none).
+func TypeName(t types.Type) string {
+	if n := NamedType(t); n != nil {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// ReceiverTypeName returns the name of the defined type on which the called
+// method is declared, for a call of the form x.M(...) ("" when the call is
+// not a method call on a defined type).
+func ReceiverTypeName(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return "" // package-qualified function, not a method
+	}
+	return TypeName(s.Recv())
+}
+
+// CalleeName returns the bare name of the called function or method
+// ("" for indirect calls through non-selector expressions).
+func CalleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// HasMethod reports whether type t (or *t) has a method with the given
+// name, searching the full method set.
+func HasMethod(t types.Type, name string) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	if _, ok := t.(*types.Pointer); !ok {
+		return HasMethodPtr(t, name)
+	}
+	return false
+}
+
+// HasMethodPtr reports whether *t has a method with the given name.
+func HasMethodPtr(t types.Type, name string) bool {
+	ms := types.NewMethodSet(types.NewPointer(t))
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// IsErrorType reports whether t is the predeclared error interface.
+func IsErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// FuncDecls yields every function declaration with a body in the pass.
+func FuncDecls(pass *analysis.Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// IsTerminalCall reports whether the statement unconditionally ends the
+// path: panic(...), os.Exit(...), log.Fatal*(...), runtime.Goexit(),
+// t.Fatal*(...).
+func IsTerminalCall(stmt ast.Stmt) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch name := CalleeName(call); name {
+	case "panic", "Exit", "Goexit":
+		return true
+	case "Fatal", "Fatalf", "Fatalln":
+		return true
+	}
+	return false
+}

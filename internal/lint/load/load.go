@@ -1,0 +1,155 @@
+// Package load enumerates and type-checks the module's packages for
+// murallint. It shells out to `go list -json -deps` for package discovery
+// (the only reliable module-aware resolver without x/tools) and type-checks
+// each module package from source with go/types. Standard-library imports
+// resolve through the compiler's source importer, module-internal imports
+// through the packages already checked — `-deps` lists dependencies first,
+// so a single forward pass suffices.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+type pkgMeta struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load lists the given patterns (plus their in-module dependencies) in dir
+// and type-checks every package belonging to the enclosing module. Test
+// files are not loaded: murallint checks production code, and the testdata
+// trees under internal/lint are outside the module's package graph anyway.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, errBuf.String())
+	}
+
+	modPath, err := modulePath(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	srcImp := importer.ForCompiler(fset, "source", nil)
+	loaded := map[string]*types.Package{}
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := loaded[path]; ok {
+			return p, nil
+		}
+		return srcImp.Import(path)
+	})
+
+	var pkgs []*Package
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		var m pkgMeta
+		if err := dec.Decode(&m); err != nil {
+			return nil, fmt.Errorf("lint: go list output: %v", err)
+		}
+		if m.Module == nil || m.Module.Path != modPath {
+			continue
+		}
+		if m.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", m.ImportPath, m.Error.Err)
+		}
+		p, err := Check(fset, imp, m.ImportPath, m.Dir, m.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		loaded[m.ImportPath] = p.Types
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Check parses and type-checks one package given its file list. It is also
+// used directly by the analysistest harness on testdata directories.
+func Check(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		af, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", path, err)
+		}
+		files = append(files, af)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tp, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tp,
+		Info:       info,
+	}, nil
+}
+
+// StdImporter returns a source-based importer suitable for standalone
+// (testdata) packages that import only the standard library.
+func StdImporter(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "source", nil)
+}
+
+func modulePath(dir string) (string, error) {
+	cmd := exec.Command("go", "list", "-m")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("lint: go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

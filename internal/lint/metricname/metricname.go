@@ -1,0 +1,100 @@
+// Package metricname enforces the metrics namespace documented in
+// DESIGN.md: every name passed to a Registry's Counter/Gauge/Histogram must
+// be a compile-time constant, snake_case under the mural_ prefix, counters
+// must end in _total, and no name may be registered at two distinct sites
+// within one package (the registry get-or-creates, so duplicate sites mean
+// two code paths silently share — or think they own — one series).
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"github.com/mural-db/mural/internal/lint/analysis"
+	"github.com/mural-db/mural/internal/lint/lintutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "metric names must be constant, mural_-prefixed snake_case; counters end in _total; one registration site per name per package",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	seen := map[string]ast.Node{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind := lintutil.CalleeName(call)
+			switch kind {
+			case "Counter", "Gauge", "Histogram":
+			default:
+				return true
+			}
+			if lintutil.ReceiverTypeName(pass.TypesInfo, call) != "Registry" || len(call.Args) == 0 {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(), "metric name must be a compile-time constant string")
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			checkName(pass, arg, kind, name)
+			if prev, dup := seen[name]; dup {
+				pass.Reportf(arg.Pos(), "metric %q is registered at multiple sites in this package (also at line %d); register once and share the handle",
+					name, pass.Position(prev.Pos()).Line)
+			} else {
+				seen[name] = arg
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkName(pass *analysis.Pass, at ast.Node, kind, name string) {
+	if !snakeCase(name) {
+		pass.Reportf(at.Pos(), "metric name %q is not snake_case (lowercase letters, digits, single underscores)", name)
+		return
+	}
+	const prefix = "mural_"
+	if len(name) < len(prefix) || name[:len(prefix)] != prefix {
+		pass.Reportf(at.Pos(), "metric name %q is outside the documented namespace: names must start with %q", name, prefix)
+		return
+	}
+	if kind == "Counter" && !hasSuffix(name, "_total") {
+		pass.Reportf(at.Pos(), "counter name %q must end in _total", name)
+	}
+}
+
+// snakeCase: ^[a-z][a-z0-9]*(_[a-z0-9]+)*$
+func snakeCase(s string) bool {
+	if s == "" || !(s[0] >= 'a' && s[0] <= 'z') {
+		return false
+	}
+	prevUnderscore := false
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			prevUnderscore = false
+		case c == '_':
+			if prevUnderscore {
+				return false
+			}
+			prevUnderscore = true
+		default:
+			return false
+		}
+	}
+	return !prevUnderscore
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}

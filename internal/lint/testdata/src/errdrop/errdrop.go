@@ -1,0 +1,65 @@
+// Golden package for the errdrop analyzer.
+package errdrop
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+func fails() error       { return nil }
+func pair() (int, error) { return 0, nil }
+func clean()             {}
+
+type closer struct{}
+
+func (c *closer) Close() error { return nil }
+
+// ---- negative cases ----
+
+func handled() error {
+	if err := fails(); err != nil {
+		return err
+	}
+	_, err := pair()
+	return err
+}
+
+func explicitDiscard() {
+	_ = fails()
+	_, _ = pair()
+}
+
+func annotated() {
+	fails() //lint:errdrop-ok best-effort cleanup
+}
+
+func exemptStdlib() {
+	fmt.Println("hello")
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "x=%d", 1)
+	b.WriteString("tail")
+	var sb strings.Builder
+	sb.WriteByte('!')
+	clean()
+}
+
+func deferredClosure(c *closer) {
+	defer func() { _ = c.Close() }()
+}
+
+// ---- positive cases ----
+
+func dropped() {
+	fails()            // want `call to fails discards its error result`
+	pair()             // want `call to pair discards its error result`
+	fmt.Errorf("lost") // want `call to Errorf discards its error result`
+}
+
+func droppedDefer(c *closer) {
+	defer c.Close() // want `deferred call to Close discards its error result`
+}
+
+func droppedGo() {
+	go fails() // want `go'd call to fails discards its error result`
+}

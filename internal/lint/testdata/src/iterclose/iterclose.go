@@ -1,0 +1,119 @@
+// Golden package for the iterclose analyzer. Any value with Next and
+// Close() error methods counts as an iterator; the local scanIter mirrors
+// the exec package's TupleIter shape.
+package iterclose
+
+import "errors"
+
+type Tuple []int
+
+type scanIter struct{ closed bool }
+
+func (s *scanIter) Next() (Tuple, bool, error) { return nil, false, nil }
+func (s *scanIter) Close() error               { s.closed = true; return nil }
+
+func open(name string) (*scanIter, error) { return &scanIter{}, nil }
+
+// joinIter wraps two children; constructing it takes ownership.
+type joinIter struct{ left, right *scanIter }
+
+func (j *joinIter) Next() (Tuple, bool, error) { return nil, false, nil }
+func (j *joinIter) Close() error {
+	return errors.Join(j.left.Close(), j.right.Close())
+}
+
+func newJoin(l, r *scanIter) *joinIter { return &joinIter{left: l, right: r} }
+
+// cursor drains and closes itself in All.
+type cursor struct{ it *scanIter }
+
+func (c *cursor) Next() (Tuple, bool, error) { return nil, false, nil }
+func (c *cursor) Close() error               { return c.it.Close() }
+func (c *cursor) All() ([]Tuple, error)      { return nil, c.Close() }
+
+func openCursor() (*cursor, error) { return &cursor{}, nil }
+
+// ---- negative cases ----
+
+func closedOnAllPaths() error {
+	it, err := open("a")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = it.Close() }()
+	_, _, err = it.Next()
+	return err
+}
+
+func returned() (*scanIter, error) {
+	return open("b")
+}
+
+func handedToWrapper() (*joinIter, error) {
+	l, err := open("l")
+	if err != nil {
+		return nil, err
+	}
+	r, err := open("r")
+	if err != nil {
+		_ = l.Close()
+		return nil, err
+	}
+	return newJoin(l, r), nil
+}
+
+func drainedByAll() ([]Tuple, error) {
+	c, err := openCursor()
+	if err != nil {
+		return nil, err
+	}
+	return c.All()
+}
+
+func annotated() *scanIter {
+	it, _ := open("c") //lint:iter-escapes registered with the session
+	register(it)
+	return nil
+}
+
+var registry []*scanIter
+
+func register(it *scanIter) { registry = append(registry, it) }
+
+func returnClose() error {
+	it, err := open("d")
+	if err != nil {
+		return err
+	}
+	return it.Close()
+}
+
+// ---- positive cases ----
+
+func leakedAtEnd() {
+	it, _ := open("x") // want `iterator acquired by open is not released`
+	_, _, _ = it.Next()
+}
+
+func leakOnSecondAcquire() (*joinIter, error) {
+	l, err := open("l") // want `iterator acquired by open is not released`
+	if err != nil {
+		return nil, err
+	}
+	r, err := open("r")
+	if err != nil {
+		return nil, err // l leaks: err was reassigned, this guards r only
+	}
+	return newJoin(l, r), nil
+}
+
+func leakOnErrorBranch(cond bool) error {
+	it, err := open("y") // want `iterator acquired by open is not released`
+	if err != nil {
+		return err
+	}
+	if cond {
+		return errors.New("bail") // it leaks
+	}
+	return it.Close()
+}

@@ -1,0 +1,42 @@
+// Golden package for the metricname analyzer. The local Registry mirrors
+// the metrics package's get-or-create API.
+package metricname
+
+type Registry struct{}
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+func (r *Registry) Counter(name string) *Counter     { return &Counter{} }
+func (r *Registry) Gauge(name string) *Gauge         { return &Gauge{} }
+func (r *Registry) Histogram(name string) *Histogram { return &Histogram{} }
+
+const latencyMetric = "mural_query_latency_ns"
+
+// ---- negative cases ----
+
+func conforming(r *Registry) {
+	r.Counter("mural_requests_total")
+	r.Gauge("mural_pool_pinned_pages")
+	r.Histogram(latencyMetric) // constants resolve at compile time
+}
+
+// ---- positive cases ----
+
+func violations(r *Registry) {
+	r.Counter("mural_Bad_total") // want `not snake_case`
+	r.Counter("requests_total")  // want `outside the documented namespace`
+	r.Counter("mural_requests")  // want `must end in _total`
+	r.Gauge("mural__double")     // want `not snake_case`
+	r.Histogram("mural_lat_")    // want `not snake_case`
+}
+
+func duplicate(r *Registry) {
+	r.Gauge("mural_pool_frames")
+	r.Gauge("mural_pool_frames") // want `registered at multiple sites`
+}
+
+func nonConstant(r *Registry, name string) {
+	r.Counter(name) // want `must be a compile-time constant`
+}

@@ -1,0 +1,118 @@
+// Golden package for the pinbalance analyzer. The local Pool/Handle pair
+// mirrors the storage package's shape; the analyzer matches by name.
+package pinbalance
+
+import "errors"
+
+type Pool struct{}
+
+type Handle struct{ data []byte }
+
+func (p *Pool) Pin(key int) (*Handle, error)      { return &Handle{}, nil }
+func (p *Pool) NewPage(file int) (*Handle, error) { return &Handle{}, nil }
+
+func (h *Handle) Unpin()       {}
+func (h *Handle) Data() []byte { return h.data }
+func (h *Handle) MarkDirty()   {}
+
+func borrow(h *Handle) {}
+
+// ---- negative cases: these must not be flagged ----
+
+func deferredUnpin(p *Pool) error {
+	h, err := p.Pin(1)
+	if err != nil {
+		return err
+	}
+	defer h.Unpin()
+	borrow(h)
+	return nil
+}
+
+func manualUnpinAllPaths(p *Pool) error {
+	h, err := p.Pin(2)
+	if err != nil {
+		return err
+	}
+	if len(h.Data()) == 0 {
+		h.Unpin()
+		return errors.New("empty")
+	}
+	h.Unpin()
+	return nil
+}
+
+func returnedHandle(p *Pool) (*Handle, error) {
+	h, err := p.NewPage(3)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func annotatedEscape(p *Pool) *Handle {
+	h, _ := p.Pin(4) //lint:pin-escapes caller unpins
+	return fixup(h)
+}
+
+func fixup(h *Handle) *Handle { return h }
+
+func closureUnpin(p *Pool) error {
+	h, err := p.Pin(5)
+	if err != nil {
+		return err
+	}
+	defer func() { h.Unpin() }()
+	h.MarkDirty()
+	return nil
+}
+
+type frameRef struct{ h *Handle }
+
+func compositeEscape(p *Pool) (frameRef, error) {
+	h, err := p.Pin(6)
+	if err != nil {
+		return frameRef{}, err
+	}
+	return frameRef{h: h}, nil
+}
+
+// ---- positive cases: each acquisition line carries a want ----
+
+func leakOnEarlyReturn(p *Pool) error {
+	h, err := p.Pin(10) // want `pinned page handle acquired by Pin is not released`
+	if err != nil {
+		return err
+	}
+	if len(h.Data()) == 0 {
+		return errors.New("empty") // leaks here
+	}
+	h.Unpin()
+	return nil
+}
+
+func leakAtScopeEnd(p *Pool) {
+	h, _ := p.NewPage(11) // want `pinned page handle acquired by NewPage is not released`
+	h.MarkDirty()
+}
+
+func discardedResult(p *Pool) {
+	_, _ = p.Pin(12) // want `result of Pin \(a pinned page handle\) is discarded`
+}
+
+func useAfterUnpin(p *Pool) {
+	h, _ := p.Pin(13)
+	h.Unpin()
+	h.MarkDirty() // want `use of pinned page handle after its release`
+}
+
+func leakInBranch(p *Pool, cond bool) error {
+	h, err := p.Pin(14) // want `pinned page handle acquired by Pin is not released`
+	if err != nil {
+		return err
+	}
+	if cond {
+		h.Unpin()
+	}
+	return nil // leaks when !cond
+}

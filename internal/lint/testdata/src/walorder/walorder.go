@@ -1,0 +1,75 @@
+// Golden package for the walorder analyzer: WritePage confinement and WAL
+// batch balance.
+package walorder
+
+type disk struct{}
+
+func (d *disk) WritePage(page int, data []byte) error { return nil }
+
+type pool struct{ d *disk }
+
+// writeback is the one sanctioned page-write site.
+func (p *pool) writeback(page int, data []byte) error {
+	return p.d.WritePage(page, data)
+}
+
+// wrapDisk implements WritePage itself, so forwarding is legitimate.
+type wrapDisk struct{ inner *disk }
+
+func (w *wrapDisk) WritePage(page int, data []byte) error {
+	return w.inner.WritePage(page, data)
+}
+
+func exemptedWrite(d *disk) error {
+	//lint:wal-exempt recovery replays logged images directly
+	return d.WritePage(0, nil)
+}
+
+func rogueWrite(p *pool) error {
+	return p.d.WritePage(1, nil) // want `WritePage outside the WAL-dominated writeback path`
+}
+
+// ---- batch balance ----
+
+type engine struct{ open bool }
+
+func (e *engine) beginBatch() error                 { e.open = true; return nil }
+func (e *engine) commitBatch() error                { e.open = false; return nil }
+func (e *engine) rollbackBatch(reason string) error { e.open = false; return nil }
+func (e *engine) commitDDL() error                  { e.open = false; return nil }
+
+func balanced(e *engine) error {
+	if err := e.beginBatch(); err != nil {
+		return err
+	}
+	if err := e.commitBatch(); err != nil {
+		return e.rollbackBatch("commit failed")
+	}
+	return nil
+}
+
+func balancedEqNil(e *engine) error {
+	err := e.beginBatch()
+	if err == nil {
+		err = e.commitDDL()
+	}
+	if err != nil {
+		_ = e.rollbackBatch("ddl failed")
+		return err
+	}
+	return nil
+}
+
+func leakedBatch(e *engine, work func() error) error {
+	if err := e.beginBatch(); err != nil { // want `WAL batch acquired by beginBatch is not released`
+		return err
+	}
+	if err := work(); err != nil {
+		return err // batch left open
+	}
+	return e.commitBatch()
+}
+
+func leakedAtEnd(e *engine) {
+	_ = e.beginBatch() // want `WAL batch acquired by beginBatch is not released`
+}

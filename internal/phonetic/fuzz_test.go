@@ -1,0 +1,50 @@
+package phonetic
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzG2P runs every registered grapheme-to-phoneme converter on arbitrary
+// text. Converters must never panic, must be deterministic, and must emit
+// valid UTF-8 (the phoneme string is stored in pages and compared rune-wise
+// by the edit-distance kernels).
+func FuzzG2P(f *testing.F) {
+	seeds := []string{
+		// Latin (English/French readings).
+		"Nehru", "Gandhi", "Ashok", "Jawaharlal Nehru", "Knight", "Xavier",
+		"histoire", "général", "québec", "eau",
+		// Devanagari.
+		"नेहरू", "गांधी", "अशोक", "कमल", "क्या", "भारत",
+		// Tamil.
+		"நேரு", "காந்தி", "கமலா", "அசோகா",
+		// Kannada.
+		"ನೆಹರು", "ಗಾಂಧಿ", "ಅಶೋಕ",
+		// Edge shapes: empty, lone combining marks, broken UTF-8, mixed
+		// scripts, virama at end.
+		"", " ", "ं", "்", "\xff\xfe", "a\xffb", "Nehru नेहरू", "क्",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	reg := DefaultRegistry()
+	langs := reg.Langs()
+	f.Fuzz(func(t *testing.T, text string) {
+		for _, lang := range langs {
+			c, ok := reg.Lookup(lang)
+			if !ok {
+				t.Fatalf("registered language %s disappeared", lang)
+			}
+			ph := c.ToPhoneme(text)
+			if ph != c.ToPhoneme(text) {
+				t.Fatalf("%s.ToPhoneme(%q) is not deterministic", lang, text)
+			}
+			if utf8.ValidString(text) && !utf8.ValidString(ph) {
+				t.Fatalf("%s.ToPhoneme(%q) produced invalid UTF-8 %q", lang, text, ph)
+			}
+			if d := EditDistance(ph, ph); d != 0 {
+				t.Fatalf("EditDistance(%q,%q) = %d, want 0", ph, ph, d)
+			}
+		}
+	})
+}

@@ -66,7 +66,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close()
 			return
 		}
 		s.conns[conn] = struct{}{}
@@ -87,10 +87,10 @@ func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	if s.ln != nil {
-		s.ln.Close()
+		_ = s.ln.Close()
 	}
 	for c := range s.conns {
-		c.Close()
+		_ = c.Close()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -104,13 +104,13 @@ type session struct {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
+	defer func() { _ = conn.Close() }()
 	br := bufio.NewReaderSize(conn, 64<<10)
 	bw := bufio.NewWriterSize(conn, 64<<10)
 	sess := &session{cursors: make(map[uint64]*mural.Rows), nextID: 1}
 	defer func() {
 		for _, c := range sess.cursors {
-			c.Close()
+			_ = c.Close()
 		}
 	}()
 	for {
@@ -218,7 +218,7 @@ func (s *Server) dispatch(w io.Writer, sess *session, typ wire.MsgType, payload 
 				return sendErr(err)
 			}
 			if !more {
-				rows.Close()
+				_ = rows.Close()
 				delete(sess.cursors, id)
 				return wire.Write(w, wire.MsgEnd, nil)
 			}
@@ -234,7 +234,7 @@ func (s *Server) dispatch(w io.Writer, sess *session, typ wire.MsgType, payload 
 			return sendErr(err)
 		}
 		if rows, ok := sess.cursors[id]; ok {
-			rows.Close()
+			_ = rows.Close()
 			delete(sess.cursors, id)
 		}
 		return wire.Write(w, wire.MsgOK, wire.EncodeUvarint(0))

@@ -1,0 +1,44 @@
+package sql
+
+import "testing"
+
+// FuzzParse shakes the lexer and recursive-descent parser with arbitrary
+// input. The parser must never panic: every input either yields a
+// statement or a descriptive error.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM book",
+		"SELECT id, name FROM t",
+		"SELECT id FROM t ORDER BY id",
+		"SELECT id, title FROM book WHERE price < 10 ORDER BY id",
+		"SELECT count(*) FROM bt WHERE x < 250",
+		"SELECT sum(b) FROM t",
+		"SELECT id FROM book WHERE author LEXEQUAL 'Nehru' THRESHOLD 2 IN english",
+		"SELECT id FROM book WHERE author LEXEQUAL 'नेहरू' THRESHOLD 3 IN hindi, tamil",
+		"SELECT l.id FROM l, r WHERE l.v LEXEQUAL r.v THRESHOLD 2",
+		"SELECT * FROM b WHERE c SEMEQUAL 'History'",
+		"SELECT text(unitext('काशी', hindi)), lang(unitext('काशी', hindi)) FROM l LIMIT 1",
+		"CREATE TABLE t (id INT, name TEXT)",
+		"CREATE TABLE t (b INT);",
+		"CREATE INDEX i ON t (a) USING MTREE",
+		"CREATE INDEX q ON t (a) USING QGRAM",
+		"INSERT INTO t VALUES (1, 'a')",
+		"INSERT INTO t VALUES ('str', 'b')",
+		"DELETE FROM t WHERE ghost = 1",
+		"DROP TABLE t",
+		"EXPLAIN ANALYZE SELECT * FROM t",
+		"SELECT 'unterminated",
+		"SELECT * FROM t WHERE a = -1.5e10",
+		"((((((((",
+		"SELECT\x00FROM",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err == nil && stmt == nil {
+			t.Fatalf("Parse(%q) returned nil statement and nil error", src)
+		}
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+
+	"github.com/mural-db/mural/internal/invariant"
 )
 
 // FileID identifies one disk file attached to a buffer pool. The catalog
@@ -267,6 +269,7 @@ func (h *Handle) MarkDirty() {
 func (h *Handle) Unpin() {
 	h.pool.mu.Lock()
 	f := &h.pool.frames[h.idx]
+	invariant.Assertf(f.pins > 0, "storage: unpin of frame %v with zero pins", f.key)
 	if f.pins > 0 {
 		f.pins--
 	}
@@ -379,6 +382,12 @@ func (p *Pool) victim() (int, error) {
 			if err := p.writeback(f); err != nil {
 				return 0, err
 			}
+		} else if invariant.Enabled {
+			// A clean frame's stamp was verified at Pin (or stamped at
+			// writeback); a mismatch here means the page was mutated
+			// without MarkDirty and the change is about to be lost.
+			invariant.Assertf(verifyChecksum(f.data) == nil,
+				"storage: evicting clean frame %v whose content no longer matches its checksum (mutation without MarkDirty)", f.key)
 		}
 		delete(p.table, f.key)
 		f.valid = false

@@ -32,6 +32,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"github.com/mural-db/mural/internal/invariant"
 )
 
 // LogFile is the byte-granular device under the WAL. *os.File satisfies it;
@@ -169,13 +171,16 @@ type WAL struct {
 	seq    uint64
 	stats  WALStats
 	latest map[PageKey]int64 // offset of the last committed image per page
+	// lastOff tracks the previous frame's offset for the append-only
+	// monotonicity invariant (checked builds only).
+	lastOff int64
 }
 
 // NewWAL wraps an empty (or just-truncated) log file for appending.
 // Callers that may hold a non-empty log must run ScanWAL + recovery first
 // and truncate before appending (Engine.Open does this).
 func NewWAL(f LogFile) *WAL {
-	return &WAL{f: f, latest: make(map[PageKey]int64)}
+	return &WAL{f: f, latest: make(map[PageKey]int64), lastOff: -1}
 }
 
 // Size returns the current log length in bytes.
@@ -199,6 +204,8 @@ func (w *WAL) frame(payload []byte) (int64, error) {
 	binary.LittleEndian.PutUint32(head[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(head[4:8], crc32.ChecksumIEEE(payload))
 	off := w.size
+	invariant.Assertf(off > w.lastOff,
+		"storage: wal frame offset %d not beyond previous frame at %d (log is append-only)", off, w.lastOff)
 	if _, err := w.f.WriteAt(head, off); err != nil {
 		return 0, fmt.Errorf("storage: wal append: %w", err)
 	}
@@ -206,6 +213,7 @@ func (w *WAL) frame(payload []byte) (int64, error) {
 		return 0, fmt.Errorf("storage: wal append: %w", err)
 	}
 	w.size = off + walFrameHeader + int64(len(payload))
+	w.lastOff = off
 	mWALBytes.Add(walFrameHeader + int64(len(payload)))
 	return off, nil
 }
@@ -242,6 +250,7 @@ func (w *WAL) AppendBatch(pages []WALPageRec, catalog []byte) error {
 		}
 	}
 	w.seq++
+	invariant.Assertf(w.seq > 0, "storage: wal commit sequence number wrapped to zero")
 	commit := make([]byte, 1+8)
 	commit[0] = walRecCommit
 	binary.LittleEndian.PutUint64(commit[1:9], w.seq)
@@ -294,6 +303,7 @@ func (w *WAL) Truncate() error {
 	mWALCheckpoints.Inc()
 	w.size = 0
 	w.latest = make(map[PageKey]int64)
+	w.lastOff = -1
 	return nil
 }
 

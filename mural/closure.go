@@ -1,6 +1,7 @@
 package mural
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/mural-db/mural/internal/types"
@@ -49,7 +50,7 @@ func (e *Engine) ComputeClosureScan(table, idCol, parentCol string, root int64) 
 		for {
 			tup, ok, err := it.Next()
 			if err != nil {
-				return nil, err
+				return nil, errors.Join(err, it.Close())
 			}
 			if !ok {
 				break
@@ -63,6 +64,9 @@ func (e *Engine) ComputeClosureScan(table, idCol, parentCol string, root int64) 
 				closure[id] = true
 				next[id] = true
 			}
+		}
+		if err := it.Close(); err != nil {
+			return nil, err
 		}
 		frontier = next
 	}

@@ -83,7 +83,8 @@ func (e *Engine) execDropTable(s *sql.DropTable) (*Result, error) {
 	// Commit the catalog change before releasing anything: if the commit
 	// fails, the drop is undone in memory and nothing was touched.
 	if e.wal != nil {
-		if err := e.beginBatch(); err == nil {
+		err := e.beginBatch()
+		if err == nil {
 			err = e.commitDDL()
 		}
 		if err != nil {
@@ -219,6 +220,7 @@ func (e *Engine) execCreateIndex(s *sql.CreateIndex) (*Result, error) {
 			if err := e.commitBatch(nil); err != nil {
 				return fail(err)
 			}
+			//lint:wal-exempt reopened chunk batch is closed by commitDDL or fail at function level
 			if err := e.beginBatch(); err != nil {
 				cleanup()
 				return nil, err

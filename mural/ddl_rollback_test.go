@@ -1,0 +1,63 @@
+package mural
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"github.com/mural-db/mural/internal/storage"
+)
+
+// failSyncLog makes WAL syncs fail on demand, so a DDL commit can be forced
+// to fail after the in-memory catalog change was already applied.
+type failSyncLog struct {
+	storage.LogFile
+	fail *atomic.Bool
+}
+
+func (f *failSyncLog) Sync() error {
+	if f.fail.Load() {
+		return errors.New("injected sync failure")
+	}
+	return f.LogFile.Sync()
+}
+
+// A DROP TABLE whose WAL commit fails must report the error and restore the
+// table (and its indexes) in the catalog — the commit-failure path used to
+// be dead code behind a shadowed err.
+func TestDropTableRollsBackOnCommitFailure(t *testing.T) {
+	var fail atomic.Bool
+	e, err := Open(Config{
+		Dir: t.TempDir(),
+		WALWrap: func(f storage.LogFile) storage.LogFile {
+			return &failSyncLog{LogFile: f, fail: &fail}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = e.Close() }()
+
+	mustExec := func(q string) {
+		t.Helper()
+		if _, err := e.Exec(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	mustExec(`CREATE TABLE t (id INT, name TEXT)`)
+	mustExec(`INSERT INTO t VALUES (1, 'nehru')`)
+
+	fail.Store(true)
+	if _, err := e.Exec(`DROP TABLE t`); err == nil {
+		t.Fatal("DROP TABLE succeeded although the WAL commit failed")
+	}
+	fail.Store(false)
+
+	r, err := e.Exec(`SELECT id, name FROM t`)
+	if err != nil {
+		t.Fatalf("table vanished after failed DROP: %v", err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatalf("expected the surviving row, got %d rows", len(r.Rows))
+	}
+}

@@ -129,7 +129,7 @@ func Open(cfg Config) (*Engine, error) {
 		cat, err = catalog.Load(cfg.Dir)
 		if err != nil {
 			if wal != nil {
-				wal.Close()
+				_ = wal.Close()
 			}
 			return nil, err
 		}
@@ -138,7 +138,7 @@ func Open(cfg Config) (*Engine, error) {
 			// catalog never references; their ids will be reused.
 			removed, err := removeOrphanFiles(cfg.Dir, cat)
 			if err != nil {
-				wal.Close()
+				_ = wal.Close()
 				return nil, err
 			}
 			recStats.OrphansRemoved = removed

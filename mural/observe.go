@@ -65,7 +65,7 @@ func (e *Engine) observe(q string, rows int64, elapsed time.Duration, err error)
 		}
 		if line, jerr := json.Marshal(rec); jerr == nil {
 			e.slowMu.Lock()
-			e.cfg.SlowQueryLog.Write(append(line, '\n'))
+			_, _ = e.cfg.SlowQueryLog.Write(append(line, '\n'))
 			e.slowMu.Unlock()
 		}
 	}

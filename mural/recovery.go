@@ -53,7 +53,7 @@ func openWALWithRecovery(cfg *Config) (*storage.WAL, RecoveryStats, error) {
 	}
 	scan, err := storage.ScanWAL(lf)
 	if err != nil {
-		lf.Close()
+		_ = lf.Close()
 		return nil, stats, fmt.Errorf("mural: scan wal: %w", err)
 	}
 	stats.TornTail = scan.Torn
@@ -70,14 +70,14 @@ func openWALWithRecovery(cfg *Config) (*storage.WAL, RecoveryStats, error) {
 				df, err = os.OpenFile(dataFilePath(cfg.Dir, pr.File), os.O_RDWR|os.O_CREATE, 0o644)
 				if err != nil {
 					closeAll(files)
-					lf.Close()
+					_ = lf.Close()
 					return nil, stats, fmt.Errorf("mural: recover: %w", err)
 				}
 				files[pr.File] = df
 			}
 			if _, err := df.WriteAt(pr.Image, int64(pr.Page)*storage.PageSize); err != nil {
 				closeAll(files)
-				lf.Close()
+				_ = lf.Close()
 				return nil, stats, fmt.Errorf("mural: recover page %d of file %d: %w", pr.Page, pr.File, err)
 			}
 			stats.PagesApplied++
@@ -92,21 +92,21 @@ func openWALWithRecovery(cfg *Config) (*storage.WAL, RecoveryStats, error) {
 	for _, df := range files {
 		if err := df.Sync(); err != nil {
 			closeAll(files)
-			lf.Close()
+			_ = lf.Close()
 			return nil, stats, fmt.Errorf("mural: recover: sync: %w", err)
 		}
 	}
 	closeAll(files)
 	if lastCatalog != nil {
 		if err := catalog.SaveImage(cfg.Dir, lastCatalog); err != nil {
-			lf.Close()
+			_ = lf.Close()
 			return nil, stats, fmt.Errorf("mural: recover: %w", err)
 		}
 		stats.CatalogRestored = true
 	}
 	wal := storage.NewWAL(lf)
 	if err := wal.Truncate(); err != nil {
-		lf.Close()
+		_ = lf.Close()
 		return nil, stats, err
 	}
 	return wal, stats, nil
@@ -114,7 +114,7 @@ func openWALWithRecovery(cfg *Config) (*storage.WAL, RecoveryStats, error) {
 
 func closeAll(files map[storage.FileID]*os.File) {
 	for _, f := range files {
-		f.Close()
+		_ = f.Close()
 	}
 }
 
