@@ -8,7 +8,8 @@
 //	benchrunner -exp table4 -names 25000 # paper-scale Ψ experiment
 //	benchrunner -exp fig8 -synsets 111223 -full
 //	benchrunner -exp fig6|fig7|regress|ablation
-//	benchrunner -exp snapshot            # reduced-scale JSON perf snapshot (BENCH_PR3.json)
+//	benchrunner -exp parallel            # intra-query parallel speedup sweep
+//	benchrunner -exp snapshot            # reduced-scale JSON perf snapshot (BENCH_PR4.json)
 //	benchrunner -snapshot out.json       # same, to an explicit path
 package main
 
@@ -16,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"github.com/mural-db/mural/internal/bench"
@@ -24,13 +26,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table4|fig6|fig7|fig8|regress|ablation|all")
+		exp     = flag.String("exp", "all", "experiment: table4|fig6|fig7|fig8|regress|ablation|parallel|all")
 		names   = flag.Int("names", 5000, "names table size for table4 (paper: ~25000)")
 		probes  = flag.Int("probes", 50, "probe table size for table4 joins")
 		synsets = flag.Int("synsets", 20000, "taxonomy size for fig8 (paper: 111223)")
 		full    = flag.Bool("full", false, "paper-scale settings (slow)")
 		seed    = flag.Int64("seed", 2006, "dataset seed")
-		snap    = flag.String("snapshot", "BENCH_PR3.json", "perf snapshot output path (implies -exp snapshot when set explicitly)")
+		snap    = flag.String("snapshot", "BENCH_PR4.json", "perf snapshot output path (implies -exp snapshot when set explicitly)")
 	)
 	flag.Parse()
 	snapSet := false
@@ -68,6 +70,7 @@ func main() {
 	run("fig8", func() error { return runFig8(*synsets, *seed, *full) })
 	run("regress", func() error { return runRegress(*seed) })
 	run("ablation", func() error { return runAblation(*seed) })
+	run("parallel", func() error { return runParallel(*names, *probes, *seed) })
 }
 
 func runTable4(names, probes int, seed int64) error {
@@ -157,6 +160,29 @@ func runFig8(synsets int, seed int64, full bool) error {
 		for _, p := range bySeries[s] {
 			fmt.Printf("  |TC| = %6d   %10.5f s\n", p.ClosureSize, p.Seconds)
 		}
+	}
+	return nil
+}
+
+func runParallel(names, probes int, seed int64) error {
+	fmt.Printf("Intra-query parallel speedup — %d names, Ψ scan + join, workers sweep (%d cores)\n\n",
+		names, runtime.NumCPU())
+	points, err := bench.RunParallelSpeedup(bench.ParallelSpeedupConfig{
+		Names: names, ProbeNames: probes, Threshold: 3, Queries: 5, Seed: seed})
+	if err != nil {
+		return err
+	}
+	base := map[string]float64{}
+	fmt.Printf("%-10s %8s %12s %10s %10s\n", "workload", "workers", "time (s)", "speedup", "matches")
+	for _, p := range points {
+		if p.Workers == 1 {
+			base[p.Workload] = p.Seconds
+		}
+		speedup := 0.0
+		if p.Seconds > 0 {
+			speedup = base[p.Workload] / p.Seconds
+		}
+		fmt.Printf("%-10s %8d %12.4f %9.2fx %10d\n", p.Workload, p.Workers, p.Seconds, speedup, p.Matches)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/mural-db/mural/internal/bench"
@@ -11,11 +12,14 @@ import (
 )
 
 // perfSnapshot is the machine-readable performance record the CI run
-// archives (BENCH_PR2.json): small-scale timings for the paper's headline
-// experiments plus the engine-wide metric counters they drove.
+// archives (BENCH_PR4.json): small-scale timings for the paper's headline
+// experiments plus the engine-wide metric counters they drove. CPUs records
+// the cores the snapshot machine had — the parallel sweep's speedups are
+// meaningless without it (a 1-core box legitimately shows ~1x).
 type perfSnapshot struct {
 	GeneratedAt string `json:"generated_at"`
 	Seed        int64  `json:"seed"`
+	CPUs        int    `json:"cpus"`
 
 	Table4 []struct {
 		Impl    string  `json:"impl"`
@@ -42,6 +46,15 @@ type perfSnapshot struct {
 		Seconds     float64 `json:"seconds"`
 	} `json:"fig8"`
 
+	// Parallel is the intra-query parallelism sweep: the Table 4 Ψ scan and
+	// join under SET workers = 1/2/4/8.
+	Parallel []struct {
+		Workload string  `json:"workload"`
+		Workers  int     `json:"workers"`
+		Seconds  float64 `json:"seconds"`
+		Speedup  float64 `json:"speedup_vs_1_worker"`
+	} `json:"parallel"`
+
 	// Metrics is the default-registry counter snapshot after the runs:
 	// psi/omega evaluation counts, M-Tree distance computations, buffer
 	// pool traffic and friends.
@@ -55,6 +68,7 @@ func runSnapshot(path string, seed int64) error {
 	snap := perfSnapshot{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		Seed:        seed,
+		CPUs:        runtime.NumCPU(),
 	}
 
 	fmt.Println("snapshot: table4 (reduced scale)")
@@ -104,6 +118,29 @@ func runSnapshot(path string, seed int64) error {
 			ClosureSize int     `json:"closure_size"`
 			Seconds     float64 `json:"seconds"`
 		}{p.Series, p.ClosureSize, p.Seconds})
+	}
+
+	fmt.Println("snapshot: parallel speedup sweep (reduced scale)")
+	pts, err := bench.RunParallelSpeedup(bench.ParallelSpeedupConfig{
+		Names: 1500, ProbeNames: 20, Threshold: 3, Queries: 3, Seed: seed})
+	if err != nil {
+		return fmt.Errorf("parallel: %w", err)
+	}
+	base := map[string]float64{}
+	for _, p := range pts {
+		if p.Workers == 1 {
+			base[p.Workload] = p.Seconds
+		}
+		speedup := 0.0
+		if p.Seconds > 0 {
+			speedup = base[p.Workload] / p.Seconds
+		}
+		snap.Parallel = append(snap.Parallel, struct {
+			Workload string  `json:"workload"`
+			Workers  int     `json:"workers"`
+			Seconds  float64 `json:"seconds"`
+			Speedup  float64 `json:"speedup_vs_1_worker"`
+		}{p.Workload, p.Workers, p.Seconds, speedup})
 	}
 
 	// Counter snapshot of everything the runs drove through the engine.

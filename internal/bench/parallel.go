@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+// ParallelSpeedupPoint is one (workload, worker count) measurement of the
+// intra-query parallelism experiment: the Table 4 Ψ workloads re-run under
+// `SET workers = N`.
+type ParallelSpeedupPoint struct {
+	Workload string // "scan" or "join"
+	Workers  int
+	Seconds  float64
+	// Matches sanity-checks that every worker count computed the same answer.
+	Matches int64
+}
+
+// ParallelSpeedupConfig parameterizes the experiment.
+type ParallelSpeedupConfig struct {
+	Names      int
+	ProbeNames int
+	Threshold  int
+	// Queries bounds how many scan queries are averaged.
+	Queries int
+	// Workers lists the worker counts to sweep (default 1, 2, 4, 8).
+	Workers []int
+	Seed    int64
+}
+
+// RunParallelSpeedup measures the Ψ selection and Ψ join of Table 4 under
+// increasing `SET workers = N`, with the M-Tree disabled so every run takes
+// the Gather-over-parallel-scan plan. Speedup is CPU-bound: each worker
+// evaluates the bounded edit distance over its morsel of the names table, so
+// on a W-core machine runtime should fall roughly W-fold until workers
+// exceed cores.
+func RunParallelSpeedup(cfg ParallelSpeedupConfig) ([]ParallelSpeedupPoint, error) {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.Queries <= 0 {
+		cfg.Queries = 5
+	}
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 2, 4, 8}
+	}
+	db, err := NewNamesDB(NamesConfig{Names: cfg.Names, ProbeNames: cfg.ProbeNames, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	queries := db.Queries
+	if len(queries) > cfg.Queries {
+		queries = queries[:cfg.Queries]
+	}
+	k := cfg.Threshold
+
+	// Core path only: the in-kernel Ψ scan is what parallelizes.
+	if _, err := db.Eng.Exec(`SET enable_mtree = off`); err != nil {
+		return nil, err
+	}
+
+	var points []ParallelSpeedupPoint
+	var scanBase, joinBase int64 = -1, -1
+	for _, w := range cfg.Workers {
+		if _, err := db.Eng.Exec(fmt.Sprintf(`SET workers = %d`, w)); err != nil {
+			return nil, err
+		}
+
+		var total time.Duration
+		var scanM int64
+		for _, q := range queries {
+			res, err := db.Eng.Exec(fmt.Sprintf(
+				`SELECT count(*) FROM names WHERE name LEXEQUAL %s THRESHOLD %d`, quote(q.Text), k))
+			if err != nil {
+				return nil, err
+			}
+			total += res.Elapsed
+			scanM += res.Rows[0][0].Int()
+		}
+		points = append(points, ParallelSpeedupPoint{
+			Workload: "scan", Workers: w,
+			Seconds: total.Seconds() / float64(len(queries)), Matches: scanM,
+		})
+
+		res, err := db.Eng.Exec(fmt.Sprintf(
+			`SELECT count(*) FROM probe p, names n WHERE p.name LEXEQUAL n.name THRESHOLD %d`, k))
+		if err != nil {
+			return nil, err
+		}
+		joinM := res.Rows[0][0].Int()
+		points = append(points, ParallelSpeedupPoint{
+			Workload: "join", Workers: w, Seconds: res.Elapsed.Seconds(), Matches: joinM,
+		})
+
+		if scanBase == -1 {
+			scanBase, joinBase = scanM, joinM
+		}
+		if scanM != scanBase || joinM != joinBase {
+			return nil, fmt.Errorf("bench: workers=%d changed the answer: scan %d (want %d), join %d (want %d)",
+				w, scanM, scanBase, joinM, joinBase)
+		}
+	}
+	return points, nil
+}

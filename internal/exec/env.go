@@ -25,6 +25,12 @@ type TupleIter interface {
 type Env interface {
 	// ScanTable streams every live tuple of a base table.
 	ScanTable(table string) (TupleIter, error)
+	// TablePages reports the table's heap size in pages, the unit a Gather
+	// worker claims morsels in.
+	TablePages(table string) (int64, error)
+	// ScanTablePages streams the live tuples on heap pages [lo, hi): one
+	// morsel of a parallel scan.
+	ScanTablePages(table string, lo, hi int64) (TupleIter, error)
 	// FetchRIDs decodes the tuples at the given RIDs of a base table.
 	FetchRIDs(table string, rids []storage.RID) ([]types.Tuple, error)
 	// IndexSearch probes a B-tree index: nil lo/hi leave the bound open.
@@ -55,4 +61,15 @@ type RunStats struct {
 	MDICandidates  int64
 	PsiEvaluations int64
 	OmegaProbes    int64
+}
+
+// merge folds a Gather worker's counters into the parent run. RowsOut is
+// summed too, but only the top-level cursor ever increments it, so worker
+// contributions are zero.
+func (s *RunStats) merge(o *RunStats) {
+	s.RowsOut += o.RowsOut
+	s.IndexPages += o.IndexPages
+	s.MDICandidates += o.MDICandidates
+	s.PsiEvaluations += o.PsiEvaluations
+	s.OmegaProbes += o.OmegaProbes
 }

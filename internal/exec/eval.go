@@ -17,6 +17,22 @@ type evaluator struct {
 	// collector, when non-nil, makes build wrap every operator with a
 	// timing iterator (EXPLAIN ANALYZE).
 	collector *ExecStats
+	// par, when non-nil, marks this evaluator as one Gather worker's: scans
+	// of Parallel plan nodes claim morsels instead of the whole table.
+	par *parallelCtx
+	// memo is the per-query (per-worker) G2P memoization cache, created on
+	// the first Ψ conversion so plain queries never pay for it.
+	memo *phonetic.MemoCache
+}
+
+// phoneme converts through the per-query memo cache: in a Ψ join, the inner
+// side's unmaterialized values convert once per distinct string rather than
+// once per probe. Each worker owns its evaluator, so the cache is unshared.
+func (ev *evaluator) phoneme(u types.UniText) string {
+	if ev.memo == nil {
+		ev.memo = phonetic.NewMemoCache(ev.env.Phonetic())
+	}
+	return ev.memo.ToPhoneme(u)
 }
 
 // eval evaluates e over t.
@@ -173,13 +189,13 @@ func (ev *evaluator) psiOperand(v types.Value, langs []types.LangID) (string, ty
 	switch v.Kind() {
 	case types.KindUniText:
 		u := v.UniText()
-		return ev.env.Phonetic().ToPhoneme(u), u.Lang, true
+		return ev.phoneme(u), u.Lang, true
 	case types.KindText:
 		lang := types.LangEnglish
 		if len(langs) > 0 {
 			lang = langs[0]
 		}
-		return ev.env.Phonetic().ToPhoneme(types.Compose(v.Text(), lang)), lang, true
+		return ev.phoneme(types.Compose(v.Text(), lang)), lang, true
 	default:
 		return "", types.LangUnknown, false
 	}

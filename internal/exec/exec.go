@@ -91,7 +91,12 @@ func build(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 func buildOp(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 	switch n.Op {
 	case plan.OpSeqScan:
+		if n.Parallel && ev.par != nil {
+			return ev.par.scanIter(env, n)
+		}
 		return env.ScanTable(n.Table)
+	case plan.OpGather:
+		return buildGather(env, ev, n)
 	case plan.OpBTreeScan, plan.OpMTreeScan, plan.OpMDIScan, plan.OpQGramScan:
 		return buildIndexScan(env, ev, n)
 	case plan.OpFilter:

@@ -44,6 +44,34 @@ func (m *mockEnv) ScanTable(table string) (TupleIter, error) {
 	return &sliceIter{rows: rows}, nil
 }
 
+// mockPageRows is the mock heap's page capacity: small, so parallel-scan
+// tests exercise multi-morsel partitioning with few rows.
+const mockPageRows = 2
+
+func (m *mockEnv) TablePages(table string) (int64, error) {
+	rows, ok := m.tables[table]
+	if !ok {
+		return 0, fmt.Errorf("mock: no table %q", table)
+	}
+	return int64((len(rows) + mockPageRows - 1) / mockPageRows), nil
+}
+
+func (m *mockEnv) ScanTablePages(table string, lo, hi int64) (TupleIter, error) {
+	rows, ok := m.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("mock: no table %q", table)
+	}
+	start := int(lo) * mockPageRows
+	end := int(hi) * mockPageRows
+	if start > len(rows) {
+		start = len(rows)
+	}
+	if end > len(rows) {
+		end = len(rows)
+	}
+	return &sliceIter{rows: rows[start:end]}, nil
+}
+
 func (m *mockEnv) FetchRIDs(table string, rids []storage.RID) ([]types.Tuple, error) {
 	rows := m.tables[table]
 	out := make([]types.Tuple, 0, len(rids))

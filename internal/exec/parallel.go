@@ -1,0 +1,375 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/mural-db/mural/internal/plan"
+	"github.com/mural-db/mural/internal/types"
+)
+
+// Parallel execution: a Gather operator runs its child subtree on N worker
+// goroutines and merges their output streams in arrival order. Workers
+// partition the driving table morsel-style — each claims disjoint page
+// ranges from a shared atomic cursor and scans them through the (mutex-
+// guarded) buffer pool — so the heap is read exactly once in total. Tables
+// too small for page-granularity morsels fall back to striping: every
+// worker scans the table but keeps only rows whose ordinal matches its
+// worker id, which preserves the exactly-once guarantee at row granularity.
+//
+// Isolation contract: each worker gets its own evaluator — its own RunStats,
+// its own ExecStats collector (when the parent collects), and its own G2P
+// memo cache — so no executor state is shared between goroutines. Worker
+// figures are folded into the parent's at stream end or Close, whichever
+// comes first. Shared engine structures (buffer pool, heaps, B-/M-Tree,
+// q-gram, closure cache, converter registry) are internally synchronized
+// and safe for the concurrent readers a Gather creates; parallel plans
+// never write, so the WAL's no-steal batch protocol is untouched — a
+// concurrent writer's batch pins simply serialize with worker page pins at
+// the buffer pool as usual.
+
+// gatherBatchSize is how many tuples a worker accumulates per channel send;
+// batching amortizes the channel transfer over rows that each cost far more
+// than a send to produce (a Ψ evaluation is ~µs).
+const gatherBatchSize = 64
+
+// morselChunkPages is how many heap pages one morsel claim covers.
+const morselChunkPages = 4
+
+// parallelCtx is the per-worker build/runtime context; its presence on an
+// evaluator marks "building (then running) inside a Gather worker".
+type parallelCtx struct {
+	id      int
+	workers int
+	shared  *gatherShared
+}
+
+// gatherShared is built once per Gather and shared by its workers. The map
+// is populated while workers are built sequentially and only read after, so
+// it needs no lock; the morselSources inside hand out ranges atomically.
+type gatherShared struct {
+	sources map[*plan.Node]*morselSource
+}
+
+// morselSource hands out disjoint page ranges of one table to any worker
+// that asks. Claims are a single atomic add, the morsel-driven scheduling
+// discipline: fast workers naturally take more of the table.
+type morselSource struct {
+	table   string
+	npages  int64
+	striped bool
+	next    atomic.Int64
+}
+
+func (m *morselSource) claim() (lo, hi int64, ok bool) {
+	lo = m.next.Add(morselChunkPages) - morselChunkPages
+	if lo >= m.npages {
+		return 0, 0, false
+	}
+	hi = lo + morselChunkPages
+	if hi > m.npages {
+		hi = m.npages
+	}
+	return lo, hi, true
+}
+
+// scanIter builds this worker's share of a parallel table scan.
+func (pc *parallelCtx) scanIter(env Env, n *plan.Node) (TupleIter, error) {
+	src, ok := pc.shared.sources[n]
+	if !ok {
+		np, err := env.TablePages(n.Table)
+		if err != nil {
+			return nil, err
+		}
+		src = &morselSource{table: n.Table, npages: np}
+		// A table with fewer pages than workers×chunk cannot keep everyone
+		// busy at page granularity; stripe rows instead.
+		src.striped = np < int64(pc.workers)*morselChunkPages
+		pc.shared.sources[n] = src
+	}
+	if src.striped {
+		child, err := env.ScanTable(n.Table)
+		if err != nil {
+			return nil, err
+		}
+		return &stripedIter{child: child, idx: int64(pc.id), mod: int64(pc.workers)}, nil
+	}
+	return &morselScanIter{env: env, src: src}, nil
+}
+
+// morselScanIter scans morsels claimed from the shared source until the
+// table is exhausted.
+type morselScanIter struct {
+	env Env
+	src *morselSource
+	cur TupleIter
+}
+
+func (m *morselScanIter) Next() (types.Tuple, bool, error) {
+	for {
+		if m.cur == nil {
+			lo, hi, ok := m.src.claim()
+			if !ok {
+				return nil, false, nil
+			}
+			it, err := m.env.ScanTablePages(m.src.table, lo, hi)
+			if err != nil {
+				return nil, false, err
+			}
+			m.cur = it
+		}
+		t, ok, err := m.cur.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return t, true, nil
+		}
+		err = m.cur.Close()
+		m.cur = nil
+		if err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+func (m *morselScanIter) Close() error {
+	if m.cur == nil {
+		return nil
+	}
+	err := m.cur.Close()
+	m.cur = nil
+	return err
+}
+
+// stripedIter keeps every mod-th row of its child, offset by this worker's
+// id: the row-granularity fallback partition for small tables.
+type stripedIter struct {
+	child TupleIter
+	idx   int64
+	mod   int64
+	n     int64
+}
+
+func (s *stripedIter) Next() (types.Tuple, bool, error) {
+	for {
+		t, ok, err := s.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		keep := s.n%s.mod == s.idx
+		s.n++
+		if keep {
+			return t, true, nil
+		}
+	}
+}
+
+func (s *stripedIter) Close() error { return s.child.Close() }
+
+// gatherWorker is one worker pipeline plus its isolated measuring state.
+type gatherWorker struct {
+	root TupleIter
+	ev   *evaluator
+	// err is this worker's terminal error (Next or Close); written by the
+	// worker goroutine, read only after wg.Wait.
+	err error
+}
+
+// buildGather instantiates the worker pipelines for a Gather node. Workers
+// are built sequentially on the calling goroutine — nothing runs until the
+// first Next — so shared build state needs no synchronization.
+func buildGather(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
+	if ev.par != nil {
+		return nil, fmt.Errorf("exec: nested Gather operators are not supported")
+	}
+	w := n.Workers
+	if w < 1 {
+		w = 1
+	}
+	shared := &gatherShared{sources: make(map[*plan.Node]*morselSource)}
+	g := &gatherIter{parent: ev, stop: make(chan struct{})}
+	for i := 0; i < w; i++ {
+		wev := &evaluator{
+			env:   env,
+			stats: &RunStats{},
+			par:   &parallelCtx{id: i, workers: w, shared: shared},
+		}
+		if ev.collector != nil {
+			wev.collector = NewExecStats()
+		}
+		root, err := build(env, wev, n.Children[0])
+		if err != nil {
+			errs := []error{err}
+			for _, built := range g.workers {
+				errs = append(errs, built.root.Close())
+			}
+			return nil, errors.Join(errs...)
+		}
+		g.workers = append(g.workers, &gatherWorker{root: root, ev: wev})
+	}
+	return g, nil
+}
+
+// gatherIter merges the worker streams. Workers start lazily on the first
+// Next; until then Close releases the pipelines synchronously. After start,
+// every worker owns (and closes) its root on its own goroutine, and Close
+// only signals stop and waits — no iterator is ever touched from two
+// goroutines.
+type gatherIter struct {
+	parent  *evaluator
+	workers []*gatherWorker
+
+	out      chan []types.Tuple
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	started  bool
+	closed   bool
+	merged   bool
+	finished bool
+	failed   error
+	batch    []types.Tuple
+	bi       int
+}
+
+func (g *gatherIter) start() {
+	g.started = true
+	g.out = make(chan []types.Tuple, len(g.workers)*2)
+	for _, w := range g.workers {
+		g.wg.Add(1)
+		go g.runWorker(w)
+	}
+	go func() {
+		g.wg.Wait()
+		close(g.out)
+	}()
+}
+
+func (g *gatherIter) interrupt() {
+	g.stopOnce.Do(func() { close(g.stop) })
+}
+
+func (g *gatherIter) runWorker(w *gatherWorker) {
+	defer g.wg.Done()
+	err := g.drain(w)
+	err = errors.Join(err, w.root.Close())
+	if err != nil {
+		w.err = err
+		// The stream is dead: stop the other workers promptly too.
+		g.interrupt()
+	}
+}
+
+// drain pulls the worker pipeline to exhaustion, shipping rows in batches.
+// It returns early (nil) when the consumer signalled stop.
+func (g *gatherIter) drain(w *gatherWorker) error {
+	batch := make([]types.Tuple, 0, gatherBatchSize)
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		select {
+		case g.out <- batch:
+			batch = make([]types.Tuple, 0, gatherBatchSize)
+			return true
+		case <-g.stop:
+			return false
+		}
+	}
+	for {
+		select {
+		case <-g.stop:
+			return nil
+		default:
+		}
+		t, ok, err := w.root.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			flush()
+			return nil
+		}
+		batch = append(batch, t)
+		if len(batch) == gatherBatchSize && !flush() {
+			return nil
+		}
+	}
+}
+
+func (g *gatherIter) Next() (types.Tuple, bool, error) {
+	if g.failed != nil {
+		return nil, false, g.failed
+	}
+	if g.finished {
+		return nil, false, nil
+	}
+	if !g.started {
+		g.start()
+	}
+	if g.bi < len(g.batch) {
+		t := g.batch[g.bi]
+		g.bi++
+		return t, true, nil
+	}
+	batch, ok := <-g.out
+	if !ok {
+		// All workers done (wg.Wait happened-before the channel close, so
+		// worker state is visible): merge stats and surface any error.
+		if err := g.finish(); err != nil {
+			g.failed = err
+			return nil, false, err
+		}
+		g.finished = true
+		return nil, false, nil
+	}
+	g.batch, g.bi = batch, 1
+	return batch[0], true, nil
+}
+
+// finish folds every worker's counters into the parent evaluator and joins
+// worker errors. Idempotent: the fold happens exactly once no matter how
+// the Gather winds down.
+func (g *gatherIter) finish() error {
+	if g.merged {
+		return nil
+	}
+	g.merged = true
+	var errs []error
+	for _, w := range g.workers {
+		g.parent.stats.merge(w.ev.stats)
+		if g.parent.collector != nil {
+			g.parent.collector.Merge(w.ev.collector)
+		}
+		if w.err != nil {
+			errs = append(errs, w.err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (g *gatherIter) Close() error {
+	if g.closed {
+		return nil
+	}
+	g.closed = true
+	if !g.started {
+		var errs []error
+		for _, w := range g.workers {
+			errs = append(errs, w.root.Close())
+		}
+		return errors.Join(errs...)
+	}
+	g.interrupt()
+	g.wg.Wait()
+	err := g.finish()
+	if g.failed != nil {
+		// Next already surfaced this error; don't report it twice.
+		return nil
+	}
+	return err
+}

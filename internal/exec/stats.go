@@ -75,6 +75,30 @@ func (es *ExecStats) Actual(n *plan.Node) (plan.Actual, bool) {
 	}, true
 }
 
+// Merge folds another collector's buckets into this one: the Gather
+// operator merges each worker's private collector into the parent's when
+// the stream ends. Summing Loops makes a node executed once by each of N
+// workers report loops=N, PostgreSQL's convention for parallel plans. A
+// bucket absent here is copied rather than created through Stats, which
+// would seed a phantom extra loop.
+func (es *ExecStats) Merge(o *ExecStats) {
+	if es == nil || o == nil {
+		return
+	}
+	for n, st := range o.byNode {
+		dst, ok := es.byNode[n]
+		if !ok {
+			cp := *st
+			es.byNode[n] = &cp
+			continue
+		}
+		dst.Rows += st.Rows
+		dst.Nexts += st.Nexts
+		dst.Loops += st.Loops
+		dst.Elapsed += st.Elapsed
+	}
+}
+
 // rewindIter is the executor's rewindable-input contract: nested-loops joins
 // rescan their inner side through it. materializeIter implements it, and so
 // does the instrumented wrapper around a rewindable child.

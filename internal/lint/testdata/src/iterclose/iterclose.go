@@ -88,6 +88,41 @@ func returnClose() error {
 	return it.Close()
 }
 
+// gatherIter mirrors the exec package's exchange operator: it owns a slice
+// of worker pipelines built in a loop.
+type gatherWorker struct{ root *scanIter }
+
+type gatherIter struct{ workers []*gatherWorker }
+
+func (g *gatherIter) Next() (Tuple, bool, error) { return nil, false, nil }
+func (g *gatherIter) Close() error {
+	var errs []error
+	for _, w := range g.workers {
+		errs = append(errs, w.root.Close())
+	}
+	return errors.Join(errs...)
+}
+
+// gatherBuilderClosesOnError is the exec.buildGather shape: each loop
+// iteration's iterator escapes into the worker slice (discharging its
+// release duty); the error path closes everything built so far before
+// bailing.
+func gatherBuilderClosesOnError(n int) (*gatherIter, error) {
+	g := &gatherIter{}
+	for i := 0; i < n; i++ {
+		root, err := open("worker")
+		if err != nil {
+			errs := []error{err}
+			for _, built := range g.workers {
+				errs = append(errs, built.root.Close())
+			}
+			return nil, errors.Join(errs...)
+		}
+		g.workers = append(g.workers, &gatherWorker{root: root})
+	}
+	return g, nil
+}
+
 // ---- positive cases ----
 
 func leakedAtEnd() {
@@ -116,4 +151,22 @@ func leakOnErrorBranch(cond bool) error {
 		return errors.New("bail") // it leaks
 	}
 	return it.Close()
+}
+
+// gatherBuilderLeaksOnError is the broken variant of the builder: bailing
+// out of the loop without closing the root acquired in THIS iteration (the
+// earlier ones escaped into the slice and are fine).
+func gatherBuilderLeaksOnError(n int, bad bool) (*gatherIter, error) {
+	g := &gatherIter{}
+	for i := 0; i < n; i++ {
+		root, err := open("worker") // want `iterator acquired by open is not released`
+		if err != nil {
+			return nil, err
+		}
+		if bad {
+			return nil, errors.New("validation failed after open") // root leaks
+		}
+		g.workers = append(g.workers, &gatherWorker{root: root})
+	}
+	return g, nil
 }

@@ -1,0 +1,196 @@
+package phonetic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/mural-db/mural/internal/metrics"
+	"github.com/mural-db/mural/internal/types"
+)
+
+// myersRef runs BoundedEditDistance through the bit-parallel path only,
+// failing the test if the inputs would not take it.
+func myersRef(t *testing.T, a, b string, k int) (int, bool) {
+	t.Helper()
+	var pa, pb [64]rune
+	na, aok := runesInto(a, &pa)
+	nb, bok := runesInto(b, &pb)
+	if !aok || !bok {
+		t.Fatalf("myersRef: inputs exceed 64 runes (%q, %q)", a, b)
+	}
+	return myersBounded(pa[:na], pb[:nb], k)
+}
+
+func TestMyersMatchesBandedDP(t *testing.T) {
+	cases := [][2]string{
+		{"", ""},
+		{"", "a"},
+		{"a", ""},
+		{"a", "a"},
+		{"a", "b"},
+		{"ab", "ba"},
+		{"kitten", "sitting"},
+		{"sunday", "saturday"},
+		{"kriʃnamurti", "kriʃnamurati"},
+		{"kriʃna", "krisna"},
+		{"ʃaŋkar", "ʃəŋkər"},
+		{"abcdefghijklmnopqrstuvwxyz", "abcdefghijklmnopqrstuvwxyz"},
+		{strings.Repeat("a", 64), strings.Repeat("a", 64)},
+		{strings.Repeat("a", 64), strings.Repeat("b", 64)},
+		{strings.Repeat("ab", 32), strings.Repeat("ba", 32)},
+	}
+	for _, c := range cases {
+		want := EditDistance(c[0], c[1])
+		for k := 0; k <= want+3; k++ {
+			d, ok := myersRef(t, c[0], c[1], k)
+			if ok != (want <= k) {
+				t.Errorf("myers(%q,%q,k=%d): ok=%v, want %v (d=%d)", c[0], c[1], k, ok, want <= k, want)
+			}
+			if ok && d != want {
+				t.Errorf("myers(%q,%q,k=%d) = %d, want %d", c[0], c[1], k, d, want)
+			}
+		}
+	}
+}
+
+func TestMyersRandomAgainstFullDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(2006))
+	alphabet := []rune("abʃʒŋəti")
+	randStr := func(n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteRune(alphabet[rng.Intn(len(alphabet))])
+		}
+		return b.String()
+	}
+	for i := 0; i < 2000; i++ {
+		a := randStr(rng.Intn(65))
+		b := randStr(rng.Intn(65))
+		k := rng.Intn(10)
+		want := EditDistance(a, b)
+		d, ok := myersRef(t, a, b, k)
+		if ok != (want <= k) {
+			t.Fatalf("myers(%q,%q,k=%d): ok=%v, want %v (d=%d)", a, b, k, ok, want <= k, want)
+		}
+		if ok && d != want {
+			t.Fatalf("myers(%q,%q,k=%d) = %d, want %d", a, b, k, d, want)
+		}
+	}
+}
+
+func TestBoundedEditDistanceLongFallback(t *testing.T) {
+	// Over 64 runes on either side must take the banded DP and still agree
+	// with the full DP.
+	a := strings.Repeat("kriʃna", 12) // 72 runes
+	b := strings.Repeat("kriʃna", 12)[:len("kriʃna")*11] + "krisna"
+	want := EditDistance(a, b)
+	d, ok := BoundedEditDistance(a, b, want)
+	if !ok || d != want {
+		t.Fatalf("BoundedEditDistance(long) = %d,%v want %d,true", d, ok, want)
+	}
+	if _, ok := BoundedEditDistance(a, b, want-1); ok {
+		t.Fatalf("BoundedEditDistance(long, k=%d) succeeded below the true distance", want-1)
+	}
+}
+
+func TestMemoCacheCountsHitsAndMisses(t *testing.T) {
+	metrics.Default.Reset()
+	reg := DefaultRegistry()
+	mc := NewMemoCache(reg)
+
+	u := types.UniText{Text: "Krishna", Lang: types.LangEnglish}
+	first := mc.ToPhoneme(u)
+	if got := mc.ToPhoneme(u); got != first {
+		t.Fatalf("memoized phoneme mismatch: %q vs %q", got, first)
+	}
+	mc.ToPhoneme(u)
+	if mc.Len() != 1 {
+		t.Fatalf("memo Len = %d, want 1", mc.Len())
+	}
+	snap := metrics.Default.Snapshot()
+	if snap.Counters["mural_g2p_cache_misses_total"] != 1 {
+		t.Fatalf("misses = %d, want 1", snap.Counters["mural_g2p_cache_misses_total"])
+	}
+	if snap.Counters["mural_g2p_cache_hits_total"] != 2 {
+		t.Fatalf("hits = %d, want 2", snap.Counters["mural_g2p_cache_hits_total"])
+	}
+
+	// Materialized values bypass the memo entirely and count as hits.
+	mat := reg.Materialize(types.UniText{Text: "Crishna", Lang: types.LangEnglish})
+	mc.ToPhoneme(mat)
+	snap = metrics.Default.Snapshot()
+	if snap.Counters["mural_g2p_cache_hits_total"] != 3 {
+		t.Fatalf("hits after materialized = %d, want 3", snap.Counters["mural_g2p_cache_hits_total"])
+	}
+	if mc.Len() != 1 {
+		t.Fatalf("memo grew on materialized value: Len = %d", mc.Len())
+	}
+}
+
+func FuzzEditDistanceAgree(f *testing.F) {
+	f.Add("kriʃnamurti", "kriʃnamurati", 3)
+	f.Add("", "", 0)
+	f.Add("a", "", 1)
+	f.Add("kitten", "sitting", 2)
+	f.Add("कृष्ण", "kriʃna", 4)
+	f.Add("தமிழ்", "tamiɻ", 5)
+	f.Add(strings.Repeat("ab", 40), strings.Repeat("ba", 40), 6)
+	f.Add(strings.Repeat("x", 64), strings.Repeat("x", 65), 1)
+	f.Fuzz(func(t *testing.T, a, b string, k int) {
+		if k < 0 || k > 128 {
+			return
+		}
+		if len(a) > 256 || len(b) > 256 {
+			return
+		}
+		want := EditDistance(a, b)
+		// The dispatching entry point (Myers for ≤64 runes, banded DP
+		// otherwise) must agree with the unbounded reference DP.
+		d, ok := BoundedEditDistance(a, b, k)
+		if ok != (want <= k) {
+			t.Fatalf("BoundedEditDistance(%q,%q,%d): ok=%v, reference distance %d", a, b, k, ok, want)
+		}
+		if ok && d != want {
+			t.Fatalf("BoundedEditDistance(%q,%q,%d) = %d, reference %d", a, b, k, d, want)
+		}
+		// And the banded DP must agree with Myers on inputs where both
+		// apply, regardless of which one the entry point picked.
+		ra, rb := []rune(a), []rune(b)
+		if len(ra) <= 64 && len(rb) <= 64 {
+			bd, bok := boundedEditDistanceRunes(ra, rb, k)
+			if bok != ok || (ok && bd != d) {
+				t.Fatalf("banded(%q,%q,%d) = %d,%v but myers = %d,%v", a, b, k, bd, bok, d, ok)
+			}
+		}
+	})
+}
+
+// Phoneme-length distribution drawn from the paper's name workloads: most
+// phoneme strings are 5–20 code points, with a tail toward longer compound
+// names. The bit-parallel kernel must beat the banded DP across this mix.
+var benchPhonemePairs = [][2]string{
+	{"kriʃna", "krisna"},
+	{"ʃaŋkar", "ʃəŋkər"},
+	{"kriʃnamurti", "kriʃnamurati"},
+	{"ʋeŋkateʃʋara", "ʋeŋkatesʋara"},
+	{"ramakriʃnan", "rəmakriʃnən"},
+	{"sattjanarajanamurti", "satjanarajanamurti"},
+	{"tʃandraʃekharasubramanjam", "tʃəndrəʃekərəsubrəmənjəm"},
+}
+
+func BenchmarkBoundedEditDistanceMyers(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := benchPhonemePairs[i%len(benchPhonemePairs)]
+		BoundedEditDistance(p[0], p[1], 3)
+	}
+}
+
+func BenchmarkBoundedEditDistanceBandedDP(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := benchPhonemePairs[i%len(benchPhonemePairs)]
+		boundedEditDistanceRunes([]rune(p[0]), []rune(p[1]), 3)
+	}
+}

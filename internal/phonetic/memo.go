@@ -1,0 +1,61 @@
+package phonetic
+
+import (
+	"github.com/mural-db/mural/internal/metrics"
+	"github.com/mural-db/mural/internal/types"
+)
+
+// mG2PCacheMisses counts memo-cache lookups that had to run a conversion.
+// Together with mural_g2p_cache_hits_total it measures how much repeated
+// G2P work a Ψ join avoids (inner tuples are converted once per distinct
+// string, not once per probe).
+var mG2PCacheMisses = metrics.Default.Counter("mural_g2p_cache_misses_total")
+
+// MemoCache memoizes grapheme-to-phoneme conversions for the duration of
+// one query (one executor worker, in a parallel plan). Values that already
+// carry a materialized phoneme string are returned directly, exactly as
+// Registry.ToPhoneme does; everything else is converted at most once per
+// distinct (text, lang) pair.
+//
+// A MemoCache is NOT safe for concurrent use: the executor gives each
+// worker its own instance, which keeps the hot path free of locks.
+type MemoCache struct {
+	reg *Registry
+	m   map[memoKey]string
+}
+
+type memoKey struct {
+	text string
+	lang types.LangID
+}
+
+// NewMemoCache returns an empty per-query cache backed by reg.
+func NewMemoCache(reg *Registry) *MemoCache {
+	return &MemoCache{reg: reg}
+}
+
+// ToPhoneme returns the phoneme string for u, converting through the
+// registry on the first sighting of each distinct (text, lang) pair and
+// serving repeats from the memo.
+func (c *MemoCache) ToPhoneme(u types.UniText) string {
+	if u.Phoneme != "" {
+		mG2PCacheHits.Inc()
+		return u.Phoneme
+	}
+	key := memoKey{text: u.Text, lang: u.Lang}
+	if p, ok := c.m[key]; ok {
+		mG2PCacheHits.Inc()
+		return p
+	}
+	mG2PCacheMisses.Inc()
+	p := c.reg.ToPhoneme(u)
+	if c.m == nil {
+		c.m = make(map[memoKey]string)
+	}
+	c.m[key] = p
+	return p
+}
+
+// Len reports the number of memoized conversions (distinct unmaterialized
+// inputs seen so far).
+func (c *MemoCache) Len() int { return len(c.m) }

@@ -42,6 +42,9 @@ const (
 	// MaterializeRowCost is the per-row cost of re-reading a materialized
 	// inner relation.
 	MaterializeRowCost = 0.0025
+	// ExchangeRowCost is the per-row cost of moving a tuple from a Gather
+	// worker to the merging consumer (channel send/receive plus copy).
+	ExchangeRowCost = 0.005
 )
 
 // MTreeFraction is f(k): the linear fraction of an approximate index (and

@@ -31,6 +31,7 @@ const (
 	OpLimit
 	OpDistinct
 	OpMaterialize
+	OpGather // exchange: merge N workers running the child subtree in parallel
 )
 
 // String names the operator as EXPLAIN prints it.
@@ -70,6 +71,8 @@ func (o OpType) String() string {
 		return "Distinct"
 	case OpMaterialize:
 		return "Materialize"
+	case OpGather:
+		return "Gather"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
@@ -145,6 +148,12 @@ type Node struct {
 
 	// Limit.
 	LimitN int64
+
+	// Gather: number of worker goroutines running the child subtree.
+	Workers int
+	// Parallel marks a scan that each Gather worker runs over a disjoint
+	// morsel (page range) of the table instead of the whole heap.
+	Parallel bool
 }
 
 // Schema returns the output columns.
@@ -203,6 +212,11 @@ func format(b *strings.Builder, n *Node, depth int, actuals func(*Node) (Actual,
 		if n.Alias != "" && n.Alias != n.Table {
 			fmt.Fprintf(b, " AS %s", n.Alias)
 		}
+		if n.Parallel {
+			b.WriteString(" [parallel]")
+		}
+	case OpGather:
+		fmt.Fprintf(b, " workers=%d", n.Workers)
 	case OpBTreeScan, OpMTreeScan, OpMDIScan, OpQGramScan:
 		fmt.Fprintf(b, " %s using %s", n.Table, n.Index.Index)
 		if n.Index.Probe != nil {

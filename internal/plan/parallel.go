@@ -1,0 +1,157 @@
+package plan
+
+// Parallel-plan generation: a post-pass over the chosen serial plan that
+// wraps eligible subtrees in a Gather (exchange) operator. A Gather runs its
+// child on N workers, each scanning a disjoint morsel of the driving table,
+// and merges the worker streams in arrival order. Because every consumer
+// above a Gather in this engine is order-insensitive (Aggregate, Sort and
+// Distinct drain their input; a LIMIT without ORDER BY returns arbitrary
+// rows), the pass never needs a merging variant.
+//
+// The pass is cost-conscious in the paper's spirit: parallelism pays off
+// exactly when the per-tuple CPU term dominates, which for this engine means
+// Ψ/Ω predicates (k·l̄ character operations per tuple, Table 3) and large
+// scans. Small inputs stay serial — the Gather's startup and per-row
+// exchange cost would swamp the win.
+
+// Row-count thresholds for parallel eligibility. Ψ/Ω predicates pay k·l̄
+// character operations per tuple, so they parallelize at much smaller
+// cardinalities than plain predicates.
+const (
+	// ParallelScanRows gates plain scans and filters.
+	ParallelScanRows = 1024
+	// ParallelPsiRows gates scans filtered by a Ψ or Ω predicate.
+	ParallelPsiRows = 128
+	// ParallelJoinOuterRows gates joins by their outer input size.
+	ParallelJoinOuterRows = 64
+	// parallelMinRowsPerWorker caps worker count so each worker has a
+	// useful share of the input.
+	parallelMinRowsPerWorker = 16
+)
+
+// Parallelize rewrites root, inserting Gather nodes over eligible subtrees
+// using up to workers goroutines each. workers <= 1 returns root unchanged,
+// which is the GOMAXPROCS=1 graceful-degradation path.
+func Parallelize(root *Node, workers int) *Node {
+	if root == nil || workers <= 1 {
+		return root
+	}
+	return parallelize(root, workers)
+}
+
+func parallelize(n *Node, workers int) *Node {
+	if g := tryGather(n, workers); g != nil {
+		// Do not recurse into a gathered subtree: one exchange per pipeline.
+		return g
+	}
+	for i, c := range n.Children {
+		n.Children[i] = parallelize(c, workers)
+	}
+	return n
+}
+
+// tryGather wraps n in a Gather if it is a parallel-eligible pattern and the
+// exchange is predicted cheaper than the serial subtree. It returns nil to
+// leave n serial.
+func tryGather(n *Node, workers int) *Node {
+	switch n.Op {
+	case OpSeqScan:
+		if n.EstimatedRows() < ParallelScanRows {
+			return nil
+		}
+		return gatherOver(n, n, workers)
+
+	case OpFilter:
+		scan := drivingScan(n)
+		if scan == nil {
+			return nil
+		}
+		threshold := float64(ParallelScanRows)
+		if condExpensive(n.Cond) {
+			threshold = ParallelPsiRows
+		}
+		if scan.EstimatedRows() < threshold {
+			return nil
+		}
+		return gatherOver(n, scan, workers)
+
+	case OpPsiJoin, OpPsiIndexJoin, OpOmegaJoin, OpNLJoin:
+		// Partition the outer (left) input; each worker re-runs the inner
+		// subtree (for NL-family joins, a Materialize it fills privately).
+		scan := drivingScan(n.Children[0])
+		if scan == nil {
+			return nil
+		}
+		if n.Op == OpNLJoin && !condExpensive(n.Cond) &&
+			n.Children[0].EstimatedRows() < ParallelScanRows {
+			return nil // cheap NL join: only very large outers benefit
+		}
+		if n.Children[0].EstimatedRows() < ParallelJoinOuterRows {
+			return nil
+		}
+		return gatherOver(n, scan, workers)
+	}
+	return nil
+}
+
+// drivingScan returns the sequential scan that would be morsel-partitioned
+// when the subtree rooted at n runs under a Gather: n itself, or the scan
+// under a chain of filters. Index scans return nil — their page accesses are
+// probe-ordered, not range-partitionable.
+func drivingScan(n *Node) *Node {
+	for n != nil {
+		switch n.Op {
+		case OpSeqScan:
+			return n
+		case OpFilter:
+			n = n.Children[0]
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// condExpensive reports whether the condition contains a Ψ or Ω operator,
+// whose per-tuple cost (Table 3) justifies early parallelization.
+func condExpensive(e Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	Walk(e, func(x Expr) {
+		switch x.(type) {
+		case *Psi, *Omega:
+			found = true
+		}
+	})
+	return found
+}
+
+// gatherOver wraps n in a Gather over up to workers workers, marking scan
+// for morsel partitioning. It returns nil when the clamped worker count or
+// the cost comparison says serial is better.
+func gatherOver(n, scan *Node, workers int) *Node {
+	rows := n.EstimatedRows()
+	w := workers
+	if maxW := int(scan.EstimatedRows() / parallelMinRowsPerWorker); w > maxW {
+		w = maxW
+	}
+	if w < 2 {
+		return nil
+	}
+	cost := n.EstCost/float64(w) + rows*ExchangeRowCost
+	if cost >= n.EstCost {
+		return nil
+	}
+	scan.Parallel = true
+	return &Node{
+		Op:       OpGather,
+		Children: []*Node{n},
+		Cols:     n.Cols,
+		ColNames: n.ColNames,
+		Workers:  w,
+		EstRows:  rows,
+		EstCost:  cost,
+	}
+}

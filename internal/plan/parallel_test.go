@@ -1,0 +1,192 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mural-db/mural/internal/sql"
+	"github.com/mural-db/mural/internal/types"
+)
+
+func pScan(table string, rows float64) *Node {
+	return &Node{
+		Op:      OpSeqScan,
+		Table:   table,
+		Cols:    []ColInfo{{Rel: table, Name: "n", Kind: types.KindUniText}},
+		EstRows: rows,
+		EstCost: rows * CPUTupleCost,
+	}
+}
+
+func pPsiFilter(child *Node) *Node {
+	return &Node{
+		Op:       OpFilter,
+		Children: []*Node{child},
+		Cols:     child.Cols,
+		Cond: &Psi{L: &ColIdx{Idx: 0}, R: &Const{Val: types.NewText("akash")},
+			Threshold: 1},
+		EstRows: child.EstRows / 3,
+		EstCost: child.EstCost + child.EstRows*PsiCharCost*10,
+	}
+}
+
+func pCheapFilter(child *Node) *Node {
+	return &Node{
+		Op:       OpFilter,
+		Children: []*Node{child},
+		Cols:     child.Cols,
+		Cond: &Cmp{Op: sql.OpGt, L: &ColIdx{Idx: 0},
+			R: &Const{Val: types.NewInt(0)}},
+		EstRows: child.EstRows / 3,
+		EstCost: child.EstCost + child.EstRows*CPUTupleCost,
+	}
+}
+
+func countGathers(n *Node) int {
+	if n == nil {
+		return 0
+	}
+	c := 0
+	if n.Op == OpGather {
+		c = 1
+	}
+	for _, ch := range n.Children {
+		c += countGathers(ch)
+	}
+	return c
+}
+
+// A Ψ filter parallelizes at much smaller cardinalities than a plain one:
+// the per-tuple edit-distance cost dominates.
+func TestParallelizePsiFilterThreshold(t *testing.T) {
+	// Above ParallelPsiRows: gathered.
+	root := Parallelize(pPsiFilter(pScan("t", 200)), 4)
+	if root.Op != OpGather {
+		t.Fatalf("root op = %s, want Gather\n%s", root.Op, Format(root))
+	}
+	scan := root.Children[0].Children[0]
+	if !scan.Parallel {
+		t.Error("driving scan not marked [parallel]")
+	}
+	if root.Workers < 2 || root.Workers > 4 {
+		t.Errorf("workers = %d, want 2..4", root.Workers)
+	}
+
+	// Below ParallelPsiRows: stays serial.
+	small := Parallelize(pPsiFilter(pScan("t", 100)), 4)
+	if countGathers(small) != 0 {
+		t.Errorf("small Ψ filter was gathered:\n%s", Format(small))
+	}
+}
+
+// A cheap filter only parallelizes above the plain-scan threshold.
+func TestParallelizeCheapFilterThreshold(t *testing.T) {
+	big := Parallelize(pCheapFilter(pScan("t", 4096)), 4)
+	if big.Op != OpGather {
+		t.Fatalf("large cheap filter not gathered:\n%s", Format(big))
+	}
+	// 200 rows clears the Ψ threshold but not the plain one.
+	small := Parallelize(pCheapFilter(pScan("t", 200)), 4)
+	if countGathers(small) != 0 {
+		t.Errorf("small cheap filter was gathered:\n%s", Format(small))
+	}
+}
+
+func TestParallelizePlainScan(t *testing.T) {
+	big := Parallelize(pScan("t", 4096), 4)
+	if big.Op != OpGather || !big.Children[0].Parallel {
+		t.Fatalf("large scan not gathered:\n%s", Format(big))
+	}
+	small := Parallelize(pScan("t", 500), 4)
+	if countGathers(small) != 0 {
+		t.Errorf("sub-threshold scan was gathered:\n%s", Format(small))
+	}
+}
+
+func TestParallelizePsiJoinByOuterSize(t *testing.T) {
+	mkJoin := func(outerRows float64) *Node {
+		outer, inner := pScan("a", outerRows), pScan("b", 50)
+		return &Node{
+			Op:       OpPsiJoin,
+			Children: []*Node{outer, inner},
+			Cols:     append(append([]ColInfo{}, outer.Cols...), inner.Cols...),
+			Cond: &Psi{L: &ColIdx{Idx: 0}, R: &ColIdx{Idx: 1},
+				Threshold: 1},
+			EstRows: outerRows,
+			EstCost: outer.EstCost + inner.EstCost + outerRows*50*PsiCharCost*10,
+		}
+	}
+	big := Parallelize(mkJoin(100), 4)
+	if big.Op != OpGather {
+		t.Fatalf("Ψ join with 100-row outer not gathered:\n%s", Format(big))
+	}
+	if !big.Children[0].Children[0].Parallel {
+		t.Error("outer scan of gathered Ψ join not marked [parallel]")
+	}
+	if big.Children[0].Children[1].Parallel {
+		t.Error("inner scan must stay serial (each worker re-runs it)")
+	}
+	small := Parallelize(mkJoin(30), 4)
+	if countGathers(small) != 0 {
+		t.Errorf("Ψ join with 30-row outer was gathered:\n%s", Format(small))
+	}
+}
+
+// The worker count is clamped so each worker keeps a useful share of the
+// driving scan.
+func TestParallelizeClampsWorkers(t *testing.T) {
+	root := Parallelize(pPsiFilter(pScan("t", 130)), 16)
+	if root.Op != OpGather {
+		t.Fatalf("not gathered:\n%s", Format(root))
+	}
+	if want := 130 / parallelMinRowsPerWorker; root.Workers != want {
+		t.Errorf("workers = %d, want clamp to %d", root.Workers, want)
+	}
+}
+
+// workers <= 1 (the GOMAXPROCS=1 degradation path) leaves the plan intact.
+func TestParallelizeSingleWorkerIsIdentity(t *testing.T) {
+	n := pPsiFilter(pScan("t", 100000))
+	root := Parallelize(n, 1)
+	if root != n || countGathers(root) != 0 || n.Children[0].Parallel {
+		t.Errorf("workers=1 modified the plan:\n%s", Format(root))
+	}
+}
+
+// The pass never stacks exchanges: once a subtree is gathered it is final.
+func TestParallelizeNoNestedGathers(t *testing.T) {
+	// A Ψ filter over a Ψ filter over a big scan: both levels are eligible
+	// on their own, but only one Gather may appear.
+	root := Parallelize(pPsiFilter(pPsiFilter(pScan("t", 100000))), 4)
+	if got := countGathers(root); got != 1 {
+		t.Errorf("gather count = %d, want 1\n%s", got, Format(root))
+	}
+}
+
+// Index-driven filters have no morsel-partitionable scan and stay serial.
+func TestParallelizeSkipsIndexScans(t *testing.T) {
+	idx := &Node{
+		Op:      OpMTreeScan,
+		Table:   "t",
+		Index:   &IndexCond{Index: "t_n_mtree"},
+		Cols:    []ColInfo{{Rel: "t", Name: "n", Kind: types.KindUniText}},
+		EstRows: 100000,
+		EstCost: 5000,
+	}
+	root := Parallelize(pPsiFilter(idx), 4)
+	if countGathers(root) != 0 {
+		t.Errorf("index-driven filter was gathered:\n%s", Format(root))
+	}
+}
+
+// A gathered plan renders with the worker count and the parallel scan marker.
+func TestGatherExplainRendering(t *testing.T) {
+	root := Parallelize(pPsiFilter(pScan("t", 200)), 4)
+	out := Format(root)
+	if !strings.Contains(out, "Gather workers=") {
+		t.Errorf("EXPLAIN missing Gather workers annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "[parallel]") {
+		t.Errorf("EXPLAIN missing [parallel] scan marker:\n%s", out)
+	}
+}

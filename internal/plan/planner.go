@@ -26,6 +26,9 @@ type Options struct {
 	// ForceOrder, when non-empty, pins the join order to the given relation
 	// aliases (left to right).
 	ForceOrder []string
+	// Workers > 1 enables parallel plans: eligible subtrees are wrapped in
+	// a Gather exchange over up to this many workers (see parallel.go).
+	Workers int
 }
 
 // DefaultOptions enables everything.
@@ -159,7 +162,7 @@ func (p *Planner) Plan(sel *sql.Select) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return node, nil
+	return Parallelize(node, p.Opts.Workers), nil
 }
 
 // referencedRels finds which relations an expression touches, validating

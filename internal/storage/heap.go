@@ -238,6 +238,22 @@ func (h *Heap) Scan() *Iter {
 	return &Iter{h: h, page: 0, slot: 0, nslots: 0, npages: np}
 }
 
+// ScanRange returns an iterator over the live records of pages [lo, hi):
+// one morsel of a parallel scan. The bounds are clamped to the heap's
+// current page count, so a caller partitioning a stale count stays safe.
+func (h *Heap) ScanRange(lo, hi PageID) *Iter {
+	h.mu.RLock()
+	np := h.numPages
+	h.mu.RUnlock()
+	if hi > np {
+		hi = np
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return &Iter{h: h, page: lo, slot: 0, nslots: 0, npages: hi}
+}
+
 // Next returns the next live record, its RID, and whether one was found.
 // The returned slice is a copy owned by the caller.
 func (it *Iter) Next() (RID, []byte, bool, error) {

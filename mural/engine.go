@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -61,6 +63,11 @@ type Config struct {
 	// Tracer, when set, receives query lifecycle callbacks (and per-operator
 	// spans for EXPLAIN ANALYZE executions).
 	Tracer exec.Tracer
+	// Workers caps intra-query parallelism: eligible plan subtrees run
+	// under a Gather exchange over up to this many goroutines. Zero
+	// defaults to GOMAXPROCS; 1 disables parallel plans. `SET workers = N`
+	// overrides per session.
+	Workers int
 }
 
 // MTreeSplitPolicy re-exports the split policies.
@@ -456,6 +463,15 @@ func (e *Engine) planner() *plan.Planner {
 	opts.EnableMTree = boolSetting("enable_mtree", true)
 	opts.EnableMDI = boolSetting("enable_mdi", true)
 	opts.EnableQGram = boolSetting("enable_qgram", true)
+	opts.Workers = e.cfg.Workers
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if v, ok := e.cat.Setting("workers"); ok {
+		if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && n >= 1 {
+			opts.Workers = n
+		}
+	}
 	if v, ok := e.cat.Setting("force_join_order"); ok && v != "" {
 		for _, part := range strings.Split(v, ",") {
 			if p := strings.TrimSpace(p2l(part)); p != "" {

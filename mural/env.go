@@ -44,6 +44,28 @@ func (e *Engine) ScanTable(table string) (exec.TupleIter, error) {
 	return &heapScanIter{it: h.Scan()}, nil
 }
 
+// TablePages implements exec.Env.
+func (e *Engine) TablePages(table string) (int64, error) {
+	e.mu.RLock()
+	h := e.heaps[table]
+	e.mu.RUnlock()
+	if h == nil {
+		return 0, fmt.Errorf("mural: no such table %q", table)
+	}
+	return int64(h.NumPages()), nil
+}
+
+// ScanTablePages implements exec.Env: one morsel of a parallel scan.
+func (e *Engine) ScanTablePages(table string, lo, hi int64) (exec.TupleIter, error) {
+	e.mu.RLock()
+	h := e.heaps[table]
+	e.mu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("mural: no such table %q", table)
+	}
+	return &heapScanIter{it: h.ScanRange(storage.PageID(lo), storage.PageID(hi))}, nil
+}
+
 // FetchRIDs implements exec.Env.
 func (e *Engine) FetchRIDs(table string, rids []storage.RID) ([]types.Tuple, error) {
 	e.mu.RLock()
