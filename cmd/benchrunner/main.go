@@ -9,7 +9,8 @@
 //	benchrunner -exp fig8 -synsets 111223 -full
 //	benchrunner -exp fig6|fig7|regress|ablation
 //	benchrunner -exp parallel            # intra-query parallel speedup sweep
-//	benchrunner -exp snapshot            # reduced-scale JSON perf snapshot (BENCH_PR4.json)
+//	benchrunner -exp concurrent          # concurrent-session insert throughput sweep
+//	benchrunner -exp snapshot            # reduced-scale JSON perf snapshot (BENCH_PR5.json)
 //	benchrunner -snapshot out.json       # same, to an explicit path
 package main
 
@@ -26,13 +27,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table4|fig6|fig7|fig8|regress|ablation|parallel|all")
+		exp     = flag.String("exp", "all", "experiment: table4|fig6|fig7|fig8|regress|ablation|parallel|concurrent|all")
 		names   = flag.Int("names", 5000, "names table size for table4 (paper: ~25000)")
 		probes  = flag.Int("probes", 50, "probe table size for table4 joins")
 		synsets = flag.Int("synsets", 20000, "taxonomy size for fig8 (paper: 111223)")
 		full    = flag.Bool("full", false, "paper-scale settings (slow)")
 		seed    = flag.Int64("seed", 2006, "dataset seed")
-		snap    = flag.String("snapshot", "BENCH_PR4.json", "perf snapshot output path (implies -exp snapshot when set explicitly)")
+		snap    = flag.String("snapshot", "BENCH_PR5.json", "perf snapshot output path (implies -exp snapshot when set explicitly)")
 	)
 	flag.Parse()
 	snapSet := false
@@ -71,6 +72,7 @@ func main() {
 	run("regress", func() error { return runRegress(*seed) })
 	run("ablation", func() error { return runAblation(*seed) })
 	run("parallel", func() error { return runParallel(*names, *probes, *seed) })
+	run("concurrent", func() error { return runConcurrent() })
 }
 
 func runTable4(names, probes int, seed int64) error {
@@ -184,6 +186,33 @@ func runParallel(names, probes int, seed int64) error {
 		}
 		fmt.Printf("%-10s %8d %12.4f %9.2fx %10d\n", p.Workload, p.Workers, p.Seconds, speedup, p.Matches)
 	}
+	return nil
+}
+
+func runConcurrent() error {
+	fmt.Println("Concurrent-session durable insert throughput (group-commit WAL)")
+	fmt.Println()
+	points, err := bench.RunConcurrentSessions(bench.ConcurrentConfig{})
+	if err != nil {
+		return err
+	}
+	var base float64
+	fmt.Printf("%-12s %10s %12s %12s %10s %10s %10s\n",
+		"connections", "rows", "time (s)", "rows/s", "speedup", "commits", "syncs")
+	for _, p := range points {
+		if p.Connections == 1 {
+			base = p.RowsSec
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = p.RowsSec / base
+		}
+		fmt.Printf("%-12d %10d %12.4f %12.0f %9.2fx %10d %10d\n",
+			p.Connections, p.Rows, p.Seconds, p.RowsSec, speedup, p.WALCommits, p.WALSyncs)
+	}
+	last := points[len(points)-1]
+	fmt.Printf("\ngroup commit: %d commits retired by %d syncs at %d connections\n",
+		last.WALCommits, last.WALSyncs, last.Connections)
 	return nil
 }
 

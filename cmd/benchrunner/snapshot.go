@@ -55,6 +55,17 @@ type perfSnapshot struct {
 		Speedup  float64 `json:"speedup_vs_1_worker"`
 	} `json:"parallel"`
 
+	// Concurrent is the concurrent-session durable insert sweep: N wire
+	// sessions inserting against one group-commit WAL.
+	Concurrent []struct {
+		Connections int     `json:"connections"`
+		Rows        int     `json:"rows"`
+		Seconds     float64 `json:"seconds"`
+		RowsSec     float64 `json:"rows_per_sec"`
+		WALCommits  uint64  `json:"wal_commits"`
+		WALSyncs    uint64  `json:"wal_syncs"`
+	} `json:"concurrent"`
+
 	// Metrics is the default-registry counter snapshot after the runs:
 	// psi/omega evaluation counts, M-Tree distance computations, buffer
 	// pool traffic and friends.
@@ -141,6 +152,22 @@ func runSnapshot(path string, seed int64) error {
 			Seconds  float64 `json:"seconds"`
 			Speedup  float64 `json:"speedup_vs_1_worker"`
 		}{p.Workload, p.Workers, p.Seconds, speedup})
+	}
+
+	fmt.Println("snapshot: concurrent-session throughput (reduced scale)")
+	cc, err := bench.RunConcurrentSessions(bench.ConcurrentConfig{RowsPerConn: 100})
+	if err != nil {
+		return fmt.Errorf("concurrent: %w", err)
+	}
+	for _, p := range cc {
+		snap.Concurrent = append(snap.Concurrent, struct {
+			Connections int     `json:"connections"`
+			Rows        int     `json:"rows"`
+			Seconds     float64 `json:"seconds"`
+			RowsSec     float64 `json:"rows_per_sec"`
+			WALCommits  uint64  `json:"wal_commits"`
+			WALSyncs    uint64  `json:"wal_syncs"`
+		}{p.Connections, p.Rows, p.Seconds, p.RowsSec, p.WALCommits, p.WALSyncs})
 	}
 
 	// Counter snapshot of everything the runs drove through the engine.

@@ -89,6 +89,17 @@ type Catalog struct {
 	stats    map[string]*TableStats
 	settings map[string]string
 	nextFile storage.FileID
+	// version counts metadata mutations (DDL, stats, settings). Plan caches
+	// key on it: any change that could alter planning bumps it, so stale
+	// plans simply stop matching.
+	version uint64
+}
+
+// Version returns the metadata mutation counter.
+func (c *Catalog) Version() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
 }
 
 // New returns an empty catalog.
@@ -126,6 +137,7 @@ func (c *Catalog) AddTable(t *Table) error {
 		seen[col.Name] = true
 	}
 	c.tables[t.Name] = t
+	c.version++
 	return nil
 }
 
@@ -146,6 +158,7 @@ func (c *Catalog) DropTable(name string) ([]*Index, error) {
 			delete(c.indexes, iname)
 		}
 	}
+	c.version++
 	return dropped, nil
 }
 
@@ -184,6 +197,7 @@ func (c *Catalog) AddIndex(ix *Index) error {
 		return fmt.Errorf("catalog: index %q: no column %q in table %q", ix.Name, ix.Column, ix.Table)
 	}
 	c.indexes[ix.Name] = ix
+	c.version++
 	return nil
 }
 
@@ -195,6 +209,7 @@ func (c *Catalog) RemoveIndex(name string) error {
 		return fmt.Errorf("catalog: index %q does not exist", name)
 	}
 	delete(c.indexes, name)
+	c.version++
 	return nil
 }
 
@@ -237,6 +252,7 @@ func (c *Catalog) SetStats(table string, st *TableStats) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.stats[table] = st
+	c.version++
 }
 
 // Stats returns the ANALYZE results for a table (nil when never analyzed).
@@ -251,6 +267,7 @@ func (c *Catalog) SetSetting(name, value string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.settings[name] = value
+	c.version++
 }
 
 // Setting reads a setting.

@@ -53,6 +53,15 @@ type Env interface {
 	Semantic() *wordnet.Matcher
 }
 
+// SharedG2PProvider is an optional Env extension: engines that keep an
+// engine-lifetime G2P cache expose it here, and each per-query memo then
+// uses it as its L2 so sessions reuse each other's conversions. Declared as
+// a separate interface so Env implementations outside the engine (tests,
+// harnesses) need not change.
+type SharedG2PProvider interface {
+	SharedG2P() *phonetic.SharedCache
+}
+
 // RunStats aggregates executor-side counters for EXPLAIN ANALYZE and the
 // benchmark harness.
 type RunStats struct {

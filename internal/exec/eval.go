@@ -31,6 +31,11 @@ type evaluator struct {
 func (ev *evaluator) phoneme(u types.UniText) string {
 	if ev.memo == nil {
 		ev.memo = phonetic.NewMemoCache(ev.env.Phonetic())
+		if sp, ok := ev.env.(SharedG2PProvider); ok {
+			if shared := sp.SharedG2P(); shared != nil {
+				ev.memo.SetShared(shared)
+			}
+		}
 	}
 	return ev.memo.ToPhoneme(u)
 }

@@ -63,3 +63,32 @@ func droppedDefer(c *closer) {
 func droppedGo() {
 	go fails() // want `go'd call to fails discards its error result`
 }
+
+// ---- group-commit shapes ----
+
+// walDev mirrors the storage.LogFile durability surface.
+type walDev struct{}
+
+func (w *walDev) Sync() error { return nil }
+
+type commitQueue struct {
+	dev    *walDev
+	synced int64
+}
+
+// leaderSyncs is the correct group-commit leader: the shared fsync's error
+// is checked, and the durability watermark only advances on success.
+func (q *commitQueue) leaderSyncs(end int64) error {
+	if err := q.dev.Sync(); err != nil {
+		return err
+	}
+	q.synced = end
+	return nil
+}
+
+// leaderDropsSyncError is the broken leader: dropping the group fsync's
+// error silently reports every queued follower as durable.
+func (q *commitQueue) leaderDropsSyncError(end int64) {
+	q.dev.Sync() // want `call to Sync discards its error result`
+	q.synced = end
+}

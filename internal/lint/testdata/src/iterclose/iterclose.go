@@ -170,3 +170,45 @@ func gatherBuilderLeaksOnError(n int, bad bool) (*gatherIter, error) {
 	}
 	return g, nil
 }
+
+// ---- cache-builder shapes ----
+
+// cacheWarmClosesOnError mirrors the shared-cache warmers: scan once per
+// key to pre-fill a cache, closing the scan on success AND on the error
+// path inside the loop.
+func cacheWarmClosesOnError(names []string) (map[string]Tuple, error) {
+	cache := map[string]Tuple{}
+	for _, n := range names {
+		it, err := open(n)
+		if err != nil {
+			return nil, err
+		}
+		t, _, err := it.Next()
+		if err != nil {
+			_ = it.Close()
+			return nil, err
+		}
+		cache[n] = t
+		_ = it.Close()
+	}
+	return cache, nil
+}
+
+// cacheWarmLeaksOnError is the broken warmer: a mid-loop error return
+// leaks the iterator opened in this iteration.
+func cacheWarmLeaksOnError(names []string) (map[string]Tuple, error) {
+	cache := map[string]Tuple{}
+	for _, n := range names {
+		it, err := open(n) // want `iterator acquired by open is not released`
+		if err != nil {
+			return nil, err
+		}
+		t, _, err := it.Next()
+		if err != nil {
+			return nil, err // it leaks
+		}
+		cache[n] = t
+		_ = it.Close()
+	}
+	return cache, nil
+}

@@ -73,3 +73,28 @@ func leakedBatch(e *engine, work func() error) error {
 func leakedAtEnd(e *engine) {
 	_ = e.beginBatch() // want `WAL batch acquired by beginBatch is not released`
 }
+
+// commitGrouped seals the batch into the group-commit queue; on a failed
+// group sync it aborts and rolls back itself, so it discharges the batch
+// on every path.
+func (e *engine) commitGrouped(table string) error { e.open = false; return nil }
+
+func groupedCommitBalanced(e *engine, work func() error) error {
+	if err := e.beginBatch(); err != nil {
+		return err
+	}
+	if err := work(); err != nil {
+		return e.rollbackBatch("work failed")
+	}
+	return e.commitGrouped("t")
+}
+
+func groupedCommitLeaks(e *engine, work func() error) error {
+	if err := e.beginBatch(); err != nil { // want `WAL batch acquired by beginBatch is not released`
+		return err
+	}
+	if err := work(); err != nil {
+		return err // batch left open: neither rolled back nor sealed
+	}
+	return e.commitGrouped("t")
+}

@@ -11,9 +11,11 @@
 //     bypasses the log.
 //
 //  2. Batch balance — a successful BeginBatch/beginBatch must on every path
-//     be followed by CommitBatch/commitBatch/commitDDL or
+//     be followed by CommitBatch/commitBatch/commitDDL/commitGrouped or
 //     AbortBatch/rollbackBatch before the function exits; an open batch
 //     left behind stalls group commit and breaks recovery atomicity.
+//     commitGrouped counts as a release because it seals the batch and,
+//     on a failed group sync, aborts and rolls it back itself.
 package walorder
 
 import (
@@ -44,7 +46,7 @@ func run(pass *analysis.Pass) error {
 			return name == "BeginBatch" || name == "beginBatch"
 		},
 		ReleaseFuncs: []string{
-			"CommitBatch", "commitBatch", "commitDDL",
+			"CommitBatch", "commitBatch", "commitDDL", "commitGrouped",
 			"AbortBatch", "rollbackBatch",
 		},
 		Valueless:  true,

@@ -10,5 +10,8 @@ var (
 	mErrors       = metrics.Default.Counter("mural_server_errors_total")
 	mIdleTimeouts = metrics.Default.Counter("mural_server_idle_timeouts_total")
 	mPanics       = metrics.Default.Counter("mural_server_panics_recovered_total")
-	mReqLatNs     = metrics.Default.Histogram("mural_server_request_latency_ns", metrics.DurationBuckets)
+	// mProtocolErrors counts framing violations (e.g. a length prefix over
+	// wire.MaxPayload) that made the server refuse a frame and hang up.
+	mProtocolErrors = metrics.Default.Counter("mural_server_protocol_errors_total")
+	mReqLatNs       = metrics.Default.Histogram("mural_server_request_latency_ns", metrics.DurationBuckets)
 )

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/mural-db/mural/internal/wire"
+	"github.com/mural-db/mural/mural"
+)
+
+// A hostile length prefix must get a MsgErr naming the violation and a clean
+// close — not a 4 GiB allocation, not a silent hangup, and the process (and
+// other connections) must keep serving.
+func TestServerRejectsOversizedFrame(t *testing.T) {
+	eng, err := mural.Open(mural.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	// Craft a frame claiming a payload just past the clamp.
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(wire.MaxPayload+1))
+	hdr[4] = byte(wire.MsgExec)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	br := bufio.NewReader(conn)
+	typ, payload, err := wire.Read(br)
+	if err != nil {
+		t.Fatalf("expected a MsgErr frame before close, got read error: %v", err)
+	}
+	if typ != wire.MsgErr {
+		t.Fatalf("reply type = 0x%02x, want MsgErr", typ)
+	}
+	if len(payload) == 0 {
+		t.Error("protocol error reply carries no message")
+	}
+	// The server must then hang up: the oversized payload was never consumed,
+	// so the stream cannot be resynchronized.
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Errorf("after MsgErr: read = %v, want EOF (clean close)", err)
+	}
+
+	// The listener survives: a fresh connection still serves.
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	_ = conn2.SetDeadline(time.Now().Add(5 * time.Second))
+	bw := bufio.NewWriter(conn2)
+	if err := wire.Write(bw, wire.MsgPing, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err = wire.Read(bufio.NewReader(conn2))
+	if err != nil || typ != wire.MsgPong {
+		t.Fatalf("ping after protocol error: typ=0x%02x err=%v", typ, err)
+	}
+}

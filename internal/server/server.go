@@ -120,9 +120,19 @@ func (s *Server) serveConn(conn net.Conn) {
 		typ, payload, err := wire.Read(br)
 		if err != nil {
 			var ne net.Error
-			if errors.As(err, &ne) && ne.Timeout() {
+			switch {
+			case errors.As(err, &ne) && ne.Timeout():
 				mIdleTimeouts.Inc()
-			} else if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			case errors.Is(err, wire.ErrTooLarge):
+				// Protocol violation, not an I/O failure: the peer sent a
+				// frame we refuse to allocate. Tell it why, then hang up
+				// cleanly (the oversized payload is never read, so the
+				// stream cannot be resynchronized).
+				mProtocolErrors.Inc()
+				mErrors.Inc()
+				_ = wire.Write(bw, wire.MsgErr, []byte(err.Error()))
+				_ = bw.Flush()
+			case !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed):
 				// Connection torn down mid-frame; nothing to report to.
 				_ = err
 			}

@@ -67,6 +67,14 @@ type Pool struct {
 	// batch is the set of pages dirtied since BeginBatch (nil: no open
 	// batch, pages are unlogged and write back freely).
 	batch map[PageKey]bool
+	// holds extends the no-steal rule to sealed batches: a page with a
+	// nonzero hold count belongs to a batch whose log records are staged but
+	// not yet known durable, so it must not be written back or evicted.
+	holds map[PageKey]int
+	// sealed counts outstanding sealed batches; drained broadcasts when it
+	// returns to zero (checkpoints and detaches wait for that).
+	sealed  int
+	drained *sync.Cond
 }
 
 // NewPool creates a pool with the given number of page frames.
@@ -78,7 +86,9 @@ func NewPool(nframes int) *Pool {
 		frames: make([]frame, nframes),
 		table:  make(map[PageKey]int, nframes),
 		disks:  make(map[FileID]Disk),
+		holds:  make(map[PageKey]int),
 	}
+	p.drained = sync.NewCond(&p.mu)
 	for i := range p.frames {
 		p.frames[i].data = make([]byte, PageSize)
 	}
@@ -116,16 +126,28 @@ func (p *Pool) BatchPages() int {
 	return len(p.batch)
 }
 
-// CommitBatch logs the open batch — the after-images of every page it
-// dirtied, plus an optional catalog snapshot — to the WAL and fsyncs. On
-// success the batch is closed and its pages become ordinary dirty pages,
-// free to be written back lazily. On failure the batch stays open so the
-// caller can AbortBatch. With no WAL attached it simply closes the batch.
-func (p *Pool) CommitBatch(catalog []byte) error {
+// SealedBatch is a batch whose page images are staged in the WAL but not yet
+// known durable. Its pages stay under the no-steal rule (hold counts) until
+// Wait succeeds or Abort rolls them back, so a lazy writeback can never push
+// content to a data file ahead of its log records.
+type SealedBatch struct {
+	p       *Pool
+	pending *PendingCommit
+	pages   []PageKey
+	done    bool
+}
+
+// SealBatch closes the open batch and stages its after-images (plus an
+// optional catalog snapshot) in the WAL without waiting for the fsync. The
+// caller then calls Wait — typically after releasing whatever engine-level
+// lock serialized the mutation, so concurrent sessions' fsyncs group — and,
+// if Wait fails, Abort. On a staging error the batch is left open exactly as
+// CommitBatch would leave it, so the caller can AbortBatch.
+func (p *Pool) SealBatch(catalog []byte) (*SealedBatch, error) {
 	p.mu.Lock()
 	if p.batch == nil {
 		p.mu.Unlock()
-		return fmt.Errorf("storage: commit without open batch")
+		return nil, fmt.Errorf("storage: commit without open batch")
 	}
 	var recs []WALPageRec
 	if p.wal != nil {
@@ -135,7 +157,7 @@ func (p *Pool) CommitBatch(catalog []byte) error {
 			if !ok {
 				// No-steal guarantees batch pages stay resident until commit.
 				p.mu.Unlock()
-				return fmt.Errorf("storage: batch page %v not resident at commit", key)
+				return nil, fmt.Errorf("storage: batch page %v not resident at commit", key)
 			}
 			f := &p.frames[idx]
 			stampChecksum(f.data)
@@ -145,18 +167,163 @@ func (p *Pool) CommitBatch(catalog []byte) error {
 		}
 		SortPageRecs(recs)
 	}
+	batchSet := p.batch
+	pages := make([]PageKey, 0, len(batchSet))
+	for key := range batchSet {
+		pages = append(pages, key)
+		p.holds[key]++
+	}
+	p.batch = nil
+	p.sealed++
 	wal := p.wal
 	p.mu.Unlock()
-	// Append outside p.mu: the log has its own lock, and fsync under the
-	// pool lock would stall every reader.
-	if wal != nil && (len(recs) > 0 || catalog != nil) {
-		if err := wal.AppendBatch(recs, catalog); err != nil {
-			return err
+
+	if wal == nil || (len(recs) == 0 && catalog == nil) {
+		// Nothing to log: trivially durable.
+		p.unseal(pages, nil)
+		return &SealedBatch{p: p, done: true}, nil
+	}
+	// Stage outside p.mu: the log has its own lock, and serializing appends
+	// under the pool lock would stall every reader.
+	pending, err := wal.StageBatch(recs, catalog)
+	if err != nil {
+		p.unseal(pages, batchSet)
+		return nil, err
+	}
+	return &SealedBatch{p: p, pending: pending, pages: pages}, nil
+}
+
+// unseal releases a sealed batch's page holds; when reopen is non-nil the
+// pages become the open batch again (failure paths, so AbortBatch works).
+func (p *Pool) unseal(pages []PageKey, reopen map[PageKey]bool) {
+	p.mu.Lock()
+	for _, key := range pages {
+		if p.holds[key] > 1 {
+			p.holds[key]--
+		} else {
+			delete(p.holds, key)
 		}
 	}
-	p.mu.Lock()
-	p.batch = nil
+	if reopen != nil {
+		p.batch = reopen
+	}
+	p.sealed--
+	invariant.Assertf(p.sealed >= 0, "storage: sealed batch count went negative")
+	if p.sealed <= 0 {
+		p.drained.Broadcast()
+	}
 	p.mu.Unlock()
+}
+
+// Wait blocks until the sealed batch is durable, joining the WAL's group
+// commit. On success the pages become ordinary dirty pages, free to be
+// written back lazily. On failure the batch is NOT durable and never will
+// be; the caller must Abort to roll its pages back.
+func (s *SealedBatch) Wait() error {
+	if s.done {
+		return nil
+	}
+	if err := s.pending.Wait(); err != nil {
+		return err
+	}
+	s.done = true
+	s.p.unseal(s.pages, nil)
+	return nil
+}
+
+// Abort rolls a failed sealed batch back: every page is restored to its
+// newest surviving logged image (a still-sealed predecessor's, else the last
+// durable one) or dropped so the next access rereads the data file. It then
+// releases the WAL's append gate for this batch. Idempotent.
+func (s *SealedBatch) Abort() error {
+	if s.done {
+		return nil
+	}
+	s.done = true
+	p := s.p
+	p.mu.Lock()
+	var firstErr error
+	for _, key := range s.pages {
+		idx, ok := p.table[key]
+		if !ok {
+			continue
+		}
+		f := &p.frames[idx]
+		restored := false
+		if p.wal != nil {
+			ok, err := p.wal.ReadLatestImage(key, f.data)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			restored = err == nil && ok
+		}
+		if restored {
+			f.dirty = true
+			continue
+		}
+		if f.pins > 0 && firstErr == nil {
+			firstErr = fmt.Errorf("storage: abort: page %v still pinned", key)
+		}
+		delete(p.table, key)
+		f.valid = false
+		f.dirty = false
+	}
+	p.mu.Unlock()
+	p.unseal(s.pages, nil)
+	if s.pending != nil {
+		// Pages are rolled back; the WAL may accept appends again.
+		s.pending.Abandon()
+	}
+	return firstErr
+}
+
+// WaitSealedDrained blocks until no sealed batch is outstanding. Checkpoints
+// and detaches call it so they never observe pages held by an in-flight
+// group commit. Callers must ensure no new seals start concurrently (the
+// engine serializes mutations above this level).
+func (p *Pool) WaitSealedDrained() {
+	p.mu.Lock()
+	for p.sealed > 0 {
+		p.drained.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// CommitBatch logs the open batch — the after-images of every page it
+// dirtied, plus an optional catalog snapshot — to the WAL and waits for
+// durability (joining any in-flight group commit). On success the batch is
+// closed and its pages become ordinary dirty pages, free to be written back
+// lazily. On failure the batch stays open so the caller can AbortBatch.
+// With no WAL attached it simply closes the batch.
+func (p *Pool) CommitBatch(catalog []byte) error {
+	s, err := p.SealBatch(catalog)
+	if err != nil {
+		return err
+	}
+	if err := s.Wait(); err != nil {
+		// Reopen the batch for AbortBatch, preserving the synchronous
+		// contract. The caller rolls back immediately (and the engine
+		// serializes writers), so releasing the WAL gate here is safe.
+		p.mu.Lock()
+		reopen := make(map[PageKey]bool, len(s.pages))
+		for _, key := range s.pages {
+			if p.holds[key] > 1 {
+				p.holds[key]--
+			} else {
+				delete(p.holds, key)
+			}
+			reopen[key] = true
+		}
+		p.batch = reopen
+		p.sealed--
+		if p.sealed <= 0 {
+			p.drained.Broadcast()
+		}
+		p.mu.Unlock()
+		s.done = true
+		s.pending.Abandon()
+		return err
+	}
 	return nil
 }
 
@@ -223,6 +390,9 @@ func (p *Pool) DetachDisk(id FileID) error {
 		}
 		if f.pins > 0 {
 			return fmt.Errorf("storage: detach file %d: page %d still pinned", id, f.key.Page)
+		}
+		if p.holds[f.key] > 0 {
+			return fmt.Errorf("storage: detach file %d: page %d held by a sealed batch", id, f.key.Page)
 		}
 		if f.dirty {
 			if err := p.writeback(f); err != nil {
@@ -369,9 +539,13 @@ func (p *Pool) victim() (int, error) {
 		if f.pins > 0 {
 			continue
 		}
-		// WAL rule (no-steal): a page dirtied by the open batch must not be
+		// WAL rule (no-steal): a page dirtied by the open batch, or held by a
+		// sealed batch whose group commit is still in flight, must not be
 		// written back before its log record is durable — treat it as pinned.
 		if p.batch != nil && p.batch[f.key] {
+			continue
+		}
+		if p.holds[f.key] > 0 {
 			continue
 		}
 		if f.ref {
@@ -423,8 +597,9 @@ func (p *Pool) FlushAll() error {
 	for i := range p.frames {
 		f := &p.frames[i]
 		if f.valid && f.dirty {
-			if p.batch != nil && p.batch[f.key] {
-				// Uncommitted batch pages must not reach disk.
+			if (p.batch != nil && p.batch[f.key]) || p.holds[f.key] > 0 {
+				// Uncommitted (open or sealed-but-unsynced) batch pages must
+				// not reach disk.
 				continue
 			}
 			if err := p.writeback(f); err != nil {

@@ -32,6 +32,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/mural-db/mural/internal/invariant"
 )
@@ -162,25 +163,71 @@ type WALStats struct {
 }
 
 // WAL is an open write-ahead log positioned for appending. It is safe for
-// concurrent use: each AppendBatch is atomic with respect to other appends
-// and to Truncate.
+// concurrent use: each append is atomic with respect to other appends and
+// to Truncate, and durability waits are grouped — concurrent committers
+// staged behind one in-flight fsync are all made durable by a single
+// Sync call (group commit). That is why Stats().Syncs can be far below
+// Stats().Commits under concurrent write load.
 type WAL struct {
 	mu     sync.Mutex
+	cond   *sync.Cond // broadcast when syncedTo advances or a rewind happens
 	f      LogFile
 	size   int64
 	seq    uint64
 	stats  WALStats
-	latest map[PageKey]int64 // offset of the last committed image per page
+	latest map[PageKey]int64 // offset of the last durably committed image per page
+	// staged holds the image offsets of appended-but-not-yet-synced batches,
+	// newest last. AbortBatch must roll a page back to the newest *staged*
+	// image, not the newest durable one: a page may carry the sealed (but
+	// still syncing) changes of an earlier batch that will commit.
+	staged map[PageKey][]int64
+	// unsyncedEnds are the end offsets of commit records appended but not yet
+	// fsynced, in append order. A failed group sync turns the suffix beyond
+	// syncedTo into failed commits.
+	unsyncedEnds []int64
 	// lastOff tracks the previous frame's offset for the append-only
 	// monotonicity invariant (checked builds only).
 	lastOff int64
+
+	// Group-commit state.
+	commitDelay time.Duration // leader's bounded wait for followers to pile on
+	syncedTo    int64         // log prefix known durable
+	syncing     bool          // a leader is inside f.Sync
+	epoch       uint64        // bumped by rewind; stale-epoch waiters failed
+	// pendingAborts blocks appends after a failed group sync until every
+	// failed committer has rolled its pages back (PendingCommit.Abandon);
+	// otherwise a new batch could capture rolled-back page content into a
+	// fresh, succeeding commit.
+	pendingAborts int
+	// inflight counts staged commits whose Wait has not returned yet.
+	// Truncate (checkpoint) must not reset the log under them: the leader
+	// releases mu during f.Sync, so without this gate a concurrent Truncate
+	// could rewind syncedTo past a waiter's end, leaving it re-syncing
+	// forever.
+	inflight  int
+	failCause error // the sync error behind the current epoch's rewind
+	// broken poisons the log permanently: a rewind's truncate failed, so the
+	// on-disk suffix may hold commit records for batches reported as failed.
+	broken error
 }
 
 // NewWAL wraps an empty (or just-truncated) log file for appending.
 // Callers that may hold a non-empty log must run ScanWAL + recovery first
 // and truncate before appending (Engine.Open does this).
 func NewWAL(f LogFile) *WAL {
-	return &WAL{f: f, latest: make(map[PageKey]int64), lastOff: -1}
+	w := &WAL{f: f, latest: make(map[PageKey]int64), staged: make(map[PageKey][]int64), lastOff: -1}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// SetCommitDelay sets the group-commit window: after becoming the sync
+// leader, a committer waits up to d for concurrent committers to append
+// their batches before issuing the shared fsync. Zero (the default) syncs
+// immediately; grouping then only happens behind an already-running fsync.
+func (w *WAL) SetCommitDelay(d time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.commitDelay = d
 }
 
 // Size returns the current log length in bytes.
@@ -218,19 +265,53 @@ func (w *WAL) frame(payload []byte) (int64, error) {
 	return off, nil
 }
 
-// AppendBatch logs a batch — page images, an optional catalog snapshot, and
-// the commit record — and fsyncs. When it returns nil the batch is durable:
-// recovery will redo it. When it returns an error the batch may be torn on
-// disk, which recovery treats as "never happened". The images are copied
-// before return; callers may reuse the buffers.
-func (w *WAL) AppendBatch(pages []WALPageRec, catalog []byte) error {
+// PendingCommit is a batch appended to the log but not yet known durable.
+// Wait blocks until a group fsync covers it (or fails); a failed commit must
+// be Abandoned after its pages are rolled back so the log accepts appends
+// again.
+type PendingCommit struct {
+	w     *WAL
+	end   int64  // log offset that must be durable for this commit
+	epoch uint64 // epoch at append time; a rewind bumps the WAL's epoch past it
+	// imageOff records where each page image of this batch landed, for
+	// promotion into latest on durability.
+	imageOff  map[PageKey]int64
+	abandoned bool
+}
+
+// StageBatch appends a batch — page images, an optional catalog snapshot,
+// and the commit record — WITHOUT waiting for durability. The returned
+// PendingCommit's Wait joins the group-commit protocol. The images are
+// copied into the log before return; callers may reuse the buffers.
+//
+// On an append error the partially written frames are truncated away, so the
+// log never carries a headless prefix that a later commit record could
+// mistakenly adopt.
+func (w *WAL) StageBatch(pages []WALPageRec, catalog []byte) (*PendingCommit, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.broken != nil {
+		return nil, fmt.Errorf("storage: wal unusable: %w", w.broken)
+	}
+	if w.pendingAborts > 0 {
+		return nil, fmt.Errorf("storage: wal rejecting appends until %d failed commits finish rolling back (cause: %v)",
+			w.pendingAborts, w.failCause)
+	}
+	start, startLast := w.size, w.lastOff
+	undo := func(err error) (*PendingCommit, error) {
+		// Erase the partial batch; a commit record appended later must not
+		// adopt these frames.
+		if terr := w.f.Truncate(start); terr != nil {
+			w.broken = fmt.Errorf("truncate of partial append failed: %v (after: %w)", terr, err)
+		}
+		w.size, w.lastOff = start, startLast
+		return nil, err
+	}
 	imageOff := make(map[PageKey]int64, len(pages))
 	payload := make([]byte, 1+8+PageSize)
 	for _, pr := range pages {
 		if len(pr.Image) != PageSize {
-			return fmt.Errorf("storage: wal: page image of %d bytes", len(pr.Image))
+			return undo(fmt.Errorf("storage: wal: page image of %d bytes", len(pr.Image)))
 		}
 		payload[0] = walRecPage
 		binary.LittleEndian.PutUint32(payload[1:5], uint32(pr.File))
@@ -238,7 +319,7 @@ func (w *WAL) AppendBatch(pages []WALPageRec, catalog []byte) error {
 		copy(payload[9:], pr.Image)
 		off, err := w.frame(payload)
 		if err != nil {
-			return err
+			return undo(err)
 		}
 		imageOff[PageKey{File: pr.File, Page: pr.Page}] = off + walFrameHeader + 9
 		w.stats.PageImages++
@@ -246,7 +327,7 @@ func (w *WAL) AppendBatch(pages []WALPageRec, catalog []byte) error {
 	}
 	if catalog != nil {
 		if _, err := w.frame(append([]byte{walRecCatalog}, catalog...)); err != nil {
-			return err
+			return undo(err)
 		}
 	}
 	w.seq++
@@ -255,28 +336,195 @@ func (w *WAL) AppendBatch(pages []WALPageRec, catalog []byte) error {
 	commit[0] = walRecCommit
 	binary.LittleEndian.PutUint64(commit[1:9], w.seq)
 	if _, err := w.frame(commit); err != nil {
+		return undo(err)
+	}
+	for k, off := range imageOff {
+		w.staged[k] = append(w.staged[k], off)
+	}
+	w.unsyncedEnds = append(w.unsyncedEnds, w.size)
+	w.inflight++
+	return &PendingCommit{w: w, end: w.size, epoch: w.epoch, imageOff: imageOff}, nil
+}
+
+// Wait blocks until this commit is durable, joining the group-commit
+// protocol: if no fsync is in flight the caller becomes the leader (waiting
+// up to the commit delay for followers, then syncing the whole appended
+// prefix); otherwise it waits for a leader's sync to cover it. One fsync
+// therefore retires every batch staged before it started.
+//
+// On error the batch is NOT durable and never will be: the log was rewound
+// past it, and the caller must roll its pages back and then call Abandon.
+func (p *PendingCommit) Wait() error {
+	w := p.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	defer func() {
+		w.inflight--
+		w.cond.Broadcast() // a checkpoint may be waiting for inflight to drain
+	}()
+	for {
+		if w.syncedTo >= p.end {
+			// Durable. Promote this batch's images to "latest committed" and
+			// drop their staged entries.
+			w.stats.Commits++
+			mWALCommits.Inc()
+			for k, off := range p.imageOff {
+				w.dropStagedLocked(k, off)
+				if cur, ok := w.latest[k]; !ok || off > cur {
+					w.latest[k] = off
+				}
+			}
+			return nil
+		}
+		if w.broken != nil {
+			return fmt.Errorf("storage: wal unusable: %w", w.broken)
+		}
+		if w.epoch != p.epoch {
+			return fmt.Errorf("storage: wal group sync failed; commit rolled back: %w", w.failCause)
+		}
+		if w.syncing {
+			w.cond.Wait()
+			continue
+		}
+		// Become the leader for everything appended so far.
+		w.syncing = true
+		if d := w.commitDelay; d > 0 {
+			// Bounded wait for followers to stage their batches behind us.
+			w.mu.Unlock()
+			time.Sleep(d)
+			w.mu.Lock()
+		}
+		target := w.size
+		w.mu.Unlock()
+		err := w.f.Sync()
+		w.mu.Lock()
+		w.syncing = false
+		if err != nil {
+			w.rewindLocked(fmt.Errorf("storage: wal sync: %w", err))
+			w.cond.Broadcast()
+			continue // epoch now differs; the loop reports the failure
+		}
+		w.stats.Syncs++
+		mWALSyncs.Inc()
+		if target > w.syncedTo {
+			w.syncedTo = target
+		}
+		// Forget commit records the sync retired.
+		keep := w.unsyncedEnds[:0]
+		for _, end := range w.unsyncedEnds {
+			if end > w.syncedTo {
+				keep = append(keep, end)
+			}
+		}
+		w.unsyncedEnds = keep
+		w.cond.Broadcast()
+	}
+}
+
+// Abandon releases a failed commit's claim on the log. Once every failed
+// committer has rolled its pages back and abandoned, appends resume. Safe to
+// call more than once and on commits that succeeded (both are no-ops).
+func (p *PendingCommit) Abandon() {
+	w := p.w
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if p.abandoned || p.epoch == w.epoch || p.end <= w.syncedTo {
+		return
+	}
+	p.abandoned = true
+	if w.pendingAborts > 0 {
+		w.pendingAborts--
+	}
+}
+
+// rewindLocked handles a failed group sync: every commit record appended
+// beyond the durable prefix is truncated away (otherwise the NEXT successful
+// sync would make batches durable whose callers were told they failed), the
+// epoch is bumped so their waiters observe the failure, and appends are
+// blocked until those callers roll their pages back. Called with w.mu held.
+func (w *WAL) rewindLocked(cause error) {
+	w.epoch++
+	w.failCause = cause
+	failed := 0
+	for _, end := range w.unsyncedEnds {
+		if end > w.syncedTo {
+			failed++
+		}
+	}
+	w.unsyncedEnds = w.unsyncedEnds[:0]
+	w.pendingAborts += failed
+	for k, offs := range w.staged {
+		keep := offs[:0]
+		for _, off := range offs {
+			if off < w.syncedTo {
+				keep = append(keep, off)
+			}
+		}
+		if len(keep) == 0 {
+			delete(w.staged, k)
+		} else {
+			w.staged[k] = keep
+		}
+	}
+	if err := w.f.Truncate(w.syncedTo); err != nil {
+		// The unsynced suffix (with its commit records) could not be erased;
+		// any further append might make it durable. Refuse all future use.
+		w.broken = fmt.Errorf("rewind truncate failed: %v (after %v)", err, cause)
+		return
+	}
+	w.size = w.syncedTo
+	w.lastOff = w.syncedTo - 1
+}
+
+// AppendBatch logs a batch and waits for durability: StageBatch plus a
+// group-commit Wait. When it returns nil the batch is durable: recovery
+// will redo it. When it returns an error the batch left no trace in the log
+// (partial appends and failed group syncs are both truncated away).
+func (w *WAL) AppendBatch(pages []WALPageRec, catalog []byte) error {
+	p, err := w.StageBatch(pages, catalog)
+	if err != nil {
 		return err
 	}
-	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("storage: wal sync: %w", err)
-	}
-	w.stats.Syncs++
-	w.stats.Commits++
-	mWALSyncs.Inc()
-	mWALCommits.Inc()
-	for k, off := range imageOff {
-		w.latest[k] = off
+	if err := p.Wait(); err != nil {
+		// Raw WAL callers hold no buffer-pool pages, so there is nothing to
+		// roll back before releasing the append gate.
+		p.Abandon()
+		return err
 	}
 	return nil
 }
 
-// ReadLatestImage fills buf (PageSize bytes) with the most recently
-// committed image of the page, reporting whether one exists in the log.
-// The buffer pool uses it to roll an aborted batch's pages back to their
-// committed content without touching the data file.
+// dropStagedLocked removes one staged image offset. Called with w.mu held.
+func (w *WAL) dropStagedLocked(k PageKey, off int64) {
+	offs := w.staged[k]
+	for i, o := range offs {
+		if o == off {
+			offs = append(offs[:i], offs[i+1:]...)
+			break
+		}
+	}
+	if len(offs) == 0 {
+		delete(w.staged, k)
+	} else {
+		w.staged[k] = offs
+	}
+}
+
+// ReadLatestImage fills buf (PageSize bytes) with the most recently logged
+// image of the page — staged (sealed, awaiting its group sync) images win
+// over durable ones — reporting whether one exists. The buffer pool uses it
+// to roll an aborted batch's pages back without touching the data file:
+// rolling back to a sealed predecessor's content is correct because that
+// predecessor either commits (content stands) or fails and restores its own
+// pages in turn.
 func (w *WAL) ReadLatestImage(key PageKey, buf []byte) (bool, error) {
 	w.mu.Lock()
 	off, ok := w.latest[key]
+	if staged := w.staged[key]; len(staged) > 0 {
+		if last := staged[len(staged)-1]; !ok || last > off {
+			off, ok = last, true
+		}
+	}
 	w.mu.Unlock()
 	if !ok {
 		return false, nil
@@ -292,6 +540,14 @@ func (w *WAL) ReadLatestImage(key PageKey, buf []byte) (bool, error) {
 func (w *WAL) Truncate() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	// Wait out in-flight group commits: the leader syncs with mu released,
+	// and resetting size/syncedTo under it (or its followers) would strand
+	// their durability watermarks.
+	for w.syncing || w.inflight > 0 {
+		w.cond.Wait()
+	}
+	invariant.Assertf(len(w.unsyncedEnds) == 0,
+		"storage: wal truncated with %d commits still awaiting group sync", len(w.unsyncedEnds))
 	if err := w.f.Truncate(0); err != nil {
 		return fmt.Errorf("storage: wal truncate: %w", err)
 	}
@@ -303,6 +559,8 @@ func (w *WAL) Truncate() error {
 	mWALCheckpoints.Inc()
 	w.size = 0
 	w.latest = make(map[PageKey]int64)
+	w.staged = make(map[PageKey][]int64)
+	w.syncedTo = 0
 	w.lastOff = -1
 	return nil
 }

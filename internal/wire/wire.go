@@ -18,6 +18,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -47,11 +48,24 @@ const (
 	MsgPong    MsgType = 0x86
 )
 
-// MaxPayload guards against corrupt frames.
+// MaxPayload caps one frame's payload. A corrupt or hostile length prefix
+// must not drive a multi-gigabyte allocation: readers reject oversized
+// frames with ErrTooLarge BEFORE allocating, and the server answers with a
+// protocol error and closes the connection cleanly.
 const MaxPayload = 16 << 20
 
-// Write frames one message.
+// ErrTooLarge reports a frame whose length prefix exceeds MaxPayload. It is
+// a distinct sentinel (check with errors.Is) so the server can tell a
+// protocol violation from an I/O failure and still send MsgErr before
+// hanging up.
+var ErrTooLarge = errors.New("wire: frame exceeds MaxPayload")
+
+// Write frames one message. Payloads over MaxPayload are refused: a peer
+// honoring the read-side clamp could never parse them.
 func Write(w io.Writer, typ MsgType, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("%w (writing %d bytes)", ErrTooLarge, len(payload))
+	}
 	var hdr [5]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	hdr[4] = byte(typ)
@@ -66,7 +80,8 @@ func Write(w io.Writer, typ MsgType, payload []byte) error {
 	return nil
 }
 
-// Read unframes one message.
+// Read unframes one message, rejecting frames beyond MaxPayload with
+// ErrTooLarge before any payload allocation.
 func Read(r io.Reader) (MsgType, []byte, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -74,7 +89,7 @@ func Read(r io.Reader) (MsgType, []byte, error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
 	if n > MaxPayload {
-		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds max", n)
+		return 0, nil, fmt.Errorf("%w (frame of %d bytes)", ErrTooLarge, n)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 	"testing/quick"
@@ -144,5 +145,33 @@ func TestMultipleFramesSequential(t *testing.T) {
 		if typ != MsgRow || payload[0] != byte(i) {
 			t.Errorf("frame %d: %v %v", i, typ, payload)
 		}
+	}
+}
+
+func TestOversizeFrameTypedError(t *testing.T) {
+	var hdr [5]byte
+	hdr[0], hdr[1], hdr[2], hdr[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	hdr[4] = byte(MsgRow)
+	_, _, err := Read(bytes.NewReader(hdr[:]))
+	if !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize read error = %v, want ErrTooLarge sentinel", err)
+	}
+}
+
+func TestWriteRefusesOversizePayload(t *testing.T) {
+	var buf bytes.Buffer
+	err := Write(&buf, MsgRow, make([]byte, MaxPayload+1))
+	if !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversize write error = %v, want ErrTooLarge sentinel", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("refused write still emitted %d bytes", buf.Len())
+	}
+	// Exactly MaxPayload is legal on both sides.
+	if err := Write(&buf, MsgRow, make([]byte, MaxPayload)); err != nil {
+		t.Fatalf("max-size write: %v", err)
+	}
+	if _, _, err := Read(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("max-size read: %v", err)
 	}
 }

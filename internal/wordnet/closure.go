@@ -1,6 +1,22 @@
 package wordnet
 
-import "sync"
+import (
+	"sync"
+
+	"github.com/mural-db/mural/internal/metrics"
+)
+
+var (
+	mClosureCacheHits      = metrics.Default.Counter("mural_closure_cache_hits_total")
+	mClosureCacheMisses    = metrics.Default.Counter("mural_closure_cache_misses_total")
+	mClosureCacheEvictions = metrics.Default.Counter("mural_closure_cache_evictions_total")
+)
+
+// DefaultClosureEntries bounds the number of materialized closures the
+// cache holds at once. Each entry can be a large hash set (the closure of a
+// high concept covers much of the taxonomy), so the bound is on entry
+// count, not bytes.
+const DefaultClosureEntries = 4096
 
 // ClosureCache memoizes materialized transitive closures as in-memory hash
 // tables, implementing the paper's §4.3 strategy verbatim:
@@ -19,13 +35,23 @@ type ClosureCache struct {
 
 	mu    sync.Mutex
 	cache map[SynsetID]map[SynsetID]struct{}
+	cap   int
 
-	hits, misses uint64
+	hits, misses, evictions uint64
 }
 
-// NewClosureCache wraps a Net.
+// NewClosureCache wraps a Net, bounded to DefaultClosureEntries closures.
 func NewClosureCache(net *Net) *ClosureCache {
-	return &ClosureCache{net: net, cache: make(map[SynsetID]map[SynsetID]struct{})}
+	return &ClosureCache{net: net, cache: make(map[SynsetID]map[SynsetID]struct{}), cap: DefaultClosureEntries}
+}
+
+// SetCap overrides the entry bound (<=0 keeps the current cap).
+func (c *ClosureCache) SetCap(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n > 0 {
+		c.cap = n
+	}
 }
 
 // Closure returns the materialized closure of root, computing and caching
@@ -35,14 +61,28 @@ func (c *ClosureCache) Closure(root SynsetID) map[SynsetID]struct{} {
 	if set, ok := c.cache[root]; ok {
 		c.hits++
 		c.mu.Unlock()
+		mClosureCacheHits.Inc()
 		return set
 	}
 	c.misses++
 	c.mu.Unlock()
+	mClosureCacheMisses.Inc()
 	// Compute outside the lock: closures can be large.
 	set := c.net.Closure(root)
 	c.mu.Lock()
-	c.cache[root] = set
+	if _, ok := c.cache[root]; !ok {
+		if c.cap > 0 && len(c.cache) >= c.cap {
+			// Random replacement via map iteration order: O(1) eviction, no
+			// recency bookkeeping on the (hot) hit path.
+			for k := range c.cache {
+				delete(c.cache, k)
+				c.evictions++
+				mClosureCacheEvictions.Inc()
+				break
+			}
+		}
+		c.cache[root] = set
+	}
 	c.mu.Unlock()
 	return set
 }
@@ -60,10 +100,31 @@ func (c *ClosureCache) Stats() (hits, misses uint64) {
 	return c.hits, c.misses
 }
 
+// Evictions returns how many closures were dropped at the size cap.
+func (c *ClosureCache) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// Len reports the number of materialized closures resident.
+func (c *ClosureCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cache)
+}
+
+// Purge drops every entry, keeping the counters (DDL invalidation).
+func (c *ClosureCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cache = make(map[SynsetID]map[SynsetID]struct{})
+}
+
 // Reset clears the cache and counters (between benchmark configurations).
 func (c *ClosureCache) Reset() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.cache = make(map[SynsetID]map[SynsetID]struct{})
-	c.hits, c.misses = 0, 0
+	c.hits, c.misses, c.evictions = 0, 0, 0
 }

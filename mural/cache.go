@@ -1,0 +1,156 @@
+package mural
+
+import (
+	"sync"
+
+	"github.com/mural-db/mural/internal/metrics"
+	"github.com/mural-db/mural/internal/plan"
+)
+
+var (
+	mPlanCacheHits      = metrics.Default.Counter("mural_plan_cache_hits_total")
+	mPlanCacheMisses    = metrics.Default.Counter("mural_plan_cache_misses_total")
+	mPlanCacheEvictions = metrics.Default.Counter("mural_plan_cache_evictions_total")
+)
+
+// defaultPlanCacheEntries bounds the plan cache when Config doesn't say
+// otherwise. Plans are small (a few nodes), so the bound mostly guards
+// against unbounded distinct SQL texts (e.g. un-parameterized literals).
+const defaultPlanCacheEntries = 256
+
+// planCacheKey identifies a cached plan: the exact SQL text plus the
+// catalog version it was planned under. Any DDL, ANALYZE or SET bumps the
+// version, so stale plans stop matching without explicit invalidation (the
+// DDL purge just reclaims their memory).
+type planCacheKey struct {
+	sql     string
+	version uint64
+}
+
+// planCache is the engine-lifetime SELECT plan cache. Cached *plan.Node
+// trees are shared across concurrent executions; the executor treats plans
+// as read-only, which is what makes that safe.
+type planCache struct {
+	mu                      sync.Mutex
+	m                       map[planCacheKey]*plan.Node
+	cap                     int
+	hits, misses, evictions uint64
+}
+
+func newPlanCache(entries int) *planCache {
+	if entries <= 0 {
+		entries = defaultPlanCacheEntries
+	}
+	return &planCache{m: make(map[planCacheKey]*plan.Node), cap: entries}
+}
+
+func (c *planCache) get(key planCacheKey) (*plan.Node, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.m[key]
+	if ok {
+		c.hits++
+		mPlanCacheHits.Inc()
+	} else {
+		c.misses++
+		mPlanCacheMisses.Inc()
+	}
+	return n, ok
+}
+
+func (c *planCache) put(key planCacheKey, n *plan.Node) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[key]; ok {
+		return
+	}
+	if len(c.m) >= c.cap {
+		// Random replacement: O(1), no recency bookkeeping on the hit path.
+		for k := range c.m {
+			delete(c.m, k)
+			c.evictions++
+			mPlanCacheEvictions.Inc()
+			break
+		}
+	}
+	c.m[key] = n
+}
+
+// purge drops every entry, keeping the counters (DDL invalidation).
+func (c *planCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[planCacheKey]*plan.Node)
+}
+
+func (c *planCache) snapshot() CacheCounters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheCounters{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Entries: len(c.m)}
+}
+
+// CacheCounters snapshots one engine-lifetime cache.
+type CacheCounters struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+}
+
+// CacheStats reports the engine's shared caches: the G2P conversion cache,
+// the SELECT plan cache, and the Ω closure cache (zero when no taxonomy is
+// loaded).
+type CacheStats struct {
+	G2P     CacheCounters
+	Plan    CacheCounters
+	Closure CacheCounters
+}
+
+// CacheStats snapshots every engine-lifetime cache.
+func (e *Engine) CacheStats() CacheStats {
+	var cs CacheStats
+	if e.g2p != nil {
+		s := e.g2p.Stats()
+		cs.G2P = CacheCounters{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Entries: s.Entries}
+	}
+	if e.plans != nil {
+		cs.Plan = e.plans.snapshot()
+	}
+	e.mu.RLock()
+	m := e.matcher
+	e.mu.RUnlock()
+	if m != nil {
+		cc := m.Cache()
+		hits, misses := cc.Stats()
+		cs.Closure = CacheCounters{Hits: hits, Misses: misses, Evictions: cc.Evictions(), Entries: cc.Len()}
+	}
+	return cs
+}
+
+// invalidateCaches purges every shared cache after a successful DDL-class
+// statement (CREATE/DROP/ANALYZE/SET). The plan cache would age out on its
+// own (keys carry the catalog version); purging reclaims the memory and
+// keeps the caches' visible state honest for tests and EXPLAIN.
+func (e *Engine) invalidateCaches() {
+	if e.plans != nil {
+		e.plans.purge()
+	}
+	if e.g2p != nil {
+		e.g2p.Purge()
+	}
+	e.mu.RLock()
+	m := e.matcher
+	e.mu.RUnlock()
+	if m != nil {
+		m.Cache().Purge()
+	}
+}
+
+// ddlDone passes a DDL result through, invalidating the shared caches when
+// the statement succeeded.
+func (e *Engine) ddlDone(r *Result, err error) (*Result, error) {
+	if err == nil {
+		e.invalidateCaches()
+	}
+	return r, err
+}

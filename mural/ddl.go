@@ -96,6 +96,9 @@ func (e *Engine) execDropTable(s *sql.DropTable) (*Result, error) {
 			return nil, err
 		}
 	}
+	// A concurrent session's sealed batch may still hold pages of this
+	// table's files; let those group commits finish before detaching.
+	e.pool.WaitSealedDrained()
 	release := func(file storage.FileID) {
 		if d, ok := e.disks[file]; ok {
 			_ = e.pool.DetachDisk(file)
@@ -337,8 +340,9 @@ func (e *Engine) execInsert(s *sql.Insert) (*Result, error) {
 		}
 		inserted++
 	}
-	if err := e.commitBatch(nil); err != nil {
-		_ = e.rollbackBatch(s.Table)
+	// Group commit: e.mu is released while waiting for the fsync, so inserts
+	// from concurrent sessions share one Sync instead of paying one each.
+	if err := e.commitGrouped(s.Table); err != nil {
 		return nil, err
 	}
 	if err := e.maybeCheckpointLocked(); err != nil {
@@ -477,8 +481,7 @@ func (e *Engine) execDelete(s *sql.Delete) (*Result, error) {
 			}
 		}
 	}
-	if err := e.commitBatch(nil); err != nil {
-		_ = e.rollbackBatch(s.Table)
+	if err := e.commitGrouped(s.Table); err != nil {
 		return nil, err
 	}
 	if err := e.maybeCheckpointLocked(); err != nil {

@@ -68,6 +68,18 @@ type Config struct {
 	// defaults to GOMAXPROCS; 1 disables parallel plans. `SET workers = N`
 	// overrides per session.
 	Workers int
+	// CommitDelay is the WAL group-commit window: after becoming the sync
+	// leader, a committing session waits up to this long for concurrent
+	// sessions to stage their batches before issuing the shared fsync.
+	// Zero syncs immediately (commits still group behind an in-flight
+	// fsync); a fraction of a millisecond is plenty on most disks.
+	CommitDelay time.Duration
+	// PlanCacheEntries bounds the shared SELECT plan cache (default 256;
+	// negative disables the cache).
+	PlanCacheEntries int
+	// G2PCacheEntries bounds the shared engine-lifetime G2P conversion
+	// cache (default 262144 entries; negative disables the cache).
+	G2PCacheEntries int
 }
 
 // MTreeSplitPolicy re-exports the split policies.
@@ -92,6 +104,11 @@ type Engine struct {
 	recovery RecoveryStats
 	// slowMu serializes slow-query log writes.
 	slowMu sync.Mutex
+	// plans and g2p are the engine-lifetime shared caches (nil when
+	// disabled): parsed SELECT plans keyed by SQL text + catalog version,
+	// and G2P conversions shared across every session's per-query memo.
+	plans *planCache
+	g2p   *phonetic.SharedCache
 
 	mu      sync.RWMutex
 	heaps   map[string]*storage.Heap
@@ -168,21 +185,41 @@ func Open(cfg Config) (*Engine, error) {
 		disks:     make(map[storage.FileID]storage.Disk),
 		operators: make(map[string]func(a, b Value) (bool, error)),
 	}
+	if cfg.PlanCacheEntries >= 0 {
+		e.plans = newPlanCache(cfg.PlanCacheEntries)
+	}
+	if cfg.G2PCacheEntries >= 0 {
+		e.g2p = phonetic.NewSharedCache(e.phon, cfg.G2PCacheEntries)
+	}
 	if wal != nil {
+		wal.SetCommitDelay(cfg.CommitDelay)
 		e.pool.SetWAL(wal)
 		publishRecoveryStats(recStats)
 	}
 	if cfg.WordNet != nil {
 		e.LoadWordNet(cfg.WordNet)
 	}
+	// fail releases everything Open has acquired so far — the WAL (already
+	// recovered and truncated, so closing loses nothing) and every attached
+	// data-file descriptor. Without it, an error in the reopen loops below
+	// leaked the WAL file and all previously opened disks.
+	fail := func(err error) (*Engine, error) {
+		for _, d := range e.disks {
+			_ = d.Close()
+		}
+		if wal != nil {
+			_ = wal.Close()
+		}
+		return nil, err
+	}
 	// Reopen persisted tables and indexes.
 	for _, t := range cat.Tables() {
 		if err := e.attachFile(t.File); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		h, err := storage.OpenHeap(e.pool, t.File)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		e.heaps[t.Name] = h
 	}
@@ -191,35 +228,52 @@ func Open(cfg Config) (*Engine, error) {
 			// Q-gram lists live in memory; rebuild from the base table
 			// (like the pinned WordNet hierarchies of §4.3).
 			if err := e.rebuildQGram(ix); err != nil {
-				return nil, err
+				return fail(err)
 			}
 			continue
 		}
 		if err := e.attachFile(ix.File); err != nil {
-			return nil, err
+			return fail(err)
 		}
 		switch ix.Kind {
 		case sql.IndexBTree:
 			bt, err := btree.Open(e.pool, ix.File)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
 			e.btrees[ix.Name] = bt
 		case sql.IndexMTree:
 			mt, err := mtree.Open(e.pool, ix.File, cfg.MTreeSplit)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
 			e.mtrees[ix.Name] = mt
 		case sql.IndexMDI:
 			md, err := mdi.Open(e.pool, ix.File, ix.Pivot)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
 			e.mdis[ix.Name] = md
 		}
 	}
 	return e, nil
+}
+
+// SharedG2P implements exec.SharedG2PProvider: per-query memos use the
+// engine-lifetime conversion cache as their L2 (nil when disabled).
+func (e *Engine) SharedG2P() *phonetic.SharedCache { return e.g2p }
+
+// WALStats snapshots the write-ahead log counters (zero when no WAL).
+// Under concurrent commit load Syncs stays below Commits: that gap is the
+// group-commit win.
+func (e *Engine) WALStats() storage.WALStats {
+	e.mu.RLock()
+	wal := e.wal
+	e.mu.RUnlock()
+	if wal == nil {
+		return storage.WALStats{}
+	}
+	return wal.Stats()
 }
 
 // attachFile creates/opens the disk for a file id and attaches it.
@@ -376,20 +430,24 @@ func (e *Engine) exec(q string) (*Result, error) {
 		return nil, err
 	}
 	switch s := stmt.(type) {
+	// DDL-class statements invalidate the shared caches on success: the
+	// plan cache's catalog-version keys already stop matching, and the G2P
+	// and closure caches are purged so no statement observes pre-DDL state.
 	case *sql.CreateTable:
-		return e.execCreateTable(s)
+		return e.ddlDone(e.execCreateTable(s))
 	case *sql.DropTable:
-		return e.execDropTable(s)
+		return e.ddlDone(e.execDropTable(s))
 	case *sql.CreateIndex:
-		return e.execCreateIndex(s)
+		return e.ddlDone(e.execCreateIndex(s))
 	case *sql.Insert:
 		return e.execInsert(s)
 	case *sql.Delete:
 		return e.execDelete(s)
 	case *sql.Analyze:
-		return e.execAnalyze(s)
+		return e.ddlDone(e.execAnalyze(s))
 	case *sql.Set:
 		e.cat.SetSetting(s.Name, s.Value)
+		e.invalidateCaches()
 		return &Result{}, nil
 	case *sql.Show:
 		v, ok := e.cat.Setting(s.Name)
@@ -401,7 +459,7 @@ func (e *Engine) exec(q string) (*Result, error) {
 	case *sql.Explain:
 		return e.execExplain(s)
 	case *sql.Select:
-		return e.execSelect(s)
+		return e.execSelect(q, s)
 	default:
 		return nil, fmt.Errorf("mural: unsupported statement %T", stmt)
 	}
@@ -437,7 +495,7 @@ func (e *Engine) Query(q string) (*Rows, error) {
 	if !ok {
 		return nil, fmt.Errorf("mural: Query requires a SELECT statement")
 	}
-	node, err := e.planSelect(sel)
+	node, err := e.planSelectCached(q, sel)
 	if err != nil {
 		return nil, err
 	}
@@ -491,8 +549,28 @@ func (e *Engine) planSelect(sel *sql.Select) (*plan.Node, error) {
 	return e.planner().Plan(sel)
 }
 
-func (e *Engine) execSelect(sel *sql.Select) (*Result, error) {
+// planSelectCached serves the plan for a SELECT from the shared plan cache
+// when the exact SQL text was planned under the current catalog version;
+// otherwise it plans and caches. Cached plans are shared across concurrent
+// executions — the executor never mutates a plan tree.
+func (e *Engine) planSelectCached(q string, sel *sql.Select) (*plan.Node, error) {
+	if e.plans == nil {
+		return e.planSelect(sel)
+	}
+	key := planCacheKey{sql: q, version: e.cat.Version()}
+	if node, ok := e.plans.get(key); ok {
+		return node, nil
+	}
 	node, err := e.planSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	e.plans.put(key, node)
+	return node, nil
+}
+
+func (e *Engine) execSelect(q string, sel *sql.Select) (*Result, error) {
+	node, err := e.planSelectCached(q, sel)
 	if err != nil {
 		return nil, err
 	}
@@ -537,6 +615,9 @@ func (e *Engine) execExplain(s *sql.Explain) (*Result, error) {
 		res.Plan = plan.FormatAnalyze(node, es.Actual)
 		res.Plan += fmt.Sprintf("Actual: rows=%d elapsed=%s index_pages=%d psi_evals=%d omega_probes=%d\n",
 			len(rows), res.Elapsed, res.Stats.IndexPages, res.Stats.PsiEvaluations, res.Stats.OmegaProbes)
+		cs := e.CacheStats()
+		res.Plan += fmt.Sprintf("Caches: g2p=%d/%d plan=%d/%d closure=%d/%d (hits/misses, engine lifetime)\n",
+			cs.G2P.Hits, cs.G2P.Misses, cs.Plan.Hits, cs.Plan.Misses, cs.Closure.Hits, cs.Closure.Misses)
 		if tr := e.cfg.Tracer; tr != nil {
 			es.EmitSpans(node, tr)
 		}

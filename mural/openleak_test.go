@@ -1,0 +1,97 @@
+package mural
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"github.com/mural-db/mural/internal/storage"
+)
+
+// closeTrackingLog records whether the engine closed the WAL device.
+type closeTrackingLog struct {
+	storage.LogFile
+	closed *atomic.Bool
+}
+
+func (l *closeTrackingLog) Close() error {
+	l.closed.Store(true)
+	return l.LogFile.Close()
+}
+
+// brokenReadDisk serves a real disk until armed, then fails every page read;
+// it also records whether it was closed.
+type brokenReadDisk struct {
+	storage.Disk
+	armed  *atomic.Bool
+	closed *atomic.Bool
+}
+
+func (d *brokenReadDisk) ReadPage(id storage.PageID, buf []byte) error {
+	if d.armed.Load() {
+		return errors.New("injected read failure")
+	}
+	return d.Disk.ReadPage(id, buf)
+}
+
+func (d *brokenReadDisk) Close() error {
+	d.closed.Store(true)
+	return d.Disk.Close()
+}
+
+// A failing table reopen must not leak the WAL device or the data-file
+// descriptors Open had already attached: before the fix, every `return nil,
+// err` in the reopen loops dropped them on the floor.
+func TestOpenClosesResourcesWhenReopenFails(t *testing.T) {
+	dir := t.TempDir()
+	var armed, walClosed atomic.Bool
+	var diskClosed []*atomic.Bool
+	cfg := Config{
+		Dir: dir,
+		WALWrap: func(f storage.LogFile) storage.LogFile {
+			return &closeTrackingLog{LogFile: f, closed: &walClosed}
+		},
+		DiskWrap: func(name string, d storage.Disk) storage.Disk {
+			closed := new(atomic.Bool)
+			diskClosed = append(diskClosed, closed)
+			return &brokenReadDisk{Disk: d, armed: &armed, closed: closed}
+		},
+	}
+
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		"CREATE TABLE a (id INT, s TEXT)",
+		"INSERT INTO a VALUES (1, 'x')",
+		"CREATE TABLE b (id INT, s TEXT)",
+		"INSERT INTO b VALUES (1, 'y')",
+	} {
+		if _, err := e.Exec(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with page reads failing: OpenHeap for the first table errors
+	// after the WAL (and possibly other disks) were already acquired.
+	diskClosed, walClosed = nil, atomic.Bool{}
+	armed.Store(true)
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("Open succeeded although every page read fails")
+	}
+	if !walClosed.Load() {
+		t.Error("Open leaked the WAL device after a failed table reopen")
+	}
+	if len(diskClosed) == 0 {
+		t.Fatal("test bug: no disks were attached before the failure")
+	}
+	for i, closed := range diskClosed {
+		if !closed.Load() {
+			t.Errorf("Open leaked attached disk %d after a failed table reopen", i)
+		}
+	}
+}

@@ -172,6 +172,39 @@ func (e *Engine) commitBatch(catalogImage []byte) error {
 	return e.pool.CommitBatch(catalogImage)
 }
 
+// commitGrouped makes the open batch durable via the WAL's group commit:
+// the batch is sealed under e.mu, then the engine lock is RELEASED for the
+// fsync wait so concurrent sessions' commits share one Sync. On failure the
+// batch's pages are rolled back and the table's in-memory structures
+// reopened. Called with e.mu held; returns with e.mu held.
+func (e *Engine) commitGrouped(table string) error {
+	if e.wal == nil {
+		return nil
+	}
+	s, err := e.pool.SealBatch(nil)
+	if err != nil {
+		// Staging failed; the batch is still open — roll it back classically.
+		_ = e.rollbackBatch(table)
+		return err
+	}
+	e.mu.Unlock()
+	err = s.Wait()
+	if err != nil {
+		// Roll the pages back BEFORE retaking e.mu: a checkpoint or DROP
+		// TABLE may be draining sealed batches under e.mu, and Abort is what
+		// releases this seal (pool + WAL state only, no engine lock needed).
+		_ = s.Abort()
+	}
+	e.mu.Lock()
+	if err != nil {
+		if rerr := e.reopenTableLocked(table); rerr != nil {
+			return fmt.Errorf("%w (and reopening %q after rollback: %v)", err, table, rerr)
+		}
+		return err
+	}
+	return nil
+}
+
 // rollbackBatch aborts the open batch: the pool rolls every dirtied page
 // back to its last committed image, and the in-memory structures over the
 // named table (heap, persistent indexes, q-gram lists) are reopened from
@@ -182,19 +215,28 @@ func (e *Engine) rollbackBatch(table string) error {
 		return nil
 	}
 	firstErr := e.pool.AbortBatch()
+	if err := e.reopenTableLocked(table); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// reopenTableLocked reloads one table's in-memory structures (heap handle,
+// persistent indexes, q-gram lists) from its pages after a rollback. Called
+// with e.mu held.
+func (e *Engine) reopenTableLocked(table string) error {
 	if table == "" {
-		return firstErr
+		return nil
 	}
 	t, ok := e.cat.TableByName(table)
 	if !ok {
-		return firstErr
+		return nil
 	}
+	var firstErr error
 	if _, open := e.heaps[table]; open {
 		h, err := storage.OpenHeap(e.pool, t.File)
 		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
+			firstErr = err
 		} else {
 			e.heaps[table] = h
 		}
@@ -251,6 +293,12 @@ func (e *Engine) reopenIndex(ix *catalog.Index) error {
 // alone carry the full database state. Called with e.mu held and no batch
 // open.
 func (e *Engine) checkpointLocked() error {
+	// Let in-flight group commits finish: their pages are held (no-steal)
+	// until durable, and the WAL truncate below must not discard staged
+	// commit records. New seals cannot start while e.mu is held; failed
+	// waiters release their seal before retaking e.mu, so this cannot
+	// deadlock.
+	e.pool.WaitSealedDrained()
 	if err := e.pool.FlushAll(); err != nil {
 		return err
 	}
