@@ -10,7 +10,8 @@
 //	benchrunner -exp fig6|fig7|regress|ablation
 //	benchrunner -exp parallel            # intra-query parallel speedup sweep
 //	benchrunner -exp concurrent          # concurrent-session insert throughput sweep
-//	benchrunner -exp snapshot            # reduced-scale JSON perf snapshot (BENCH_PR5.json)
+//	benchrunner -exp govern              # cancellation-checkpoint overhead on the Ψ scan
+//	benchrunner -exp snapshot            # reduced-scale JSON perf snapshot (BENCH_PR6.json)
 //	benchrunner -snapshot out.json       # same, to an explicit path
 package main
 
@@ -27,13 +28,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table4|fig6|fig7|fig8|regress|ablation|parallel|concurrent|all")
+		exp     = flag.String("exp", "all", "experiment: table4|fig6|fig7|fig8|regress|ablation|parallel|concurrent|govern|all")
 		names   = flag.Int("names", 5000, "names table size for table4 (paper: ~25000)")
 		probes  = flag.Int("probes", 50, "probe table size for table4 joins")
 		synsets = flag.Int("synsets", 20000, "taxonomy size for fig8 (paper: 111223)")
 		full    = flag.Bool("full", false, "paper-scale settings (slow)")
 		seed    = flag.Int64("seed", 2006, "dataset seed")
-		snap    = flag.String("snapshot", "BENCH_PR5.json", "perf snapshot output path (implies -exp snapshot when set explicitly)")
+		snap    = flag.String("snapshot", "BENCH_PR6.json", "perf snapshot output path (implies -exp snapshot when set explicitly)")
 	)
 	flag.Parse()
 	snapSet := false
@@ -73,6 +74,7 @@ func main() {
 	run("ablation", func() error { return runAblation(*seed) })
 	run("parallel", func() error { return runParallel(*names, *probes, *seed) })
 	run("concurrent", func() error { return runConcurrent() })
+	run("govern", func() error { return runGovern(*names, *seed) })
 }
 
 func runTable4(names, probes int, seed int64) error {
@@ -275,5 +277,17 @@ func runAblation(seed int64) error {
 	for _, r := range ed {
 		fmt.Printf("  %-8s %.4fs matches=%d\n", r.Algorithm, r.Seconds, r.Matches)
 	}
+	return nil
+}
+
+func runGovern(names int, seed int64) error {
+	fmt.Printf("Cancellation-checkpoint overhead — Table 4 Ψ scan, %d names\n\n", names)
+	res, err := bench.RunGovernOverhead(bench.GovernOverheadConfig{Names: names, Threshold: 3, Queries: 5, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ungoverned (nil Resources):       %.4f s/query\n", res.UngovernedSec)
+	fmt.Printf("governed (10-min timeout armed):  %.4f s/query\n", res.GovernedSec)
+	fmt.Printf("checkpoint overhead: %+.2f%%  (budget: < 2%%)\n", res.OverheadPct)
 	return nil
 }

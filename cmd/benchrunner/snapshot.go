@@ -66,6 +66,15 @@ type perfSnapshot struct {
 		WALSyncs    uint64  `json:"wal_syncs"`
 	} `json:"concurrent"`
 
+	// Govern is the cancellation-checkpoint overhead measurement: the Ψ
+	// scan with governance off vs under an effectively-infinite statement
+	// timeout (checkpoints armed, deadline never fires).
+	Govern struct {
+		UngovernedSec float64 `json:"ungoverned_sec"`
+		GovernedSec   float64 `json:"governed_sec"`
+		OverheadPct   float64 `json:"overhead_pct"`
+	} `json:"govern"`
+
 	// Metrics is the default-registry counter snapshot after the runs:
 	// psi/omega evaluation counts, M-Tree distance computations, buffer
 	// pool traffic and friends.
@@ -169,6 +178,15 @@ func runSnapshot(path string, seed int64) error {
 			WALSyncs    uint64  `json:"wal_syncs"`
 		}{p.Connections, p.Rows, p.Seconds, p.RowsSec, p.WALCommits, p.WALSyncs})
 	}
+
+	fmt.Println("snapshot: cancellation-checkpoint overhead (reduced scale)")
+	gov, err := bench.RunGovernOverhead(bench.GovernOverheadConfig{Names: 3000, Threshold: 3, Queries: 3, Seed: seed})
+	if err != nil {
+		return fmt.Errorf("govern: %w", err)
+	}
+	snap.Govern.UngovernedSec = gov.UngovernedSec
+	snap.Govern.GovernedSec = gov.GovernedSec
+	snap.Govern.OverheadPct = gov.OverheadPct
 
 	// Counter snapshot of everything the runs drove through the engine.
 	reg := metrics.Default.Snapshot()

@@ -1,0 +1,96 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/mural-db/mural/internal/wire"
+)
+
+// reservedAddr returns a loopback address with nothing listening on it: the
+// listener is opened to claim a port and closed again immediately.
+func reservedAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// MaxElapsed bounds the total dial time: however many attempts remain, no
+// retry sleep may begin that would cross the cap.
+func TestDialRetryMaxElapsedBoundsTotalTime(t *testing.T) {
+	addr := reservedAddr(t)
+	p := RetryPolicy{
+		Attempts:   100, // far more than MaxElapsed allows
+		BaseDelay:  20 * time.Millisecond,
+		MaxDelay:   40 * time.Millisecond,
+		MaxElapsed: 120 * time.Millisecond,
+	}
+	start := time.Now()
+	_, err := DialRetry(addr, p)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("dial to a dead address succeeded")
+	}
+	if !strings.Contains(err.Error(), "gave up after") {
+		t.Errorf("error does not mention the elapsed cap: %v", err)
+	}
+	// The cap plus one full max-length sleep that was already underway is
+	// the worst case; anything near Attempts*BaseDelay means the cap was
+	// ignored.
+	if elapsed > p.MaxElapsed+p.MaxDelay+100*time.Millisecond {
+		t.Errorf("dial ran %s, want bounded near MaxElapsed=%s", elapsed, p.MaxElapsed)
+	}
+}
+
+// Without MaxElapsed the attempt count is the only bound, and the final
+// error wraps the last dial failure.
+func TestDialRetryExhaustsAttempts(t *testing.T) {
+	addr := reservedAddr(t)
+	_, err := DialRetry(addr, RetryPolicy{Attempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond})
+	if err == nil {
+		t.Fatal("dial to a dead address succeeded")
+	}
+	if !strings.Contains(err.Error(), "failed after 3 attempts") {
+		t.Errorf("error does not report the attempt count: %v", err)
+	}
+	var opErr *net.OpError
+	if !errors.As(err, &opErr) {
+		t.Errorf("error does not wrap the underlying dial failure: %v", err)
+	}
+}
+
+// serverErr maps every wire error code onto its typed sentinel so callers
+// can errors.Is across the network boundary.
+func TestServerErrTypedMapping(t *testing.T) {
+	cases := []struct {
+		code wire.ErrCode
+		want error
+	}{
+		{wire.ErrCodeCanceled, ErrCanceled},
+		{wire.ErrCodeTimeout, ErrQueryTimeout},
+		{wire.ErrCodeMemory, ErrMemoryLimit},
+		{wire.ErrCodeRejected, ErrRejected},
+		{wire.ErrCodeShutdown, ErrShutdown},
+	}
+	for _, c := range cases {
+		err := serverErr(wire.EncodeErr(c.code, "boom"))
+		if !errors.Is(err, c.want) {
+			t.Errorf("code %#x maps to %v, want %v", c.code, err, c.want)
+		}
+		if !strings.Contains(err.Error(), "boom") {
+			t.Errorf("code %#x drops the server message: %v", c.code, err)
+		}
+	}
+	// Generic and legacy payloads stay untyped.
+	if err := serverErr([]byte("mural: no such table")); errors.Is(err, ErrCanceled) {
+		t.Errorf("legacy payload gained a sentinel: %v", err)
+	}
+}

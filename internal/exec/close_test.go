@@ -70,7 +70,7 @@ func TestNLJoinClosePropagatesOuterError(t *testing.T) {
 	outerErr := errors.New("outer close failed")
 	j := &nlJoinIter{
 		outer: &trackIter{TupleIter: &sliceIter{}, closeErr: outerErr},
-		inner: asRewindable(&trackIter{TupleIter: &sliceIter{}}),
+		inner: asRewindable(nil, &trackIter{TupleIter: &sliceIter{}}),
 	}
 	if err := j.Close(); !errors.Is(err, outerErr) {
 		t.Fatalf("nlJoinIter.Close dropped the outer iterator's error: got %v", err)

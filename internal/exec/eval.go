@@ -23,6 +23,11 @@ type evaluator struct {
 	// memo is the per-query (per-worker) G2P memoization cache, created on
 	// the first Ψ conversion so plain queries never pay for it.
 	memo *phonetic.MemoCache
+	// res, when non-nil, is the query's shared governance state (cancel
+	// context + memory accountant); ticks is this evaluator's private
+	// amortization counter for the cancellation checkpoint.
+	res   *Resources
+	ticks uint32
 }
 
 // phoneme converts through the per-query memo cache: in a Ψ join, the inner
@@ -222,6 +227,11 @@ func langAdmitted(lang types.LangID, langs []types.LangID) bool {
 }
 
 func (ev *evaluator) evalPsi(x *plan.Psi, t types.Tuple) (types.Value, error) {
+	// Ψ is the expensive per-row work of a LexEQUAL plan (G2P conversion +
+	// edit distance), so the evaluation path carries its own checkpoint.
+	if err := ev.tick(); err != nil {
+		return types.Value{}, err
+	}
 	l, err := ev.eval(x.L, t)
 	if err != nil {
 		return types.Value{}, err
@@ -298,6 +308,18 @@ func (ev *evaluator) evalOmega(x *plan.Omega, t types.Tuple) (types.Value, error
 		ev.stats.OmegaProbes++
 	}
 	mOmegaProbes.Inc()
+	if ev.res != nil {
+		// Governed probes check the cancel checkpoint and charge fresh
+		// closure materializations against the query's memory budget.
+		if err := ev.tick(); err != nil {
+			return types.Value{}, err
+		}
+		ok, err := m.MatchMeter(lu, ru, x.Langs, ev.res)
+		if err != nil {
+			return types.Value{}, err
+		}
+		return types.NewBool(ok), nil
+	}
 	return types.NewBool(m.Match(lu, ru, x.Langs)), nil
 }
 

@@ -63,19 +63,7 @@ func Run(env Env, node *plan.Node) (*Cursor, error) {
 // collection (EXPLAIN ANALYZE). A nil collector makes this identical to Run:
 // no wrapper iterators are interposed.
 func RunWithStats(env Env, node *plan.Node, es *ExecStats) (*Cursor, error) {
-	stats := &RunStats{}
-	ev := &evaluator{env: env, stats: stats, collector: es}
-	it, err := build(env, ev, node)
-	if err != nil {
-		return nil, err
-	}
-	cols := node.ColNames
-	if cols == nil {
-		for _, ci := range node.Schema() {
-			cols = append(cols, ci.Name)
-		}
-	}
-	return &Cursor{Cols: cols, Stats: stats, it: it}, nil
+	return RunGoverned(env, node, es, nil)
 }
 
 // build instantiates one operator and, when a collector is active, wraps it
@@ -94,7 +82,11 @@ func buildOp(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 		if n.Parallel && ev.par != nil {
 			return ev.par.scanIter(env, n)
 		}
-		return env.ScanTable(n.Table)
+		it, err := env.ScanTable(n.Table)
+		if err != nil || ev.res == nil {
+			return it, err
+		}
+		return &govIter{child: it, ev: ev}, nil
 	case plan.OpGather:
 		return buildGather(env, ev, n)
 	case plan.OpBTreeScan, plan.OpMTreeScan, plan.OpMDIScan, plan.OpQGramScan:
@@ -104,7 +96,7 @@ func buildOp(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &filterIter{child: child, cond: n.Cond, ev: ev}, nil
+		return &filterIter{child: unwrapGov(child), cond: n.Cond, ev: ev}, nil
 	case plan.OpProject:
 		child, err := build(env, ev, n.Children[0])
 		if err != nil {
@@ -116,7 +108,7 @@ func buildOp(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &materializeIter{child: child}, nil
+		return &materializeIter{child: unwrapGov(child), ev: ev}, nil
 	case plan.OpNLJoin:
 		return buildNLJoin(env, ev, n)
 	case plan.OpHashJoin:
@@ -136,7 +128,7 @@ func buildOp(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &distinctIter{child: child, seen: make(map[string]bool)}, nil
+		return &distinctIter{child: unwrapGov(child), ev: ev, seen: make(map[string]bool)}, nil
 	case plan.OpLimit:
 		child, err := build(env, ev, n.Children[0])
 		if err != nil {
@@ -249,6 +241,16 @@ func buildIndexScan(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 		}
 	}
 	var it TupleIter = &sliceIter{rows: rows}
+	if ev.res != nil {
+		// The probe materialized its result set up front; charge it for the
+		// iterator's lifetime (released by govIter.Close).
+		b := tuplesBytes(rows)
+		if err := ev.grow(b); err != nil {
+			ev.release(b)
+			return nil, err
+		}
+		it = &govIter{child: it, ev: ev, bytes: b}
+	}
 	if n.Cond != nil {
 		it = &filterIter{child: it, cond: n.Cond, ev: ev}
 	}
@@ -263,6 +265,9 @@ type filterIter struct {
 
 func (f *filterIter) Next() (types.Tuple, bool, error) {
 	for {
+		if err := f.ev.tick(); err != nil {
+			return nil, false, err
+		}
 		t, ok, err := f.child.Next()
 		if err != nil || !ok {
 			return nil, false, err
@@ -305,9 +310,13 @@ func (p *projectIter) Close() error { return p.child.Close() }
 
 // materializeIter caches its child's output; Rewind replays it, giving
 // nested-loops joins a cheap inner rescan (the Materialize of Figure 7).
+// Under governance (ev with Resources) the cached rows are charged to the
+// query and released on Close.
 type materializeIter struct {
 	child  TupleIter
+	ev     *evaluator
 	rows   []types.Tuple
+	bytes  int64
 	loaded bool
 	pos    int
 }
@@ -317,12 +326,22 @@ func (m *materializeIter) load() error {
 		return nil
 	}
 	for {
+		if err := m.ev.tick(); err != nil {
+			return err
+		}
 		t, ok, err := m.child.Next()
 		if err != nil {
 			return err
 		}
 		if !ok {
 			break
+		}
+		b := tupleBytes(t)
+		// Record the charge before checking it: Grow counts even a failing
+		// charge, so Close must release it too.
+		m.bytes += b
+		if err := m.ev.grow(b); err != nil {
+			return err
 		}
 		m.rows = append(m.rows, t)
 	}
@@ -344,7 +363,11 @@ func (m *materializeIter) Next() (types.Tuple, bool, error) {
 
 func (m *materializeIter) Rewind() { m.pos = 0 }
 
-func (m *materializeIter) Close() error { return m.child.Close() }
+func (m *materializeIter) Close() error {
+	m.ev.release(m.bytes)
+	m.bytes = 0
+	return m.child.Close()
+}
 
 // joinedTuple concatenates left and right.
 func joinedTuple(l, r types.Tuple) types.Tuple {
@@ -362,18 +385,19 @@ func buildNLJoin(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 	if err != nil {
 		return nil, errors.Join(err, left.Close())
 	}
-	return &nlJoinIter{ev: ev, outer: left, inner: asRewindable(right), cond: n.Cond}, nil
+	return &nlJoinIter{ev: ev, outer: left, inner: asRewindable(ev, right), cond: n.Cond}, nil
 }
 
 // asRewindable returns right as a rewindable iterator, materializing it when
 // it cannot rescan on its own. A stats-wrapped Materialize stays rewindable
 // (rewindStatsIter forwards Rewind), so the instrumented plan runs the same
-// shape as the bare one.
-func asRewindable(right TupleIter) rewindIter {
+// shape as the bare one. The evaluator (nil in some unit tests) lets the
+// implicit Materialize charge its cached rows to the query's accountant.
+func asRewindable(ev *evaluator, right TupleIter) rewindIter {
 	if r, ok := right.(rewindIter); ok {
 		return r
 	}
-	return &materializeIter{child: right}
+	return &materializeIter{child: right, ev: ev}
 }
 
 type nlJoinIter struct {
@@ -397,6 +421,9 @@ func (j *nlJoinIter) Next() (types.Tuple, bool, error) {
 			j.started = true
 		}
 		for {
+			if err := j.ev.tick(); err != nil {
+				return nil, false, err
+			}
 			rt, ok, err := j.inner.Next()
 			if err != nil {
 				return nil, false, err
@@ -450,6 +477,7 @@ type hashJoinIter struct {
 	cond     plan.Expr
 
 	table   map[string][]types.Tuple
+	bytes   int64
 	cur     types.Tuple // current probe tuple
 	matches []types.Tuple
 	mi      int
@@ -461,6 +489,9 @@ func (j *hashJoinIter) init() error {
 	}
 	j.table = make(map[string][]types.Tuple)
 	for {
+		if err := j.ev.tick(); err != nil {
+			return err
+		}
 		t, ok, err := j.buildSrc.Next()
 		if err != nil {
 			return err
@@ -473,6 +504,12 @@ func (j *hashJoinIter) init() error {
 			continue
 		}
 		k := string(types.KeyOf(v))
+		// Charge the build side as it grows: tuple, bucket key, slice slot.
+		b := tupleBytes(t) + int64(len(k)) + 16
+		j.bytes += b
+		if err := j.ev.grow(b); err != nil {
+			return err
+		}
 		j.table[k] = append(j.table[k], t)
 	}
 	return j.buildSrc.Close()
@@ -483,6 +520,9 @@ func (j *hashJoinIter) Next() (types.Tuple, bool, error) {
 		return nil, false, err
 	}
 	for {
+		if err := j.ev.tick(); err != nil {
+			return nil, false, err
+		}
 		for j.mi < len(j.matches) {
 			rt := j.matches[j.mi]
 			j.mi++
@@ -514,6 +554,8 @@ func (j *hashJoinIter) Next() (types.Tuple, bool, error) {
 }
 
 func (j *hashJoinIter) Close() error {
+	j.ev.release(j.bytes)
+	j.bytes = 0
 	return errors.Join(j.probe.Close(), j.buildSrc.Close())
 }
 
@@ -539,7 +581,7 @@ func buildPsiJoin(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 	if err != nil {
 		return nil, errors.Join(err, left.Close())
 	}
-	return &nlJoinIter{ev: ev, outer: left, inner: asRewindable(right), cond: fullCond}, nil
+	return &nlJoinIter{ev: ev, outer: left, inner: asRewindable(ev, right), cond: fullCond}, nil
 }
 
 // buildPsiIndexJoin probes an M-Tree on the inner relation per outer row.
@@ -592,6 +634,9 @@ type psiIndexJoinIter struct {
 
 func (j *psiIndexJoinIter) Next() (types.Tuple, bool, error) {
 	for {
+		if err := j.ev.tick(); err != nil {
+			return nil, false, err
+		}
 		for j.mi < len(j.matches) {
 			rt := j.matches[j.mi]
 			j.mi++
@@ -664,7 +709,7 @@ func buildOmegaJoin(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 	if err != nil {
 		return nil, errors.Join(err, left.Close())
 	}
-	return &nlJoinIter{ev: ev, outer: left, inner: asRewindable(right), cond: fullCond}, nil
+	return &nlJoinIter{ev: ev, outer: left, inner: asRewindable(ev, right), cond: fullCond}, nil
 }
 
 func buildAggregate(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
@@ -672,7 +717,7 @@ func buildAggregate(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &aggregateIter{ev: ev, child: child, node: n}, nil
+	return &aggregateIter{ev: ev, child: unwrapGov(child), node: n}, nil
 }
 
 // aggState accumulates one aggregate for one group.
@@ -689,9 +734,10 @@ type aggregateIter struct {
 	child TupleIter
 	node  *plan.Node
 
-	out []types.Tuple
-	pos int
-	run bool
+	out   []types.Tuple
+	bytes int64
+	pos   int
+	run   bool
 }
 
 func (a *aggregateIter) compute() error {
@@ -703,6 +749,9 @@ func (a *aggregateIter) compute() error {
 	var order []string
 
 	for {
+		if err := a.ev.tick(); err != nil {
+			return err
+		}
 		t, ok, err := a.child.Next()
 		if err != nil {
 			return err
@@ -724,6 +773,13 @@ func (a *aggregateIter) compute() error {
 		grp, ok := groups[k]
 		if !ok {
 			grp = &group{keys: keys, states: make([]aggState, len(a.node.Aggs))}
+			// Charge the new group's resident state: map key, group keys,
+			// one aggState per aggregate.
+			b := int64(len(k)) + tupleBytes(keys) + 56*int64(len(a.node.Aggs)) + 48
+			a.bytes += b
+			if err := a.ev.grow(b); err != nil {
+				return err
+			}
 			groups[k] = grp
 			order = append(order, k)
 		}
@@ -833,14 +889,18 @@ func (a *aggregateIter) Next() (types.Tuple, bool, error) {
 	return t, true, nil
 }
 
-func (a *aggregateIter) Close() error { return a.child.Close() }
+func (a *aggregateIter) Close() error {
+	a.ev.release(a.bytes)
+	a.bytes = 0
+	return a.child.Close()
+}
 
 func buildSort(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 	child, err := build(env, ev, n.Children[0])
 	if err != nil {
 		return nil, err
 	}
-	return &sortIter{ev: ev, child: child, keys: n.SortKeys, desc: n.SortDesc}, nil
+	return &sortIter{ev: ev, child: unwrapGov(child), keys: n.SortKeys, desc: n.SortDesc}, nil
 }
 
 type sortIter struct {
@@ -849,15 +909,19 @@ type sortIter struct {
 	keys  []plan.Expr
 	desc  []bool
 
-	rows []types.Tuple
-	pos  int
-	run  bool
+	rows  []types.Tuple
+	bytes int64
+	pos   int
+	run   bool
 }
 
 func (s *sortIter) Next() (types.Tuple, bool, error) {
 	if !s.run {
 		var keyVals [][]types.Value
 		for {
+			if err := s.ev.tick(); err != nil {
+				return nil, false, err
+			}
 			t, ok, err := s.child.Next()
 			if err != nil {
 				return nil, false, err
@@ -872,6 +936,11 @@ func (s *sortIter) Next() (types.Tuple, bool, error) {
 					return nil, false, err
 				}
 				kv[i] = v
+			}
+			b := tupleBytes(t) + tupleBytes(kv)
+			s.bytes += b
+			if err := s.ev.grow(b); err != nil {
+				return nil, false, err
 			}
 			s.rows = append(s.rows, t)
 			keyVals = append(keyVals, kv)
@@ -911,15 +980,24 @@ func (s *sortIter) Next() (types.Tuple, bool, error) {
 	return t, true, nil
 }
 
-func (s *sortIter) Close() error { return s.child.Close() }
+func (s *sortIter) Close() error {
+	s.ev.release(s.bytes)
+	s.bytes = 0
+	return s.child.Close()
+}
 
 type distinctIter struct {
 	child TupleIter
+	ev    *evaluator
 	seen  map[string]bool
+	bytes int64
 }
 
 func (d *distinctIter) Next() (types.Tuple, bool, error) {
 	for {
+		if err := d.ev.tick(); err != nil {
+			return nil, false, err
+		}
 		t, ok, err := d.child.Next()
 		if err != nil || !ok {
 			return nil, false, err
@@ -928,12 +1006,21 @@ func (d *distinctIter) Next() (types.Tuple, bool, error) {
 		if d.seen[k] {
 			continue
 		}
+		b := int64(len(k)) + 16
+		d.bytes += b
+		if err := d.ev.grow(b); err != nil {
+			return nil, false, err
+		}
 		d.seen[k] = true
 		return t, true, nil
 	}
 }
 
-func (d *distinctIter) Close() error { return d.child.Close() }
+func (d *distinctIter) Close() error {
+	d.ev.release(d.bytes)
+	d.bytes = 0
+	return d.child.Close()
+}
 
 type limitIter struct {
 	child TupleIter

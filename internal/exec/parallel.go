@@ -190,12 +190,15 @@ func buildGather(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 		w = 1
 	}
 	shared := &gatherShared{sources: make(map[*plan.Node]*morselSource)}
-	g := &gatherIter{parent: ev, stop: make(chan struct{})}
+	g := &gatherIter{parent: ev, res: ev.res, stop: make(chan struct{})}
 	for i := 0; i < w; i++ {
 		wev := &evaluator{
 			env:   env,
 			stats: &RunStats{},
 			par:   &parallelCtx{id: i, workers: w, shared: shared},
+			// Workers share the query's governance state (it is atomic /
+			// context-based), but each keeps its own tick counter.
+			res: ev.res,
 		}
 		if ev.collector != nil {
 			wev.collector = NewExecStats()
@@ -218,27 +221,37 @@ func buildGather(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 // every worker owns (and closes) its root on its own goroutine, and Close
 // only signals stop and waits — no iterator is ever touched from two
 // goroutines.
+// gatherBatch is one merged unit: the rows plus their accounted bytes (zero
+// when the query is ungoverned). Bytes stay charged from the producer's
+// Grow until the consumer finishes the batch or the Gather winds down.
+type gatherBatch struct {
+	rows  []types.Tuple
+	bytes int64
+}
+
 type gatherIter struct {
 	parent  *evaluator
+	res     *Resources
 	workers []*gatherWorker
 
-	out      chan []types.Tuple
+	out      chan gatherBatch
 	stop     chan struct{}
 	stopOnce sync.Once
 	wg       sync.WaitGroup
 
-	started  bool
-	closed   bool
-	merged   bool
-	finished bool
-	failed   error
-	batch    []types.Tuple
-	bi       int
+	started    bool
+	closed     bool
+	merged     bool
+	finished   bool
+	failed     error
+	batch      []types.Tuple
+	batchBytes int64
+	bi         int
 }
 
 func (g *gatherIter) start() {
 	g.started = true
-	g.out = make(chan []types.Tuple, len(g.workers)*2)
+	g.out = make(chan gatherBatch, len(g.workers)*2)
 	for _, w := range g.workers {
 		g.wg.Add(1)
 		go g.runWorker(w)
@@ -265,19 +278,28 @@ func (g *gatherIter) runWorker(w *gatherWorker) {
 }
 
 // drain pulls the worker pipeline to exhaustion, shipping rows in batches.
-// It returns early (nil) when the consumer signalled stop.
+// It returns early (nil) when the consumer signalled stop. Each row is a
+// cancellation checkpoint (through the worker's own evaluator), so a
+// canceled parallel scan stops within one tick interval per worker; under a
+// memory budget every in-flight merge batch is charged before it is queued.
 func (g *gatherIter) drain(w *gatherWorker) error {
 	batch := make([]types.Tuple, 0, gatherBatchSize)
-	flush := func() bool {
+	var batchBytes int64
+	flush := func() (bool, error) {
 		if len(batch) == 0 {
-			return true
+			return true, nil
+		}
+		if err := g.res.Grow(batchBytes); err != nil {
+			return false, err
 		}
 		select {
-		case g.out <- batch:
+		case g.out <- gatherBatch{rows: batch, bytes: batchBytes}:
 			batch = make([]types.Tuple, 0, gatherBatchSize)
-			return true
+			batchBytes = 0
+			return true, nil
 		case <-g.stop:
-			return false
+			g.res.Release(batchBytes)
+			return false, nil
 		}
 	}
 	for {
@@ -286,17 +308,29 @@ func (g *gatherIter) drain(w *gatherWorker) error {
 			return nil
 		default:
 		}
+		if err := w.ev.tick(); err != nil {
+			return err
+		}
 		t, ok, err := w.root.Next()
 		if err != nil {
 			return err
 		}
 		if !ok {
-			flush()
-			return nil
+			_, err := flush()
+			return err
 		}
 		batch = append(batch, t)
-		if len(batch) == gatherBatchSize && !flush() {
-			return nil
+		if g.res != nil {
+			batchBytes += tupleBytes(t)
+		}
+		if len(batch) == gatherBatchSize {
+			ok, err := flush()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
 		}
 	}
 }
@@ -316,6 +350,8 @@ func (g *gatherIter) Next() (types.Tuple, bool, error) {
 		g.bi++
 		return t, true, nil
 	}
+	g.res.Release(g.batchBytes)
+	g.batchBytes = 0
 	batch, ok := <-g.out
 	if !ok {
 		// All workers done (wg.Wait happened-before the channel close, so
@@ -327,8 +363,8 @@ func (g *gatherIter) Next() (types.Tuple, bool, error) {
 		g.finished = true
 		return nil, false, nil
 	}
-	g.batch, g.bi = batch, 1
-	return batch[0], true, nil
+	g.batch, g.bi, g.batchBytes = batch.rows, 1, batch.bytes
+	return batch.rows[0], true, nil
 }
 
 // finish folds every worker's counters into the parent evaluator and joins
@@ -366,6 +402,14 @@ func (g *gatherIter) Close() error {
 	}
 	g.interrupt()
 	g.wg.Wait()
+	// Return the bytes of the batch being consumed and of any batches still
+	// queued (the closer goroutine closes g.out once wg.Wait returns, so the
+	// range terminates).
+	g.res.Release(g.batchBytes)
+	g.batchBytes = 0
+	for b := range g.out {
+		g.res.Release(b.bytes)
+	}
 	err := g.finish()
 	if g.failed != nil {
 		// Next already surfaced this error; don't report it twice.

@@ -3,11 +3,10 @@ package exec
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sort"
 	"testing"
-	"time"
 
+	"github.com/mural-db/mural/internal/leakcheck"
 	"github.com/mural-db/mural/internal/plan"
 	"github.com/mural-db/mural/internal/types"
 )
@@ -36,25 +35,12 @@ func eqRowSets(t *testing.T, got, want []types.Tuple) {
 	}
 }
 
-// checkNoGoroutineLeak runs fn and then insists the goroutine count returns
-// to its baseline: no Gather worker may survive the cursor.
+// checkNoGoroutineLeak runs fn under the shared leak assertion: no Gather
+// worker started inside fn may survive past the end of the test.
 func checkNoGoroutineLeak(t *testing.T, fn func()) {
 	t.Helper()
-	before := runtime.NumGoroutine()
+	leakcheck.Check(t)
 	fn()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if runtime.NumGoroutine() <= before {
-			return
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			n := runtime.Stack(buf, true)
-			t.Fatalf("goroutines leaked: %d before, %d after\n%s",
-				before, runtime.NumGoroutine(), buf[:n])
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
 }
 
 // intTable populates table name with n single-column integer rows.

@@ -1,0 +1,106 @@
+// Package leakcheck asserts that a test leaves no engine goroutines behind.
+// Cancellation bugs in the parallel executor and the server tend to show up
+// exactly this way — a Gather worker blocked on a channel send, a read pump
+// parked forever — so tests that exercise those paths call Check once at the
+// top and get the assertion for free at cleanup.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// modulePath identifies this repository's goroutines in stack dumps.
+const modulePath = "github.com/mural-db/mural"
+
+// retryWindow is how long the cleanup waits for goroutines that are still
+// winding down (channel drains, deferred Closes) before calling them leaks.
+const retryWindow = 2 * time.Second
+
+// Check snapshots the engine goroutines alive now and registers a cleanup
+// that fails the test if new ones are still running when it ends. Goroutines
+// get a grace window to finish winding down, so ordinary asynchronous
+// teardown does not flake the assertion.
+func Check(t testing.TB) {
+	t.Helper()
+	before := engineGoroutines()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(retryWindow)
+		for {
+			leaked := leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				var sb strings.Builder
+				for id, stack := range leaked {
+					fmt.Fprintf(&sb, "\n--- leaked goroutine %s ---\n%s\n", id, stack)
+				}
+				t.Errorf("leakcheck: %d engine goroutine(s) still running %s after test end:%s",
+					len(leaked), retryWindow, sb.String())
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}
+
+// leakedSince returns engine goroutines alive now that were not in before.
+func leakedSince(before map[string]string) map[string]string {
+	leaked := make(map[string]string)
+	for id, stack := range engineGoroutines() {
+		if _, ok := before[id]; !ok {
+			leaked[id] = stack
+		}
+	}
+	return leaked
+}
+
+// engineGoroutines dumps all goroutines and keeps those running this
+// module's code, keyed by goroutine id. Test-runner goroutines (the ones
+// executing the test functions themselves, including the one calling this —
+// t.Cleanup runs on the test goroutine) are excluded: the interesting
+// population is background workers the engine spawned.
+func engineGoroutines() map[string]string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	out := make(map[string]string)
+	for _, stack := range strings.Split(string(buf), "\n\n") {
+		if !strings.Contains(stack, modulePath) {
+			continue
+		}
+		if strings.Contains(stack, "testing.tRunner") {
+			continue
+		}
+		id, ok := goroutineID(stack)
+		if !ok {
+			continue
+		}
+		out[id] = stack
+	}
+	return out
+}
+
+// goroutineID extracts the id from a "goroutine N [state]:" header.
+func goroutineID(stack string) (string, bool) {
+	const prefix = "goroutine "
+	if !strings.HasPrefix(stack, prefix) {
+		return "", false
+	}
+	rest := stack[len(prefix):]
+	sp := strings.IndexByte(rest, ' ')
+	if sp <= 0 {
+		return "", false
+	}
+	return rest[:sp], true
+}

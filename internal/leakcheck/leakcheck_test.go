@@ -1,0 +1,60 @@
+package leakcheck
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// spin parks a goroutine with a module frame on its stack until release is
+// closed; it stands in for a leaked engine worker.
+func spin(started *sync.WaitGroup, release <-chan struct{}) {
+	started.Done()
+	<-release
+}
+
+func TestDetectsNewEngineGoroutine(t *testing.T) {
+	before := engineGoroutines()
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	go spin(&started, release)
+	started.Wait()
+	leaked := leakedSince(before)
+	if len(leaked) != 1 {
+		t.Fatalf("leakedSince found %d goroutines, want 1: %v", len(leaked), leaked)
+	}
+	for _, stack := range leaked {
+		if !strings.Contains(stack, "spin") {
+			t.Errorf("leaked stack does not show the spinner:\n%s", stack)
+		}
+	}
+	close(release)
+	// The goroutine exits; the diff converges to empty.
+	deadline := time.Now().Add(time.Second)
+	for len(leakedSince(before)) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("leak diff never converged after goroutine exit")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestCheckPassesOnCleanTest(t *testing.T) {
+	Check(t)
+	// A goroutine that finishes before test end is not a leak.
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+func TestGoroutineID(t *testing.T) {
+	id, ok := goroutineID("goroutine 42 [running]:\nmain.main()")
+	if !ok || id != "42" {
+		t.Fatalf("goroutineID = %q, %v; want \"42\", true", id, ok)
+	}
+	if _, ok := goroutineID("not a header"); ok {
+		t.Fatalf("goroutineID accepted a non-header")
+	}
+}

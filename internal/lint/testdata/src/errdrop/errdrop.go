@@ -92,3 +92,34 @@ func (q *commitQueue) leaderDropsSyncError(end int64) {
 	q.dev.Sync() // want `call to Sync discards its error result`
 	q.synced = end
 }
+
+// ---- governor shapes ----
+
+// governor mirrors exec.Resources: Grow's error is the memory-limit signal
+// and Err is the cancellation checkpoint; dropping either silently runs an
+// operator past its budget or its deadline.
+type governor struct{}
+
+func (g *governor) Grow(b int64) error { return nil }
+func (g *governor) Err() error         { return nil }
+func (g *governor) Release(b int64)    {}
+
+// checkpointChecked is the correct operator checkpoint: both governed
+// signals propagate.
+func checkpointChecked(g *governor) error {
+	if err := g.Err(); err != nil {
+		return err
+	}
+	if err := g.Grow(64); err != nil {
+		return err
+	}
+	g.Release(64) // Release returns nothing; no error to drop.
+	return nil
+}
+
+// checkpointDropped is the broken operator: it polls the governor but
+// discards both verdicts, so cancel and memory limits never fire.
+func checkpointDropped(g *governor) {
+	g.Err()     // want `call to Err discards its error result`
+	g.Grow(128) // want `call to Grow discards its error result`
+}

@@ -212,3 +212,119 @@ func cacheWarmLeaksOnError(names []string) (map[string]Tuple, error) {
 	}
 	return cache, nil
 }
+
+// ---- cancelable-operator shapes ----
+
+// resources mirrors exec.Resources: the cancel checkpoint and the memory
+// budget the governed operators consult.
+type resources struct{ budget int64 }
+
+func (r *resources) Err() error         { return nil }
+func (r *resources) Grow(b int64) error { return nil }
+func (r *resources) Release(b int64)    {}
+
+// cancelIter mirrors the checkpointed operator wrappers: it owns a child
+// and a tick counter, and Close forwards to the child.
+type cancelIter struct {
+	child *scanIter
+	res   *resources
+	ticks uint64
+}
+
+func (c *cancelIter) Next() (Tuple, bool, error) {
+	if c.ticks++; c.ticks&1023 == 0 {
+		if err := c.res.Err(); err != nil {
+			return nil, false, err
+		}
+	}
+	return c.child.Next()
+}
+func (c *cancelIter) Close() error { return c.child.Close() }
+
+// governedBuildClosesOnError is the exec.RunGoverned shape: the child is
+// built first, and if the pre-run checkpoint already fails, the child is
+// closed before the error escapes.
+func governedBuildClosesOnError(res *resources) (*cancelIter, error) {
+	child, err := open("scan")
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Err(); err != nil {
+		_ = child.Close()
+		return nil, err
+	}
+	return &cancelIter{child: child, res: res}, nil
+}
+
+// governedBuildLeaksOnError is the broken variant: the pre-run checkpoint
+// bails without releasing the child it already owns.
+func governedBuildLeaksOnError(res *resources) (*cancelIter, error) {
+	child, err := open("scan") // want `iterator acquired by open is not released`
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Err(); err != nil {
+		return nil, err // child leaks
+	}
+	return &cancelIter{child: child, res: res}, nil
+}
+
+// governedMaterializeReleasesOnError mirrors the materializing operators
+// under a memory budget: a failed Grow must still close the input before
+// surfacing ErrMemoryLimit.
+func governedMaterializeReleasesOnError(res *resources) ([]Tuple, error) {
+	it, err := open("build")
+	if err != nil {
+		return nil, err
+	}
+	var out []Tuple
+	var bytes int64
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			_ = it.Close()
+			res.Release(bytes)
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		// Record the charge before checking it: a failing Grow still counts
+		// and the error path below must release it.
+		bytes += int64(len(t))
+		if err := res.Grow(int64(len(t))); err != nil {
+			_ = it.Close()
+			res.Release(bytes)
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	_ = it.Close()
+	res.Release(bytes)
+	return out, nil
+}
+
+// governedMaterializeLeaksOnGrowFailure is the broken variant: the memory
+// rejection path returns without closing the input iterator.
+func governedMaterializeLeaksOnGrowFailure(res *resources) ([]Tuple, error) {
+	it, err := open("build") // want `iterator acquired by open is not released`
+	if err != nil {
+		return nil, err
+	}
+	var out []Tuple
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			return nil, err // it leaks
+		}
+		if !ok {
+			break
+		}
+		if err := res.Grow(int64(len(t))); err != nil {
+			return nil, err // it leaks on the memory-limit path too
+		}
+		out = append(out, t)
+	}
+	_ = it.Close()
+	return out, nil
+}

@@ -1,0 +1,152 @@
+// Package netfault injects network faults into net.Conn streams: partial
+// writes, stalls and connection resets, each fired with a configured
+// probability from a seeded PRNG. It plugs into the server's ConnWrap and
+// the client Dialer's Wrap seams, turning the protocol tests into a chaos
+// harness — the assertions stay the same, the transport just misbehaves.
+//
+// An Injector is safe for concurrent use across many connections and can be
+// toggled at runtime, so a test can run a fault storm and then verify that a
+// clean connection still works against the same server.
+package netfault
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets the fault mix. Probabilities are per I/O operation, in [0, 1];
+// zero disables that fault.
+type Config struct {
+	// Seed makes a run reproducible; 0 picks a fixed default seed.
+	Seed int64
+	// PartialWrite is the probability a Write delivers only a prefix before
+	// the rest (with a scheduling pause between), exercising short-write
+	// handling in the framing layer.
+	PartialWrite float64
+	// Stall is the probability an operation sleeps StallFor first,
+	// exercising deadline and timeout paths.
+	Stall float64
+	// StallFor is the stall duration (default 5ms).
+	StallFor time.Duration
+	// Reset is the probability an operation abruptly closes the connection
+	// instead of performing, exercising reconnect and error surfacing.
+	Reset float64
+}
+
+// Stats counts faults actually fired.
+type Stats struct {
+	PartialWrites int64
+	Stalls        int64
+	Resets        int64
+}
+
+// Injector wraps connections with the configured fault behavior.
+type Injector struct {
+	cfg     Config
+	enabled atomic.Bool
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	partials atomic.Int64
+	stalls   atomic.Int64
+	resets   atomic.Int64
+}
+
+// New builds an enabled Injector.
+func New(cfg Config) *Injector {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x6d75_7261 // "mura"
+	}
+	if cfg.StallFor <= 0 {
+		cfg.StallFor = 5 * time.Millisecond
+	}
+	inj := &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	inj.enabled.Store(true)
+	return inj
+}
+
+// SetEnabled toggles fault firing; wrapped connections pass everything
+// through unchanged while disabled.
+func (inj *Injector) SetEnabled(on bool) { inj.enabled.Store(on) }
+
+// Enabled reports whether faults may fire.
+func (inj *Injector) Enabled() bool { return inj.enabled.Load() }
+
+// Stats snapshots the fault counters.
+func (inj *Injector) Stats() Stats {
+	return Stats{
+		PartialWrites: inj.partials.Load(),
+		Stalls:        inj.stalls.Load(),
+		Resets:        inj.resets.Load(),
+	}
+}
+
+// roll draws a uniform [0,1) sample.
+func (inj *Injector) roll() float64 {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.rng.Float64()
+}
+
+// Wrap layers fault injection over a connection.
+func (inj *Injector) Wrap(c net.Conn) net.Conn {
+	return &faultConn{Conn: c, inj: inj}
+}
+
+// faultConn is one wrapped connection.
+type faultConn struct {
+	net.Conn
+	inj *Injector
+}
+
+// fault runs the pre-operation fault mix: maybe stall, maybe reset. It
+// reports whether the operation should proceed; on reset the connection is
+// already closed and the caller surfaces the resulting I/O error.
+func (fc *faultConn) fault() bool {
+	inj := fc.inj
+	if !inj.Enabled() {
+		return true
+	}
+	if p := inj.cfg.Stall; p > 0 && inj.roll() < p {
+		inj.stalls.Add(1)
+		time.Sleep(inj.cfg.StallFor)
+	}
+	if p := inj.cfg.Reset; p > 0 && inj.roll() < p {
+		inj.resets.Add(1)
+		_ = fc.Conn.Close()
+		return false
+	}
+	return true
+}
+
+func (fc *faultConn) Read(b []byte) (int, error) {
+	if !fc.fault() {
+		return 0, net.ErrClosed
+	}
+	return fc.Conn.Read(b)
+}
+
+func (fc *faultConn) Write(b []byte) (int, error) {
+	inj := fc.inj
+	if !fc.fault() {
+		return 0, net.ErrClosed
+	}
+	if p := inj.cfg.PartialWrite; inj.Enabled() && p > 0 && len(b) > 1 && inj.roll() < p {
+		inj.partials.Add(1)
+		cut := 1 + int(inj.roll()*float64(len(b)-1))
+		n, err := fc.Conn.Write(b[:cut])
+		if err != nil {
+			return n, err
+		}
+		// Yield so the peer observes the short delivery before the rest.
+		time.Sleep(200 * time.Microsecond)
+		m, err := fc.Conn.Write(b[cut:])
+		return n + m, err
+	}
+	return fc.Conn.Write(b)
+}

@@ -1,0 +1,97 @@
+package netfault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair builds an in-memory conn pair with the near side wrapped.
+func pipePair(inj *Injector) (wrapped, far net.Conn) {
+	a, b := net.Pipe()
+	return inj.Wrap(a), b
+}
+
+func TestPartialWriteDeliversEverything(t *testing.T) {
+	inj := New(Config{Seed: 7, PartialWrite: 1})
+	wrapped, far := pipePair(inj)
+	defer wrapped.Close()
+	defer far.Close()
+	payload := []byte("the quick brown fox jumps over the lazy dog")
+	got := make([]byte, len(payload))
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.ReadFull(far, got)
+		done <- err
+	}()
+	if _, err := wrapped.Write(payload); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload corrupted: %q", got)
+	}
+	if s := inj.Stats(); s.PartialWrites == 0 {
+		t.Fatalf("no partial writes recorded at probability 1")
+	}
+}
+
+func TestResetClosesConnection(t *testing.T) {
+	inj := New(Config{Seed: 7, Reset: 1})
+	wrapped, far := pipePair(inj)
+	defer far.Close()
+	_, err := wrapped.Write([]byte("x"))
+	if err == nil {
+		t.Fatalf("write on reset connection succeeded")
+	}
+	if !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("reset error = %v, want net.ErrClosed", err)
+	}
+	if s := inj.Stats(); s.Resets == 0 {
+		t.Fatalf("no resets recorded at probability 1")
+	}
+}
+
+func TestStallDelaysOperation(t *testing.T) {
+	inj := New(Config{Seed: 7, Stall: 1, StallFor: 30 * time.Millisecond})
+	wrapped, far := pipePair(inj)
+	defer wrapped.Close()
+	defer far.Close()
+	go func() {
+		buf := make([]byte, 1)
+		_, _ = far.Read(buf)
+	}()
+	start := time.Now()
+	if _, err := wrapped.Write([]byte("x")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("write returned in %s, want >= 30ms stall", d)
+	}
+	if s := inj.Stats(); s.Stalls == 0 {
+		t.Fatalf("no stalls recorded at probability 1")
+	}
+}
+
+func TestDisabledPassesThrough(t *testing.T) {
+	inj := New(Config{Seed: 7, PartialWrite: 1, Stall: 1, Reset: 1})
+	inj.SetEnabled(false)
+	wrapped, far := pipePair(inj)
+	defer wrapped.Close()
+	defer far.Close()
+	go func() {
+		buf := make([]byte, 2)
+		_, _ = io.ReadFull(far, buf)
+	}()
+	if _, err := wrapped.Write([]byte("ok")); err != nil {
+		t.Fatalf("write with faults disabled: %v", err)
+	}
+	if s := inj.Stats(); s != (Stats{}) {
+		t.Fatalf("faults fired while disabled: %+v", s)
+	}
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mural-db/mural/internal/client"
+	"github.com/mural-db/mural/internal/leakcheck"
+	"github.com/mural-db/mural/internal/netfault"
+	"github.com/mural-db/mural/mural"
+)
+
+// Chaos harness: both halves of the wire run through a fault injector that
+// stalls, resets, and splits writes while concurrent sessions hammer the
+// server. Individual operations may fail — that is the point — but the
+// server must never panic or leak a goroutine, and once the faults are
+// switched off a clean connection must work against the same server.
+//
+// Run it under -race: the fault mix forces the error paths (short writes,
+// mid-frame resets, deadline hits) that the happy-path tests never touch.
+func TestChaosNetworkFaults(t *testing.T) {
+	leakcheck.Check(t)
+	eng, err := mural.Open(mural.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := netfault.New(netfault.Config{
+		Seed:         42,
+		PartialWrite: 0.4,
+		Stall:        0.05,
+		StallFor:     time.Millisecond,
+		Reset:        0.03,
+	})
+	srv := New(eng)
+	srv.ConnWrap = inj.Wrap
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+
+	panicsBefore := mPanics.Value()
+
+	// Seed the schema over a clean connection before the storm.
+	inj.SetEnabled(false)
+	setup, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.Exec(`CREATE TABLE kv (id INT, name UNITEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.Exec(`INSERT INTO kv VALUES (1, unitext('nehru', english)), (2, unitext('gandhi', english))`); err != nil {
+		t.Fatal(err)
+	}
+	_ = setup.Close()
+	inj.SetEnabled(true)
+
+	dialer := client.Dialer{
+		Retry:     client.RetryPolicy{Attempts: 3, BaseDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond},
+		OpTimeout: 2 * time.Second,
+		Wrap:      inj.Wrap,
+	}
+
+	const (
+		sessions = 6
+		opsPer   = 15
+	)
+	var wg sync.WaitGroup
+	var okOps, failedOps int64
+	var opMu sync.Mutex
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for op := 0; op < opsPer; op++ {
+				conn, err := dialer.Dial(addr)
+				if err != nil {
+					opMu.Lock()
+					failedOps++
+					opMu.Unlock()
+					continue
+				}
+				q := `SELECT count(*) FROM kv WHERE name LEXEQUAL 'nehru' THRESHOLD 1 IN english`
+				if op%3 == 0 {
+					q = fmt.Sprintf(`SELECT id FROM kv WHERE id = %d`, op%2+1)
+				}
+				cur, err := conn.Query(q)
+				if err == nil {
+					_, err = cur.All()
+				}
+				opMu.Lock()
+				if err != nil {
+					failedOps++
+				} else {
+					okOps++
+				}
+				opMu.Unlock()
+				_ = conn.Close()
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	if got := mPanics.Value(); got != panicsBefore {
+		t.Fatalf("server recovered %d panics during the fault storm, want 0", got-panicsBefore)
+	}
+	stats := inj.Stats()
+	if stats.PartialWrites == 0 {
+		t.Error("fault storm fired no partial writes; the harness is not exercising anything")
+	}
+	t.Logf("chaos: %d ops ok, %d failed; faults fired: %+v", okOps, failedOps, stats)
+
+	// Faults off: the same server serves a clean connection correctly.
+	inj.SetEnabled(false)
+	conn, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("clean dial after storm: %v", err)
+	}
+	defer conn.Close()
+	cur, err := conn.Query(`SELECT count(*) FROM kv`)
+	if err != nil {
+		t.Fatalf("clean query after storm: %v", err)
+	}
+	rows, err := cur.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].Int() != 2 {
+		t.Errorf("count after storm = %v, want 2", rows[0])
+	}
+}

@@ -13,5 +13,8 @@ var (
 	// mProtocolErrors counts framing violations (e.g. a length prefix over
 	// wire.MaxPayload) that made the server refuse a frame and hang up.
 	mProtocolErrors = metrics.Default.Counter("mural_server_protocol_errors_total")
-	mReqLatNs       = metrics.Default.Histogram("mural_server_request_latency_ns", metrics.DurationBuckets)
+	// mCancels counts wire-level MsgCancel frames received (whether or not a
+	// statement was in flight to cancel).
+	mCancels  = metrics.Default.Counter("mural_server_cancels_total")
+	mReqLatNs = metrics.Default.Histogram("mural_server_request_latency_ns", metrics.DurationBuckets)
 )

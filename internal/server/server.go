@@ -2,10 +2,17 @@
 // "inside" half of the outside-the-server experimental setup. One goroutine
 // per connection; cursors are per-connection state, fetched row-at-a-time
 // or in batches exactly as a PL/SQL cursor loop would.
+//
+// Each connection runs two goroutines: a read pump that unframes inbound
+// messages, and the session loop that executes them in arrival order. The
+// split is what makes wire-level cancellation work — while a statement is
+// executing, the pump keeps reading, so a MsgCancel arriving mid-statement
+// cancels the statement's context immediately instead of queueing behind it.
 package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -23,20 +30,33 @@ type Server struct {
 	eng *mural.Engine
 
 	// IdleTimeout bounds how long a connection may sit between requests;
-	// exceeding it closes the connection. Zero means no limit. Set before
+	// exceeding it closes the connection. Zero means no limit. It never
+	// fires while a statement is executing on the connection. Set before
 	// Start.
 	IdleTimeout time.Duration
 
-	mu     sync.Mutex
-	ln     net.Listener
-	closed bool
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
+	// ConnWrap, when set, wraps every accepted socket before the protocol
+	// runs over it — the server half of the fault-injection seam
+	// (netfault.Wrap). Set before Start.
+	ConnWrap func(net.Conn) net.Conn
+
+	// baseCtx parents every statement context; baseCancel aborts them all
+	// (forced shutdown).
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	ln       net.Listener
+	closed   bool
+	draining bool
+	sessions map[net.Conn]*session
+	wg       sync.WaitGroup
 }
 
 // New wraps an engine.
 func New(eng *mural.Engine) *Server {
-	return &Server{eng: eng, conns: make(map[net.Conn]struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{eng: eng, sessions: make(map[net.Conn]*session), baseCtx: ctx, baseCancel: cancel}
 }
 
 // Start listens on addr ("127.0.0.1:0" for an ephemeral port) and serves in
@@ -63,62 +83,258 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		if s.ConnWrap != nil {
+			conn = s.ConnWrap(conn)
+		}
+		sess := newSession()
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			_ = conn.Close()
-			return
+			if s.isClosed() {
+				return
+			}
+			continue
 		}
-		s.conns[conn] = struct{}{}
+		s.sessions[conn] = sess
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.serveConn(conn)
+			s.serveConn(conn, sess)
 			s.mu.Lock()
-			delete(s.conns, conn)
+			delete(s.sessions, conn)
 			s.mu.Unlock()
 		}()
 	}
 }
 
-// Close stops the listener and all connections.
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Close stops the listener and all connections immediately (no drain).
 func (s *Server) Close() error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
 	s.closed = true
 	if s.ln != nil {
 		_ = s.ln.Close()
 	}
-	for c := range s.conns {
+	for c := range s.sessions {
 		_ = c.Close()
 	}
 	s.mu.Unlock()
+	s.baseCancel()
 	s.wg.Wait()
 	return nil
 }
 
-// session is per-connection cursor state.
-type session struct {
-	cursors map[uint64]*mural.Rows
-	nextID  uint64
+// Shutdown drains the server gracefully: the listener stops accepting, idle
+// connections close, and connections with a statement executing or a cursor
+// open get to finish. Statements arriving during the drain are refused with
+// a shutdown error. If ctx expires first, every remaining statement is
+// canceled (surfacing ErrCanceled to its client) and the connections are
+// torn down; Shutdown then returns ctx's error.
+//
+// Durability needs no special casing here: a statement only reports success
+// after its WAL group commit is synced, so every statement this drain lets
+// finish is already durable when Shutdown returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	s.mu.Unlock()
+
+	forced := false
+	for {
+		s.mu.Lock()
+		busy := 0
+		for c, sess := range s.sessions {
+			if sess.active() {
+				busy++
+			} else {
+				// Idle connection: closing it unblocks the read pump, and the
+				// session winds down through its normal defer path.
+				_ = c.Close()
+			}
+		}
+		s.mu.Unlock()
+		if busy == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			forced = true
+			s.baseCancel()
+			s.mu.Lock()
+			for c := range s.sessions {
+				_ = c.Close()
+			}
+			s.mu.Unlock()
+		case <-time.After(2 * time.Millisecond):
+		}
+		if forced {
+			break
+		}
+	}
+	s.wg.Wait()
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	if forced {
+		return ctx.Err()
+	}
+	return nil
 }
 
-func (s *Server) serveConn(conn net.Conn) {
-	defer func() { _ = conn.Close() }()
-	br := bufio.NewReaderSize(conn, 64<<10)
-	bw := bufio.NewWriterSize(conn, 64<<10)
-	sess := &session{cursors: make(map[uint64]*mural.Rows), nextID: 1}
-	defer func() {
-		for _, c := range sess.cursors {
-			_ = c.Close()
-		}
-	}()
+// cursorState is one open cursor plus the cancel of its query context (the
+// context must outlive the MsgQuery dispatch: it governs every later fetch).
+type cursorState struct {
+	rows   *mural.Rows
+	cancel context.CancelFunc
+}
+
+// session is per-connection state. The cursors map belongs to the session
+// loop alone; the mutex-guarded fields are shared with the read pump (which
+// fires cancels) and with Shutdown (which polls activity).
+type session struct {
+	cursors map[uint64]*cursorState
+	nextID  uint64
+
+	mu sync.Mutex
+	// cancel aborts the statement currently executing (nil when idle).
+	cancel context.CancelFunc
+	// busy marks a dispatch in progress; open counts live cursors. Either
+	// keeps the connection alive through a graceful drain.
+	busy bool
+	open int
+}
+
+func newSession() *session {
+	return &session{cursors: make(map[uint64]*cursorState), nextID: 1}
+}
+
+// begin registers ctx's cancel as the connection's in-flight statement and
+// returns the matching deregistration.
+func (sess *session) begin(cancel context.CancelFunc) func() {
+	sess.mu.Lock()
+	sess.cancel = cancel
+	sess.busy = true
+	sess.mu.Unlock()
+	return func() {
+		sess.mu.Lock()
+		sess.cancel = nil
+		sess.busy = false
+		sess.mu.Unlock()
+	}
+}
+
+// cancelCurrent aborts the in-flight statement, if any (the MsgCancel path;
+// called from the read pump).
+func (sess *session) cancelCurrent() {
+	sess.mu.Lock()
+	if sess.cancel != nil {
+		sess.cancel()
+	}
+	sess.mu.Unlock()
+}
+
+// active reports whether the connection holds work a graceful drain should
+// wait for: an executing statement or an open cursor.
+func (sess *session) active() bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.busy || sess.open > 0
+}
+
+func (sess *session) isBusy() bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.busy
+}
+
+func (sess *session) setOpen(n int) {
+	sess.mu.Lock()
+	sess.open = n
+	sess.mu.Unlock()
+}
+
+// frame is one inbound message (or the read error that ended the stream).
+type frame struct {
+	typ     wire.MsgType
+	payload []byte
+	err     error
+}
+
+// readPump unframes inbound messages onto out until the connection dies.
+// MsgCancel never reaches the queue: it takes effect here, immediately, even
+// while the session loop is deep in a statement. The idle deadline re-arms
+// without killing the connection as long as a statement is executing (the
+// client is waiting on us, not idling).
+func (s *Server) readPump(conn net.Conn, br *bufio.Reader, sess *session, out chan<- frame) {
+	defer close(out)
 	for {
 		if s.IdleTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
 		}
 		typ, payload, err := wire.Read(br)
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && sess.isBusy() {
+				continue
+			}
+			out <- frame{err: err}
+			return
+		}
+		if typ == wire.MsgCancel {
+			mCancels.Inc()
+			sess.cancelCurrent()
+			continue
+		}
+		out <- frame{typ: typ, payload: payload}
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn, sess *session) {
+	defer func() { _ = conn.Close() }()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	defer func() {
+		for _, cs := range sess.cursors {
+			cs.cancel()
+			_ = cs.rows.Close()
+		}
+	}()
+	inbound := make(chan frame)
+	go s.readPump(conn, br, sess, inbound)
+	// Drain the pump on exit so its goroutine never blocks on a send to a
+	// loop that already returned.
+	defer func() {
+		_ = conn.Close() // unblock a pump stuck in Read
+		for range inbound {
+		}
+	}()
+	for f := range inbound {
+		if f.err != nil {
+			err := f.err
 			var ne net.Error
 			switch {
 			case errors.As(err, &ne) && ne.Timeout():
@@ -130,7 +346,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				// stream cannot be resynchronized).
 				mProtocolErrors.Inc()
 				mErrors.Inc()
-				_ = wire.Write(bw, wire.MsgErr, []byte(err.Error()))
+				_ = wire.Write(bw, wire.MsgErr, wire.EncodeErr(wire.ErrCodeGeneric, err.Error()))
 				_ = bw.Flush()
 			case !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed):
 				// Connection torn down mid-frame; nothing to report to.
@@ -138,7 +354,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		if err := s.dispatchSafe(bw, sess, typ, payload); err != nil {
+		if err := s.dispatchSafe(bw, sess, f.typ, f.payload); err != nil {
 			// Best effort: push any queued error frame out before closing.
 			_ = bw.Flush()
 			return
@@ -158,11 +374,27 @@ func (s *Server) dispatchSafe(w io.Writer, sess *session, typ wire.MsgType, payl
 		if r := recover(); r != nil {
 			mPanics.Inc()
 			mErrors.Inc()
-			_ = wire.Write(w, wire.MsgErr, []byte(fmt.Sprintf("server: internal error: %v", r)))
+			_ = wire.Write(w, wire.MsgErr, wire.EncodeErr(wire.ErrCodeGeneric, fmt.Sprintf("server: internal error: %v", r)))
 			err = fmt.Errorf("server: panic in dispatch: %v", r)
 		}
 	}()
 	return s.dispatch(w, sess, typ, payload)
+}
+
+// errCode classifies a statement failure for the wire.
+func errCode(err error) wire.ErrCode {
+	switch {
+	case errors.Is(err, mural.ErrCanceled):
+		return wire.ErrCodeCanceled
+	case errors.Is(err, mural.ErrQueryTimeout):
+		return wire.ErrCodeTimeout
+	case errors.Is(err, mural.ErrMemoryLimit):
+		return wire.ErrCodeMemory
+	case errors.Is(err, mural.ErrAdmissionRejected):
+		return wire.ErrCodeRejected
+	default:
+		return wire.ErrCodeGeneric
+	}
 }
 
 func (s *Server) dispatch(w io.Writer, sess *session, typ wire.MsgType, payload []byte) error {
@@ -171,7 +403,7 @@ func (s *Server) dispatch(w io.Writer, sess *session, typ wire.MsgType, payload 
 	defer func() { mReqLatNs.Observe(int64(time.Since(start))) }()
 	sendErr := func(err error) error {
 		mErrors.Inc()
-		return wire.Write(w, wire.MsgErr, []byte(err.Error()))
+		return wire.Write(w, wire.MsgErr, wire.EncodeErr(errCode(err), err.Error()))
 	}
 	switch typ {
 	case wire.MsgPing:
@@ -179,63 +411,97 @@ func (s *Server) dispatch(w io.Writer, sess *session, typ wire.MsgType, payload 
 	case wire.MsgQuit:
 		return fmt.Errorf("quit")
 	case wire.MsgExec:
-		res, err := s.eng.Exec(string(payload))
+		if s.isDraining() {
+			mErrors.Inc()
+			return wire.Write(w, wire.MsgErr, wire.EncodeErr(wire.ErrCodeShutdown, "server: shutting down"))
+		}
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		done := sess.begin(cancel)
+		res, err := s.eng.ExecContext(ctx, string(payload))
+		done()
+		cancel()
 		if err != nil {
 			return sendErr(err)
 		}
 		return wire.Write(w, wire.MsgOK, wire.EncodeUvarint(uint64(res.RowsAffected)))
 	case wire.MsgQuery:
+		if s.isDraining() {
+			mErrors.Inc()
+			return wire.Write(w, wire.MsgErr, wire.EncodeErr(wire.ErrCodeShutdown, "server: shutting down"))
+		}
 		q := string(payload)
 		stmt, err := sql.Parse(q)
 		if err != nil {
 			return sendErr(err)
 		}
+		// The query context outlives this dispatch: it governs every later
+		// fetch on the cursor, so it is canceled at cursor close, not here.
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		done := sess.begin(cancel)
 		var rows *mural.Rows
 		if _, isSelect := stmt.(*sql.Select); !isSelect {
-			res, err := s.eng.Exec(q)
+			res, err := s.eng.ExecContext(ctx, q)
+			done()
 			if err != nil {
+				cancel()
 				return sendErr(err)
 			}
 			if len(res.Cols) == 0 {
+				cancel()
 				return wire.Write(w, wire.MsgOK, wire.EncodeUvarint(uint64(res.RowsAffected)))
 			}
 			// Row-bearing non-SELECTs (EXPLAIN [ANALYZE], SHOW) stream
 			// their materialized output through the cursor protocol.
 			rows = mural.StaticRows(res.Cols, res.Rows)
 		} else {
-			var err error
-			rows, err = s.eng.Query(q)
+			rows, err = s.eng.QueryContext(ctx, q)
+			done()
 			if err != nil {
+				cancel()
 				return sendErr(err)
 			}
 		}
 		id := sess.nextID
 		sess.nextID++
-		sess.cursors[id] = rows
+		sess.cursors[id] = &cursorState{rows: rows, cancel: cancel}
+		sess.setOpen(len(sess.cursors))
 		return wire.Write(w, wire.MsgRowDesc, wire.EncodeRowDesc(id, rows.Cols))
 	case wire.MsgFetch:
 		id, maxRows, err := wire.DecodeFetch(payload)
 		if err != nil {
 			return sendErr(err)
 		}
-		rows, ok := sess.cursors[id]
+		cs, ok := sess.cursors[id]
 		if !ok {
 			return sendErr(fmt.Errorf("server: no such cursor %d", id))
 		}
+		// A fetch is cancelable like a statement: MsgCancel mid-fetch fires
+		// the cursor's query context.
+		done := sess.begin(cs.cancel)
+		closeCursor := func() {
+			cs.cancel()
+			_ = cs.rows.Close()
+			delete(sess.cursors, id)
+			sess.setOpen(len(sess.cursors))
+		}
 		for i := 0; i < maxRows; i++ {
-			t, more, err := rows.Next()
+			t, more, err := cs.rows.Next()
 			if err != nil {
+				done()
+				closeCursor()
 				return sendErr(err)
 			}
 			if !more {
-				_ = rows.Close()
-				delete(sess.cursors, id)
+				done()
+				closeCursor()
 				return wire.Write(w, wire.MsgEnd, nil)
 			}
 			if err := wire.Write(w, wire.MsgRow, wire.EncodeRow(t)); err != nil {
+				done()
 				return err
 			}
 		}
+		done()
 		// Batch boundary without exhaustion: client fetches again.
 		return wire.Write(w, wire.MsgOK, wire.EncodeUvarint(uint64(maxRows)))
 	case wire.MsgClose:
@@ -243,9 +509,11 @@ func (s *Server) dispatch(w io.Writer, sess *session, typ wire.MsgType, payload 
 		if err != nil {
 			return sendErr(err)
 		}
-		if rows, ok := sess.cursors[id]; ok {
-			_ = rows.Close()
+		if cs, ok := sess.cursors[id]; ok {
+			cs.cancel()
+			_ = cs.rows.Close()
 			delete(sess.cursors, id)
+			sess.setOpen(len(sess.cursors))
 		}
 		return wire.Write(w, wire.MsgOK, wire.EncodeUvarint(0))
 	default:

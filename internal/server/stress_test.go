@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/mural-db/mural/internal/client"
+	"github.com/mural-db/mural/internal/leakcheck"
 	"github.com/mural-db/mural/mural"
 )
 
@@ -16,6 +17,7 @@ import (
 // assertions validate the two PR-level properties: group commit actually
 // grouped (Syncs < Commits), and DDL purged the shared caches.
 func TestConcurrentSessionsStress(t *testing.T) {
+	leakcheck.Check(t)
 	dir := t.TempDir()
 	eng, err := mural.Open(mural.Config{
 		Dir:         dir,

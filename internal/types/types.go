@@ -181,6 +181,15 @@ func NewUniText(u UniText) Value {
 	return Value{kind: KindUniText, s: u.Text, lang: u.Lang, ph: u.Phoneme}
 }
 
+// valueStructBytes approximates unsafe.Sizeof(Value{}) (two string headers,
+// two 8-byte scalars, tags and padding) without importing unsafe.
+const valueStructBytes = 64
+
+// MemBytes estimates the value's resident heap footprint: the struct itself
+// plus its string payloads. Query memory governors use it to account
+// materialized tuples; it is an estimate, not an exact size.
+func (v Value) MemBytes() int { return valueStructBytes + len(v.s) + len(v.ph) }
+
 // Kind returns the runtime type tag.
 func (v Value) Kind() Kind { return v.kind }
 

@@ -30,12 +30,13 @@ type MsgType byte
 
 // Client → server messages.
 const (
-	MsgQuery MsgType = 0x01 // SQL text; opens a cursor for SELECT
-	MsgExec  MsgType = 0x02 // SQL text; statement without result rows
-	MsgFetch MsgType = 0x03 // cursor id (uvarint), max rows (uvarint)
-	MsgClose MsgType = 0x04 // cursor id (uvarint)
-	MsgPing  MsgType = 0x05
-	MsgQuit  MsgType = 0x06
+	MsgQuery  MsgType = 0x01 // SQL text; opens a cursor for SELECT
+	MsgExec   MsgType = 0x02 // SQL text; statement without result rows
+	MsgFetch  MsgType = 0x03 // cursor id (uvarint), max rows (uvarint)
+	MsgClose  MsgType = 0x04 // cursor id (uvarint)
+	MsgPing   MsgType = 0x05
+	MsgQuit   MsgType = 0x06
+	MsgCancel MsgType = 0x07 // abort the in-flight statement; no reply frame
 )
 
 // Server → client messages.
@@ -47,6 +48,41 @@ const (
 	MsgErr     MsgType = 0x85 // error string
 	MsgPong    MsgType = 0x86
 )
+
+// ErrCode classifies a MsgErr payload so clients can map server failures to
+// typed errors without parsing message text. Codes stay below 0x20 (ASCII
+// control range): a legacy MsgErr payload starts with its message text, whose
+// first byte is printable, so DecodeErr can tell the two formats apart.
+type ErrCode byte
+
+const (
+	ErrCodeGeneric  ErrCode = 0x01 // uncategorized statement failure
+	ErrCodeCanceled ErrCode = 0x02 // statement aborted by client cancel
+	ErrCodeTimeout  ErrCode = 0x03 // statement exceeded its deadline
+	ErrCodeMemory   ErrCode = 0x04 // statement exceeded its memory budget
+	ErrCodeRejected ErrCode = 0x05 // admission control refused the statement
+	ErrCodeShutdown ErrCode = 0x06 // server is draining / shut down
+)
+
+// EncodeErr builds a MsgErr payload: one code byte followed by the message.
+func EncodeErr(code ErrCode, msg string) []byte {
+	buf := make([]byte, 0, 1+len(msg))
+	buf = append(buf, byte(code))
+	return append(buf, msg...)
+}
+
+// DecodeErr splits a MsgErr payload into code and message. Payloads from
+// servers predating error codes carry bare text; those (first byte printable,
+// or empty) decode as ErrCodeGeneric with the whole payload as the message.
+func DecodeErr(buf []byte) (ErrCode, string) {
+	if len(buf) == 0 {
+		return ErrCodeGeneric, "unknown error"
+	}
+	if buf[0] >= 0x20 {
+		return ErrCodeGeneric, string(buf)
+	}
+	return ErrCode(buf[0]), string(buf[1:])
+}
 
 // MaxPayload caps one frame's payload. A corrupt or hostile length prefix
 // must not drive a multi-gigabyte allocation: readers reject oversized

@@ -175,3 +175,59 @@ func TestWriteRefusesOversizePayload(t *testing.T) {
 		t.Fatalf("max-size read: %v", err)
 	}
 }
+
+func TestErrCodecRoundTrip(t *testing.T) {
+	codes := []ErrCode{ErrCodeGeneric, ErrCodeCanceled, ErrCodeTimeout,
+		ErrCodeMemory, ErrCodeRejected, ErrCodeShutdown}
+	for _, code := range codes {
+		buf := EncodeErr(code, "something broke")
+		gotCode, gotMsg := DecodeErr(buf)
+		if gotCode != code || gotMsg != "something broke" {
+			t.Errorf("round trip code %#x = (%#x, %q)", code, gotCode, gotMsg)
+		}
+	}
+}
+
+// Pre-ErrCode servers sent the bare message as the MsgErr payload; the first
+// byte of any human-readable message is printable (>= 0x20), so DecodeErr
+// must classify those as generic with nothing stripped.
+func TestErrCodecLegacyPayload(t *testing.T) {
+	code, msg := DecodeErr([]byte("mural: table missing"))
+	if code != ErrCodeGeneric || msg != "mural: table missing" {
+		t.Errorf("legacy payload = (%#x, %q)", code, msg)
+	}
+	code, msg = DecodeErr(nil)
+	if code != ErrCodeGeneric || msg == "" {
+		t.Errorf("empty payload = (%#x, %q), want generic with a message", code, msg)
+	}
+	// A bare code byte with no message still decodes.
+	code, msg = DecodeErr([]byte{byte(ErrCodeTimeout)})
+	if code != ErrCodeTimeout || msg != "" {
+		t.Errorf("bare code = (%#x, %q)", code, msg)
+	}
+}
+
+// Every ErrCode constant must stay below 0x20 or the legacy heuristic in
+// DecodeErr misclassifies coded payloads.
+func TestErrCodesBelowPrintableRange(t *testing.T) {
+	for _, code := range []ErrCode{ErrCodeGeneric, ErrCodeCanceled, ErrCodeTimeout,
+		ErrCodeMemory, ErrCodeRejected, ErrCodeShutdown} {
+		if code >= 0x20 {
+			t.Errorf("ErrCode %#x collides with printable ASCII", code)
+		}
+	}
+}
+
+func TestCancelFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, MsgCancel, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgCancel || len(payload) != 0 {
+		t.Errorf("cancel frame = (%#x, %d bytes)", typ, len(payload))
+	}
+}

@@ -57,12 +57,20 @@ func (c *ClosureCache) SetCap(n int) {
 // Closure returns the materialized closure of root, computing and caching
 // it on first use. The returned set is shared; callers must not mutate it.
 func (c *ClosureCache) Closure(root SynsetID) map[SynsetID]struct{} {
+	set, _ := c.ClosureComputed(root)
+	return set
+}
+
+// ClosureComputed is Closure plus a flag reporting whether this call
+// materialized the set fresh (a cache miss). Resource governors use the
+// flag to charge the materialization to the query that triggered it.
+func (c *ClosureCache) ClosureComputed(root SynsetID) (map[SynsetID]struct{}, bool) {
 	c.mu.Lock()
 	if set, ok := c.cache[root]; ok {
 		c.hits++
 		c.mu.Unlock()
 		mClosureCacheHits.Inc()
-		return set
+		return set, false
 	}
 	c.misses++
 	c.mu.Unlock()
@@ -84,7 +92,7 @@ func (c *ClosureCache) Closure(root SynsetID) map[SynsetID]struct{} {
 		c.cache[root] = set
 	}
 	c.mu.Unlock()
-	return set
+	return set, true
 }
 
 // Contains reports whether node is in the (cached) closure of root.

@@ -57,6 +57,56 @@ func (m *Matcher) Match(lhs, rhs types.UniText, langs []types.LangID) bool {
 	return false
 }
 
+// Meter is the memory accountant a governed query passes to MatchMeter:
+// Grow charges bytes against the query's budget and fails when it is
+// exhausted (exec.Resources implements it).
+type Meter interface {
+	Grow(n int64) error
+}
+
+// closureEntryBytes approximates one member of a materialized closure set
+// (map bucket share plus the SynsetID key).
+const closureEntryBytes = 16
+
+// MatchMeter is Match with per-query memory governance: every closure this
+// probe materializes fresh is charged to the meter, and a budget failure
+// aborts the probe. Cache hits charge nothing — the paper's §4.3 hash tables
+// are an engine-lifetime structure, so only the query that computes a
+// closure pays for it.
+func (m *Matcher) MatchMeter(lhs, rhs types.UniText, langs []types.LangID, meter Meter) (bool, error) {
+	if len(langs) > 0 {
+		ok := false
+		for _, l := range langs {
+			if lhs.Lang == l {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	lhsSyns := m.net.SynsetsOf(lhs.Lang, lhs.Text)
+	if len(lhsSyns) == 0 {
+		return false, nil
+	}
+	rhsSyns := m.net.SynsetsOf(rhs.Lang, rhs.Text)
+	for _, root := range rhsSyns {
+		closure, computed := m.cache.ClosureComputed(root)
+		if computed {
+			if err := meter.Grow(int64(len(closure)) * closureEntryBytes); err != nil {
+				return false, err
+			}
+		}
+		for _, s := range lhsSyns {
+			if _, ok := closure[s]; ok {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
 // MatchNoCache evaluates Ω without memoization, walking parent pointers:
 // the unamortized per-pair evaluation used to quantify the closure cache's
 // benefit in the ablation benchmark (E7).

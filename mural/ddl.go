@@ -279,7 +279,7 @@ func (e *Engine) phonemeOf(v types.Value) string {
 	}
 }
 
-func (e *Engine) execInsert(s *sql.Insert) (*Result, error) {
+func (e *Engine) execInsert(s *sql.Insert, res *exec.Resources) (*Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	t, ok := e.cat.TableByName(s.Table)
@@ -299,6 +299,11 @@ func (e *Engine) execInsert(s *sql.Insert) (*Result, error) {
 	// coercion, unknown function) never require a rollback at all.
 	tuples := make([]types.Tuple, 0, len(s.Rows))
 	for _, row := range s.Rows {
+		// Cancellation checkpoint: value evaluation runs before any mutation,
+		// so aborting here needs no rollback.
+		if err := res.Err(); err != nil {
+			return nil, err
+		}
 		if len(row) != len(t.Columns) {
 			return nil, fmt.Errorf("mural: INSERT has %d values, table %q has %d columns", len(row), s.Table, len(t.Columns))
 		}
@@ -327,6 +332,12 @@ func (e *Engine) execInsert(s *sql.Insert) (*Result, error) {
 	}
 	var inserted int64
 	for _, tup := range tuples {
+		// Mid-batch abort is safe: the whole statement is one WAL batch, so
+		// rollback discards every row inserted so far atomically.
+		if err := res.Err(); err != nil {
+			_ = e.rollbackBatch(s.Table)
+			return nil, err
+		}
 		rid, err := h.Insert(types.EncodeTuple(tup))
 		if err != nil {
 			_ = e.rollbackBatch(s.Table)
@@ -392,7 +403,7 @@ func coerce(v types.Value, want types.Kind, e *Engine) (types.Value, error) {
 // execDelete removes every row matching the predicate, maintaining all
 // indexes. The heap space is tombstoned, not compacted (the engine's
 // workloads are load-then-query).
-func (e *Engine) execDelete(s *sql.Delete) (*Result, error) {
+func (e *Engine) execDelete(s *sql.Delete, res *exec.Resources) (*Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	t, ok := e.cat.TableByName(s.Table)
@@ -427,6 +438,10 @@ func (e *Engine) execDelete(s *sql.Delete) (*Result, error) {
 	var victims []victim
 	it := h.Scan()
 	for {
+		// The victim scan is read-only; aborting it leaves nothing to undo.
+		if err := res.Err(); err != nil {
+			return nil, err
+		}
 		rid, rec, ok, err := it.Next()
 		if err != nil {
 			return nil, err

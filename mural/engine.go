@@ -1,6 +1,7 @@
 package mural
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/mural-db/mural/internal/catalog"
@@ -77,6 +79,20 @@ type Config struct {
 	// PlanCacheEntries bounds the shared SELECT plan cache (default 256;
 	// negative disables the cache).
 	PlanCacheEntries int
+	// QueryTimeout is the default per-statement deadline; a statement
+	// exceeding it fails with ErrQueryTimeout. Zero means no deadline.
+	// `SET statement_timeout = <ms>` overrides per session (0 disables).
+	QueryTimeout time.Duration
+	// MaxQueryMem caps the bytes one statement may hold in materializing
+	// operators (hash-join builds, sorts, aggregates, Gather merge buffers,
+	// Ω closure materializations); crossing it fails the statement with
+	// ErrMemoryLimit. Zero means unlimited. `SET max_query_mem = <bytes>`
+	// overrides per session (0 disables).
+	MaxQueryMem int64
+	// MaxConcurrentQueries bounds statements running at once; excess
+	// arrivals fail immediately with ErrAdmissionRejected. Zero means
+	// unbounded.
+	MaxConcurrentQueries int
 	// G2PCacheEntries bounds the shared engine-lifetime G2P conversion
 	// cache (default 262144 entries; negative disables the cache).
 	G2PCacheEntries int
@@ -109,6 +125,8 @@ type Engine struct {
 	// and G2P conversions shared across every session's per-query memo.
 	plans *planCache
 	g2p   *phonetic.SharedCache
+	// inflight counts statements currently executing (admission control).
+	inflight atomic.Int64
 
 	mu      sync.RWMutex
 	heaps   map[string]*storage.Heap
@@ -411,11 +429,20 @@ func (e *Engine) MustExec(q string) *Result {
 // update, statements slower than Config.SlowQueryThreshold are logged, and
 // the configured Tracer sees start/end events.
 func (e *Engine) Exec(q string) (*Result, error) {
+	return e.ExecContext(context.Background(), q)
+}
+
+// ExecContext is Exec under a caller context: cancellation and deadline
+// fires are observed at the executor's amortized checkpoints and surface as
+// ErrCanceled / ErrQueryTimeout. The statement also runs under the engine's
+// admission control and the configured per-query deadline and memory
+// ceiling (Config or session settings).
+func (e *Engine) ExecContext(ctx context.Context, q string) (*Result, error) {
 	if tr := e.cfg.Tracer; tr != nil {
 		tr.QueryStart(q)
 	}
 	start := time.Now()
-	res, err := e.exec(q)
+	res, err := e.execGoverned(ctx, q)
 	var rows int64
 	if res != nil {
 		rows = int64(len(res.Rows)) + res.RowsAffected
@@ -424,7 +451,25 @@ func (e *Engine) Exec(q string) (*Result, error) {
 	return res, err
 }
 
-func (e *Engine) exec(q string) (*Result, error) {
+// execGoverned claims an admission slot and governance state, runs the
+// statement, and accounts a governed termination in the metrics.
+func (e *Engine) execGoverned(ctx context.Context, q string) (*Result, error) {
+	release, err := e.admit()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	res, stop := e.queryResources(ctx)
+	defer stop()
+	result, err := e.exec(q, res)
+	noteGovernedErr(err)
+	return result, err
+}
+
+func (e *Engine) exec(q string, res *exec.Resources) (*Result, error) {
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
 	stmt, err := sql.Parse(q)
 	if err != nil {
 		return nil, err
@@ -440,9 +485,9 @@ func (e *Engine) exec(q string) (*Result, error) {
 	case *sql.CreateIndex:
 		return e.ddlDone(e.execCreateIndex(s))
 	case *sql.Insert:
-		return e.execInsert(s)
+		return e.execInsert(s, res)
 	case *sql.Delete:
-		return e.execDelete(s)
+		return e.execDelete(s, res)
 	case *sql.Analyze:
 		return e.ddlDone(e.execAnalyze(s))
 	case *sql.Set:
@@ -457,9 +502,9 @@ func (e *Engine) exec(q string) (*Result, error) {
 		}
 		return res, nil
 	case *sql.Explain:
-		return e.execExplain(s)
+		return e.execExplain(s, res)
 	case *sql.Select:
-		return e.execSelect(q, s)
+		return e.execSelect(q, s, res)
 	default:
 		return nil, fmt.Errorf("mural: unsupported statement %T", stmt)
 	}
@@ -470,6 +515,12 @@ func (e *Engine) exec(q string) (*Result, error) {
 type Rows struct {
 	Cols   []string
 	cursor *exec.Cursor
+	// done releases per-query state (admission slot, deadline timer); Close
+	// calls it exactly once.
+	done func()
+	// noted guards the governed-termination metrics against double counting
+	// when Next keeps being called after a failure.
+	noted bool
 }
 
 // StaticRows wraps already-materialized rows as a streaming Rows; the server
@@ -480,13 +531,35 @@ func StaticRows(cols []string, rows []Tuple) *Rows {
 }
 
 // Next returns the next row.
-func (r *Rows) Next() (Tuple, bool, error) { return r.cursor.Next() }
+func (r *Rows) Next() (Tuple, bool, error) {
+	t, ok, err := r.cursor.Next()
+	if err != nil && !r.noted {
+		r.noted = true
+		noteGovernedErr(err)
+	}
+	return t, ok, err
+}
 
-// Close releases the cursor.
-func (r *Rows) Close() error { return r.cursor.Close() }
+// Close releases the cursor and the query's admission slot.
+func (r *Rows) Close() error {
+	err := r.cursor.Close()
+	if r.done != nil {
+		r.done()
+		r.done = nil
+	}
+	return err
+}
 
 // Query plans and starts a SELECT, returning a streaming cursor.
 func (e *Engine) Query(q string) (*Rows, error) {
+	return e.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query under a caller context. The cursor holds its
+// admission slot and governance state until Close; canceling ctx (or hitting
+// the configured deadline or memory ceiling) fails subsequent Next calls
+// with the typed error.
+func (e *Engine) QueryContext(ctx context.Context, q string) (*Rows, error) {
 	stmt, err := sql.Parse(q)
 	if err != nil {
 		return nil, err
@@ -499,11 +572,22 @@ func (e *Engine) Query(q string) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	cur, err := exec.Run(e, node)
+	release, err := e.admit()
 	if err != nil {
 		return nil, err
 	}
-	return &Rows{Cols: cur.Cols, cursor: cur}, nil
+	res, stop := e.queryResources(ctx)
+	done := func() {
+		stop()
+		release()
+	}
+	cur, err := exec.RunGoverned(e, node, nil, res)
+	if err != nil {
+		done()
+		noteGovernedErr(err)
+		return nil, err
+	}
+	return &Rows{Cols: cur.Cols, cursor: cur, done: done}, nil
 }
 
 // planner assembles a Planner with the current optimizer settings.
@@ -569,13 +653,13 @@ func (e *Engine) planSelectCached(q string, sel *sql.Select) (*plan.Node, error)
 	return node, nil
 }
 
-func (e *Engine) execSelect(q string, sel *sql.Select) (*Result, error) {
+func (e *Engine) execSelect(q string, sel *sql.Select, res *exec.Resources) (*Result, error) {
 	node, err := e.planSelectCached(q, sel)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	cur, err := exec.Run(e, node)
+	cur, err := exec.RunGoverned(e, node, nil, res)
 	if err != nil {
 		return nil, err
 	}
@@ -593,7 +677,7 @@ func (e *Engine) execSelect(q string, sel *sql.Select) (*Result, error) {
 	}, nil
 }
 
-func (e *Engine) execExplain(s *sql.Explain) (*Result, error) {
+func (e *Engine) execExplain(s *sql.Explain, qres *exec.Resources) (*Result, error) {
 	node, err := e.planSelect(s.Stmt)
 	if err != nil {
 		return nil, err
@@ -601,8 +685,13 @@ func (e *Engine) execExplain(s *sql.Explain) (*Result, error) {
 	res := &Result{PlanCost: node.EstCost, Cols: []string{"plan"}}
 	if s.Analyze {
 		es := exec.NewExecStats()
+		// ANALYZE always runs governed (even with no limits configured) so
+		// the memory accountant tracks the query's peak footprint.
+		if qres == nil {
+			qres = exec.NewResources(context.Background(), 0)
+		}
 		start := time.Now()
-		cur, err := exec.RunWithStats(e, node, es)
+		cur, err := exec.RunGoverned(e, node, es, qres)
 		if err != nil {
 			return nil, err
 		}
@@ -618,6 +707,7 @@ func (e *Engine) execExplain(s *sql.Explain) (*Result, error) {
 		cs := e.CacheStats()
 		res.Plan += fmt.Sprintf("Caches: g2p=%d/%d plan=%d/%d closure=%d/%d (hits/misses, engine lifetime)\n",
 			cs.G2P.Hits, cs.G2P.Misses, cs.Plan.Hits, cs.Plan.Misses, cs.Closure.Hits, cs.Closure.Misses)
+		res.Plan += fmt.Sprintf("Memory: peak=%d bytes accounted\n", qres.PeakBytes())
 		if tr := e.cfg.Tracer; tr != nil {
 			es.EmitSpans(node, tr)
 		}

@@ -1,0 +1,121 @@
+package mural
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/mural-db/mural/internal/exec"
+	"github.com/mural-db/mural/internal/metrics"
+)
+
+// Resource governance: per-statement deadlines, a memory ceiling and
+// admission control. The knobs layer in the usual way — session settings
+// (SET statement_timeout / max_query_mem) override the Config defaults, and
+// a zero at either level disables that limit. Governance is pay-as-you-go: a
+// statement with no context, no deadline and no memory cap runs exactly the
+// ungoverned code path it always did.
+
+// Typed statement failures (check with errors.Is). The first three re-export
+// the executor's sentinels so callers need not import internal packages.
+var (
+	// ErrCanceled reports a statement stopped by context cancellation (or a
+	// wire-level cancel message).
+	ErrCanceled = exec.ErrCanceled
+	// ErrQueryTimeout reports a statement that exceeded its deadline
+	// (Config.QueryTimeout or SET statement_timeout).
+	ErrQueryTimeout = exec.ErrQueryTimeout
+	// ErrMemoryLimit reports a statement that exceeded its memory budget
+	// (Config.MaxQueryMem or SET max_query_mem).
+	ErrMemoryLimit = exec.ErrMemoryLimit
+	// ErrAdmissionRejected reports a statement refused because
+	// Config.MaxConcurrentQueries statements were already running.
+	ErrAdmissionRejected = errors.New("mural: too many concurrent queries")
+)
+
+var (
+	mQueriesCanceled   = metrics.Default.Counter("mural_queries_canceled_total")
+	mQueryTimeouts     = metrics.Default.Counter("mural_query_timeouts_total")
+	mAdmissionRejected = metrics.Default.Counter("mural_admission_rejected_total")
+	gQueriesInflight   = metrics.Default.Gauge("mural_queries_inflight")
+)
+
+// admit claims an execution slot, or fails with ErrAdmissionRejected when
+// Config.MaxConcurrentQueries slots are taken. The returned release is
+// idempotent and must always be called.
+func (e *Engine) admit() (func(), error) {
+	n := e.inflight.Add(1)
+	if max := int64(e.cfg.MaxConcurrentQueries); max > 0 && n > max {
+		e.inflight.Add(-1)
+		mAdmissionRejected.Inc()
+		return nil, fmt.Errorf("%w (%d running, limit %d)", ErrAdmissionRejected, n-1, max)
+	}
+	gQueriesInflight.Set(n)
+	released := false
+	return func() {
+		if released {
+			return
+		}
+		released = true
+		gQueriesInflight.Set(e.inflight.Add(-1))
+	}, nil
+}
+
+// statementTimeout resolves the active per-statement deadline: the session's
+// `SET statement_timeout = <ms>` when set (0 disables), else
+// Config.QueryTimeout.
+func (e *Engine) statementTimeout() time.Duration {
+	if v, ok := e.cat.Setting("statement_timeout"); ok {
+		if ms, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64); err == nil && ms >= 0 {
+			return time.Duration(ms) * time.Millisecond
+		}
+	}
+	return e.cfg.QueryTimeout
+}
+
+// queryMemLimit resolves the active per-statement memory ceiling in bytes:
+// `SET max_query_mem = <bytes>` when set (0 disables), else
+// Config.MaxQueryMem.
+func (e *Engine) queryMemLimit() int64 {
+	if v, ok := e.cat.Setting("max_query_mem"); ok {
+		if b, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64); err == nil && b >= 0 {
+			return b
+		}
+	}
+	return e.cfg.MaxQueryMem
+}
+
+// queryResources assembles the governance state for one statement. It
+// returns a nil Resources — the zero-overhead ungoverned path — when the
+// caller's context can never fire and no limit is configured. The returned
+// stop must be called when the statement finishes (it releases the deadline
+// timer); it is non-nil even for ungoverned statements.
+func (e *Engine) queryResources(ctx context.Context) (*exec.Resources, func()) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	timeout := e.statementTimeout()
+	maxMem := e.queryMemLimit()
+	if ctx.Done() == nil && timeout <= 0 && maxMem <= 0 {
+		return nil, func() {}
+	}
+	stop := func() {}
+	if timeout > 0 {
+		ctx, stop = context.WithTimeout(ctx, timeout)
+	}
+	return exec.NewResources(ctx, maxMem), stop
+}
+
+// noteGovernedErr counts governed terminations in the engine metrics.
+func noteGovernedErr(err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, exec.ErrCanceled):
+		mQueriesCanceled.Inc()
+	case errors.Is(err, exec.ErrQueryTimeout):
+		mQueryTimeouts.Inc()
+	}
+}
