@@ -11,7 +11,8 @@
 //	benchrunner -exp parallel            # intra-query parallel speedup sweep
 //	benchrunner -exp concurrent          # concurrent-session insert throughput sweep
 //	benchrunner -exp govern              # cancellation-checkpoint overhead on the Ψ scan
-//	benchrunner -exp snapshot            # reduced-scale JSON perf snapshot (BENCH_PR6.json)
+//	benchrunner -exp observe             # observability (stats+feedback+tracing) overhead
+//	benchrunner -exp snapshot            # reduced-scale JSON perf snapshot (BENCH_PR7.json)
 //	benchrunner -snapshot out.json       # same, to an explicit path
 package main
 
@@ -28,13 +29,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table4|fig6|fig7|fig8|regress|ablation|parallel|concurrent|govern|all")
+		exp     = flag.String("exp", "all", "experiment: table4|fig6|fig7|fig8|regress|ablation|parallel|concurrent|govern|observe|all")
 		names   = flag.Int("names", 5000, "names table size for table4 (paper: ~25000)")
 		probes  = flag.Int("probes", 50, "probe table size for table4 joins")
 		synsets = flag.Int("synsets", 20000, "taxonomy size for fig8 (paper: 111223)")
 		full    = flag.Bool("full", false, "paper-scale settings (slow)")
 		seed    = flag.Int64("seed", 2006, "dataset seed")
-		snap    = flag.String("snapshot", "BENCH_PR6.json", "perf snapshot output path (implies -exp snapshot when set explicitly)")
+		snap    = flag.String("snapshot", "BENCH_PR7.json", "perf snapshot output path (implies -exp snapshot when set explicitly)")
 	)
 	flag.Parse()
 	snapSet := false
@@ -75,6 +76,7 @@ func main() {
 	run("parallel", func() error { return runParallel(*names, *probes, *seed) })
 	run("concurrent", func() error { return runConcurrent() })
 	run("govern", func() error { return runGovern(*names, *seed) })
+	run("observe", func() error { return runObserve(*names, *seed) })
 }
 
 func runTable4(names, probes int, seed int64) error {
@@ -289,5 +291,18 @@ func runGovern(names int, seed int64) error {
 	fmt.Printf("ungoverned (nil Resources):       %.4f s/query\n", res.UngovernedSec)
 	fmt.Printf("governed (10-min timeout armed):  %.4f s/query\n", res.GovernedSec)
 	fmt.Printf("checkpoint overhead: %+.2f%%  (budget: < 2%%)\n", res.OverheadPct)
+	return nil
+}
+
+func runObserve(names int, seed int64) error {
+	fmt.Printf("Observability overhead — Table 4 Ψ scan, %d names\n\n", names)
+	res, err := bench.RunObserveOverhead(bench.ObserveOverheadConfig{Names: names, Threshold: 3, Queries: 5, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("collection disabled:                 %.4f s/query\n", res.BaselineSec)
+	fmt.Printf("stats + feedback + sampled tracing:  %.4f s/query\n", res.ObservedSec)
+	fmt.Printf("observability overhead: %+.2f%%  (budget: < 2%%)\n", res.OverheadPct)
+	fmt.Printf("statement aggregates resident: %d\n", res.Statements)
 	return nil
 }

@@ -75,6 +75,16 @@ type perfSnapshot struct {
 		OverheadPct   float64 `json:"overhead_pct"`
 	} `json:"govern"`
 
+	// Observe is the observability overhead measurement: the Ψ scan on an
+	// engine with collection disabled vs one with statement statistics,
+	// selectivity feedback, and a sampling tracer all armed.
+	Observe struct {
+		BaselineSec float64 `json:"baseline_sec"`
+		ObservedSec float64 `json:"observed_sec"`
+		OverheadPct float64 `json:"overhead_pct"`
+		Statements  int     `json:"statements"`
+	} `json:"observe"`
+
 	// Metrics is the default-registry counter snapshot after the runs:
 	// psi/omega evaluation counts, M-Tree distance computations, buffer
 	// pool traffic and friends.
@@ -187,6 +197,16 @@ func runSnapshot(path string, seed int64) error {
 	snap.Govern.UngovernedSec = gov.UngovernedSec
 	snap.Govern.GovernedSec = gov.GovernedSec
 	snap.Govern.OverheadPct = gov.OverheadPct
+
+	fmt.Println("snapshot: observability overhead (reduced scale)")
+	obs, err := bench.RunObserveOverhead(bench.ObserveOverheadConfig{Names: 3000, Threshold: 3, Queries: 3, Seed: seed})
+	if err != nil {
+		return fmt.Errorf("observe: %w", err)
+	}
+	snap.Observe.BaselineSec = obs.BaselineSec
+	snap.Observe.ObservedSec = obs.ObservedSec
+	snap.Observe.OverheadPct = obs.OverheadPct
+	snap.Observe.Statements = obs.Statements
 
 	// Counter snapshot of everything the runs drove through the engine.
 	reg := metrics.Default.Snapshot()

@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/mural-db/mural/mural"
+)
+
+// ObserveOverheadConfig parameterizes the observability overhead
+// measurement.
+type ObserveOverheadConfig struct {
+	Names     int
+	Threshold int
+	// Queries bounds how many Ψ scan queries each pass averages over.
+	Queries int
+	// Rounds is how many timed passes each engine takes (the minimum is
+	// reported, robust to scheduling noise).
+	Rounds int
+	Seed   int64
+}
+
+// ObserveOverheadResult compares the Table 4 Ψ scan on an engine with every
+// observation path disabled (statement statistics and feedback off, no
+// trace sink) against the same scan with the full observability layer armed:
+// statement-statistics recording, feedback folding on governed runs, and a
+// trace writer with a low sampling rate — the always-on production shape.
+type ObserveOverheadResult struct {
+	BaselineSec float64
+	ObservedSec float64
+	// OverheadPct is (observed - baseline) / baseline * 100.
+	OverheadPct float64
+	// Matches sanity-checks both engines computed the same answer.
+	Matches int64
+	// Statements is how many aggregates the observed engine held afterwards
+	// (proof the collection path actually ran during the timed passes).
+	Statements int
+}
+
+// RunObserveOverhead measures what always-on observability costs on the
+// paper's Ψ scan workload. Two engines load the identical dataset (same
+// seed): the baseline one with collection disabled, the observed one with
+// statement statistics, selectivity feedback, and a sampling tracer writing
+// to io.Discard. Both run governed (ten-minute timeout, never fires) so the
+// observed engine exercises its full path — counts collectors, feedback
+// folding, fingerprinting, cache-delta snapshots. The M-Tree is disabled so
+// both take the in-kernel scan plan and feedback cannot flip one engine onto
+// a different plan mid-measurement. Rounds interleave the two engines with
+// the order flipped each round; the minimum round per engine is reported.
+func RunObserveOverhead(cfg ObserveOverheadConfig) (*ObserveOverheadResult, error) {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.Queries <= 0 {
+		cfg.Queries = 5
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 25
+	}
+	newDB := func(tune func(*mural.Config)) (*NamesDB, error) {
+		return NewNamesDB(NamesConfig{
+			Names: cfg.Names, ProbeNames: 10, Seed: cfg.Seed, Tune: tune,
+		})
+	}
+	base, err := newDB(func(c *mural.Config) {
+		c.StmtStatsEntries = -1
+		c.FeedbackEntries = -1
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer base.Close()
+	obsDB, err := newDB(func(c *mural.Config) {
+		// Statement statistics and feedback default on; arm the tracer at a
+		// production-shaped sampling rate.
+		c.TraceSink = io.Discard
+		c.TraceSampleRate = 0.01
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer obsDB.Close()
+
+	queries := base.Queries
+	if len(queries) > cfg.Queries {
+		queries = queries[:cfg.Queries]
+	}
+	for _, db := range []*NamesDB{base, obsDB} {
+		for _, s := range []string{`SET enable_mtree = off`, `SET statement_timeout = 600000`} {
+			if _, err := db.Eng.Exec(s); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	pass := func(db *NamesDB) (time.Duration, int64, error) {
+		var total time.Duration
+		var matches int64
+		for _, q := range queries {
+			res, err := db.Eng.Exec(fmt.Sprintf(
+				`SELECT count(*) FROM names WHERE name LEXEQUAL %s THRESHOLD %d`, quote(q.Text), cfg.Threshold))
+			if err != nil {
+				return 0, 0, err
+			}
+			total += res.Elapsed
+			matches += res.Rows[0][0].Int()
+		}
+		return total, matches, nil
+	}
+
+	// Warm both engines untimed: caches fill, the observed engine's feedback
+	// cells establish (and re-key its plan cache once) before timing starts.
+	for _, db := range []*NamesDB{base, obsDB} {
+		if _, _, err := pass(db); err != nil {
+			return nil, err
+		}
+	}
+
+	// The two engines are timed back-to-back within every round, order
+	// flipped each round, so background load and frequency drift hit both
+	// equally; the minimum round per engine is robust to load spikes.
+	var minBase, minObs time.Duration = -1, -1
+	var baseMatches, obsMatches int64
+	for r := 0; r < cfg.Rounds; r++ {
+		order := []*NamesDB{base, obsDB}
+		if r%2 == 1 {
+			order[0], order[1] = order[1], order[0]
+		}
+		for _, db := range order {
+			d, m, err := pass(db)
+			if err != nil {
+				return nil, err
+			}
+			if db == base {
+				if minBase < 0 || d < minBase {
+					minBase = d
+				}
+				baseMatches = m
+			} else {
+				if minObs < 0 || d < minObs {
+					minObs = d
+				}
+				obsMatches = m
+			}
+		}
+	}
+	if baseMatches != obsMatches {
+		return nil, fmt.Errorf("bench: observation changed the answer: %d vs %d", baseMatches, obsMatches)
+	}
+	stmts := obsDB.Eng.Statements()
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("bench: observed engine recorded no statement aggregates")
+	}
+
+	res := &ObserveOverheadResult{
+		BaselineSec: minBase.Seconds() / float64(len(queries)),
+		ObservedSec: minObs.Seconds() / float64(len(queries)),
+		Matches:     obsMatches,
+		Statements:  len(stmts),
+	}
+	if res.BaselineSec > 0 {
+		res.OverheadPct = (res.ObservedSec - res.BaselineSec) / res.BaselineSec * 100
+	}
+	return res, nil
+}

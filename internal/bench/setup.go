@@ -67,6 +67,10 @@ type NamesConfig struct {
 	// ProbeNames sizes the probe (outer) table for join runs.
 	ProbeNames int
 	Seed       int64
+	// Tune, when set, adjusts the engine Config before Open — the
+	// observability overhead harness uses it to build obs-on and obs-off
+	// engines over the same dataset.
+	Tune func(cfg *mural.Config)
 }
 
 // NewNamesDB builds the fixture.
@@ -77,7 +81,11 @@ func NewNamesDB(cfg NamesConfig) (*NamesDB, error) {
 	if cfg.ProbeNames <= 0 {
 		cfg.ProbeNames = 100
 	}
-	eng, err := mural.Open(mural.Config{})
+	mcfg := mural.Config{}
+	if cfg.Tune != nil {
+		cfg.Tune(&mcfg)
+	}
+	eng, err := mural.Open(mcfg)
 	if err != nil {
 		return nil, err
 	}

@@ -203,6 +203,16 @@ func (c *Conn) Cancel() error {
 	return c.writeFrame(wire.MsgCancel, nil)
 }
 
+// SetTraceID tags every subsequent statement on this connection with an
+// 8-byte trace ID: when the server engine has a trace sink, each tagged
+// statement exports its span tree (query, plan, operators) carrying this ID,
+// regardless of the sampling rate. The tag is sticky until replaced; zero
+// clears it. No reply frame — the message is ordered with the statements
+// that follow it on the same socket.
+func (c *Conn) SetTraceID(id uint64) error {
+	return c.writeFrame(wire.MsgTrace, wire.EncodeTraceID(id))
+}
+
 // Close tears the connection down.
 func (c *Conn) Close() error {
 	_ = c.writeFrame(wire.MsgQuit, nil)

@@ -1,0 +1,55 @@
+package exec
+
+import "github.com/mural-db/mural/internal/plan"
+
+// FeedbackObs is one observed selectivity derived from a completed
+// execution, ready to fold into the engine's feedback sketch.
+type FeedbackObs struct {
+	Kind  string
+	Table string
+	Band  int
+	Sel   float64
+}
+
+// FeedbackObservations walks the measured plan tree and derives one
+// selectivity observation per feedback-annotated node: the node's measured
+// output cardinality over its input cardinality (the child's measured rows
+// for filters, the stamped table cardinality times loop count for index
+// scans). Only completed, error-free executions should be folded — a
+// partially drained cursor undercounts output rows.
+//
+// The ratio is Laplace-smoothed ((out+1)/(in+1)): a predicate that matched
+// nothing must not publish selectivity zero, which would price any index
+// path at its fixed I/O floor and pin the plan there forever.
+func (es *ExecStats) FeedbackObservations(root *plan.Node) []FeedbackObs {
+	if es == nil || root == nil {
+		return nil
+	}
+	var out []FeedbackObs
+	var walk func(n *plan.Node)
+	walk = func(n *plan.Node) {
+		if n.FbKind != "" {
+			if st, ok := es.byNode[n]; ok {
+				in := n.FbInput * float64(st.Loops)
+				if n.FbInput == 0 && len(n.Children) == 1 {
+					if cst, ok := es.byNode[n.Children[0]]; ok {
+						in = float64(cst.Rows)
+					}
+				}
+				if in > 0 {
+					out = append(out, FeedbackObs{
+						Kind:  n.FbKind,
+						Table: n.FbTable,
+						Band:  n.FbBand,
+						Sel:   (float64(st.Rows) + 1) / (in + 1),
+					})
+				}
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}

@@ -201,7 +201,11 @@ func buildGather(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 			res: ev.res,
 		}
 		if ev.collector != nil {
-			wev.collector = NewExecStats()
+			if ev.collector.Timed() {
+				wev.collector = NewExecStats()
+			} else {
+				wev.collector = NewCountStats()
+			}
 		}
 		root, err := build(env, wev, n.Children[0])
 		if err != nil {

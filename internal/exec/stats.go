@@ -40,12 +40,26 @@ type OpStats struct {
 // zero allocations).
 type ExecStats struct {
 	byNode map[*plan.Node]*OpStats
+	// timed selects the full collector (row counts plus wall time per
+	// Next, two clock reads per row). Counts-only collectors skip the
+	// clock: cheap enough to run on every governed query, they feed the
+	// planner's selectivity feedback, where only cardinalities matter.
+	timed bool
 }
 
-// NewExecStats returns an empty collector.
+// NewExecStats returns an empty timed collector (EXPLAIN ANALYZE, traces).
 func NewExecStats() *ExecStats {
+	return &ExecStats{byNode: make(map[*plan.Node]*OpStats), timed: true}
+}
+
+// NewCountStats returns a counts-only collector: Rows/Nexts/Loops are
+// measured, Elapsed stays zero.
+func NewCountStats() *ExecStats {
 	return &ExecStats{byNode: make(map[*plan.Node]*OpStats)}
 }
+
+// Timed reports whether this collector measures wall time.
+func (es *ExecStats) Timed() bool { return es != nil && es.timed }
 
 // Stats returns (creating on first use) the bucket for a plan node.
 func (es *ExecStats) Stats(n *plan.Node) *OpStats {
@@ -114,6 +128,12 @@ type rewindIter interface {
 // Rewind method, or a nested-loops join would silently rescan nothing.
 func (es *ExecStats) wrap(n *plan.Node, it TupleIter) TupleIter {
 	st := es.Stats(n)
+	if !es.timed {
+		if r, ok := it.(rewindIter); ok {
+			return &rewindCountIter{countIter: countIter{child: it, st: st}, rewinder: r}
+		}
+		return &countIter{child: it, st: st}
+	}
 	if r, ok := it.(rewindIter); ok {
 		return &rewindStatsIter{statsIter: statsIter{child: it, st: st}, rewinder: r}
 	}
@@ -150,6 +170,41 @@ type rewindStatsIter struct {
 }
 
 func (s *rewindStatsIter) Rewind() {
+	s.rewinder.Rewind()
+	if s.st.Nexts > s.lastNexts {
+		s.st.Loops++
+		s.lastNexts = s.st.Nexts
+	}
+}
+
+// countIter counts Next() calls and rows for one operator without reading
+// the clock — the counts-only collector's per-row cost is two integer
+// increments through one indirect call.
+type countIter struct {
+	child TupleIter
+	st    *OpStats
+}
+
+func (s *countIter) Next() (types.Tuple, bool, error) {
+	t, ok, err := s.child.Next()
+	s.st.Nexts++
+	if ok {
+		s.st.Rows++
+	}
+	return t, ok, err
+}
+
+func (s *countIter) Close() error { return s.child.Close() }
+
+// rewindCountIter is countIter for rewindable children, with the same
+// pass-counting convention as rewindStatsIter.
+type rewindCountIter struct {
+	countIter
+	rewinder  rewindIter
+	lastNexts int64
+}
+
+func (s *rewindCountIter) Rewind() {
 	s.rewinder.Rewind()
 	if s.st.Nexts > s.lastNexts {
 		s.st.Loops++

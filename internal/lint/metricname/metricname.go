@@ -1,9 +1,12 @@
 // Package metricname enforces the metrics namespace documented in
 // DESIGN.md: every name passed to a Registry's Counter/Gauge/Histogram must
-// be a compile-time constant, snake_case under the mural_ prefix, counters
-// must end in _total, and no name may be registered at two distinct sites
-// within one package (the registry get-or-creates, so duplicate sites mean
-// two code paths silently share — or think they own — one series).
+// be a compile-time constant, snake_case under the mural_ prefix (which
+// includes the observability families mural_stats_* and mural_trace_*),
+// counters must end in _total while gauges and histograms must not, every
+// histogram carries its unit as a suffix (_ns or _bytes), and no name may be
+// registered at two distinct sites within one package (the registry
+// get-or-creates, so duplicate sites mean two code paths silently share — or
+// think they own — one series).
 package metricname
 
 import (
@@ -16,7 +19,7 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "metricname",
-	Doc:  "metric names must be constant, mural_-prefixed snake_case; counters end in _total; one registration site per name per package",
+	Doc:  "metric names must be constant, mural_-prefixed snake_case; counters end in _total (gauges/histograms must not); histograms suffix their unit (_ns/_bytes); one registration site per name per package",
 	Run:  run,
 }
 
@@ -67,8 +70,23 @@ func checkName(pass *analysis.Pass, at ast.Node, kind, name string) {
 		pass.Reportf(at.Pos(), "metric name %q is outside the documented namespace: names must start with %q", name, prefix)
 		return
 	}
-	if kind == "Counter" && !hasSuffix(name, "_total") {
-		pass.Reportf(at.Pos(), "counter name %q must end in _total", name)
+	switch kind {
+	case "Counter":
+		if !hasSuffix(name, "_total") {
+			pass.Reportf(at.Pos(), "counter name %q must end in _total", name)
+		}
+	case "Gauge":
+		// _total promises a monotone cumulative series; a settable gauge
+		// breaks that contract for every downstream rate() consumer.
+		if hasSuffix(name, "_total") {
+			pass.Reportf(at.Pos(), "gauge name %q must not end in _total (reserved for counters)", name)
+		}
+	case "Histogram":
+		if hasSuffix(name, "_total") {
+			pass.Reportf(at.Pos(), "histogram name %q must not end in _total (reserved for counters)", name)
+		} else if !hasSuffix(name, "_ns") && !hasSuffix(name, "_bytes") {
+			pass.Reportf(at.Pos(), "histogram name %q must carry its unit as a suffix (_ns or _bytes)", name)
+		}
 	}
 }
 

@@ -20,16 +20,22 @@ func conforming(r *Registry) {
 	r.Counter("mural_requests_total")
 	r.Gauge("mural_pool_pinned_pages")
 	r.Histogram(latencyMetric) // constants resolve at compile time
+	r.Counter("mural_stats_recorded_total")
+	r.Counter("mural_trace_spans_total")
+	r.Histogram("mural_sort_spill_bytes")
 }
 
 // ---- positive cases ----
 
 func violations(r *Registry) {
-	r.Counter("mural_Bad_total") // want `not snake_case`
-	r.Counter("requests_total")  // want `outside the documented namespace`
-	r.Counter("mural_requests")  // want `must end in _total`
-	r.Gauge("mural__double")     // want `not snake_case`
-	r.Histogram("mural_lat_")    // want `not snake_case`
+	r.Counter("mural_Bad_total")       // want `not snake_case`
+	r.Counter("requests_total")        // want `outside the documented namespace`
+	r.Counter("mural_requests")        // want `must end in _total`
+	r.Gauge("mural__double")           // want `not snake_case`
+	r.Histogram("mural_lat_")          // want `not snake_case`
+	r.Gauge("mural_open_total")        // want `must not end in _total`
+	r.Histogram("mural_io_total")      // want `must not end in _total`
+	r.Histogram("mural_fetch_latency") // want `must carry its unit as a suffix`
 }
 
 func duplicate(r *Registry) {

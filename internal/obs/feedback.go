@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// FeedbackKey identifies one selectivity cell: the predicate kind ("psi"
+// for LEXEQUAL, "omega" for SEMEQUAL), the base table the predicate
+// filters, and the threshold band (the edit-distance threshold k for Ψ;
+// 0 for Ω, which has no threshold). Following the regex-index paper's
+// banding, observations at different thresholds never mix: Ψ selectivity
+// grows super-linearly in k, so a k=0 observation says nothing about k=3.
+type FeedbackKey struct {
+	Kind  string
+	Table string
+	Band  int
+}
+
+// fbCell accumulates observed selectivities for one key. published is the
+// mean as of the last Generation bump, so later drift can be detected.
+type fbCell struct {
+	sum       float64
+	n         int64
+	published float64
+	hasPub    bool
+}
+
+// Feedback is the bounded observed-selectivity sketch closing the loop
+// from execution back into the planner, after Larch's observed-over-
+// estimated template: every governed execution folds the per-operator
+// selectivities the collector measured into cells, and the planner's
+// selectivity estimator consults a cell instead of the static histogram
+// once it holds at least MinObs observations.
+//
+// Generation is a monotone counter bumped whenever consulting the store
+// could change a plan: when a cell first becomes established, when an
+// established mean drifts by more than 2x since it was last published,
+// and on Purge. The engine folds it into its plan-cache key, so warm
+// feedback invalidates exactly the cached plans it could improve.
+type Feedback struct {
+	mu     sync.Mutex
+	max    int
+	minObs int64
+	gen    atomic.Uint64
+	m      map[FeedbackKey]*fbCell
+}
+
+// NewFeedback returns a sketch bounded to max cells (min 16) that
+// establishes a cell after minObs observations (min 1).
+func NewFeedback(max, minObs int) *Feedback {
+	if max < 16 {
+		max = 16
+	}
+	if minObs < 1 {
+		minObs = 1
+	}
+	return &Feedback{max: max, minObs: int64(minObs), m: make(map[FeedbackKey]*fbCell, 32)}
+}
+
+// MinObs reports the establishment threshold.
+func (f *Feedback) MinObs() int { return int(f.minObs) }
+
+// Observe folds one measured selectivity (clamped to [0,1]) into the cell.
+func (f *Feedback) Observe(kind, table string, band int, sel float64) {
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	mFbObserved.Inc()
+	key := FeedbackKey{Kind: kind, Table: table, Band: band}
+	f.mu.Lock()
+	c := f.m[key]
+	if c == nil {
+		if len(f.m) >= f.max {
+			for victim := range f.m { // random replacement
+				delete(f.m, victim)
+				mFbEvictions.Inc()
+				break
+			}
+		}
+		c = &fbCell{}
+		f.m[key] = c
+	}
+	c.sum += sel
+	c.n++
+	if c.n >= f.minObs {
+		mean := c.sum / float64(c.n)
+		if !c.hasPub || mean > 2*c.published || mean < c.published/2 {
+			c.published = mean
+			c.hasPub = true
+			f.gen.Add(1)
+		}
+	}
+	f.mu.Unlock()
+}
+
+// Observed returns the established mean selectivity for the key, or
+// ok=false while the cell has fewer than MinObs observations. The
+// signature implements the SelFeedback seam internal/plan declares.
+func (f *Feedback) Observed(kind, table string, band int) (float64, bool) {
+	key := FeedbackKey{Kind: kind, Table: table, Band: band}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := f.m[key]
+	if c == nil || c.n < f.minObs {
+		return 0, false
+	}
+	return c.sum / float64(c.n), true
+}
+
+// Generation returns the plan-invalidation counter.
+func (f *Feedback) Generation() uint64 { return f.gen.Load() }
+
+// Len reports the resident cell count.
+func (f *Feedback) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.m)
+}
+
+// Purge drops every cell and bumps the generation; the engine calls it
+// from the same DDL seam that purges the plan cache, since ALTER/ANALYZE
+// and friends change the data distribution the observations described.
+func (f *Feedback) Purge() {
+	f.mu.Lock()
+	f.m = make(map[FeedbackKey]*fbCell, 32)
+	f.gen.Add(1)
+	f.mu.Unlock()
+}

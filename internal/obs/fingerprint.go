@@ -1,0 +1,131 @@
+package obs
+
+import "strings"
+
+// Fingerprint normalizes a SQL statement into its aggregation key: string
+// and numeric literals are replaced by '?', case is folded, whitespace runs
+// collapse to one space, and a trailing semicolon is dropped, so
+//
+//	SELECT * FROM names WHERE name LEXEQUAL 'Katrina'  THRESHOLD 2;
+//	select * from names where name lexequal 'catherine' threshold 3
+//
+// both aggregate under
+//
+//	select * from names where name lexequal ? threshold ?
+//
+// Double-quoted identifiers keep their exact spelling (they are
+// case-sensitive names, not data). Comma-separated runs of stripped
+// literals collapse to a single '?' so IN-lists of different lengths
+// share a fingerprint.
+func Fingerprint(q string) string {
+	var b strings.Builder
+	b.Grow(len(q))
+	// lastLit is the index in q just past the most recent stripped literal,
+	// or -1 when the previous token was not a stripped literal run. depth
+	// tracks parenthesis nesting: literal runs fold only inside parens
+	// (IN-lists, VALUES rows), never in a top-level select list.
+	lastLit := -1
+	depth := 0
+	i := 0
+	for i < len(q) {
+		c := q[i]
+		switch {
+		case c == '\'':
+			// String literal with '' escaping.
+			j := i + 1
+			for j < len(q) {
+				if q[j] == '\'' {
+					if j+1 < len(q) && q[j+1] == '\'' {
+						j += 2
+						continue
+					}
+					j++
+					break
+				}
+				j++
+			}
+			emitQMark(&b, q, lastLit, i, depth)
+			lastLit = j
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(q) && (q[j] >= '0' && q[j] <= '9' || q[j] == '.' ||
+				q[j] == 'e' || q[j] == 'E' ||
+				((q[j] == '+' || q[j] == '-') && (q[j-1] == 'e' || q[j-1] == 'E'))) {
+				j++
+			}
+			emitQMark(&b, q, lastLit, i, depth)
+			lastLit = j
+			i = j
+		case c == '"':
+			// Quoted identifier: copy verbatim (case-sensitive name).
+			j := i + 1
+			for j < len(q) && q[j] != '"' {
+				j++
+			}
+			if j < len(q) {
+				j++
+			}
+			b.WriteString(q[i:j])
+			lastLit = -1
+			i = j
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			if s := b.String(); len(s) > 0 && s[len(s)-1] != ' ' {
+				b.WriteByte(' ')
+			}
+			i++
+		default:
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			switch c {
+			case '(':
+				depth++
+			case ')':
+				depth--
+			}
+			b.WriteByte(c)
+			if c != ',' {
+				lastLit = -1
+			}
+			i++
+		}
+	}
+	out := strings.TrimRight(b.String(), " ;")
+	out = strings.TrimLeft(out, " ")
+	return out
+}
+
+// emitQMark writes the '?' replacing a stripped literal at q[start:]. When
+// the only source text between this literal and the previous stripped one
+// is commas and whitespace, the literals are an IN-list run: the separator
+// already emitted is rewound and the run keeps its single '?'.
+func emitQMark(b *strings.Builder, q string, lastLit, start, depth int) {
+	if lastLit >= 0 && depth > 0 {
+		glue := true
+		comma := false
+		for k := lastLit; k < start; k++ {
+			switch q[k] {
+			case ' ', '\t', '\n', '\r':
+			case ',':
+				comma = true
+			default:
+				glue = false
+			}
+		}
+		if glue && comma {
+			s := strings.TrimRight(b.String(), " ,")
+			b.Reset()
+			b.WriteString(s)
+			return
+		}
+	}
+	if s := b.String(); len(s) > 0 {
+		switch s[len(s)-1] {
+		case ' ', '(', ',', '=', '<', '>':
+		default:
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteByte('?')
+}

@@ -1,0 +1,32 @@
+// Package obs is the engine's cross-query observability layer: statement
+// statistics aggregated by normalized SQL fingerprint, a selectivity
+// feedback sketch the planner consults to correct histogram misestimates,
+// and span-tree trace export keyed by wire-propagated trace IDs.
+//
+// The package sits above the executor (it consumes exec.Span and the
+// row counts the collector gathered) and below the engine: mural wires a
+// StmtStats, a Feedback and a TraceWriter into its execution paths, and
+// internal/plan consults Feedback through the narrow SelFeedback seam it
+// declares itself (plan must not import obs — the dependency points the
+// other way).
+//
+// Everything here is bounded and concurrency-safe: statement entries and
+// feedback cells evict random victims at capacity like the engine's other
+// shared caches, and all record paths take one short mutex hold with no
+// allocation beyond first touch of a key.
+package obs
+
+import "github.com/mural-db/mural/internal/metrics"
+
+// Package metric registration. Counters end in _total; the entry gauges
+// track current occupancy of the bounded stores.
+var (
+	mStmtRecorded  = metrics.Default.Counter("mural_stats_recorded_total")
+	mStmtEvictions = metrics.Default.Counter("mural_stats_evictions_total")
+	mStmtEntries   = metrics.Default.Gauge("mural_stats_entries")
+	mFbObserved    = metrics.Default.Counter("mural_stats_feedback_observations_total")
+	mFbEvictions   = metrics.Default.Counter("mural_stats_feedback_evictions_total")
+	mTraceSampled  = metrics.Default.Counter("mural_trace_sampled_total")
+	mTraceSpans    = metrics.Default.Counter("mural_trace_spans_total")
+	mTraceDropped  = metrics.Default.Counter("mural_trace_dropped_total")
+)

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+)
+
+// latBuckets is the number of power-of-two latency buckets per statement:
+// bucket i counts observations with ceil(log2(ns)) == i, so the range spans
+// 1ns through ~2^47ns (≈ 39 hours) with constant-space percentiles.
+const latBuckets = 48
+
+// Observation is one finished execution of a statement, as the engine saw
+// it: wall latency, result cardinality, the peak governed memory the query
+// reached (0 when ungoverned), and the shared-cache hit/miss deltas it
+// drove.
+type Observation struct {
+	DurNs       int64
+	Rows        int64
+	Err         bool
+	PeakMem     int64
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// stmtEntry aggregates every observation of one fingerprint.
+type stmtEntry struct {
+	calls, errs int64
+	rows        int64
+	totalNs     int64
+	minNs       int64
+	maxNs       int64
+	peakMem     int64
+	cacheHits   int64
+	cacheMiss   int64
+	lat         [latBuckets]int64
+}
+
+// StmtStats is the bounded, concurrency-safe statement statistics store
+// backing SHOW STATEMENTS and the /statements HTTP endpoint. Keys are
+// normalized fingerprints (see Fingerprint); at capacity an arbitrary
+// resident entry is evicted (random replacement, like the engine's shared
+// caches — a hot statement that is evicted simply re-enters on its next
+// call).
+type StmtStats struct {
+	mu  sync.Mutex
+	max int
+	m   map[string]*stmtEntry
+}
+
+// NewStmtStats returns a store bounded to max fingerprints (min 16).
+func NewStmtStats(max int) *StmtStats {
+	if max < 16 {
+		max = 16
+	}
+	return &StmtStats{max: max, m: make(map[string]*stmtEntry, 64)}
+}
+
+// Record folds one observation into the fingerprint's aggregate.
+func (s *StmtStats) Record(fp string, o Observation) {
+	mStmtRecorded.Inc()
+	s.mu.Lock()
+	e := s.m[fp]
+	if e == nil {
+		if len(s.m) >= s.max {
+			for victim := range s.m { // random replacement
+				delete(s.m, victim)
+				mStmtEvictions.Inc()
+				break
+			}
+		}
+		e = &stmtEntry{minNs: o.DurNs}
+		s.m[fp] = e
+		mStmtEntries.Set(int64(len(s.m)))
+	}
+	e.calls++
+	if o.Err {
+		e.errs++
+	}
+	e.rows += o.Rows
+	e.totalNs += o.DurNs
+	if o.DurNs < e.minNs {
+		e.minNs = o.DurNs
+	}
+	if o.DurNs > e.maxNs {
+		e.maxNs = o.DurNs
+	}
+	if o.PeakMem > e.peakMem {
+		e.peakMem = o.PeakMem
+	}
+	e.cacheHits += o.CacheHits
+	e.cacheMiss += o.CacheMisses
+	e.lat[latBucket(o.DurNs)]++
+	s.mu.Unlock()
+}
+
+func latBucket(ns int64) int {
+	if ns < 1 {
+		ns = 1
+	}
+	b := bits.Len64(uint64(ns - 1)) // ceil(log2)
+	if b >= latBuckets {
+		b = latBuckets - 1
+	}
+	return b
+}
+
+// StmtRow is one statement's aggregate, as reported by SHOW STATEMENTS.
+type StmtRow struct {
+	Query       string `json:"query"`
+	Calls       int64  `json:"calls"`
+	Errors      int64  `json:"errors"`
+	Rows        int64  `json:"rows"`
+	TotalNs     int64  `json:"total_ns"`
+	MinNs       int64  `json:"min_ns"`
+	MaxNs       int64  `json:"max_ns"`
+	MeanNs      int64  `json:"mean_ns"`
+	P50Ns       int64  `json:"p50_ns"`
+	P95Ns       int64  `json:"p95_ns"`
+	P99Ns       int64  `json:"p99_ns"`
+	PeakMem     int64  `json:"peak_mem_bytes"`
+	CacheHits   int64  `json:"cache_hits"`
+	CacheMisses int64  `json:"cache_misses"`
+}
+
+// Snapshot returns every resident aggregate, most total time first.
+func (s *StmtStats) Snapshot() []StmtRow {
+	s.mu.Lock()
+	out := make([]StmtRow, 0, len(s.m))
+	for fp, e := range s.m {
+		r := StmtRow{
+			Query: fp, Calls: e.calls, Errors: e.errs, Rows: e.rows,
+			TotalNs: e.totalNs, MinNs: e.minNs, MaxNs: e.maxNs,
+			PeakMem: e.peakMem, CacheHits: e.cacheHits, CacheMisses: e.cacheMiss,
+		}
+		if e.calls > 0 {
+			r.MeanNs = e.totalNs / e.calls
+		}
+		r.P50Ns = e.percentile(0.50)
+		r.P95Ns = e.percentile(0.95)
+		r.P99Ns = e.percentile(0.99)
+		out = append(out, r)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalNs != out[j].TotalNs {
+			return out[i].TotalNs > out[j].TotalNs
+		}
+		return out[i].Query < out[j].Query
+	})
+	return out
+}
+
+// percentile reads the log-bucket histogram: the answer is the upper bound
+// (2^i ns) of the bucket where the cumulative count crosses p, clamped to
+// the observed max so a single-sample statement reports its actual latency.
+func (e *stmtEntry) percentile(p float64) int64 {
+	if e.calls == 0 {
+		return 0
+	}
+	want := int64(math.Ceil(p * float64(e.calls))) // nearest-rank
+	if want < 1 {
+		want = 1
+	}
+	var cum int64
+	for i := 0; i < latBuckets; i++ {
+		cum += e.lat[i]
+		if cum >= want {
+			v := int64(1) << uint(i)
+			if v > e.maxNs {
+				v = e.maxNs
+			}
+			if v < e.minNs {
+				v = e.minNs
+			}
+			return v
+		}
+	}
+	return e.maxNs
+}
+
+// Len reports the resident fingerprint count.
+func (s *StmtStats) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Reset drops every aggregate.
+func (s *StmtStats) Reset() {
+	s.mu.Lock()
+	s.m = make(map[string]*stmtEntry, 64)
+	mStmtEntries.Set(0)
+	s.mu.Unlock()
+}

@@ -154,6 +154,17 @@ type Node struct {
 	// Parallel marks a scan that each Gather worker runs over a disjoint
 	// morsel (page range) of the table instead of the whole heap.
 	Parallel bool
+
+	// Selectivity-feedback annotation: when FbKind is non-empty the node's
+	// measured output cardinality is an observation for the (FbKind,
+	// FbTable, FbBand) cell of the engine's feedback sketch. FbInput is the
+	// per-loop input cardinality for nodes whose input is implicit (index
+	// scans probe the whole table); 0 means "divide by the child operator's
+	// measured rows".
+	FbKind  string
+	FbTable string
+	FbBand  int
+	FbInput float64
 }
 
 // Schema returns the output columns.

@@ -41,7 +41,10 @@ type Planner struct {
 	Cat  *catalog.Catalog
 	Phon *phonetic.Registry
 	Sem  SemEstimator // nil when no taxonomy is loaded
-	Opts Options
+	// Feedback, when set, supplies observed selectivities from past
+	// executions; established cells override histogram estimates.
+	Feedback SelFeedback
+	Opts     Options
 }
 
 // relation is one FROM-clause entry during planning.
@@ -129,8 +132,11 @@ func (p *Planner) Plan(sel *sql.Select) (*Node, error) {
 		sem:   p.Sem,
 		defK:  p.Cat.LexThreshold(),
 	}
+	se.tables = map[string]string{}
+	se.fb = p.Feedback
 	for _, r := range rels {
 		se.stats[r.ref.Name()] = r.stats
+		se.tables[r.ref.Name()] = r.table.Name
 	}
 
 	// Enumerate join orders and keep the cheapest plan.
@@ -452,8 +458,9 @@ func (p *Planner) indexCandidates(rel *relation, c *conjunct, se *selEstimator) 
 					node: &Node{
 						Op: OpMTreeScan, Table: rel.table.Name, Alias: name,
 						Cols: rel.schema, EstRows: rows, EstCost: cost,
-						Cond:  recheck, // recheck applies the IN-langs filter
-						Index: &IndexCond{Index: ix.Name, Probe: probe, Threshold: k, Langs: x.Langs, Col: rel.table.ColumnIndex(ref.Column)},
+						Cond:   recheck, // recheck applies the IN-langs filter
+						Index:  &IndexCond{Index: ix.Name, Probe: probe, Threshold: k, Langs: x.Langs, Col: rel.table.ColumnIndex(ref.Column)},
+						FbKind: FeedbackPsi, FbTable: rel.table.Name, FbBand: k, FbInput: rel.stats.Rows,
 					},
 					consumed: c,
 				})
@@ -479,8 +486,9 @@ func (p *Planner) indexCandidates(rel *relation, c *conjunct, se *selEstimator) 
 					node: &Node{
 						Op: OpQGramScan, Table: rel.table.Name, Alias: name,
 						Cols: rel.schema, EstRows: rows, EstCost: costQ,
-						Cond:  recheckQ,
-						Index: &IndexCond{Index: ix.Name, Probe: probeQ, Threshold: k, Langs: x.Langs, Col: rel.table.ColumnIndex(ref.Column)},
+						Cond:   recheckQ,
+						Index:  &IndexCond{Index: ix.Name, Probe: probeQ, Threshold: k, Langs: x.Langs, Col: rel.table.ColumnIndex(ref.Column)},
+						FbKind: FeedbackPsi, FbTable: rel.table.Name, FbBand: k, FbInput: rel.stats.Rows,
 					},
 					consumed: c,
 				})
@@ -505,8 +513,9 @@ func (p *Planner) indexCandidates(rel *relation, c *conjunct, se *selEstimator) 
 					node: &Node{
 						Op: OpMDIScan, Table: rel.table.Name, Alias: name,
 						Cols: rel.schema, EstRows: rows, EstCost: cost,
-						Cond:  recheck,
-						Index: &IndexCond{Index: ix.Name, Probe: probe, Threshold: k, Langs: x.Langs, Col: rel.table.ColumnIndex(ref.Column)},
+						Cond:   recheck,
+						Index:  &IndexCond{Index: ix.Name, Probe: probe, Threshold: k, Langs: x.Langs, Col: rel.table.ColumnIndex(ref.Column)},
+						FbKind: FeedbackPsi, FbTable: rel.table.Name, FbBand: k, FbInput: rel.stats.Rows,
 					},
 					consumed: c,
 				})
@@ -562,6 +571,7 @@ func psiColConst(x *sql.LexEqual) (*sql.ColumnRef, *sql.Literal, bool) {
 func (p *Planner) applyFilters(node *Node, conjuncts []*conjunct, keep func(*conjunct) bool, se *selEstimator) (*Node, error) {
 	comp := &Compiler{Schema: node.Cols, DefaultThreshold: se.defK}
 	var exprs []Expr
+	var taken []sql.Expr
 	sel := 1.0
 	opCost := 0.0
 	for _, c := range conjuncts {
@@ -578,6 +588,7 @@ func (p *Planner) applyFilters(node *Node, conjuncts []*conjunct, keep func(*con
 		}
 		c.used = true
 		exprs = append(exprs, compiled)
+		taken = append(taken, c.expr)
 		sel *= se.selectivity(c.expr, node.Cols)
 		opCost += condOpCost(compiled, node.Cols, se)
 	}
@@ -589,14 +600,53 @@ func (p *Planner) applyFilters(node *Node, conjuncts []*conjunct, keep func(*con
 		cond = &AndOr{L: cond, R: e}
 	}
 	rows := math.Max(node.EstRows*sel, 0.1)
-	return &Node{
+	f := &Node{
 		Op:       OpFilter,
 		Children: []*Node{node},
 		Cols:     node.Cols,
 		Cond:     cond,
 		EstRows:  rows,
 		EstCost:  node.EstCost + node.EstRows*opCost,
-	}, nil
+	}
+	// A filter evaluating exactly one Ψ/Ω predicate is a clean selectivity
+	// observation point: its output over its child's output measures that
+	// predicate alone. Mixed filters stay unannotated — their combined
+	// ratio would poison the per-predicate cell.
+	if len(taken) == 1 {
+		annotateFeedback(f, taken[0], node.Cols, se)
+	}
+	return f, nil
+}
+
+// annotateFeedback stamps the feedback cell a single-predicate filter
+// observes, when the predicate is a col-const Ψ or a col-anchored Ω.
+func annotateFeedback(f *Node, e sql.Expr, schema []ColInfo, se *selEstimator) {
+	switch x := e.(type) {
+	case *sql.LexEqual:
+		ref, _, ok := psiColConst(x)
+		if !ok {
+			return
+		}
+		tbl := se.tableOf(ref, schema)
+		if tbl == "" {
+			return
+		}
+		k := x.Threshold
+		if k < 0 {
+			k = se.defK
+		}
+		f.FbKind, f.FbTable, f.FbBand = FeedbackPsi, tbl, k
+	case *sql.SemEqual:
+		ref, ok := x.Left.(*sql.ColumnRef)
+		if !ok {
+			return
+		}
+		tbl := se.tableOf(ref, schema)
+		if tbl == "" {
+			return
+		}
+		f.FbKind, f.FbTable, f.FbBand = FeedbackOmega, tbl, 0
+	}
 }
 
 // condOpCost prices one evaluation of a compiled condition, charging the Ψ

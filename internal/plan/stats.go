@@ -9,14 +9,51 @@ import (
 	"github.com/mural-db/mural/internal/types"
 )
 
+// Feedback cell kinds shared between the planner and the engine's
+// observed-selectivity store.
+const (
+	FeedbackPsi   = "psi"
+	FeedbackOmega = "omega"
+)
+
+// SelFeedback is the seam through which the estimator consults observed
+// selectivities from past executions (Larch's observed-over-estimated
+// template). The engine's obs.Feedback implements it; plan deliberately
+// declares the interface itself so the dependency points engine → plan.
+// Observed reports the established mean selectivity for a (kind, table,
+// threshold band) cell, or ok=false while the cell has too few
+// observations to trust.
+type SelFeedback interface {
+	Observed(kind, table string, band int) (float64, bool)
+}
+
 // selEstimator computes predicate selectivities from catalog statistics,
 // implementing §3.4: end-biased histograms with threshold inflation for Ψ,
-// closure-fraction estimates for Ω.
+// closure-fraction estimates for Ω. When fb is set, established observed
+// selectivities take precedence over the histogram estimates.
 type selEstimator struct {
-	stats map[string]Stats // by relation alias
-	phon  *phonetic.Registry
-	sem   SemEstimator
-	defK  int
+	stats  map[string]Stats  // by relation alias
+	tables map[string]string // relation alias → catalog table name
+	phon   *phonetic.Registry
+	sem    SemEstimator
+	fb     SelFeedback
+	defK   int
+}
+
+// tableOf resolves a column reference to the catalog table providing it
+// (empty when unknown), for keying feedback cells by table rather than by
+// query-local alias.
+func (se *selEstimator) tableOf(ref *sql.ColumnRef, schema []ColInfo) string {
+	for _, ci := range schema {
+		if ci.Name != ref.Column {
+			continue
+		}
+		if ref.Table != "" && ci.Rel != ref.Table {
+			continue
+		}
+		return se.tables[ci.Rel]
+	}
+	return ""
 }
 
 const (
@@ -208,6 +245,15 @@ func (se *selEstimator) psiSel(x *sql.LexEqual, schema []ColInfo) float64 {
 		if !isColL {
 			ref, lit = colR, litL
 		}
+		// Observed-over-estimated: an established feedback cell for this
+		// table and threshold band beats the histogram's approximation.
+		if se.fb != nil {
+			if tbl := se.tableOf(ref, schema); tbl != "" {
+				if sel, ok := se.fb.Observed(FeedbackPsi, tbl, k); ok {
+					return clamp01(sel)
+				}
+			}
+		}
 		cs, _, ok := se.colStats(ref, schema)
 		ph, phOK := se.psiQueryPhoneme(lit.Value, x.Langs)
 		if ok && cs.Hist != nil && phOK {
@@ -220,6 +266,15 @@ func (se *selEstimator) psiSel(x *sql.LexEqual, schema []ColInfo) float64 {
 }
 
 func (se *selEstimator) omegaSel(x *sql.SemEqual, schema []ColInfo) float64 {
+	if se.fb != nil {
+		if ref, ok := x.Left.(*sql.ColumnRef); ok {
+			if tbl := se.tableOf(ref, schema); tbl != "" {
+				if sel, ok := se.fb.Observed(FeedbackOmega, tbl, 0); ok {
+					return clamp01(sel)
+				}
+			}
+		}
+	}
 	if se.sem == nil {
 		return defaultSel
 	}

@@ -1,13 +1,16 @@
 package server
 
 import (
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
 	"github.com/mural-db/mural/internal/metrics"
+	"github.com/mural-db/mural/internal/obs"
 )
 
 // MetricsServer is the optional HTTP scrape endpoint. It is independent of
@@ -16,6 +19,20 @@ type MetricsServer struct {
 	ln   net.Listener
 	srv  *http.Server
 	addr string
+}
+
+// MetricsConfig parameterizes the observability HTTP endpoint.
+type MetricsConfig struct {
+	// Registry to scrape; nil means metrics.Default.
+	Registry *metrics.Registry
+	// Statements, when set, serves GET /statements as a JSON array of
+	// statement-statistics aggregates (wire it to Engine.Statements).
+	Statements func() []obs.StmtRow
+	// EnablePprof mounts the runtime profiling handlers (CPU, heap,
+	// goroutine, ...) under /debug/pprof/ on this listener. Off by default:
+	// profiles expose internals and a CPU profile costs real cycles, so the
+	// operator opts in per endpoint.
+	EnablePprof bool
 }
 
 // MetricsHandler serves a registry: Prometheus text exposition at the bare
@@ -35,17 +52,53 @@ func MetricsHandler(reg *metrics.Registry) http.Handler {
 	})
 }
 
+// StatementsHandler serves a statement-statistics snapshot as JSON. A nil or
+// empty snapshot serves [] rather than null so consumers always get an array.
+func StatementsHandler(snapshot func() []obs.StmtRow) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rows := snapshot()
+		if rows == nil {
+			rows = []obs.StmtRow{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(rows)
+	})
+}
+
 // StartMetrics serves the default metrics registry over HTTP at addr
 // ("127.0.0.1:0" for an ephemeral port): GET /metrics returns Prometheus
 // text, GET /metrics?format=json (or Accept: application/json) returns JSON.
 // The returned server's Addr reports the bound address.
 func StartMetrics(addr string) (*MetricsServer, error) {
+	return StartMetricsWith(addr, MetricsConfig{})
+}
+
+// StartMetricsWith is StartMetrics plus the optional observability routes:
+// /statements (statement aggregates as JSON) and /debug/pprof/ (profiling,
+// gated behind EnablePprof).
+func StartMetricsWith(addr string, cfg MetricsConfig) (*MetricsServer, error) {
+	reg := cfg.Registry
+	if reg == nil {
+		reg = metrics.Default
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("server: metrics listen: %w", err)
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", MetricsHandler(metrics.Default))
+	mux.Handle("/metrics", MetricsHandler(reg))
+	if cfg.Statements != nil {
+		mux.Handle("/statements", StatementsHandler(cfg.Statements))
+	}
+	if cfg.EnablePprof {
+		// Mounted explicitly on this mux: importing net/http/pprof registers
+		// on http.DefaultServeMux, which this server never exposes.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	ms := &MetricsServer{
 		ln:   ln,
 		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},

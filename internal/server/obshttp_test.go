@@ -1,0 +1,257 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/mural-db/mural/internal/client"
+	"github.com/mural-db/mural/internal/obs"
+	"github.com/mural-db/mural/mural"
+)
+
+// syncBuffer is a goroutine-safe trace sink: the server's session goroutine
+// writes spans while the test goroutine reads the output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startTracedServer spins up an engine whose trace sink is the returned
+// buffer (sampling off: only tagged statements export) behind a TCP server.
+func startTracedServer(t *testing.T) (*syncBuffer, *client.Conn) {
+	t.Helper()
+	sink := &syncBuffer{}
+	eng, err := mural.Open(mural.Config{TraceSink: sink, TraceSampleRate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		conn.Close()
+		srv.Close()
+		eng.Close()
+	})
+	return sink, conn
+}
+
+// traceSpans parses the sink's JSON-lines output.
+func traceSpans(t *testing.T, data string) []map[string]any {
+	t.Helper()
+	var spans []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(data), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("span line %q: %v", line, err)
+		}
+		spans = append(spans, m)
+	}
+	return spans
+}
+
+// TestWireTraceRoundTrip is the tracing acceptance path: a client-set trace
+// ID rides the wire, tags the statements that follow it, and the engine
+// exports a span tree (query, plan, operators) carrying exactly that ID.
+func TestWireTraceRoundTrip(t *testing.T) {
+	sink, conn := startTracedServer(t)
+	if _, err := conn.Exec(`CREATE TABLE wt (x INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Exec(`INSERT INTO wt VALUES (1), (2), (3)`); err != nil {
+		t.Fatal(err)
+	}
+	// Untagged at rate 0: nothing exports.
+	if cur, err := conn.Query(`SELECT * FROM wt`); err != nil {
+		t.Fatal(err)
+	} else if _, err := cur.All(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.String(); got != "" {
+		t.Fatalf("untagged statements exported spans:\n%s", got)
+	}
+
+	const id = 0x1234cafe
+	if err := conn.SetTraceID(id); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := conn.Query(`SELECT * FROM wt WHERE x > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := cur.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	// Cursor exhaustion closed the server-side Rows before MsgEnd was sent,
+	// so the span tree is fully exported by now.
+	spans := traceSpans(t, sink.String())
+	if len(spans) < 3 {
+		t.Fatalf("spans = %d, want >= 3 (query, plan, operators):\n%s", len(spans), sink.String())
+	}
+	want := fmt.Sprintf("%016x", uint64(id))
+	kinds := map[string]bool{}
+	for _, s := range spans {
+		kinds[s["kind"].(string)] = true
+		if s["trace_id"] != want {
+			t.Errorf("span trace_id = %v, want %s", s["trace_id"], want)
+		}
+	}
+	for _, k := range []string{"query", "plan", "operator"} {
+		if !kinds[k] {
+			t.Errorf("no %q span in wire trace:\n%s", k, sink.String())
+		}
+	}
+
+	// Zero clears the tag: back to untraced.
+	if err := conn.SetTraceID(0); err != nil {
+		t.Fatal(err)
+	}
+	before := sink.String()
+	if cur, err := conn.Query(`SELECT * FROM wt`); err != nil {
+		t.Fatal(err)
+	} else if _, err := cur.All(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.String(); got != before {
+		t.Fatalf("cleared trace ID still exported:\n%s", got[len(before):])
+	}
+}
+
+// TestWireTraceExecPath: MsgExec statements carry the session tag too.
+func TestWireTraceExecPath(t *testing.T) {
+	sink, conn := startTracedServer(t)
+	if _, err := conn.Exec(`CREATE TABLE we (x INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SetTraceID(0xbeef); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Exec(`SELECT * FROM we`); err != nil {
+		t.Fatal(err)
+	}
+	spans := traceSpans(t, sink.String())
+	if len(spans) < 2 {
+		t.Fatalf("exec spans = %d, want >= 2:\n%s", len(spans), sink.String())
+	}
+	for _, s := range spans {
+		if s["trace_id"] != "000000000000beef" {
+			t.Errorf("span trace_id = %v, want 000000000000beef", s["trace_id"])
+		}
+	}
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestStatementsEndpoint: the observability HTTP server exposes the
+// statement store as JSON.
+func TestStatementsEndpoint(t *testing.T) {
+	eng, err := mural.Open(mural.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	eng.MustExec(`CREATE TABLE se (x INT)`)
+	eng.MustExec(`INSERT INTO se VALUES (1), (2)`)
+	eng.MustExec(`SELECT * FROM se WHERE x = 1`)
+	eng.MustExec(`SELECT * FROM se WHERE x = 2`)
+
+	ms, err := StartMetricsWith("127.0.0.1:0", MetricsConfig{Statements: eng.Statements})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	code, body := httpGet(t, "http://"+ms.Addr()+"/statements")
+	if code != http.StatusOK {
+		t.Fatalf("GET /statements = %d", code)
+	}
+	var rows []obs.StmtRow
+	if err := json.Unmarshal([]byte(body), &rows); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	found := false
+	for _, r := range rows {
+		if r.Query == "select * from se where x = ?" {
+			found = true
+			if r.Calls != 2 {
+				t.Errorf("calls = %d, want 2", r.Calls)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("fingerprint missing from /statements:\n%s", body)
+	}
+	// /metrics still serves alongside.
+	if code, _ := httpGet(t, "http://"+ms.Addr()+"/metrics"); code != http.StatusOK {
+		t.Errorf("GET /metrics = %d", code)
+	}
+}
+
+// TestPprofEndpoints: profiling handlers respond when enabled and stay
+// unmounted otherwise.
+func TestPprofEndpoints(t *testing.T) {
+	ms, err := StartMetricsWith("127.0.0.1:0", MetricsConfig{EnablePprof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	code, body := httpGet(t, "http://"+ms.Addr()+"/debug/pprof/heap")
+	if code != http.StatusOK || len(body) == 0 {
+		t.Errorf("GET /debug/pprof/heap = %d, %d bytes", code, len(body))
+	}
+	code, body = httpGet(t, "http://"+ms.Addr()+"/debug/pprof/profile?seconds=1")
+	if code != http.StatusOK || len(body) == 0 {
+		t.Errorf("GET /debug/pprof/profile = %d, %d bytes", code, len(body))
+	}
+
+	off, err := StartMetricsWith("127.0.0.1:0", MetricsConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	if code, _ := httpGet(t, "http://"+off.Addr()+"/debug/pprof/heap"); code != http.StatusNotFound {
+		t.Errorf("pprof mounted without EnablePprof: GET heap = %d", code)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/mural-db/mural/internal/obs"
 	"github.com/mural-db/mural/internal/sql"
 	"github.com/mural-db/mural/internal/wire"
 	"github.com/mural-db/mural/mural"
@@ -218,6 +219,11 @@ type cursorState struct {
 type session struct {
 	cursors map[uint64]*cursorState
 	nextID  uint64
+	// traceID tags every statement on this connection until the client
+	// replaces it (MsgTrace; zero clears). Like cursors, it belongs to the
+	// session loop alone: MsgTrace rides the ordered frame queue, so the tag
+	// applies exactly to the statements that follow it on the wire.
+	traceID uint64
 
 	mu sync.Mutex
 	// cancel aborts the statement currently executing (nil when idle).
@@ -230,6 +236,15 @@ type session struct {
 
 func newSession() *session {
 	return &session{cursors: make(map[uint64]*cursorState), nextID: 1}
+}
+
+// stmtCtx derives the context a statement executes under: the server's base
+// context, tagged with the session's trace ID when the client set one.
+func (sess *session) stmtCtx(base context.Context) context.Context {
+	if sess.traceID == 0 {
+		return base
+	}
+	return obs.WithTraceID(base, sess.traceID)
 }
 
 // begin registers ctx's cancel as the connection's in-flight statement and
@@ -410,12 +425,19 @@ func (s *Server) dispatch(w io.Writer, sess *session, typ wire.MsgType, payload 
 		return wire.Write(w, wire.MsgPong, nil)
 	case wire.MsgQuit:
 		return fmt.Errorf("quit")
+	case wire.MsgTrace:
+		id, err := wire.DecodeTraceID(payload)
+		if err != nil {
+			return sendErr(err)
+		}
+		sess.traceID = id
+		return nil // no reply: the frame only re-tags the session
 	case wire.MsgExec:
 		if s.isDraining() {
 			mErrors.Inc()
 			return wire.Write(w, wire.MsgErr, wire.EncodeErr(wire.ErrCodeShutdown, "server: shutting down"))
 		}
-		ctx, cancel := context.WithCancel(s.baseCtx)
+		ctx, cancel := context.WithCancel(sess.stmtCtx(s.baseCtx))
 		done := sess.begin(cancel)
 		res, err := s.eng.ExecContext(ctx, string(payload))
 		done()
@@ -436,7 +458,7 @@ func (s *Server) dispatch(w io.Writer, sess *session, typ wire.MsgType, payload 
 		}
 		// The query context outlives this dispatch: it governs every later
 		// fetch on the cursor, so it is canceled at cursor close, not here.
-		ctx, cancel := context.WithCancel(s.baseCtx)
+		ctx, cancel := context.WithCancel(sess.stmtCtx(s.baseCtx))
 		done := sess.begin(cancel)
 		var rows *mural.Rows
 		if _, isSelect := stmt.(*sql.Select); !isSelect {

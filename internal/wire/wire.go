@@ -37,6 +37,7 @@ const (
 	MsgPing   MsgType = 0x05
 	MsgQuit   MsgType = 0x06
 	MsgCancel MsgType = 0x07 // abort the in-flight statement; no reply frame
+	MsgTrace  MsgType = 0x08 // 8-byte big-endian trace ID, sticky for the session; no reply frame
 )
 
 // Server → client messages.
@@ -148,6 +149,23 @@ func ReadString(buf []byte) (string, int, error) {
 		return "", 0, fmt.Errorf("wire: bad string")
 	}
 	return string(buf[sz : sz+int(l)]), sz + int(l), nil
+}
+
+// EncodeTraceID builds a MsgTrace payload: the trace ID as 8 big-endian
+// bytes. The ID tags every subsequent statement on the session until
+// replaced; 0 clears it.
+func EncodeTraceID(id uint64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], id)
+	return buf[:]
+}
+
+// DecodeTraceID parses a MsgTrace payload.
+func DecodeTraceID(buf []byte) (uint64, error) {
+	if len(buf) != 8 {
+		return 0, fmt.Errorf("wire: bad trace id payload (%d bytes)", len(buf))
+	}
+	return binary.BigEndian.Uint64(buf), nil
 }
 
 // EncodeRowDesc builds a MsgRowDesc payload.

@@ -21,10 +21,13 @@ const defaultPlanCacheEntries = 256
 // planCacheKey identifies a cached plan: the exact SQL text plus the
 // catalog version it was planned under. Any DDL, ANALYZE or SET bumps the
 // version, so stale plans stop matching without explicit invalidation (the
-// DDL purge just reclaims their memory).
+// DDL purge just reclaims their memory). fbgen is the selectivity-feedback
+// generation: it moves only when newly observed selectivities could change
+// a plan, so warm feedback re-plans exactly the statements it could improve.
 type planCacheKey struct {
 	sql     string
 	version uint64
+	fbgen   uint64
 }
 
 // planCache is the engine-lifetime SELECT plan cache. Cached *plan.Node
@@ -147,10 +150,42 @@ func (e *Engine) invalidateCaches() {
 }
 
 // ddlDone passes a DDL result through, invalidating the shared caches when
-// the statement succeeded.
+// the statement succeeded. Selectivity feedback purges here too — DDL and
+// ANALYZE change the data distribution the observations described — but NOT
+// on SET, which only flips planner switches (invalidateCaches is enough).
 func (e *Engine) ddlDone(r *Result, err error) (*Result, error) {
 	if err == nil {
 		e.invalidateCaches()
+		if e.fb != nil {
+			e.fb.Purge()
+		}
 	}
 	return r, err
+}
+
+// feedbackGen reads the feedback sketch's plan-invalidation counter (0 when
+// feedback is disabled, keeping cache keys stable).
+func (e *Engine) feedbackGen() uint64 {
+	if e.fb == nil {
+		return 0
+	}
+	return e.fb.Generation()
+}
+
+// cacheTotals sums hit/miss counters across every shared cache; observe
+// subtracts two snapshots for the per-statement deltas reported by SHOW
+// STATEMENTS and the slow-query log.
+type cacheTotals struct{ hits, misses int64 }
+
+// cacheBase snapshots the totals before a statement runs, or the zero value
+// when statement statistics are disabled (skipping the snapshot cost).
+func (e *Engine) cacheBase() cacheTotals {
+	if e.stmts == nil {
+		return cacheTotals{}
+	}
+	cs := e.CacheStats()
+	return cacheTotals{
+		hits:   int64(cs.G2P.Hits + cs.Plan.Hits + cs.Closure.Hits),
+		misses: int64(cs.G2P.Misses + cs.Plan.Misses + cs.Closure.Misses),
+	}
 }

@@ -18,6 +18,7 @@ import (
 	"github.com/mural-db/mural/internal/index/mdi"
 	"github.com/mural-db/mural/internal/index/mtree"
 	"github.com/mural-db/mural/internal/index/qgram"
+	"github.com/mural-db/mural/internal/obs"
 	"github.com/mural-db/mural/internal/phonetic"
 	"github.com/mural-db/mural/internal/plan"
 	"github.com/mural-db/mural/internal/sql"
@@ -96,6 +97,28 @@ type Config struct {
 	// G2PCacheEntries bounds the shared engine-lifetime G2P conversion
 	// cache (default 262144 entries; negative disables the cache).
 	G2PCacheEntries int
+	// StmtStatsEntries bounds the statement statistics store behind SHOW
+	// STATEMENTS and the /statements HTTP endpoint (default 256
+	// fingerprints; negative disables collection).
+	StmtStatsEntries int
+	// FeedbackEntries bounds the planner's observed-selectivity feedback
+	// sketch (default 1024 cells; negative disables feedback, so the
+	// planner always costs from static histograms).
+	FeedbackEntries int
+	// FeedbackMinObs is how many observed executions establish a feedback
+	// cell before the planner trusts it over the histogram estimate
+	// (default 1: a single completed run already beats an approximation).
+	FeedbackMinObs int
+	// TraceSink receives exported query span trees; nil disables tracing.
+	TraceSink io.Writer
+	// TraceFormat selects the trace encoding: "jsonl" (default, one JSON
+	// object per span per line) or "chrome" (trace-event JSON for
+	// chrome://tracing and Perfetto).
+	TraceFormat string
+	// TraceSampleRate is the fraction of untagged statements to trace
+	// (systematic 1-in-N sampling, deterministic). Statements carrying a
+	// client trace ID always trace; zero samples nothing else.
+	TraceSampleRate float64
 }
 
 // MTreeSplitPolicy re-exports the split policies.
@@ -127,6 +150,17 @@ type Engine struct {
 	g2p   *phonetic.SharedCache
 	// inflight counts statements currently executing (admission control).
 	inflight atomic.Int64
+	// stmts, fb and traces are the cross-query observability state (each
+	// nil when disabled): fingerprint-keyed statement aggregates, the
+	// planner's observed-selectivity feedback sketch, and the sampled span
+	// exporter. traceSeq numbers engine-generated trace IDs for sampled
+	// statements that arrived untagged; fbTick schedules the periodic
+	// re-measurement of established feedback cells.
+	stmts    *obs.StmtStats
+	fb       *obs.Feedback
+	traces   *obs.TraceWriter
+	traceSeq atomic.Uint64
+	fbTick   atomic.Uint64
 
 	mu      sync.RWMutex
 	heaps   map[string]*storage.Heap
@@ -208,6 +242,27 @@ func Open(cfg Config) (*Engine, error) {
 	}
 	if cfg.G2PCacheEntries >= 0 {
 		e.g2p = phonetic.NewSharedCache(e.phon, cfg.G2PCacheEntries)
+	}
+	if cfg.StmtStatsEntries >= 0 {
+		n := cfg.StmtStatsEntries
+		if n == 0 {
+			n = defaultStmtStatsEntries
+		}
+		e.stmts = obs.NewStmtStats(n)
+	}
+	if cfg.FeedbackEntries >= 0 {
+		n := cfg.FeedbackEntries
+		if n == 0 {
+			n = defaultFeedbackEntries
+		}
+		e.fb = obs.NewFeedback(n, cfg.FeedbackMinObs)
+	}
+	if cfg.TraceSink != nil {
+		format := cfg.TraceFormat
+		if format == "" {
+			format = obs.FormatJSONL
+		}
+		e.traces = obs.NewTraceWriter(cfg.TraceSink, format, cfg.TraceSampleRate)
 	}
 	if wal != nil {
 		wal.SetCommitDelay(cfg.CommitDelay)
@@ -441,32 +496,34 @@ func (e *Engine) ExecContext(ctx context.Context, q string) (*Result, error) {
 	if tr := e.cfg.Tracer; tr != nil {
 		tr.QueryStart(q)
 	}
+	base := e.cacheBase()
 	start := time.Now()
-	res, err := e.execGoverned(ctx, q)
+	res, peak, err := e.execGoverned(ctx, q)
 	var rows int64
 	if res != nil {
 		rows = int64(len(res.Rows)) + res.RowsAffected
 	}
-	e.observe(q, rows, time.Since(start), err)
+	e.observe(ctx, q, rows, time.Since(start), err, peak, base)
 	return res, err
 }
 
 // execGoverned claims an admission slot and governance state, runs the
-// statement, and accounts a governed termination in the metrics.
-func (e *Engine) execGoverned(ctx context.Context, q string) (*Result, error) {
+// statement, and accounts a governed termination in the metrics. The second
+// return value is the statement's peak governed memory (0 when ungoverned).
+func (e *Engine) execGoverned(ctx context.Context, q string) (*Result, int64, error) {
 	release, err := e.admit()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer release()
 	res, stop := e.queryResources(ctx)
 	defer stop()
-	result, err := e.exec(q, res)
+	result, err := e.exec(ctx, q, res)
 	noteGovernedErr(err)
-	return result, err
+	return result, res.PeakBytes(), err
 }
 
-func (e *Engine) exec(q string, res *exec.Resources) (*Result, error) {
+func (e *Engine) exec(ctx context.Context, q string, res *exec.Resources) (*Result, error) {
 	if err := res.Err(); err != nil {
 		return nil, err
 	}
@@ -495,6 +552,9 @@ func (e *Engine) exec(q string, res *exec.Resources) (*Result, error) {
 		e.invalidateCaches()
 		return &Result{}, nil
 	case *sql.Show:
+		if strings.EqualFold(s.Name, "statements") {
+			return e.showStatements(), nil
+		}
 		v, ok := e.cat.Setting(s.Name)
 		res := &Result{Cols: []string{s.Name}}
 		if ok {
@@ -504,7 +564,7 @@ func (e *Engine) exec(q string, res *exec.Resources) (*Result, error) {
 	case *sql.Explain:
 		return e.execExplain(s, res)
 	case *sql.Select:
-		return e.execSelect(q, s, res)
+		return e.execSelect(ctx, q, s, res)
 	default:
 		return nil, fmt.Errorf("mural: unsupported statement %T", stmt)
 	}
@@ -521,6 +581,15 @@ type Rows struct {
 	// noted guards the governed-termination metrics against double counting
 	// when Next keeps being called after a failure.
 	noted bool
+	// finish, when set, runs the end-of-statement observability work exactly
+	// once at Close: statement statistics, selectivity-feedback folding (only
+	// when the cursor drained to EOF error-free — a partial drain undercounts
+	// output rows) and span export.
+	finish func(streamed int64, eof bool, err error)
+	// streamed/eof/err track what the consumer actually saw, for finish.
+	streamed int64
+	eof      bool
+	err      error
 }
 
 // StaticRows wraps already-materialized rows as a streaming Rows; the server
@@ -533,9 +602,17 @@ func StaticRows(cols []string, rows []Tuple) *Rows {
 // Next returns the next row.
 func (r *Rows) Next() (Tuple, bool, error) {
 	t, ok, err := r.cursor.Next()
-	if err != nil && !r.noted {
-		r.noted = true
-		noteGovernedErr(err)
+	switch {
+	case ok:
+		r.streamed++
+	case err == nil:
+		r.eof = true
+	default:
+		r.err = err
+		if !r.noted {
+			r.noted = true
+			noteGovernedErr(err)
+		}
 	}
 	return t, ok, err
 }
@@ -546,6 +623,10 @@ func (r *Rows) Close() error {
 	if r.done != nil {
 		r.done()
 		r.done = nil
+	}
+	if r.finish != nil {
+		r.finish(r.streamed, r.eof, r.err)
+		r.finish = nil
 	}
 	return err
 }
@@ -560,6 +641,8 @@ func (e *Engine) Query(q string) (*Rows, error) {
 // the configured deadline or memory ceiling) fails subsequent Next calls
 // with the typed error.
 func (e *Engine) QueryContext(ctx context.Context, q string) (*Rows, error) {
+	base := e.cacheBase()
+	start := time.Now()
 	stmt, err := sql.Parse(q)
 	if err != nil {
 		return nil, err
@@ -572,6 +655,7 @@ func (e *Engine) QueryContext(ctx context.Context, q string) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
+	planDur := time.Since(start)
 	release, err := e.admit()
 	if err != nil {
 		return nil, err
@@ -581,13 +665,27 @@ func (e *Engine) QueryContext(ctx context.Context, q string) (*Rows, error) {
 		stop()
 		release()
 	}
-	cur, err := exec.RunGoverned(e, node, nil, res)
+	es, traceID, sampled := e.armCollector(ctx, res, node)
+	cur, err := exec.RunGoverned(e, node, es, res)
 	if err != nil {
+		peak := res.PeakBytes()
 		done()
 		noteGovernedErr(err)
+		e.observe(ctx, q, 0, time.Since(start), err, peak, base)
 		return nil, err
 	}
-	return &Rows{Cols: cur.Cols, cursor: cur, done: done}, nil
+	r := &Rows{Cols: cur.Cols, cursor: cur, done: done}
+	r.finish = func(streamed int64, eof bool, ferr error) {
+		elapsed := time.Since(start)
+		if eof && ferr == nil {
+			e.foldFeedback(node, es, res)
+		}
+		if sampled {
+			e.exportTrace(q, traceID, start, planDur, elapsed-planDur, streamed, node, es)
+		}
+		e.observe(ctx, q, streamed, elapsed, ferr, res.PeakBytes(), base)
+	}
+	return r, nil
 }
 
 // planner assembles a Planner with the current optimizer settings.
@@ -624,7 +722,13 @@ func (e *Engine) planner() *plan.Planner {
 	e.mu.RLock()
 	sem := e.sem
 	e.mu.RUnlock()
-	return &plan.Planner{Cat: e.cat, Phon: e.phon, Sem: sem, Opts: opts}
+	pl := &plan.Planner{Cat: e.cat, Phon: e.phon, Sem: sem, Opts: opts}
+	// Explicit nil check: assigning a nil *obs.Feedback directly would make
+	// the interface non-nil and panic inside the estimator.
+	if e.fb != nil {
+		pl.Feedback = e.fb
+	}
+	return pl
 }
 
 func p2l(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
@@ -641,7 +745,7 @@ func (e *Engine) planSelectCached(q string, sel *sql.Select) (*plan.Node, error)
 	if e.plans == nil {
 		return e.planSelect(sel)
 	}
-	key := planCacheKey{sql: q, version: e.cat.Version()}
+	key := planCacheKey{sql: q, version: e.cat.Version(), fbgen: e.feedbackGen()}
 	if node, ok := e.plans.get(key); ok {
 		return node, nil
 	}
@@ -653,13 +757,16 @@ func (e *Engine) planSelectCached(q string, sel *sql.Select) (*plan.Node, error)
 	return node, nil
 }
 
-func (e *Engine) execSelect(q string, sel *sql.Select, res *exec.Resources) (*Result, error) {
+func (e *Engine) execSelect(ctx context.Context, q string, sel *sql.Select, res *exec.Resources) (*Result, error) {
+	planStart := time.Now()
 	node, err := e.planSelectCached(q, sel)
 	if err != nil {
 		return nil, err
 	}
+	planDur := time.Since(planStart)
+	es, traceID, sampled := e.armCollector(ctx, res, node)
 	start := time.Now()
-	cur, err := exec.RunGoverned(e, node, nil, res)
+	cur, err := exec.RunGoverned(e, node, es, res)
 	if err != nil {
 		return nil, err
 	}
@@ -667,12 +774,17 @@ func (e *Engine) execSelect(q string, sel *sql.Select, res *exec.Resources) (*Re
 	if err != nil {
 		return nil, err
 	}
+	elapsed := time.Since(start)
+	e.foldFeedback(node, es, res)
+	if sampled {
+		e.exportTrace(q, traceID, planStart, planDur, elapsed, int64(len(rows)), node, es)
+	}
 	return &Result{
 		Cols:     cur.Cols,
 		Rows:     rows,
 		Plan:     plan.Format(node),
 		PlanCost: node.EstCost,
-		Elapsed:  time.Since(start),
+		Elapsed:  elapsed,
 		Stats:    *cur.Stats,
 	}, nil
 }

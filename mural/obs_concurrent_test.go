@@ -1,0 +1,96 @@
+package mural
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mural-db/mural/internal/leakcheck"
+)
+
+// TestConcurrentObservation drives one statement shape from many goroutines
+// through every observation path at once — statement-statistics aggregation,
+// slow-query log writes, feedback folding on governed runs, and trace
+// collection from morsel-parallel Gather workers — and checks nothing is
+// lost or leaked. Run under -race this is the concurrency proof for the
+// observability layer.
+func TestConcurrentObservation(t *testing.T) {
+	leakcheck.Check(t)
+	// Plain buffers are safe as sinks: the engine serializes slow-log writes
+	// (slowMu) and span writes (TraceWriter's mutex).
+	var slow, traces bytes.Buffer
+	e, err := Open(Config{
+		Workers:            4,
+		SlowQueryThreshold: time.Nanosecond,
+		SlowQueryLog:       &slow,
+		TraceSink:          &traces,
+		TraceSampleRate:    0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	loadNames(t, e, 200)
+	// Governed session: peak-memory accounting and feedback folding are on.
+	e.MustExec(`SET statement_timeout = 600000`)
+	if ex := e.MustExec(`EXPLAIN ` + psiNamesQuery); !strings.Contains(ex.Plan, "Gather") {
+		t.Fatalf("workload must run under a Gather to exercise parallel collection:\n%s", ex.Plan)
+	}
+
+	const goroutines, perG = 8, 20
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if _, err := e.Exec(psiNamesQuery); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Every call must be aggregated under the one fingerprint.
+	var callsSeen int64
+	for _, r := range showStmts(t, e) {
+		if strings.HasPrefix(r[0].Text(), "select id from names") {
+			callsSeen = r[1].Int()
+		}
+	}
+	if want := int64(goroutines * perG); callsSeen != want {
+		t.Errorf("aggregated calls = %d, want %d", callsSeen, want)
+	}
+
+	// Slow-log lines (threshold 1ns: all of them) must each be valid JSON.
+	lines := strings.Split(strings.TrimSpace(slow.String()), "\n")
+	if len(lines) < goroutines*perG {
+		t.Errorf("slow log lines = %d, want >= %d", len(lines), goroutines*perG)
+	}
+	for _, line := range lines {
+		var rec slowQueryRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("interleaved slow-log line %q: %v", line, err)
+		}
+	}
+
+	// The sampler ran a quarter of the statements with span collection on;
+	// each exported line must be a complete JSON span.
+	if traces.Len() == 0 {
+		t.Fatal("no spans exported at sample rate 0.25 over 160 statements")
+	}
+	for _, line := range strings.Split(strings.TrimSpace(traces.String()), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("interleaved span line %q: %v", line, err)
+		}
+	}
+}
