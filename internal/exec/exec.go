@@ -80,7 +80,7 @@ func buildOp(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 	switch n.Op {
 	case plan.OpSeqScan:
 		if n.Parallel && ev.par != nil {
-			return ev.par.scanIter(env, n)
+			return ev.par.scanIter(env, ev, n)
 		}
 		it, err := env.ScanTable(n.Table)
 		if err != nil || ev.res == nil {

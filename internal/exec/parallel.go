@@ -75,8 +75,11 @@ func (m *morselSource) claim() (lo, hi int64, ok bool) {
 	return lo, hi, true
 }
 
-// scanIter builds this worker's share of a parallel table scan.
-func (pc *parallelCtx) scanIter(env Env, n *plan.Node) (TupleIter, error) {
+// scanIter builds this worker's share of a parallel table scan. The
+// worker's evaluator threads through so both partition shapes checkpoint
+// cancellation: a worker can spin through many claimed pages (or skip long
+// stripe runs) without ever surfacing a row to a governed parent iterator.
+func (pc *parallelCtx) scanIter(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 	src, ok := pc.shared.sources[n]
 	if !ok {
 		np, err := env.TablePages(n.Table)
@@ -94,21 +97,25 @@ func (pc *parallelCtx) scanIter(env Env, n *plan.Node) (TupleIter, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &stripedIter{child: child, idx: int64(pc.id), mod: int64(pc.workers)}, nil
+		return &stripedIter{child: child, ev: ev, idx: int64(pc.id), mod: int64(pc.workers)}, nil
 	}
-	return &morselScanIter{env: env, src: src}, nil
+	return &morselScanIter{env: env, ev: ev, src: src}, nil
 }
 
 // morselScanIter scans morsels claimed from the shared source until the
 // table is exhausted.
 type morselScanIter struct {
 	env Env
+	ev  *evaluator
 	src *morselSource
 	cur TupleIter
 }
 
 func (m *morselScanIter) Next() (types.Tuple, bool, error) {
 	for {
+		if err := m.ev.tick(); err != nil {
+			return nil, false, err
+		}
 		if m.cur == nil {
 			lo, hi, ok := m.src.claim()
 			if !ok {
@@ -148,6 +155,7 @@ func (m *morselScanIter) Close() error {
 // id: the row-granularity fallback partition for small tables.
 type stripedIter struct {
 	child TupleIter
+	ev    *evaluator
 	idx   int64
 	mod   int64
 	n     int64
@@ -155,6 +163,9 @@ type stripedIter struct {
 
 func (s *stripedIter) Next() (types.Tuple, bool, error) {
 	for {
+		if err := s.ev.tick(); err != nil {
+			return nil, false, err
+		}
 		t, ok, err := s.child.Next()
 		if err != nil || !ok {
 			return nil, false, err
@@ -294,6 +305,10 @@ func (g *gatherIter) drain(w *gatherWorker) error {
 			return true, nil
 		}
 		if err := g.res.Grow(batchBytes); err != nil {
+			// Grow records the charge even on failure, and this batch never
+			// reaches the consumer — return the bytes here, or they stay
+			// accounted for the rest of the query.
+			g.res.Release(batchBytes)
 			return false, err
 		}
 		select {

@@ -8,6 +8,11 @@
 // fmt.Print/Printf/Println; fmt.Fprint* into a *bytes.Buffer or
 // *strings.Builder; and methods on bytes.Buffer and strings.Builder, all of
 // which document that they never return a meaningful error.
+//
+// Interprocedural: calls to module functions whose summary proves the error
+// result is nil on every path (interface-satisfying Close methods that
+// cannot fail, and helpers forwarding to them) are exempt — the drop
+// discards nothing.
 package errdrop
 
 import (
@@ -17,6 +22,7 @@ import (
 
 	"github.com/mural-db/mural/internal/lint/analysis"
 	"github.com/mural-db/mural/internal/lint/lintutil"
+	"github.com/mural-db/mural/internal/lint/summary"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -30,6 +36,7 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	ann := lintutil.CollectAnnotations(pass)
+	table := summary.ForPkg(pass.Fset, pass.Pkg, pass.TypesInfo, pass.Files)
 	for _, fd := range lintutil.FuncDecls(pass) {
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
 			var call *ast.CallExpr
@@ -48,6 +55,10 @@ func run(pass *analysis.Pass) error {
 				return true
 			}
 			if call == nil || !returnsError(pass, call) || exempt(pass, call) {
+				return true
+			}
+			// Summary-proven harmless: the callee's error is nil on every path.
+			if fn := lintutil.StaticCallee(pass.TypesInfo, call); fn != nil && table.AlwaysNilError(fn) {
 				return true
 			}
 			if ann.Has(call.Pos(), "errdrop-ok") {

@@ -1,0 +1,176 @@
+// Package govcheck guards PR 6's cancelability invariant: every operator
+// row loop reachable from the executor must contain an amortized
+// cancellation checkpoint, so a canceled or timed-out query stops within a
+// bounded amount of row work no matter which operators its plan uses.
+//
+// Concretely: starting from every operator `Next` method — a method named
+// Next returning (T, bool, error) — the analyzer walks the package-local
+// static call graph (including goroutine launches, which is how Gather
+// workers run). In every reached function, each for/range loop whose body
+// pulls rows (calls a 3-result Next) must also reach a checkpoint: a direct
+// `tick()` / `Resources.Err()` call, or a call to a function whose summary
+// transitively checkpoints. Loops that iterate bounded, row-independent
+// structures (projection column lists, schema slices) don't pull rows and
+// are not flagged. Intentional exceptions carry //lint:gov-exempt on the
+// loop or the function declaration.
+package govcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/mural-db/mural/internal/lint/analysis"
+	"github.com/mural-db/mural/internal/lint/lintutil"
+	"github.com/mural-db/mural/internal/lint/summary"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "govcheck",
+	Doc:  "every operator Next row loop reachable from the executor contains an amortized cancellation checkpoint (tick / Resources.Err, directly or via a summarized callee)",
+	Run:  run,
+}
+
+// inScope: operator trees live in the executor and the engine facade (plus
+// bare testdata packages).
+func inScope(path string) bool {
+	return strings.Contains(path, "internal/exec") ||
+		strings.HasSuffix(path, "/mural") ||
+		!strings.Contains(path, "/")
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.ImportPath) {
+		return nil
+	}
+	ann := lintutil.CollectAnnotations(pass)
+	table := summary.ForPkg(pass.Fset, pass.Pkg, pass.TypesInfo, pass.Files)
+
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, fd := range lintutil.FuncDecls(pass) {
+		if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+			decls[fn] = fd
+		}
+	}
+
+	// Seed: operator Next methods; then close over package-local callees.
+	reachable := map[*types.Func]bool{}
+	var queue []*types.Func
+	for fn, fd := range decls {
+		if fd.Recv != nil && fn.Name() == "Next" && isRowSig(fn) {
+			reachable[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range table.Callees(fn) {
+			if callee.Pkg() != pass.Pkg || reachable[callee] {
+				continue
+			}
+			if _, local := decls[callee]; !local {
+				continue
+			}
+			reachable[callee] = true
+			queue = append(queue, callee)
+		}
+	}
+
+	for fn := range reachable {
+		checkFunc(pass, ann, table, decls[fn])
+	}
+	return nil
+}
+
+// isRowSig reports the operator row signature: (T, bool, error).
+func isRowSig(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() != 3 {
+		return false
+	}
+	if b, ok := res.At(1).Type().(*types.Basic); !ok || b.Kind() != types.Bool {
+		return false
+	}
+	return lintutil.IsErrorType(res.At(2).Type())
+}
+
+func checkFunc(pass *analysis.Pass, ann *lintutil.Annotations, table *summary.Table, fd *ast.FuncDecl) {
+	if fd == nil || ann.Has(fd.Pos(), "gov-exempt") {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		if !pullsRows(pass, body) || hasCheckpoint(pass, table, body) {
+			return true
+		}
+		if ann.Has(n.Pos(), "gov-exempt") {
+			return true
+		}
+		pass.Reportf(n.Pos(),
+			"row loop pulls tuples without a cancellation checkpoint: a canceled query keeps running through this loop; call tick()/Resources.Err() each iteration (or a helper that does) or annotate with //lint:gov-exempt")
+		// Don't descend: one report covers the nested loops too.
+		return false
+	})
+}
+
+// pullsRows reports whether the loop body calls a 3-result Next — the mark
+// of unbounded, row-at-a-time work.
+func pullsRows(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lintutil.CalleeName(call) != "Next" {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[call]; ok {
+			if tup, ok := tv.Type.(*types.Tuple); ok && tup.Len() == 3 {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasCheckpoint reports whether the loop body reaches a cancellation
+// checkpoint: tick(), Resources.Err(), or a summarized callee that
+// transitively checkpoints.
+func hasCheckpoint(pass *analysis.Pass, table *summary.Table, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := lintutil.CalleeName(call)
+		if name == "tick" {
+			found = true
+			return true
+		}
+		if name == "Err" && lintutil.ReceiverTypeName(pass.TypesInfo, call) == "Resources" {
+			found = true
+			return true
+		}
+		if fn := lintutil.StaticCallee(pass.TypesInfo, call); fn != nil && table.Checkpoints(fn) {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,11 @@
+package govcheck
+
+import (
+	"testing"
+
+	"github.com/mural-db/mural/internal/lint/analysistest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, Analyzer, "../testdata/src/govcheck")
+}

@@ -4,6 +4,13 @@
 // wrapping constructor — composite iterators take ownership of their
 // children), be drained by a call that closes internally (Cursor.All), or
 // be annotated //lint:iter-escapes.
+//
+// Interprocedural: when the callee of a hand-off is summarized, the summary
+// decides the iterator's fate — a helper that Closes its parameter releases
+// it, one that stores it takes ownership, and one that merely borrows it
+// (drains without closing) leaves the Close duty with the caller, which the
+// intraprocedural check would otherwise miss. Unknown callees (interface
+// methods, other modules) keep the permissive hand-off reading.
 package iterclose
 
 import (
@@ -13,6 +20,7 @@ import (
 	"github.com/mural-db/mural/internal/lint/analysis"
 	"github.com/mural-db/mural/internal/lint/lifetime"
 	"github.com/mural-db/mural/internal/lint/lintutil"
+	"github.com/mural-db/mural/internal/lint/summary"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -23,15 +31,21 @@ var Analyzer = &analysis.Analyzer{
 
 func run(pass *analysis.Pass) error {
 	ann := lintutil.CollectAnnotations(pass)
+	table := summary.ForPkg(pass.Fset, pass.Pkg, pass.TypesInfo, pass.Files)
 	lifetime.Check(pass, ann, lifetime.Spec{
 		Noun:      "iterator",
 		IsAcquire: isIterAcquire,
 		// All drains a cursor to completion and closes it internally.
 		ReleaseNames: []string{"Close", "All"},
 		// Constructors like newNLJoin(left, right) take ownership of their
-		// child iterators: passing one as an argument is a hand-off.
+		// child iterators: passing one as an argument is a hand-off — but
+		// when the callee is summarized, believe the summary instead (a
+		// borrowing helper leaves the Close duty here).
 		ArgsEscape: true,
 		Annotation: "iter-escapes",
+		ArgFate: func(pass *analysis.Pass, call *ast.CallExpr, argIdx int) summary.ParamFate {
+			return table.ArgFate(lintutil.StaticCallee(pass.TypesInfo, call), argIdx)
+		},
 	})
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 
 	"github.com/mural-db/mural/internal/lint/analysis"
 	"github.com/mural-db/mural/internal/lint/lintutil"
+	"github.com/mural-db/mural/internal/lint/summary"
 )
 
 // Spec configures one resource discipline.
@@ -43,6 +44,33 @@ type Spec struct {
 	// CheckUseAfterRelease reports uses of the variable after an
 	// unconditional direct release on the same path.
 	CheckUseAfterRelease bool
+
+	// ResourceFromArg tracks the acquire call's first argument (an
+	// identifier) as the resource instead of its result — the membalance
+	// shape `if err := ev.grow(b); ...`, where the duty attaches to b.
+	ResourceFromArg bool
+	// NoErrGuard disables the error-guard idiom: the acquisition takes
+	// effect even on its error path (Resources.Grow records the charge
+	// before failing, so the failure branch must still discharge it).
+	NoErrGuard bool
+	// ReleaseArgMention treats a call as a release when its callee name is
+	// in ReleaseFuncs (or IsReleaseCall approves it) and an argument
+	// mentions the resource — the `ev.release(b)` shape, where the resource
+	// rides in an argument rather than the receiver.
+	ReleaseArgMention bool
+	// IsReleaseCall, when set, additionally classifies calls as releases;
+	// analyzers use it to consult callee summaries (a helper that
+	// transitively commits the batch or releases governed memory).
+	IsReleaseCall func(pass *analysis.Pass, call *ast.CallExpr) bool
+	// ArgFate, when set, classifies passing the resource as a direct call
+	// argument using callee summaries: FateReleases counts as a release,
+	// FateEscapes as an ownership transfer, FateBorrows keeps tracking, and
+	// FateUnknown falls back to the ArgsEscape default.
+	ArgFate func(pass *analysis.Pass, call *ast.CallExpr, argIdx int) summary.ParamFate
+	// AlreadyDischarged, when set, skips tracking an acquisition entirely —
+	// the membalance pre-accumulation idiom, where the charged amount was
+	// recorded into a struct field before the Grow call.
+	AlreadyDischarged func(pass *analysis.Pass, fd *ast.FuncDecl, acq *ast.CallExpr, v types.Object) bool
 }
 
 // Check runs the discipline over every function of the pass.
@@ -103,10 +131,13 @@ func checkFunc(pass *analysis.Pass, ann *lintutil.Annotations, spec Spec, fd *as
 					defining = append([]ast.Stmt{&cp}, stmts[i+1:]...)
 				}
 			}
+			if ok && spec.AlreadyDischarged != nil && spec.AlreadyDischarged(pass, fd, a.call, a.v) {
+				ok = false
+			}
 			if ok {
 				if !ann.Has(a.call.Pos(), spec.Annotation) {
 					c := &checker{pass: pass, spec: spec, acq: a}
-					st := state{errLive: a.errObj != nil}
+					st := state{errLive: a.errObj != nil && !spec.NoErrGuard}
 					out := c.seq(defining, st)
 					if out.falls && !out.st.released && !c.reported {
 						c.leak(end(stmts), "end of the variable's scope")
@@ -146,6 +177,9 @@ func matchAcquire(pass *analysis.Pass, spec Spec, s ast.Stmt) (acquisition, bool
 		if !ok || !spec.IsAcquire(pass, call) {
 			return acquisition{}, false
 		}
+		if spec.ResourceFromArg {
+			return argAcquisition(pass, call, st)
+		}
 		a := acquisition{call: call}
 		for i, lhs := range st.Lhs {
 			id, ok := lhs.(*ast.Ident)
@@ -175,16 +209,48 @@ func matchAcquire(pass *analysis.Pass, spec Spec, s ast.Stmt) (acquisition, bool
 		}
 		return a, true
 	case *ast.ExprStmt:
-		if !spec.Valueless {
+		if !spec.Valueless && !spec.ResourceFromArg {
 			return acquisition{}, false
 		}
 		call, ok := st.X.(*ast.CallExpr)
 		if !ok || !spec.IsAcquire(pass, call) {
 			return acquisition{}, false
 		}
+		if spec.ResourceFromArg {
+			return argAcquisition(pass, call, nil)
+		}
 		return acquisition{call: call}, true
 	}
 	return acquisition{}, false
+}
+
+// argAcquisition builds the acquisition for a ResourceFromArg spec: the
+// resource is the call's first argument (when it is a plain identifier; a
+// computed amount has no variable to track and is skipped), and the error
+// variable, if any, comes from the assignment's left-hand side.
+func argAcquisition(pass *analysis.Pass, call *ast.CallExpr, assign *ast.AssignStmt) (acquisition, bool) {
+	if len(call.Args) == 0 {
+		return acquisition{}, false
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return acquisition{}, false
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return acquisition{}, false
+	}
+	a := acquisition{call: call, v: obj}
+	if assign != nil {
+		for _, lhs := range assign.Lhs {
+			if lid, ok := lhs.(*ast.Ident); ok {
+				if o := pass.TypesInfo.ObjectOf(lid); o != nil && lintutil.IsErrorType(o.Type()) {
+					a.errObj = o
+				}
+			}
+		}
+	}
+	return a, true
 }
 
 // outcome summarizes simulating a statement sequence.
@@ -469,9 +535,22 @@ func (c *checker) effects(s ast.Stmt, st state) state {
 				released = true
 				return false // don't treat the receiver as a plain use
 			}
-			if !c.spec.Valueless && c.spec.ArgsEscape {
-				for _, arg := range t.Args {
-					if c.usesV(arg) {
+			if !c.spec.Valueless {
+				for i, arg := range t.Args {
+					if c.spec.ArgFate != nil && c.usesVDirect(arg) {
+						// Summary-driven classification of the hand-off.
+						switch c.spec.ArgFate(c.pass, t, i) {
+						case summary.FateReleases:
+							released = true
+							continue
+						case summary.FateEscapes:
+							escaped = true
+							continue
+						case summary.FateBorrows:
+							continue
+						}
+					}
+					if c.spec.ArgsEscape && c.usesV(arg) {
 						escaped = true
 					}
 				}
@@ -554,7 +633,27 @@ func (c *checker) releasesIn(call *ast.CallExpr) bool {
 				return true
 			}
 		}
-		return false
+		// Summary-driven: a helper that transitively performs the release.
+		return c.spec.IsReleaseCall != nil && c.spec.IsReleaseCall(c.pass, call)
+	}
+	if c.spec.ReleaseArgMention {
+		match := c.spec.IsReleaseCall != nil && c.spec.IsReleaseCall(c.pass, call)
+		if !match {
+			for _, rn := range c.spec.ReleaseFuncs {
+				if name == rn {
+					match = true
+					break
+				}
+			}
+		}
+		if match {
+			for _, arg := range call.Args {
+				if c.usesV(arg) {
+					return true
+				}
+			}
+		}
+		// fall through: receiver-based ReleaseNames may still apply
 	}
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {

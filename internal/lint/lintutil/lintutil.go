@@ -16,6 +16,19 @@
 //	//lint:wal-exempt    — walorder: this page write is exempt from the
 //	                       log-before-write discipline (e.g. it IS the
 //	                       logging path).
+//	//lint:lock-handoff  — lockscope: this function intentionally releases a
+//	                       mutex its caller holds (the group-commit wait
+//	                       idiom); placed on the function declaration.
+//	//lint:lock-held-io  — lockscope: this blocking operation under a lock
+//	                       is audited and intentional. On a call/operation
+//	                       site it exempts that site; on a function
+//	                       declaration it exempts the whole function and
+//	                       stops its blocking effects from propagating to
+//	                       callers.
+//	//lint:gov-exempt    — govcheck: this row loop intentionally runs
+//	                       without a cancellation checkpoint.
+//	//lint:mem-exempt    — membalance: this memory charge is intentionally
+//	                       balanced elsewhere.
 package lintutil
 
 import (
@@ -145,6 +158,29 @@ func CalleeName(call *ast.CallExpr) string {
 		return fn.Sel.Name
 	}
 	return ""
+}
+
+// StaticCallee resolves a call to the concrete *types.Func it invokes, or
+// nil for dynamic dispatch (interface methods, func values, builtins).
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			f, ok := sel.Obj().(*types.Func)
+			if !ok || types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			return f
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
 }
 
 // HasMethod reports whether type t (or *t) has a method with the given

@@ -1,0 +1,258 @@
+// Package membalance enforces the governed-memory discipline of PR 6: every
+// charge to the query accountant — `Resources.Grow(b)` / `evaluator.grow(b)`
+// — must be discharged on every path, including the Grow-failure path (Grow
+// records the charge before failing, so an early error return still owes a
+// Release). A charge is discharged by:
+//
+//   - a release call mentioning the charged variable (`ev.release(b)`,
+//     `res.Release(b)`, or — via summaries — any helper that transitively
+//     releases governed memory and receives b);
+//   - accumulating the amount into a struct field (`m.bytes += b`), which
+//     transfers the duty to the owning type: some method of that type must
+//     release the field (the materialize/sort/hash-join Close idiom) — the
+//     cross-function half of the check;
+//   - any other escape of the variable (stored in a composite literal,
+//     sent on a channel, returned).
+//
+// Pre-accumulation (`m.bytes += b` before the Grow) discharges up front:
+// whatever happens afterwards, Close's release of the field covers b.
+// Intentional exceptions carry //lint:mem-exempt.
+package membalance
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/mural-db/mural/internal/lint/analysis"
+	"github.com/mural-db/mural/internal/lint/lifetime"
+	"github.com/mural-db/mural/internal/lint/lintutil"
+	"github.com/mural-db/mural/internal/lint/summary"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "membalance",
+	Doc:  "every Resources.Grow has a matching Release on all paths (including the Grow-failure path); charges accumulated into struct fields must be released by a method of that type",
+	Run:  run,
+}
+
+// inScope: governed memory lives in the executor (plus bare testdata).
+func inScope(path string) bool {
+	return strings.Contains(path, "internal/exec") || !strings.Contains(path, "/")
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.ImportPath) {
+		return nil
+	}
+	ann := lintutil.CollectAnnotations(pass)
+	table := summary.ForPkg(pass.Fset, pass.Pkg, pass.TypesInfo, pass.Files)
+
+	lifetime.Check(pass, ann, lifetime.Spec{
+		Noun:              "memory charge",
+		IsAcquire:         isGrow,
+		ReleaseFuncs:      []string{"release", "Release"},
+		Annotation:        "mem-exempt",
+		ResourceFromArg:   true,
+		NoErrGuard:        true,
+		ReleaseArgMention: true,
+		IsReleaseCall: func(pass *analysis.Pass, call *ast.CallExpr) bool {
+			fn := lintutil.StaticCallee(pass.TypesInfo, call)
+			return fn != nil && table.ReleasesMem(fn)
+		},
+		AlreadyDischarged: preAccumulated,
+	})
+
+	checkFieldDuties(pass, ann)
+	return nil
+}
+
+// isGrow matches evaluator.grow / Resources.Grow calls.
+func isGrow(pass *analysis.Pass, call *ast.CallExpr) bool {
+	name := lintutil.CalleeName(call)
+	if name != "grow" && name != "Grow" {
+		return false
+	}
+	recv := lintutil.ReceiverTypeName(pass.TypesInfo, call)
+	return recv == "evaluator" || recv == "Resources"
+}
+
+// preAccumulated reports whether the charged variable was already folded
+// into a struct field before the Grow (`m.bytes += b; if err := grow(b)`):
+// the duty then rides on the field, which checkFieldDuties audits.
+func preAccumulated(pass *analysis.Pass, fd *ast.FuncDecl, acq *ast.CallExpr, v types.Object) bool {
+	if v == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Pos() >= acq.Pos() {
+			return true
+		}
+		if isFieldAccumulation(pass.TypesInfo, as, v) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isFieldAccumulation matches `x.f += v` (or `x.f = x.f + v`) where v is the
+// tracked variable and x.f selects a field of a named type.
+func isFieldAccumulation(info *types.Info, as *ast.AssignStmt, v types.Object) bool {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	sel, ok := as.Lhs[0].(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if lintutil.TypeName(info.TypeOf(sel.X)) == "" {
+		return false
+	}
+	mentions := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == v {
+				found = true
+			}
+			return true
+		})
+		return found
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN:
+		return mentions(as.Rhs[0])
+	case token.ASSIGN:
+		// x.f = x.f + v
+		if be, ok := as.Rhs[0].(*ast.BinaryExpr); ok && be.Op == token.ADD {
+			return mentions(be.X) || mentions(be.Y)
+		}
+	}
+	return false
+}
+
+// checkFieldDuties audits the escape hatch: for every field that a governed
+// function accumulates charges into, some method of the owning type must
+// release that field. This is the "Grow in the builder, Release in Close"
+// cross-function case.
+func checkFieldDuties(pass *analysis.Pass, ann *lintutil.Annotations) {
+	type accum struct {
+		typ   *types.Named
+		field string
+		pos   token.Pos
+	}
+	var accums []accum
+
+	for _, fd := range lintutil.FuncDecls(pass) {
+		// Only amounts that were actually charged carry a release duty:
+		// collect the variables handed to Grow, so that statistics counters
+		// (`stats.IndexPages += pages`) and aggregate state (`st.sum += v`)
+		// in the same function don't masquerade as memory charges.
+		growArgs := map[types.Object]bool{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isGrow(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+							growArgs[obj] = true
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+		if len(growArgs) == 0 {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || as.Tok != token.ADD_ASSIGN {
+				return true
+			}
+			sel, ok := as.Lhs[0].(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			charged := false
+			ast.Inspect(as.Rhs[0], func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && growArgs[pass.TypesInfo.ObjectOf(id)] {
+					charged = true
+				}
+				return true
+			})
+			if !charged {
+				return true
+			}
+			named := lintutil.NamedType(pass.TypesInfo.TypeOf(sel.X))
+			if named == nil || named.Obj().Pkg() != pass.Pkg {
+				return true
+			}
+			accums = append(accums, accum{typ: named, field: sel.Sel.Name, pos: as.Pos()})
+			return true
+		})
+	}
+	if len(accums) == 0 {
+		return
+	}
+
+	// releasedFields[T][f]: some method of T releases T.f.
+	releasedFields := map[*types.Named]map[string]bool{}
+	for _, fd := range lintutil.FuncDecls(pass) {
+		if fd.Recv == nil || len(fd.Recv.List) == 0 {
+			continue
+		}
+		named := lintutil.NamedType(pass.TypesInfo.TypeOf(fd.Recv.List[0].Type))
+		if named == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch lintutil.CalleeName(call) {
+			case "release", "Release":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if s, ok := m.(*ast.SelectorExpr); ok {
+						if releasedFields[named] == nil {
+							releasedFields[named] = map[string]bool{}
+						}
+						releasedFields[named][s.Sel.Name] = true
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+
+	reported := map[string]bool{}
+	for _, a := range accums {
+		if releasedFields[a.typ][a.field] {
+			continue
+		}
+		if ann.Has(a.pos, "mem-exempt") {
+			continue
+		}
+		key := a.typ.Obj().Name() + "." + a.field
+		if reported[key] {
+			continue
+		}
+		reported[key] = true
+		pass.Reportf(a.pos,
+			"memory charges accumulate into %s.%s but no method of %s releases that field; add the release to Close (or annotate with //lint:mem-exempt)",
+			a.typ.Obj().Name(), a.field, a.typ.Obj().Name())
+	}
+}

@@ -7,14 +7,22 @@
 // registered at two distinct sites within one package (the registry
 // get-or-creates, so duplicate sites mean two code paths silently share — or
 // think they own — one series).
+//
+// The lint suite itself is tooling, not the engine: it must never register
+// runtime metrics. Any registration reached from a lint package (directly,
+// or through a summarized helper that transitively registers) is flagged,
+// and the mural_lint_ name prefix is reserved-and-forbidden everywhere so a
+// future lint-side metric cannot slip in under the main namespace rules.
 package metricname
 
 import (
 	"go/ast"
 	"go/constant"
+	"strings"
 
 	"github.com/mural-db/mural/internal/lint/analysis"
 	"github.com/mural-db/mural/internal/lint/lintutil"
+	"github.com/mural-db/mural/internal/lint/summary"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -25,6 +33,8 @@ var Analyzer = &analysis.Analyzer{
 
 func run(pass *analysis.Pass) error {
 	seen := map[string]ast.Node{}
+	lintPkg := isLintPkg(pass.ImportPath)
+	table := summary.ForPkg(pass.Fset, pass.Pkg, pass.TypesInfo, pass.Files)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -35,10 +45,22 @@ func run(pass *analysis.Pass) error {
 			switch kind {
 			case "Counter", "Gauge", "Histogram":
 			default:
+				// Lint packages must stay metrics-free even through helpers:
+				// a summarized callee that transitively registers is as bad
+				// as a direct registration.
+				if lintPkg {
+					if fn := lintutil.StaticCallee(pass.TypesInfo, call); fn != nil && table.RegistersMetric(fn) {
+						pass.Reportf(call.Pos(),
+							"lint packages must not register metrics: %s transitively registers a metric series", fn.Name())
+					}
+				}
 				return true
 			}
 			if lintutil.ReceiverTypeName(pass.TypesInfo, call) != "Registry" || len(call.Args) == 0 {
 				return true
+			}
+			if lintPkg {
+				pass.Reportf(call.Pos(), "lint packages must not register metrics: the analyzers are tooling, not the engine")
 			}
 			arg := call.Args[0]
 			tv, ok := pass.TypesInfo.Types[arg]
@@ -70,6 +92,13 @@ func checkName(pass *analysis.Pass, at ast.Node, kind, name string) {
 		pass.Reportf(at.Pos(), "metric name %q is outside the documented namespace: names must start with %q", name, prefix)
 		return
 	}
+	// mural_lint_* is reserved-and-forbidden: the lint suite never exports
+	// runtime series, so any name under that prefix is a mistake wherever it
+	// appears.
+	if strings.HasPrefix(name, "mural_lint_") {
+		pass.Reportf(at.Pos(), "metric name %q uses the reserved prefix mural_lint_: the lint suite does not export metrics", name)
+		return
+	}
 	switch kind {
 	case "Counter":
 		if !hasSuffix(name, "_total") {
@@ -88,6 +117,13 @@ func checkName(pass *analysis.Pass, at ast.Node, kind, name string) {
 			pass.Reportf(at.Pos(), "histogram name %q must carry its unit as a suffix (_ns or _bytes)", name)
 		}
 	}
+}
+
+// isLintPkg reports import paths inside the lint suite. Bare paths named
+// lintguard* are analysistest packages exercising this rule.
+func isLintPkg(importPath string) bool {
+	return strings.Contains(importPath, "internal/lint") ||
+		strings.HasPrefix(importPath, "lintguard")
 }
 
 // snakeCase: ^[a-z][a-z0-9]*(_[a-z0-9]+)*$

@@ -9,3 +9,7 @@ import (
 func TestAnalyzer(t *testing.T) {
 	analysistest.Run(t, Analyzer, "../testdata/src/metricname")
 }
+
+func TestLintPackagesAreMetricsFree(t *testing.T) {
+	analysistest.Run(t, Analyzer, "../testdata/src/lintguard")
+}

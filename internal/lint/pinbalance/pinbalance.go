@@ -4,6 +4,11 @@
 // annotated //lint:pin-escapes where ownership deliberately transfers.
 // Uses of a handle after a direct Unpin on the same path are also flagged —
 // the frame may already hold a different page.
+//
+// Interprocedural: passing a handle to a summarized helper that Unpins its
+// parameter counts as the release (the caller's duty is met through the
+// callee); a helper that stores the handle counts as a hand-off. Helpers
+// that merely borrow leave the duty with the caller, as before.
 package pinbalance
 
 import (
@@ -12,6 +17,7 @@ import (
 	"github.com/mural-db/mural/internal/lint/analysis"
 	"github.com/mural-db/mural/internal/lint/lifetime"
 	"github.com/mural-db/mural/internal/lint/lintutil"
+	"github.com/mural-db/mural/internal/lint/summary"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -22,6 +28,7 @@ var Analyzer = &analysis.Analyzer{
 
 func run(pass *analysis.Pass) error {
 	ann := lintutil.CollectAnnotations(pass)
+	table := summary.ForPkg(pass.Fset, pass.Pkg, pass.TypesInfo, pass.Files)
 	lifetime.Check(pass, ann, lifetime.Spec{
 		Noun: "pinned page handle",
 		IsAcquire: func(pass *analysis.Pass, call *ast.CallExpr) bool {
@@ -33,10 +40,14 @@ func run(pass *analysis.Pass) error {
 		},
 		ReleaseNames: []string{"Unpin"},
 		// Handles are only borrowed by callees (writeNode, readNode, ...):
-		// passing one as an argument does not discharge the Unpin duty.
+		// passing one as an argument does not discharge the Unpin duty —
+		// unless the callee's summary proves it Unpins or keeps the handle.
 		ArgsEscape:           false,
 		Annotation:           "pin-escapes",
 		CheckUseAfterRelease: true,
+		ArgFate: func(pass *analysis.Pass, call *ast.CallExpr, argIdx int) summary.ParamFate {
+			return table.ArgFate(lintutil.StaticCallee(pass.TypesInfo, call), argIdx)
+		},
 	})
 	return nil
 }

@@ -3,17 +3,20 @@ package errdrop
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
 )
 
-func fails() error       { return nil }
-func pair() (int, error) { return 0, nil }
+var errBoom = errors.New("boom")
+
+func fails() error       { return errBoom }
+func pair() (int, error) { return 0, errBoom }
 func clean()             {}
 
 type closer struct{}
 
-func (c *closer) Close() error { return nil }
+func (c *closer) Close() error { return errBoom }
 
 // ---- negative cases ----
 
@@ -69,7 +72,7 @@ func droppedGo() {
 // walDev mirrors the storage.LogFile durability surface.
 type walDev struct{}
 
-func (w *walDev) Sync() error { return nil }
+func (w *walDev) Sync() error { return errBoom }
 
 type commitQueue struct {
 	dev    *walDev
@@ -100,9 +103,20 @@ func (q *commitQueue) leaderDropsSyncError(end int64) {
 // operator past its budget or its deadline.
 type governor struct{}
 
-func (g *governor) Grow(b int64) error { return nil }
-func (g *governor) Err() error         { return nil }
-func (g *governor) Release(b int64)    {}
+func (g *governor) Grow(b int64) error {
+	if b > 1<<40 {
+		return errBoom
+	}
+	return nil
+}
+
+func (g *governor) Err() error {
+	if false {
+		return errBoom
+	}
+	return nil
+}
+func (g *governor) Release(b int64) {}
 
 // checkpointChecked is the correct operator checkpoint: both governed
 // signals propagate.
@@ -122,4 +136,22 @@ func checkpointChecked(g *governor) error {
 func checkpointDropped(g *governor) {
 	g.Err()     // want `call to Err discards its error result`
 	g.Grow(128) // want `call to Grow discards its error result`
+}
+
+// ---- summary-proven always-nil drops ----
+
+// nopCloser satisfies io.Closer but cannot fail: the summary proves the
+// error result is nil on every path, so dropping it discards nothing.
+type nopCloser struct{}
+
+func (nopCloser) Close() error { return nil }
+
+// closeQuietly forwards to an always-nil Close; the nil-ness propagates
+// through the summary fixpoint, so callers may drop its result too.
+func closeQuietly(c nopCloser) error { return c.Close() }
+
+func dropsProvenNil() {
+	var c nopCloser
+	c.Close()       // no diagnostic: summary proves the error is always nil
+	closeQuietly(c) // no diagnostic: nil-ness propagates through the helper
 }

@@ -1,0 +1,195 @@
+// Golden package for the govcheck analyzer. The local Resources mirrors
+// exec.Resources: Err is the amortized cancellation checkpoint.
+package govcheck
+
+type Row []int
+
+type Resources struct{ polls int }
+
+func (r *Resources) Err() error {
+	r.polls++
+	return nil
+}
+
+type source struct {
+	rows []Row
+	i    int
+}
+
+func (s *source) Next() (Row, bool, error) {
+	if s.i >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.i]
+	s.i++
+	return r, true, nil
+}
+
+// ---- direct positive ----
+
+type drainAll struct {
+	in *source
+}
+
+func (d *drainAll) Next() (Row, bool, error) {
+	for { // want `row loop pulls tuples without a cancellation checkpoint`
+		_, ok, err := d.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+	}
+}
+
+// ---- interprocedural positive: the loop lives in a helper that only the
+// call graph connects to an operator Next ----
+
+type sink struct {
+	in *source
+}
+
+func (s *sink) drain() error {
+	for { // want `row loop pulls tuples without a cancellation checkpoint`
+		_, ok, err := s.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+func (s *sink) Next() (Row, bool, error) {
+	if err := s.drain(); err != nil {
+		return nil, false, err
+	}
+	return nil, false, nil
+}
+
+// ---- goroutine reachability positive: Gather-style workers ----
+
+type worker struct {
+	in *source
+	ch chan Row
+}
+
+func (w *worker) run() {
+	for { // want `row loop pulls tuples without a cancellation checkpoint`
+		r, ok, err := w.in.Next()
+		if err != nil || !ok {
+			close(w.ch)
+			return
+		}
+		w.ch <- r
+	}
+}
+
+func (w *worker) Next() (Row, bool, error) {
+	go w.run()
+	r, ok := <-w.ch
+	return r, ok, nil
+}
+
+// ---- negatives ----
+
+// checkpointed polls the governor every iteration.
+type checkpointed struct {
+	in  *source
+	res *Resources
+}
+
+func (c *checkpointed) Next() (Row, bool, error) {
+	for {
+		if err := c.res.Err(); err != nil {
+			return nil, false, err
+		}
+		r, ok, err := c.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if len(r) > 0 {
+			return r, true, nil
+		}
+	}
+}
+
+// viaHelper checkpoints through a helper whose summary proves it reaches
+// Resources.Err — the interprocedural negative.
+type viaHelper struct {
+	in  *source
+	res *Resources
+}
+
+func (v *viaHelper) checkpoint() error { return v.res.Err() }
+
+func (v *viaHelper) Next() (Row, bool, error) {
+	for {
+		if err := v.checkpoint(); err != nil {
+			return nil, false, err
+		}
+		r, ok, err := v.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if len(r) > 0 {
+			return r, true, nil
+		}
+	}
+}
+
+// projection-style loops iterate bounded column lists, not rows.
+type proj struct {
+	in   *source
+	cols []int
+}
+
+func (p *proj) Next() (Row, bool, error) {
+	r, ok, err := p.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(Row, len(p.cols))
+	for i, c := range p.cols {
+		out[i] = r[c]
+	}
+	return out, true, nil
+}
+
+// bounded drains at most a fixed batch; the exemption is deliberate and
+// documented on the declaration.
+type bounded struct {
+	in *source
+}
+
+//lint:gov-exempt bounded rewind drain: at most one batch of rows per call
+func (b *bounded) refill() error {
+	for {
+		_, ok, err := b.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+func (b *bounded) Next() (Row, bool, error) {
+	if err := b.refill(); err != nil {
+		return nil, false, err
+	}
+	return nil, false, nil
+}
+
+// buildSideScan is planner-side: nothing named Next reaches it, so the
+// cancelability contract does not apply.
+func buildSideScan(s *source) int {
+	n := 0
+	for {
+		_, ok, err := s.Next()
+		if err != nil || !ok {
+			return n
+		}
+		n++
+	}
+}

@@ -1,0 +1,31 @@
+// Golden package lintguard exercises the metrics-free rule for lint
+// packages: the bare lintguard import path marks this package as part of
+// the lint suite, where no runtime metric may be registered — directly or
+// through a helper the summary proves registers one.
+package lintguard
+
+type Registry struct{}
+
+type Counter struct{}
+
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+
+func direct(r *Registry) {
+	r.Counter("mural_checks_total") // want `lint packages must not register metrics: the analyzers are tooling, not the engine`
+}
+
+func helper(r *Registry) {
+	r.Counter("mural_helper_runs_total") // want `lint packages must not register metrics: the analyzers are tooling, not the engine`
+}
+
+func indirect(r *Registry) {
+	helper(r) // want `lint packages must not register metrics: helper transitively registers a metric series`
+}
+
+// metricsFree never touches the registry; nothing to report.
+func metricsFree(r *Registry) int {
+	if r == nil {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,138 @@
+// Golden package for the lockscope analyzer. The shapes mirror the engine:
+// a mutex-guarded struct with a file-like device whose Sync is an fsync.
+package lockscope
+
+import "sync"
+
+type dev struct{}
+
+func (d *dev) Sync() error { return nil }
+
+type engine struct {
+	mu  sync.Mutex
+	dev *dev
+}
+
+func bad() bool { return false }
+
+// ---- direct positives ----
+
+func (e *engine) directBlock() {
+	e.mu.Lock()
+	e.dev.Sync() // want `fsync \(Sync\) while holding lockscope\.engine\.mu`
+	e.mu.Unlock()
+}
+
+func (e *engine) sendUnderLock(ch chan int) {
+	e.mu.Lock()
+	ch <- 1 // want `channel send while holding lockscope\.engine\.mu`
+	e.mu.Unlock()
+}
+
+// ---- interprocedural positives: the block happens in a callee ----
+
+func (e *engine) flush() error {
+	return e.dev.Sync()
+}
+
+func (e *engine) callsBlockingHelper() {
+	e.mu.Lock()
+	e.flush() // want `call may perform fsync \(Sync\) \(via engine\.flush\) while holding lockscope\.engine\.mu`
+	e.mu.Unlock()
+}
+
+func (e *engine) flushDeep() error { return e.flush() }
+
+func (e *engine) callsDeep() {
+	e.mu.Lock()
+	e.flushDeep() // want `call may perform fsync \(Sync\)`
+	e.mu.Unlock()
+}
+
+// ---- hand-off audit ----
+
+func (e *engine) unlocksForCaller() {
+	e.dev.Sync()  // no lock held here: the negative balance means the CALLER holds it
+	e.mu.Unlock() // want `releases lockscope\.engine\.mu without acquiring it \(lock hand-off\)`
+	e.mu.Lock()
+}
+
+//lint:lock-handoff callers delegate the unlock across the wait
+func (e *engine) handoffAnnotated() {
+	e.mu.Unlock()
+	e.mu.Lock()
+}
+
+// ---- annotated-negative cases ----
+
+func (e *engine) auditedSite() {
+	e.mu.Lock()
+	e.dev.Sync() //lint:lock-held-io startup-only path, audited
+	e.mu.Unlock()
+}
+
+//lint:lock-held-io audited: checkpoint-style fsync, callers hold e.mu by design
+func (e *engine) exemptHelper() error { return e.dev.Sync() }
+
+func (e *engine) callsExempt() {
+	e.mu.Lock()
+	e.exemptHelper() // no diagnostic: the helper is declared audited, propagation stops
+	e.mu.Unlock()
+}
+
+// ---- release-around-the-block (the commitGrouped shape) ----
+
+//lint:lock-handoff releases e.mu around the fsync and retakes it
+func (e *engine) syncOutside() error {
+	e.mu.Unlock()
+	err := e.dev.Sync()
+	e.mu.Lock()
+	return err
+}
+
+func (e *engine) callsSyncOutside() {
+	e.mu.Lock()
+	e.syncOutside() // no diagnostic: the summary records that e.mu is released around the fsync
+	e.mu.Unlock()
+}
+
+// ---- plain-negative cases ----
+
+func (e *engine) balancedErrPath() error {
+	e.mu.Lock()
+	if bad() {
+		e.mu.Unlock()
+		return nil
+	}
+	e.mu.Unlock()
+	return e.dev.Sync() // lock no longer held
+}
+
+func (e *engine) nonBlockingSend(ch chan int) {
+	e.mu.Lock()
+	select {
+	case ch <- 1: // select with default never blocks
+	default:
+	}
+	e.mu.Unlock()
+}
+
+// ---- acquisition-order cycle ----
+
+type locks struct {
+	a, b sync.Mutex
+}
+
+func order1(l *locks) {
+	l.a.Lock()
+	l.b.Lock() // want `lock acquisition-order cycle among lockscope\.locks\.a, lockscope\.locks\.b`
+	l.b.Unlock()
+	l.a.Unlock()
+}
+
+func order2(l *locks) {
+	l.b.Lock()
+	l.a.Lock()
+	l.a.Unlock()
+	l.b.Unlock()
+}

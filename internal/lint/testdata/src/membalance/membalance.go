@@ -1,0 +1,103 @@
+// Golden package for the membalance analyzer. The local Resources mirrors
+// exec.Resources: Grow records the charge before failing, so even a failed
+// Grow owes a Release.
+package membalance
+
+import "errors"
+
+var errLimit = errors.New("memory limit")
+
+type Resources struct{ used, limit int64 }
+
+func (r *Resources) Grow(b int64) error {
+	r.used += b
+	if r.used > r.limit {
+		return errLimit
+	}
+	return nil
+}
+
+func (r *Resources) Release(b int64) { r.used -= b }
+
+// ---- positives ----
+
+// leakOnError forgets that a failed Grow still recorded the charge.
+func leakOnError(r *Resources, b int64) error {
+	if err := r.Grow(b); err != nil { // want `memory charge acquired by Grow is not released on every path`
+		return err
+	}
+	r.Release(b)
+	return nil
+}
+
+// leakyBuf accumulates charges into a field, but no method of leakyBuf ever
+// releases that field — the cross-function half of the check.
+type leakyBuf struct{ bytes int64 }
+
+func (m *leakyBuf) add(r *Resources, b int64) error {
+	if err := r.Grow(b); err != nil {
+		r.Release(b)
+		return err
+	}
+	m.bytes += b // want `memory charges accumulate into leakyBuf\.bytes but no method of leakyBuf releases that field`
+	return nil
+}
+
+// ---- negatives ----
+
+// balanced releases on both the failure and the success path.
+func balanced(r *Resources, b int64) error {
+	if err := r.Grow(b); err != nil {
+		r.Release(b)
+		return err
+	}
+	r.Release(b)
+	return nil
+}
+
+// discharge transitively releases governed memory; the summary proves it,
+// so handing the charged amount to it discharges the duty.
+func discharge(r *Resources, b int64) { r.Release(b) }
+
+func viaHelper(r *Resources, b int64) error {
+	if err := r.Grow(b); err != nil {
+		discharge(r, b)
+		return err
+	}
+	discharge(r, b)
+	return nil
+}
+
+// sortBuf is the materialize/sort/hash-join idiom: the builder accumulates
+// charges into a field and Close releases the field.
+type sortBuf struct{ bytes int64 }
+
+func (m *sortBuf) add(r *Resources, b int64) error {
+	if err := r.Grow(b); err != nil {
+		r.Release(b)
+		return err
+	}
+	m.bytes += b
+	return nil
+}
+
+func (m *sortBuf) Close(r *Resources) error {
+	r.Release(m.bytes)
+	m.bytes = 0
+	return nil
+}
+
+// preAccum folds the amount into the field before charging: whatever Grow
+// does, Close's release of the field covers b.
+func (m *sortBuf) preAccum(r *Resources, b int64) error {
+	m.bytes += b
+	if err := r.Grow(b); err != nil {
+		return err
+	}
+	return nil
+}
+
+// exempt documents a process-lifetime charge.
+func exempt(r *Resources, b int64) {
+	r.Grow(b) //lint:mem-exempt process-lifetime charge, released at shutdown
+}

@@ -36,6 +36,9 @@ func violations(r *Registry) {
 	r.Gauge("mural_open_total")        // want `must not end in _total`
 	r.Histogram("mural_io_total")      // want `must not end in _total`
 	r.Histogram("mural_fetch_latency") // want `must carry its unit as a suffix`
+	// mural_lint_* is reserved for nothing: the lint suite never exports
+	// metrics, so the prefix is forbidden even in engine packages.
+	r.Counter("mural_lint_findings_total") // want `uses the reserved prefix mural_lint_`
 }
 
 func duplicate(r *Registry) {

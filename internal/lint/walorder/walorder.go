@@ -25,6 +25,7 @@ import (
 	"github.com/mural-db/mural/internal/lint/analysis"
 	"github.com/mural-db/mural/internal/lint/lifetime"
 	"github.com/mural-db/mural/internal/lint/lintutil"
+	"github.com/mural-db/mural/internal/lint/summary"
 )
 
 var Analyzer = &analysis.Analyzer{
@@ -38,6 +39,7 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	ann := lintutil.CollectAnnotations(pass)
+	table := summary.ForPkg(pass.Fset, pass.Pkg, pass.TypesInfo, pass.Files)
 	checkWritePageConfinement(pass, ann)
 	lifetime.Check(pass, ann, lifetime.Spec{
 		Noun: "WAL batch",
@@ -48,6 +50,12 @@ func run(pass *analysis.Pass) error {
 		ReleaseFuncs: []string{
 			"CommitBatch", "commitBatch", "commitDDL", "commitGrouped",
 			"AbortBatch", "rollbackBatch",
+		},
+		// Summary-driven: a helper that transitively commits or aborts the
+		// batch balances it too, whatever its name.
+		IsReleaseCall: func(pass *analysis.Pass, call *ast.CallExpr) bool {
+			fn := lintutil.StaticCallee(pass.TypesInfo, call)
+			return fn != nil && table.CommitsBatch(fn)
 		},
 		Valueless:  true,
 		Annotation: "wal-exempt",

@@ -165,6 +165,14 @@ func (e *Engine) beginBatch() error {
 
 // commitBatch makes the open batch durable, optionally bundling a catalog
 // snapshot so DDL commits atomically with its page mutations.
+//
+// Audited blocking-under-lock: the group-commit wait inside
+// Pool.CommitBatch runs with e.mu held. DML write paths avoid this via
+// commitGrouped (which releases e.mu around the wait); the callers that
+// remain here are DDL and recovery, where the schema mutation being
+// committed must stay serialized against every other session anyway.
+//
+//lint:lock-held-io DDL/recovery commits hold e.mu across the group-commit wait by design
 func (e *Engine) commitBatch(catalogImage []byte) error {
 	if e.wal == nil {
 		return nil
@@ -177,6 +185,14 @@ func (e *Engine) commitBatch(catalogImage []byte) error {
 // fsync wait so concurrent sessions' commits share one Sync. On failure the
 // batch's pages are rolled back and the table's in-memory structures
 // reopened. Called with e.mu held; returns with e.mu held.
+//
+// Audited lock hand-off: the Unlock below pairs with the caller's Lock, and
+// the matching re-Lock before return restores the caller's critical
+// section. The unlock window covers only s.Wait()/s.Abort(), which touch
+// pool+WAL state exclusively — nothing protected by e.mu moves while it is
+// released, and reopenTableLocked runs only after the lock is retaken.
+//
+//lint:lock-handoff callers hold e.mu; the fsync wait runs with it released so commits group
 func (e *Engine) commitGrouped(table string) error {
 	if e.wal == nil {
 		return nil
@@ -292,6 +308,14 @@ func (e *Engine) reopenIndex(ix *catalog.Index) error {
 // the catalog, and truncates the WAL. After it returns, the data files
 // alone carry the full database state. Called with e.mu held and no batch
 // open.
+//
+// Audited blocking-under-lock: the data-file syncs and the WAL truncate
+// MUST run under e.mu — a checkpoint is a stop-the-world point, and any
+// commit slipping between FlushAll and Truncate would be lost from both
+// the files and the log. Checkpoints are rare (WAL-growth triggered or
+// explicit), so the stall is bounded and deliberate.
+//
+//lint:lock-held-io checkpoint fsyncs are a deliberate stop-the-world under e.mu
 func (e *Engine) checkpointLocked() error {
 	// Let in-flight group commits finish: their pages are held (no-steal)
 	// until durable, and the WAL truncate below must not discard staged
