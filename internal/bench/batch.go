@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+)
+
+// BatchSpeedupPoint is one (workload, execution mode) measurement of the
+// vectorized-execution experiment: the Table 4 Ψ workloads re-run under the
+// row engine, the generic batch engine, and the fused Ψ-scan pipeline.
+type BatchSpeedupPoint struct {
+	Workload string // "psi-scan" or "psi-join"
+	Mode     string // "row", "batch" or "fused"
+	Seconds  float64
+	// Matches sanity-checks that every mode computed the same answer.
+	Matches int64
+}
+
+// BatchSpeedupResult bundles the mode comparison with the post-batching
+// parallel check: the fused Ψ scan under SET workers = 1 vs 2, which batch
+// exchange is expected to tip past serial (the PR 5 sweep showed 2 workers
+// LOSING to serial under tuple-at-a-time exchange).
+type BatchSpeedupResult struct {
+	Points   []BatchSpeedupPoint
+	Parallel []ParallelSpeedupPoint
+}
+
+// BatchSpeedupConfig parameterizes the experiment.
+type BatchSpeedupConfig struct {
+	Names      int
+	ProbeNames int
+	Threshold  int
+	// Queries bounds how many scan probes are averaged per mode.
+	Queries int
+	// Workers lists the worker counts of the vectorized parallel check
+	// (default 1, 2).
+	Workers []int
+	Seed    int64
+}
+
+// batchModes are the three execution strategies under comparison. Every mode
+// answers the same queries through the same planner — only the executor's
+// iteration granularity changes, so the deltas isolate interpretation
+// overhead (row → batch) and operator-hop/decode overhead (batch → fused).
+var batchModes = []struct {
+	Name      string
+	Vectorize string
+	Fuse      string
+}{
+	{"row", "off", "off"},
+	{"batch", "on", "off"},
+	{"fused", "on", "on"},
+}
+
+// RunBatchSpeedup measures the Ψ selection and Ψ join of Table 4 under the
+// row-at-a-time engine, the vectorized engine, and the vectorized engine with
+// Ψ-over-scan fusion, then re-runs the fused scan under SET workers to show
+// that whole-batch exchange makes 2 workers beat serial. The M-Tree is
+// disabled throughout so every run takes the same full-scan plan.
+func RunBatchSpeedup(cfg BatchSpeedupConfig) (*BatchSpeedupResult, error) {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.Queries <= 0 {
+		cfg.Queries = 5
+	}
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 2}
+	}
+	db, err := NewNamesDB(NamesConfig{Names: cfg.Names, ProbeNames: cfg.ProbeNames, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	queries := db.Queries
+	if len(queries) > cfg.Queries {
+		queries = queries[:cfg.Queries]
+	}
+	k := cfg.Threshold
+
+	if _, err := db.Eng.Exec(`SET enable_mtree = off`); err != nil {
+		return nil, err
+	}
+
+	res := &BatchSpeedupResult{}
+	var scanBase, joinBase int64 = -1, -1
+	for _, mode := range batchModes {
+		if _, err := db.Eng.Exec(fmt.Sprintf(`SET vectorize = %s`, mode.Vectorize)); err != nil {
+			return nil, err
+		}
+		if _, err := db.Eng.Exec(fmt.Sprintf(`SET fuse = %s`, mode.Fuse)); err != nil {
+			return nil, err
+		}
+
+		var total time.Duration
+		var scanM int64
+		for _, q := range queries {
+			r, err := db.Eng.Exec(fmt.Sprintf(
+				`SELECT count(*) FROM names WHERE name LEXEQUAL %s THRESHOLD %d`, quote(q.Text), k))
+			if err != nil {
+				return nil, err
+			}
+			total += r.Elapsed
+			scanM += r.Rows[0][0].Int()
+		}
+		res.Points = append(res.Points, BatchSpeedupPoint{
+			Workload: "psi-scan", Mode: mode.Name,
+			Seconds: total.Seconds() / float64(len(queries)), Matches: scanM,
+		})
+
+		r, err := db.Eng.Exec(fmt.Sprintf(
+			`SELECT count(*) FROM probe p, names n WHERE p.name LEXEQUAL n.name THRESHOLD %d`, k))
+		if err != nil {
+			return nil, err
+		}
+		joinM := r.Rows[0][0].Int()
+		res.Points = append(res.Points, BatchSpeedupPoint{
+			Workload: "psi-join", Mode: mode.Name, Seconds: r.Elapsed.Seconds(), Matches: joinM,
+		})
+
+		if scanBase == -1 {
+			scanBase, joinBase = scanM, joinM
+		}
+		if scanM != scanBase || joinM != joinBase {
+			return nil, fmt.Errorf("bench: mode=%s changed the answer: scan %d (want %d), join %d (want %d)",
+				mode.Name, scanM, scanBase, joinM, joinBase)
+		}
+	}
+
+	// Parallel check under full vectorization (left on by the last mode):
+	// the fused Ψ scan swept over the configured worker counts.
+	var parBase int64 = -1
+	for _, w := range cfg.Workers {
+		if _, err := db.Eng.Exec(fmt.Sprintf(`SET workers = %d`, w)); err != nil {
+			return nil, err
+		}
+		var total time.Duration
+		var m int64
+		for _, q := range queries {
+			r, err := db.Eng.Exec(fmt.Sprintf(
+				`SELECT count(*) FROM names WHERE name LEXEQUAL %s THRESHOLD %d`, quote(q.Text), k))
+			if err != nil {
+				return nil, err
+			}
+			total += r.Elapsed
+			m += r.Rows[0][0].Int()
+		}
+		res.Parallel = append(res.Parallel, ParallelSpeedupPoint{
+			Workload: "scan", Workers: w,
+			Seconds: total.Seconds() / float64(len(queries)), Matches: m,
+		})
+		if parBase == -1 {
+			parBase = m
+		}
+		if m != parBase {
+			return nil, fmt.Errorf("bench: workers=%d changed the vectorized answer: %d (want %d)", w, m, parBase)
+		}
+	}
+	return res, nil
+}

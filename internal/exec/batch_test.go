@@ -1,0 +1,370 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/mural-db/mural/internal/leakcheck"
+	"github.com/mural-db/mural/internal/plan"
+	"github.com/mural-db/mural/internal/types"
+	"github.com/mural-db/mural/internal/wordnet"
+)
+
+// recordMockEnv extends mockEnv with RecordScanner: tuples are pre-encoded
+// into fake pages of mockPageRows records, so the vectorized and fused scan
+// paths run against the same tables the row tests use. Pages are encoded
+// once per table (like a real heap) so allocation tests see only the
+// executor's own allocations.
+type recordMockEnv struct {
+	*mockEnv
+	mu    sync.Mutex
+	pages map[string][][][]byte
+}
+
+func newRecordMockEnv(m *mockEnv) *recordMockEnv {
+	return &recordMockEnv{mockEnv: m, pages: map[string][][][]byte{}}
+}
+
+func (m *recordMockEnv) pagesFor(table string) [][][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p, ok := m.pages[table]; ok {
+		return p
+	}
+	rows := m.tables[table]
+	var pages [][][]byte
+	for start := 0; start < len(rows); start += mockPageRows {
+		end := start + mockPageRows
+		if end > len(rows) {
+			end = len(rows)
+		}
+		var page [][]byte
+		for _, t := range rows[start:end] {
+			page = append(page, types.EncodeTuple(t))
+		}
+		pages = append(pages, page)
+	}
+	m.pages[table] = pages
+	return pages
+}
+
+type mockRecordScan struct {
+	pages [][][]byte
+	pos   int
+}
+
+func (s *mockRecordScan) NextPage(fn func(rec []byte) error) (bool, error) {
+	if s.pos >= len(s.pages) {
+		return false, nil
+	}
+	for _, rec := range s.pages[s.pos] {
+		if err := fn(rec); err != nil {
+			return true, err
+		}
+	}
+	s.pos++
+	return true, nil
+}
+
+func (s *mockRecordScan) Close() error { return nil }
+
+func (m *recordMockEnv) ScanRecords(table string, lo, hi int64) (RecordScan, error) {
+	if _, ok := m.tables[table]; !ok {
+		return nil, fmt.Errorf("mock: no table %q", table)
+	}
+	pages := m.pagesFor(table)
+	if lo > int64(len(pages)) {
+		lo = int64(len(pages))
+	}
+	if hi > int64(len(pages)) {
+		hi = int64(len(pages))
+	}
+	return &mockRecordScan{pages: pages[lo:hi]}, nil
+}
+
+// tupleStrings renders result rows for order-insensitive comparison.
+func tupleStrings(rows []types.Tuple) []string {
+	out := make([]string, len(rows))
+	for i, t := range rows {
+		out[i] = fmt.Sprint(t)
+	}
+	return out
+}
+
+// drainTuned runs a plan under the given options and returns rows plus the
+// collectors, failing the test on any error.
+func drainTuned(t *testing.T, env Env, node *plan.Node, res *Resources, opts RunOptions) ([]types.Tuple, *RunStats, *ExecStats) {
+	t.Helper()
+	es := NewCountStats()
+	cur, err := RunTuned(env, node, es, res, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := cur.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows, cur.Stats, es
+}
+
+// The vectorized and fused engines must produce exactly the row engine's
+// results, operator statistics, and Ψ evaluation counts across batch
+// boundary shapes: empty tables, single rows, one-short-of-a-batch, exactly
+// one batch, one over, and multi-batch.
+func TestVectorizedParityAcrossSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 1023, 1024, 1025, 2500} {
+		t.Run(fmt.Sprintf("rows=%d", n), func(t *testing.T) {
+			env := newRecordMockEnv(newMockEnv())
+			mkUniTable(env.mockEnv, "t", n)
+			node := psiFilterScan("t", false)
+			scan := node.Children[0]
+
+			wantRows, wantStats, wantES := drainTuned(t, env, node, nil, RunOptions{})
+			for _, opts := range []RunOptions{
+				{Vectorize: true},
+				{Vectorize: true, Fuse: true},
+			} {
+				gotRows, gotStats, gotES := drainTuned(t, env, node, nil, opts)
+				if fmt.Sprint(tupleStrings(gotRows)) != fmt.Sprint(tupleStrings(wantRows)) {
+					t.Errorf("opts %+v: rows diverge: got %d want %d", opts, len(gotRows), len(wantRows))
+				}
+				if gotStats.PsiEvaluations != wantStats.PsiEvaluations {
+					t.Errorf("opts %+v: PsiEvaluations = %d, want %d", opts, gotStats.PsiEvaluations, wantStats.PsiEvaluations)
+				}
+				for _, nd := range []*plan.Node{scan, node} {
+					want, _ := wantES.Actual(nd)
+					got, _ := gotES.Actual(nd)
+					if got.Rows != want.Rows || got.Nexts != want.Nexts || got.Loops != want.Loops {
+						t.Errorf("opts %+v: node %s stats = %+v, want %+v", opts, nd.Op, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// A projection over a filtered scan runs through vectorProjectIter; results
+// must match the row engine.
+func TestVectorizedProjectParity(t *testing.T) {
+	env := newRecordMockEnv(newMockEnv())
+	mkUniTable(env.mockEnv, "t", 3000)
+	filter := psiFilterScan("t", false)
+	node := &plan.Node{
+		Op:       plan.OpProject,
+		Children: []*plan.Node{filter},
+		Cols:     []plan.ColInfo{{Name: "n", Kind: types.KindUniText}},
+		Projs:    []plan.Expr{&plan.ColIdx{Idx: 0, Kind: types.KindUniText}},
+	}
+	want, _, _ := drainTuned(t, env, node, nil, RunOptions{})
+	got, _, _ := drainTuned(t, env, node, nil, DefaultRunOptions())
+	if fmt.Sprint(tupleStrings(got)) != fmt.Sprint(tupleStrings(want)) {
+		t.Errorf("projected rows diverge: got %d want %d", len(got), len(want))
+	}
+	if len(want) == 0 {
+		t.Fatal("test expects survivors")
+	}
+}
+
+// The fused Ω kernel must reproduce the row evaluator's matches and probe
+// counts.
+func TestFusedOmegaScanParity(t *testing.T) {
+	net := wordnet.Generate(wordnet.Config{Synsets: 2000, Seed: 9})
+	env := newRecordMockEnv(newMockEnv())
+	env.mockEnv.matcher = wordnet.NewMatcher(net)
+	env.mockEnv.tables["cat"] = []types.Tuple{
+		{u("historiography", types.LangEnglish)},
+		{u("physics", types.LangEnglish)},
+		{u("history", types.LangEnglish)},
+	}
+	cols := []plan.ColInfo{{Rel: "cat", Name: "v", Kind: types.KindUniText}}
+	node := &plan.Node{
+		Op:       plan.OpFilter,
+		Children: []*plan.Node{scanNode("cat", cols)},
+		Cols:     cols,
+		Cond:     &plan.Omega{L: &plan.ColIdx{Idx: 0}, R: &plan.Const{Val: u("history", types.LangEnglish)}},
+	}
+	want, wantStats, _ := drainTuned(t, env, node, nil, RunOptions{})
+	got, gotStats, _ := drainTuned(t, env, node, nil, DefaultRunOptions())
+	if fmt.Sprint(tupleStrings(got)) != fmt.Sprint(tupleStrings(want)) {
+		t.Errorf("Ω rows diverge: got %v want %v", tupleStrings(got), tupleStrings(want))
+	}
+	if gotStats.OmegaProbes != wantStats.OmegaProbes {
+		t.Errorf("OmegaProbes = %d, want %d", gotStats.OmegaProbes, wantStats.OmegaProbes)
+	}
+	if len(want) == 0 {
+		t.Fatal("test expects Ω survivors")
+	}
+}
+
+// Canceling a vectorized query mid-batch must surface ErrCanceled and leave
+// every pooled batch recycled.
+func TestBatchCancellationMidBatch(t *testing.T) {
+	env := newRecordMockEnv(newMockEnv())
+	mkUniTable(env.mockEnv, "t", 20000)
+	node := psiFilterScan("t", false)
+	pool := NewBatchPool()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cur, err := RunTuned(env, node, nil, NewResources(ctx, 0), RunOptions{Vectorize: true, Fuse: true, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := cur.Next(); err != nil || !ok {
+		t.Fatalf("first Next = ok=%v err=%v", ok, err)
+	}
+	cancel()
+	var lastErr error
+	for i := 0; i < 100000; i++ {
+		_, ok, err := cur.Next()
+		if err != nil {
+			lastErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+	}
+	if !errors.Is(lastErr, ErrCanceled) {
+		t.Fatalf("Next after cancel = %v, want ErrCanceled", lastErr)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatalf("Close after cancel: %v", err)
+	}
+	if n := pool.InFlight(); n != 0 {
+		t.Errorf("pool in-flight after canceled query = %d, want 0", n)
+	}
+}
+
+// gatherPsiPlan builds Gather over a parallel Ψ-filtered scan.
+func gatherPsiPlan(workers int) *plan.Node {
+	return &plan.Node{
+		Op:       plan.OpGather,
+		Children: []*plan.Node{psiFilterScan("t", true)},
+		Cols:     []plan.ColInfo{{Rel: "t", Name: "n", Kind: types.KindUniText}},
+		Workers:  workers,
+	}
+}
+
+// A vectorized Gather must produce the row engine's result multiset and
+// sum worker loops, with every pooled batch back in the pool afterward.
+func TestVectorizedGatherParity(t *testing.T) {
+	leakcheck.Check(t)
+	env := newRecordMockEnv(newMockEnv())
+	mkUniTable(env.mockEnv, "t", 5000)
+	node := gatherPsiPlan(4)
+	scan := node.Children[0].Children[0]
+
+	want, wantStats, _ := drainTuned(t, env, node, nil, RunOptions{})
+	pool := NewBatchPool()
+	got, gotStats, gotES := drainTuned(t, env, node, nil, RunOptions{Vectorize: true, Fuse: true, Pool: pool})
+
+	ws, gs := tupleStrings(want), tupleStrings(got)
+	sort.Strings(ws)
+	sort.Strings(gs)
+	if fmt.Sprint(gs) != fmt.Sprint(ws) {
+		t.Errorf("gather rows diverge: got %d want %d", len(gs), len(ws))
+	}
+	if gotStats.PsiEvaluations != wantStats.PsiEvaluations {
+		t.Errorf("PsiEvaluations = %d, want %d", gotStats.PsiEvaluations, wantStats.PsiEvaluations)
+	}
+	if st, ok := gotES.Actual(scan); !ok || st.Loops != 4 {
+		t.Errorf("parallel scan loops = %+v (ok=%v), want 4 workers", st, ok)
+	}
+	if n := pool.InFlight(); n != 0 {
+		t.Errorf("pool in-flight after gather drain = %d, want 0", n)
+	}
+}
+
+// Closing a vectorized Gather early must return the in-flight batches —
+// those queued on the merge channel and the one being consumed — to the
+// pool, and stop every worker.
+func TestGatherEarlyCloseReturnsBatchesToPool(t *testing.T) {
+	leakcheck.Check(t)
+	env := newRecordMockEnv(newMockEnv())
+	mkUniTable(env.mockEnv, "t", 20000)
+	node := gatherPsiPlan(4)
+	pool := NewBatchPool()
+	cur, err := RunTuned(env, node, nil, NewResources(context.Background(), 0),
+		RunOptions{Vectorize: true, Fuse: true, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok, err := cur.Next(); err != nil || !ok {
+			t.Fatalf("Next %d = ok=%v err=%v", i, ok, err)
+		}
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatalf("early Close: %v", err)
+	}
+	if n := pool.InFlight(); n != 0 {
+		t.Errorf("pool in-flight after early Close = %d, want 0", n)
+	}
+}
+
+// A fully drained vectorized query must leave the pool empty and the memory
+// accountant settled.
+func TestVectorizedDrainSettlesPoolAndMemory(t *testing.T) {
+	env := newRecordMockEnv(newMockEnv())
+	mkUniTable(env.mockEnv, "t", 4000)
+	node := psiFilterScan("t", false)
+	pool := NewBatchPool()
+	res := NewResources(context.Background(), 0)
+	rows, _, _ := drainTuned(t, env, node, res, RunOptions{Vectorize: true, Fuse: true, Pool: pool})
+	if len(rows) == 0 {
+		t.Fatal("test expects survivors")
+	}
+	if n := pool.InFlight(); n != 0 {
+		t.Errorf("pool in-flight after drain = %d, want 0", n)
+	}
+	if b := res.MemBytes(); b != 0 {
+		t.Errorf("accounted bytes after drain = %d, want 0", b)
+	}
+	if res.PeakBytes() == 0 {
+		t.Error("peak bytes = 0: batches were never charged")
+	}
+}
+
+// The fused Ψ-scan's steady state must not allocate per row: a zero-survivor
+// drain over thousands of rows stays within a small constant allocation
+// budget (pipeline construction plus one pooled batch), pinning the
+// zero-alloc reject path.
+func TestFusedPsiScanSteadyStateAllocs(t *testing.T) {
+	env := newRecordMockEnv(newMockEnv())
+	const n = 4096
+	mkUniTable(env.mockEnv, "t", n)
+	env.pagesFor("t")
+	cols := []plan.ColInfo{{Rel: "t", Name: "n", Kind: types.KindUniText}}
+	scan := scanNode("t", cols)
+	node := &plan.Node{
+		Op:       plan.OpFilter,
+		Children: []*plan.Node{scan},
+		Cols:     cols,
+		// No stored name is within distance 0 of this probe: zero survivors.
+		Cond: &plan.Psi{L: &plan.ColIdx{Idx: 0}, R: &plan.Const{Val: types.NewText("zzzzzzzz")}},
+	}
+	pool := NewBatchPool()
+	opts := RunOptions{Vectorize: true, Fuse: true, Pool: pool}
+	run := func() {
+		cur, err := RunTuned(env, node, nil, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := cur.All()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 0 {
+			t.Fatalf("expected zero survivors, got %d", len(rows))
+		}
+	}
+	run() // warm the pool and the G2P caches
+	allocs := testing.AllocsPerRun(20, run)
+	if allocs > 100 {
+		t.Errorf("fused Ψ scan allocated %.0f times for %d rows; want a small constant (allocs/row ~0)", allocs, n)
+	}
+}

@@ -221,12 +221,47 @@ func unwrapGov(it TupleIter) TupleIter {
 // res carries the cancellation context and memory accountant that every
 // checkpointed loop consults. A nil res makes this identical to
 // RunWithStats; a nil es additionally skips per-operator instrumentation.
+// Execution is row-at-a-time; RunTuned with DefaultRunOptions enables the
+// vectorized engine.
 func RunGoverned(env Env, node *plan.Node, es *ExecStats, res *Resources) (*Cursor, error) {
+	return RunTuned(env, node, es, res, RunOptions{})
+}
+
+// RunOptions selects execution-engine strategies for one query. The zero
+// value is the classic row-at-a-time engine.
+type RunOptions struct {
+	// Vectorize compiles eligible subtrees (scans, filters, projections)
+	// into batch-at-a-time pipelines exchanging pooled ~BatchRows vectors.
+	Vectorize bool
+	// Fuse additionally compiles Ψ/Ω-filter-over-scan pairs into single
+	// page-at-a-time kernels (implies nothing unless Vectorize is set).
+	Fuse bool
+	// Pool, when non-nil, supplies the query's batch pool; tests inject one
+	// to assert InFlight returns to zero. Nil allocates a fresh pool.
+	Pool *BatchPool
+}
+
+// DefaultRunOptions is the engine's production configuration: vectorized
+// with fusion.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{Vectorize: true, Fuse: true}
+}
+
+// RunTuned is RunGoverned with explicit engine strategy selection.
+func RunTuned(env Env, node *plan.Node, es *ExecStats, res *Resources, opts RunOptions) (*Cursor, error) {
 	if err := res.Err(); err != nil {
 		return nil, err
 	}
 	stats := &RunStats{}
 	ev := &evaluator{env: env, stats: stats, collector: es, res: res}
+	if opts.Vectorize {
+		ev.vec = true
+		ev.fuse = opts.Fuse
+		ev.pool = opts.Pool
+		if ev.pool == nil {
+			ev.pool = NewBatchPool()
+		}
+	}
 	it, err := build(env, ev, node)
 	if err != nil {
 		return nil, err

@@ -53,6 +53,28 @@ type Env interface {
 	Semantic() *wordnet.Matcher
 }
 
+// RecordScan streams the raw encoded records of a heap page range,
+// page-at-a-time: one buffer-pool pin per page instead of one per row.
+type RecordScan interface {
+	// NextPage invokes fn once per live record on the scan's next heap page
+	// and advances. more=false reports exhaustion (fn was not called). The
+	// rec bytes alias storage owned by the scan — valid only during fn; fn
+	// copies what it keeps (types.DecodeTuple already copies).
+	NextPage(fn func(rec []byte) error) (more bool, err error)
+	// Close releases the scan.
+	Close() error
+}
+
+// RecordScanner is an optional Env extension: engines whose tables are
+// slotted heap files expose raw record access here, and the executor's
+// vectorized scans and fused Ψ/Ω kernels then read pinned pages zero-copy
+// instead of materializing a tuple per row. Envs without it (tests,
+// harnesses) transparently fall back to row-at-a-time adapters.
+type RecordScanner interface {
+	// ScanRecords streams the records of heap pages [lo, hi) of a table.
+	ScanRecords(table string, lo, hi int64) (RecordScan, error)
+}
+
 // SharedG2PProvider is an optional Env extension: engines that keep an
 // engine-lifetime G2P cache expose it here, and each per-query memo then
 // uses it as its L2 so sessions reuse each other's conversions. Declared as

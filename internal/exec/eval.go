@@ -28,6 +28,13 @@ type evaluator struct {
 	// amortization counter for the cancellation checkpoint.
 	res   *Resources
 	ticks uint32
+	// vec enables batch-at-a-time execution for eligible subtrees; fuse
+	// additionally compiles Ψ/Ω-filter-over-scan pipelines into single
+	// page-at-a-time loops. pool is the query's shared batch pool (set
+	// whenever vec is; Gather workers share the parent's).
+	vec  bool
+	fuse bool
+	pool *BatchPool
 }
 
 // phoneme converts through the per-query memo cache: in a Ψ join, the inner

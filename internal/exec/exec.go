@@ -67,8 +67,20 @@ func RunWithStats(env Env, node *plan.Node, es *ExecStats) (*Cursor, error) {
 }
 
 // build instantiates one operator and, when a collector is active, wraps it
-// so rows and wall time are attributed to its plan node.
+// so rows and wall time are attributed to its plan node. Under vectorized
+// execution eligible subtrees compile to a batch pipeline instead; the
+// pipeline carries its own batch-level instrumentation, so its row adapter
+// is returned unwrapped.
 func build(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
+	if ev.vec {
+		bi, ok, err := buildVec(env, ev, n)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return &batchRowIter{ev: ev, src: bi}, nil
+		}
+	}
 	it, err := buildOp(env, ev, n)
 	if err != nil || ev.collector == nil {
 		return it, err
@@ -76,17 +88,23 @@ func build(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 	return ev.collector.wrap(n, it), nil
 }
 
+// buildRowScan builds the row-at-a-time form of a table scan: the morsel (or
+// striped) share inside a Gather worker, the whole table otherwise.
+func buildRowScan(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
+	if n.Parallel && ev.par != nil {
+		return ev.par.scanIter(env, ev, n)
+	}
+	it, err := env.ScanTable(n.Table)
+	if err != nil || ev.res == nil {
+		return it, err
+	}
+	return &govIter{child: it, ev: ev}, nil
+}
+
 func buildOp(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 	switch n.Op {
 	case plan.OpSeqScan:
-		if n.Parallel && ev.par != nil {
-			return ev.par.scanIter(env, ev, n)
-		}
-		it, err := env.ScanTable(n.Table)
-		if err != nil || ev.res == nil {
-			return it, err
-		}
-		return &govIter{child: it, ev: ev}, nil
+		return buildRowScan(env, ev, n)
 	case plan.OpGather:
 		return buildGather(env, ev, n)
 	case plan.OpBTreeScan, plan.OpMTreeScan, plan.OpMDIScan, plan.OpQGramScan:

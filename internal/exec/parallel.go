@@ -75,11 +75,9 @@ func (m *morselSource) claim() (lo, hi int64, ok bool) {
 	return lo, hi, true
 }
 
-// scanIter builds this worker's share of a parallel table scan. The
-// worker's evaluator threads through so both partition shapes checkpoint
-// cancellation: a worker can spin through many claimed pages (or skip long
-// stripe runs) without ever surfacing a row to a governed parent iterator.
-func (pc *parallelCtx) scanIter(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
+// morselsFor returns (creating on first use) the shared morsel source for a
+// scan node. Workers are built sequentially, so the map needs no lock.
+func (pc *parallelCtx) morselsFor(env Env, n *plan.Node) (*morselSource, error) {
 	src, ok := pc.shared.sources[n]
 	if !ok {
 		np, err := env.TablePages(n.Table)
@@ -91,6 +89,18 @@ func (pc *parallelCtx) scanIter(env Env, ev *evaluator, n *plan.Node) (TupleIter
 		// busy at page granularity; stripe rows instead.
 		src.striped = np < int64(pc.workers)*morselChunkPages
 		pc.shared.sources[n] = src
+	}
+	return src, nil
+}
+
+// scanIter builds this worker's share of a parallel table scan. The
+// worker's evaluator threads through so both partition shapes checkpoint
+// cancellation: a worker can spin through many claimed pages (or skip long
+// stripe runs) without ever surfacing a row to a governed parent iterator.
+func (pc *parallelCtx) scanIter(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
+	src, err := pc.morselsFor(env, n)
+	if err != nil {
+		return nil, err
 	}
 	if src.striped {
 		child, err := env.ScanTable(n.Table)
@@ -181,12 +191,22 @@ func (s *stripedIter) Next() (types.Tuple, bool, error) {
 func (s *stripedIter) Close() error { return s.child.Close() }
 
 // gatherWorker is one worker pipeline plus its isolated measuring state.
+// Exactly one of root/broot is set: vectorized workers drive a batch
+// pipeline and ship whole pooled batches through the merge channel.
 type gatherWorker struct {
-	root TupleIter
-	ev   *evaluator
+	root  TupleIter
+	broot BatchIter
+	ev    *evaluator
 	// err is this worker's terminal error (Next or Close); written by the
 	// worker goroutine, read only after wg.Wait.
 	err error
+}
+
+func (w *gatherWorker) close() error {
+	if w.broot != nil {
+		return w.broot.Close()
+	}
+	return w.root.Close()
 }
 
 // buildGather instantiates the worker pipelines for a Gather node. Workers
@@ -218,15 +238,30 @@ func buildGather(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 				wev.collector = NewCountStats()
 			}
 		}
-		root, err := build(env, wev, n.Children[0])
+		// Vectorized workers inherit the parent's strategy and batch pool, so
+		// a worker's batches flow to the consumer and back into the shared
+		// pool. The worker drives the batch pipeline directly — one channel
+		// send per ~BatchRows rows instead of per gatherBatchSize.
+		wev.vec, wev.fuse, wev.pool = ev.vec, ev.fuse, ev.pool
+		w := &gatherWorker{ev: wev}
+		var err error
+		if wev.vec {
+			var ok bool
+			w.broot, ok, err = buildVec(env, wev, n.Children[0])
+			if err == nil && !ok {
+				w.root, err = build(env, wev, n.Children[0])
+			}
+		} else {
+			w.root, err = build(env, wev, n.Children[0])
+		}
 		if err != nil {
 			errs := []error{err}
 			for _, built := range g.workers {
-				errs = append(errs, built.root.Close())
+				errs = append(errs, built.close())
 			}
 			return nil, errors.Join(errs...)
 		}
-		g.workers = append(g.workers, &gatherWorker{root: root, ev: wev})
+		g.workers = append(g.workers, w)
 	}
 	return g, nil
 }
@@ -238,10 +273,14 @@ func buildGather(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 // goroutines.
 // gatherBatch is one merged unit: the rows plus their accounted bytes (zero
 // when the query is ungoverned). Bytes stay charged from the producer's
-// Grow until the consumer finishes the batch or the Gather winds down.
+// Grow until the consumer finishes the batch or the Gather winds down. When
+// a vectorized worker produced it, b is the pooled batch carrying the rows;
+// the consumer recycles it (which also settles the bytes) instead of a bare
+// Release.
 type gatherBatch struct {
 	rows  []types.Tuple
 	bytes int64
+	b     *Batch
 }
 
 type gatherIter struct {
@@ -261,7 +300,20 @@ type gatherIter struct {
 	failed     error
 	batch      []types.Tuple
 	batchBytes int64
+	curBatch   *Batch
 	bi         int
+}
+
+// finishBatch settles the batch currently being consumed: a pooled batch is
+// recycled (which releases its charge), a row-drain batch just releases.
+func (g *gatherIter) finishBatch() {
+	if g.curBatch != nil {
+		g.parent.putBatch(g.curBatch)
+		g.curBatch = nil
+	} else {
+		g.res.Release(g.batchBytes)
+	}
+	g.batchBytes = 0
 }
 
 func (g *gatherIter) start() {
@@ -283,12 +335,45 @@ func (g *gatherIter) interrupt() {
 
 func (g *gatherIter) runWorker(w *gatherWorker) {
 	defer g.wg.Done()
-	err := g.drain(w)
-	err = errors.Join(err, w.root.Close())
+	var err error
+	if w.broot != nil {
+		err = g.drainBatches(w)
+	} else {
+		err = g.drain(w)
+	}
+	err = errors.Join(err, w.close())
 	if err != nil {
 		w.err = err
 		// The stream is dead: stop the other workers promptly too.
 		g.interrupt()
+	}
+}
+
+// drainBatches pulls a vectorized worker pipeline to exhaustion, forwarding
+// whole pooled batches: one send per ~BatchRows rows. The producer already
+// charged each batch's bytes (chargeBatch), so the charge simply rides the
+// channel; a batch that cannot be delivered because the consumer stopped is
+// recycled here (settling its charge).
+func (g *gatherIter) drainBatches(w *gatherWorker) error {
+	for {
+		select {
+		case <-g.stop:
+			return nil
+		default:
+		}
+		b, err := w.broot.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		select {
+		case g.out <- gatherBatch{rows: b.Rows, bytes: b.bytes, b: b}:
+		case <-g.stop:
+			w.ev.putBatch(b)
+			return nil
+		}
 	}
 }
 
@@ -369,8 +454,7 @@ func (g *gatherIter) Next() (types.Tuple, bool, error) {
 		g.bi++
 		return t, true, nil
 	}
-	g.res.Release(g.batchBytes)
-	g.batchBytes = 0
+	g.finishBatch()
 	batch, ok := <-g.out
 	if !ok {
 		// All workers done (wg.Wait happened-before the channel close, so
@@ -382,7 +466,7 @@ func (g *gatherIter) Next() (types.Tuple, bool, error) {
 		g.finished = true
 		return nil, false, nil
 	}
-	g.batch, g.bi, g.batchBytes = batch.rows, 1, batch.bytes
+	g.batch, g.bi, g.batchBytes, g.curBatch = batch.rows, 1, batch.bytes, batch.b
 	return batch.rows[0], true, nil
 }
 
@@ -415,19 +499,23 @@ func (g *gatherIter) Close() error {
 	if !g.started {
 		var errs []error
 		for _, w := range g.workers {
-			errs = append(errs, w.root.Close())
+			errs = append(errs, w.close())
 		}
 		return errors.Join(errs...)
 	}
 	g.interrupt()
 	g.wg.Wait()
-	// Return the bytes of the batch being consumed and of any batches still
-	// queued (the closer goroutine closes g.out once wg.Wait returns, so the
-	// range terminates).
-	g.res.Release(g.batchBytes)
-	g.batchBytes = 0
+	// Settle the batch being consumed and any batches still queued (the
+	// closer goroutine closes g.out once wg.Wait returns, so the range
+	// terminates); pooled batches go back to the pool, their charge with
+	// them.
+	g.finishBatch()
 	for b := range g.out {
-		g.res.Release(b.bytes)
+		if b.b != nil {
+			g.parent.putBatch(b.b)
+		} else {
+			g.res.Release(b.bytes)
+		}
 	}
 	err := g.finish()
 	if g.failed != nil {

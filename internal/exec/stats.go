@@ -140,6 +140,44 @@ func (es *ExecStats) wrap(n *plan.Node, it TupleIter) TupleIter {
 	return &statsIter{child: it, st: st}
 }
 
+// wrapBatch is wrap for batch operators: per-batch instrumentation keeps
+// the row engine's reporting conventions (Rows = tuples emitted, Nexts =
+// Rows plus one exhausted pull on a full drain) at one wrapper call per
+// ~BatchRows rows instead of one per row.
+func (es *ExecStats) wrapBatch(n *plan.Node, it BatchIter) BatchIter {
+	return &batchStatsIter{child: it, st: es.Stats(n), timed: es.timed}
+}
+
+// batchStatsIter counts (and under a timed collector, times) NextBatch
+// calls for one batch operator.
+type batchStatsIter struct {
+	child BatchIter
+	st    *OpStats
+	timed bool
+	done  bool
+}
+
+func (s *batchStatsIter) NextBatch() (*Batch, error) {
+	var start time.Time
+	if s.timed {
+		start = time.Now()
+	}
+	b, err := s.child.NextBatch()
+	if s.timed {
+		s.st.Elapsed += time.Since(start)
+	}
+	if b != nil {
+		s.st.Rows += int64(len(b.Rows))
+		s.st.Nexts += int64(len(b.Rows))
+	} else if err == nil && !s.done {
+		s.done = true
+		s.st.Nexts++
+	}
+	return b, err
+}
+
+func (s *batchStatsIter) Close() error { return s.child.Close() }
+
 // statsIter times and counts Next() calls for one operator.
 type statsIter struct {
 	child TupleIter

@@ -29,6 +29,8 @@
 //	                       without a cancellation checkpoint.
 //	//lint:mem-exempt    — membalance: this memory charge is intentionally
 //	                       balanced elsewhere.
+//	//lint:batch-exempt  — membalance: this pooled batch is intentionally
+//	                       returned to the pool (or abandoned) elsewhere.
 package lintutil
 
 import (

@@ -17,6 +17,16 @@
 // Pre-accumulation (`m.bytes += b` before the Grow) discharges up front:
 // whatever happens afterwards, Close's release of the field covers b.
 // Intentional exceptions carry //lint:mem-exempt.
+//
+// PR 9 adds a second discipline for pooled batch vectors: every batch drawn
+// from the pool — `ev.getBatch()` / `pool.Get()` — must, on every path
+// including error returns and early Close, either go back to the pool
+// (`ev.putBatch(b)` / `pool.Put(b)`) or be handed off: returned to the
+// caller (the BatchIter ownership contract), sent on a channel (the Gather
+// exchange), or stored into a struct/field that outlives the function.
+// Merely calling b.retire does NOT discharge the duty — retire drops the
+// memory charge but strands the pool slot. Intentional exceptions carry
+// //lint:batch-exempt.
 package membalance
 
 import (
@@ -33,7 +43,7 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "membalance",
-	Doc:  "every Resources.Grow has a matching Release on all paths (including the Grow-failure path); charges accumulated into struct fields must be released by a method of that type",
+	Doc:  "every Resources.Grow has a matching Release on all paths (including the Grow-failure path); charges accumulated into struct fields must be released by a method of that type; pooled batches must be returned to the pool or handed off on all paths",
 	Run:  run,
 }
 
@@ -64,8 +74,36 @@ func run(pass *analysis.Pass) error {
 		AlreadyDischarged: preAccumulated,
 	})
 
+	// Pooled-batch lifetime: a batch drawn from the pool is owed back to it
+	// unless ownership moves on — returned (BatchIter contract), sent on a
+	// channel (Gather exchange), or stored into longer-lived state. Plain
+	// call arguments are borrows, not transfers (ArgsEscape false): a helper
+	// that fills a batch does not take it over, so the error path after the
+	// call still owes a putBatch. retire is deliberately absent from the
+	// release set — it drops the memory charge but strands the pool slot.
+	lifetime.Check(pass, ann, lifetime.Spec{
+		Noun:              "pooled batch",
+		IsAcquire:         isBatchGet,
+		ReleaseFuncs:      []string{"putBatch", "Put"},
+		Annotation:        "batch-exempt",
+		ReleaseArgMention: true,
+	})
+
 	checkFieldDuties(pass, ann)
 	return nil
+}
+
+// isBatchGet matches evaluator.getBatch / BatchPool.Get calls.
+func isBatchGet(pass *analysis.Pass, call *ast.CallExpr) bool {
+	name := lintutil.CalleeName(call)
+	recv := lintutil.ReceiverTypeName(pass.TypesInfo, call)
+	switch name {
+	case "getBatch":
+		return recv == "evaluator"
+	case "Get":
+		return recv == "BatchPool"
+	}
+	return false
 }
 
 // isGrow matches evaluator.grow / Resources.Grow calls.

@@ -1,0 +1,64 @@
+package phonetic
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// BoundedMatcher must agree with WithinDistance on random inputs, including
+// multi-byte runes and the >64-rune fallback.
+func TestBoundedMatcherDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	alphabet := []rune("abcdəɪʃɳæ")
+	randStr := func(n int) string {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteRune(alphabet[rng.Intn(len(alphabet))])
+		}
+		return sb.String()
+	}
+	for trial := 0; trial < 2000; trial++ {
+		p := randStr(rng.Intn(12))
+		c := randStr(rng.Intn(12))
+		k := rng.Intn(5)
+		m := NewBoundedMatcher(p, k)
+		want := WithinDistance(p, c, k)
+		if got := m.Match(c); got != want {
+			t.Fatalf("Match(%q,%q,k=%d) = %v, want %v", p, c, k, got, want)
+		}
+		if got := m.MatchBytes([]byte(c)); got != want {
+			t.Fatalf("MatchBytes(%q,%q,k=%d) = %v, want %v", p, c, k, got, want)
+		}
+	}
+
+	// Long inputs exercise the banded-DP fallback on both sides.
+	long := strings.Repeat("ab", 40) // 80 runes
+	m := NewBoundedMatcher(long, 3)
+	if !m.Match(long) {
+		t.Error("long pattern should match itself")
+	}
+	if !m.MatchBytes([]byte(long[:len(long)-2] + "xx")) {
+		t.Error("long candidate within threshold should match")
+	}
+	if m.Match(strings.Repeat("cd", 40)) {
+		t.Error("distant long candidate should not match")
+	}
+	short := NewBoundedMatcher("abc", 2)
+	if short.MatchBytes([]byte(long)) {
+		t.Error("short pattern vs 80-rune candidate should fall back and reject")
+	}
+}
+
+// The fast path is the per-row cost of a fused Ψ scan; it must not allocate.
+func TestBoundedMatcherZeroAllocations(t *testing.T) {
+	m := NewBoundedMatcher("nasər", 2)
+	cand := []byte("naʃər")
+	allocs := testing.AllocsPerRun(500, func() {
+		m.MatchBytes(cand)
+		m.Match("nasir")
+	})
+	if allocs != 0 {
+		t.Errorf("BoundedMatcher fast path allocates %.1f/op, want 0", allocs)
+	}
+}

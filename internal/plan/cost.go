@@ -43,8 +43,12 @@ const (
 	// inner relation.
 	MaterializeRowCost = 0.0025
 	// ExchangeRowCost is the per-row cost of moving a tuple from a Gather
-	// worker to the merging consumer (channel send/receive plus copy).
-	ExchangeRowCost = 0.005
+	// worker to the merging consumer. With batch exchange a worker ships
+	// whole pooled vectors (~1024 rows per channel send), so the per-row
+	// share of the transfer is an order of magnitude below the old
+	// tuple-batched estimate — cheap scans now clear the parallel gate
+	// instead of being priced out by exchange overhead.
+	ExchangeRowCost = 0.0005
 )
 
 // MTreeFraction is f(k): the linear fraction of an approximate index (and

@@ -140,6 +140,10 @@ func gatherOver(n, scan *Node, workers int) *Node {
 	if w < 2 {
 		return nil
 	}
+	// The exchange term prices batch transfer: workers hand the consumer
+	// whole pooled vectors, so per-row exchange cost is amortized over
+	// ~BatchRows rows (see exec.BatchRows) and rarely outweighs the CPU
+	// split for any subtree worth gathering.
 	cost := n.EstCost/float64(w) + rows*ExchangeRowCost
 	if cost >= n.EstCost {
 		return nil

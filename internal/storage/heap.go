@@ -254,6 +254,42 @@ func (h *Heap) ScanRange(lo, hi PageID) *Iter {
 	return &Iter{h: h, page: lo, slot: 0, nslots: 0, npages: hi}
 }
 
+// NextPage processes one heap page of the scan: it pins the scan's current
+// page, invokes fn once per live record on it, unpins and advances to the
+// next page. more=false reports that the scan was already exhausted (fn was
+// not called). The rec slice passed to fn aliases the pinned page buffer —
+// it is only valid during fn and must be copied to be retained; fn must not
+// pin pages of the same pool itself. An fn error stops the page mid-way
+// (more stays true) and surfaces verbatim. NextPage and Next may be mixed:
+// both respect the scan's current page/slot position.
+func (it *Iter) NextPage(fn func(rec []byte) error) (more bool, err error) {
+	if it.page >= it.npages {
+		return false, nil
+	}
+	hd, err := it.h.pool.Pin(PageKey{File: it.h.file, Page: it.page})
+	if err != nil {
+		return false, err
+	}
+	data := hd.Data()
+	nslots := binary.LittleEndian.Uint16(data[0:2])
+	for s := it.slot; s < nslots; s++ {
+		slotOff := heapHeaderSize + int(s)*slotSize
+		off := binary.LittleEndian.Uint16(data[slotOff:])
+		if off == deadSlot {
+			continue
+		}
+		length := binary.LittleEndian.Uint16(data[slotOff+2:])
+		if err := fn(data[off : off+length]); err != nil {
+			hd.Unpin()
+			return true, err
+		}
+	}
+	hd.Unpin()
+	it.page++
+	it.slot = 0
+	return true, nil
+}
+
 // Next returns the next live record, its RID, and whether one was found.
 // The returned slice is a copy owned by the caller.
 func (it *Iter) Next() (RID, []byte, bool, error) {

@@ -1,0 +1,127 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Lazy field access over encoded tuples. The executor's fused scan kernels
+// evaluate predicates against raw heap records without materializing a
+// Tuple: RawField skips to the predicate's column in one pass over the
+// length prefixes, and UniTextViews exposes the payload as byte views that
+// alias the record buffer. Nothing here allocates.
+
+// RawField returns the encoded bytes (kind byte plus payload) of field idx
+// of an encoded tuple. The returned slice aliases rec and is only valid as
+// long as rec is; DecodeValue accepts it directly when the caller does want
+// a materialized value.
+func RawField(rec []byte, idx int) ([]byte, error) {
+	n64, sz := binary.Uvarint(rec)
+	if sz <= 0 {
+		return nil, fmt.Errorf("types: raw field: bad column count")
+	}
+	if idx < 0 || uint64(idx) >= n64 {
+		return nil, fmt.Errorf("types: raw field %d out of range (tuple width %d)", idx, n64)
+	}
+	off := sz
+	for i := 0; i < idx; i++ {
+		w, err := encodedValueSize(rec[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += w
+	}
+	w, err := encodedValueSize(rec[off:])
+	if err != nil {
+		return nil, err
+	}
+	return rec[off : off+w], nil
+}
+
+// encodedValueSize computes the width of one encoded value by walking its
+// length prefixes, without decoding the payload.
+func encodedValueSize(buf []byte) (int, error) {
+	if len(buf) == 0 {
+		return 0, fmt.Errorf("types: field size: empty buffer")
+	}
+	n := 1
+	switch Kind(buf[0]) {
+	case KindNull:
+	case KindBool:
+		n++
+	case KindInt:
+		_, sz := binary.Varint(buf[n:])
+		if sz <= 0 {
+			return 0, fmt.Errorf("types: field size: bad varint")
+		}
+		n += sz
+	case KindFloat:
+		n += 8
+	case KindText:
+		sz, err := skipLenPrefixed(buf[n:])
+		if err != nil {
+			return 0, err
+		}
+		n += sz
+	case KindUniText:
+		n += 2
+		if n > len(buf) {
+			return 0, fmt.Errorf("types: field size: short unitext buffer")
+		}
+		for i := 0; i < 2; i++ {
+			sz, err := skipLenPrefixed(buf[n:])
+			if err != nil {
+				return 0, err
+			}
+			n += sz
+		}
+	default:
+		return 0, fmt.Errorf("types: field size: unknown kind %d", buf[0])
+	}
+	if n > len(buf) {
+		return 0, fmt.Errorf("types: field size: short buffer")
+	}
+	return n, nil
+}
+
+func skipLenPrefixed(buf []byte) (int, error) {
+	l, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return 0, fmt.Errorf("types: field size: bad length prefix")
+	}
+	if uint64(len(buf)-sz) < l {
+		return 0, fmt.Errorf("types: field size: short string")
+	}
+	return sz + int(l), nil
+}
+
+// UniTextViews decodes a KindUniText field (as returned by RawField) into
+// its language plus zero-copy views of the text and phoneme bytes. The
+// returned slices alias field — and through it the pinned page the record
+// sits on — so they must not be retained past the page pin.
+func UniTextViews(field []byte) (LangID, []byte, []byte, error) {
+	if len(field) < 3 || Kind(field[0]) != KindUniText {
+		return LangUnknown, nil, nil, fmt.Errorf("types: unitext views: not a UNITEXT field")
+	}
+	lang := LangID(binary.BigEndian.Uint16(field[1:]))
+	text, sz, err := viewLenPrefixed(field[3:])
+	if err != nil {
+		return LangUnknown, nil, nil, fmt.Errorf("types: unitext views: text: %w", err)
+	}
+	ph, _, err := viewLenPrefixed(field[3+sz:])
+	if err != nil {
+		return LangUnknown, nil, nil, fmt.Errorf("types: unitext views: phoneme: %w", err)
+	}
+	return lang, text, ph, nil
+}
+
+func viewLenPrefixed(buf []byte) ([]byte, int, error) {
+	l, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("bad length prefix")
+	}
+	if uint64(len(buf)-sz) < l {
+		return nil, 0, fmt.Errorf("short buffer")
+	}
+	return buf[sz : sz+int(l)], sz + int(l), nil
+}

@@ -1,0 +1,113 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+)
+
+func lazyFixtureTuple() Tuple {
+	return Tuple{
+		Null(),
+		NewBool(true),
+		NewInt(-123456),
+		NewFloat(3.25),
+		NewText("plain text"),
+		NewUniText(UniText{Text: "Nasser", Lang: LangEnglish, Phoneme: "nasər"}),
+		NewUniText(UniText{Text: "empty", Lang: LangTamil}),
+	}
+}
+
+// RawField must land on exactly the bytes DecodeValue consumes for that
+// column, for every column and kind.
+func TestRawFieldMatchesDecode(t *testing.T) {
+	tup := lazyFixtureTuple()
+	rec := EncodeTuple(tup)
+	for i, want := range tup {
+		field, err := RawField(rec, i)
+		if err != nil {
+			t.Fatalf("RawField(%d): %v", i, err)
+		}
+		v, n, err := DecodeValue(field)
+		if err != nil {
+			t.Fatalf("DecodeValue(field %d): %v", i, err)
+		}
+		if n != len(field) {
+			t.Errorf("field %d: DecodeValue consumed %d of %d bytes", i, n, len(field))
+		}
+		if !Equal(v, want) && !(v.IsNull() && want.IsNull()) {
+			t.Errorf("field %d: decoded %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestRawFieldOutOfRange(t *testing.T) {
+	rec := EncodeTuple(Tuple{NewInt(1)})
+	if _, err := RawField(rec, 1); err == nil {
+		t.Error("RawField past the last column should fail")
+	}
+	if _, err := RawField(rec, -1); err == nil {
+		t.Error("RawField(-1) should fail")
+	}
+	if _, err := RawField([]byte{}, 0); err == nil {
+		t.Error("RawField on an empty record should fail")
+	}
+}
+
+func TestUniTextViews(t *testing.T) {
+	u := UniText{Text: "Süßmayr", Lang: LangEnglish, Phoneme: "suːsmair"}
+	rec := EncodeTuple(Tuple{NewInt(7), NewUniText(u)})
+	field, err := RawField(rec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lang, text, ph, err := UniTextViews(field)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lang != LangEnglish {
+		t.Errorf("lang = %v, want %v", lang, LangEnglish)
+	}
+	if !bytes.Equal(text, []byte(u.Text)) {
+		t.Errorf("text view = %q, want %q", text, u.Text)
+	}
+	if !bytes.Equal(ph, []byte(u.Phoneme)) {
+		t.Errorf("phoneme view = %q, want %q", ph, u.Phoneme)
+	}
+
+	// Empty phoneme: the view is empty, signalling "unmaterialized".
+	field, err = RawField(EncodeTuple(Tuple{NewUniText(UniText{Text: "x", Lang: LangTamil})}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, ph, err = UniTextViews(field)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ph) != 0 {
+		t.Errorf("unmaterialized phoneme view = %q, want empty", ph)
+	}
+
+	// Wrong kind is rejected.
+	field, _ = RawField(rec, 0)
+	if _, _, _, err := UniTextViews(field); err == nil {
+		t.Error("UniTextViews on an INT field should fail")
+	}
+}
+
+// RawField and UniTextViews are the fused scan's per-row path; neither may
+// allocate.
+func TestRawFieldZeroAllocations(t *testing.T) {
+	rec := EncodeTuple(lazyFixtureTuple())
+	allocs := testing.AllocsPerRun(200, func() {
+		field, err := RawField(rec, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := UniTextViews(field); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("RawField+UniTextViews allocate %.1f/op, want 0", allocs)
+	}
+}

@@ -666,7 +666,7 @@ func (e *Engine) QueryContext(ctx context.Context, q string) (*Rows, error) {
 		release()
 	}
 	es, traceID, sampled := e.armCollector(ctx, res, node)
-	cur, err := exec.RunGoverned(e, node, es, res)
+	cur, err := exec.RunTuned(e, node, es, res, e.runOptions())
 	if err != nil {
 		peak := res.PeakBytes()
 		done()
@@ -686,6 +686,23 @@ func (e *Engine) QueryContext(ctx context.Context, q string) (*Rows, error) {
 		e.observe(ctx, q, streamed, elapsed, ferr, res.PeakBytes(), base)
 	}
 	return r, nil
+}
+
+// runOptions reads the execution-engine settings: SET vectorize = off
+// reverts to the row engine, SET fuse = off keeps vectorized execution but
+// disables the fused Ψ/Ω-scan kernels. Both default on.
+func (e *Engine) runOptions() exec.RunOptions {
+	boolSetting := func(name string, def bool) bool {
+		v, ok := e.cat.Setting(name)
+		if !ok {
+			return def
+		}
+		return v != "off" && v != "false" && v != "0"
+	}
+	opts := exec.DefaultRunOptions()
+	opts.Vectorize = boolSetting("vectorize", true)
+	opts.Fuse = opts.Vectorize && boolSetting("fuse", true)
+	return opts
 }
 
 // planner assembles a Planner with the current optimizer settings.
@@ -766,7 +783,7 @@ func (e *Engine) execSelect(ctx context.Context, q string, sel *sql.Select, res 
 	planDur := time.Since(planStart)
 	es, traceID, sampled := e.armCollector(ctx, res, node)
 	start := time.Now()
-	cur, err := exec.RunGoverned(e, node, es, res)
+	cur, err := exec.RunTuned(e, node, es, res, e.runOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -803,7 +820,7 @@ func (e *Engine) execExplain(s *sql.Explain, qres *exec.Resources) (*Result, err
 			qres = exec.NewResources(context.Background(), 0)
 		}
 		start := time.Now()
-		cur, err := exec.RunGoverned(e, node, es, qres)
+		cur, err := exec.RunTuned(e, node, es, qres, e.runOptions())
 		if err != nil {
 			return nil, err
 		}

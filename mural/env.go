@@ -66,6 +66,32 @@ func (e *Engine) ScanTablePages(table string, lo, hi int64) (exec.TupleIter, err
 	return &heapScanIter{it: h.ScanRange(storage.PageID(lo), storage.PageID(hi))}, nil
 }
 
+// recordScan adapts a heap iterator to exec.RecordScan: the raw-record,
+// page-at-a-time feed behind the executor's vectorized and fused scans.
+type recordScan struct {
+	it *storage.Iter
+}
+
+// NextPage implements exec.RecordScan.
+func (r *recordScan) NextPage(fn func(rec []byte) error) (bool, error) {
+	return r.it.NextPage(fn)
+}
+
+// Close implements exec.RecordScan.
+func (r *recordScan) Close() error { return nil }
+
+// ScanRecords implements exec.RecordScanner: raw records of heap pages
+// [lo, hi).
+func (e *Engine) ScanRecords(table string, lo, hi int64) (exec.RecordScan, error) {
+	e.mu.RLock()
+	h := e.heaps[table]
+	e.mu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("mural: no such table %q", table)
+	}
+	return &recordScan{it: h.ScanRange(storage.PageID(lo), storage.PageID(hi))}, nil
+}
+
 // FetchRIDs implements exec.Env.
 func (e *Engine) FetchRIDs(table string, rids []storage.RID) ([]types.Tuple, error) {
 	e.mu.RLock()
