@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/mural-db/mural/internal/dataset"
+	"github.com/mural-db/mural/internal/phonetic"
+	"github.com/mural-db/mural/internal/server"
+	"github.com/mural-db/mural/internal/types"
+	"github.com/mural-db/mural/mural"
+)
+
+// ShardProc is one shard of a local cluster: an in-memory engine behind a
+// TCP server.
+type ShardProc struct {
+	Eng  *mural.Engine
+	Srv  *server.Server
+	Addr string
+}
+
+// ShardCluster is a local N-shard deployment: N shard engines behind
+// servers plus a coordinator engine whose `shards` setting routes to them.
+// All processes live in this process — the wire protocol between them is
+// real, the network is loopback.
+type ShardCluster struct {
+	Coord *mural.Engine
+	Procs []*ShardProc
+}
+
+// StartShardCluster boots n shard servers and a coordinator configured to
+// route to them. tune, when set, adjusts the coordinator's Config before
+// Open (retry budget, op timeout, fault-injection wrap).
+func StartShardCluster(n int, tune func(*mural.Config)) (*ShardCluster, error) {
+	c := &ShardCluster{}
+	addrs := ""
+	for i := 0; i < n; i++ {
+		eng, err := mural.Open(mural.Config{})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		srv := server.New(eng)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			_ = eng.Close()
+			c.Close()
+			return nil, err
+		}
+		c.Procs = append(c.Procs, &ShardProc{Eng: eng, Srv: srv, Addr: addr})
+		if i > 0 {
+			addrs += ","
+		}
+		addrs += addr
+	}
+	cfg := mural.Config{}
+	if tune != nil {
+		tune(&cfg)
+	}
+	coord, err := mural.Open(cfg)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.Coord = coord
+	if _, err := coord.Exec("SET shards = '" + addrs + "'"); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Kill abruptly stops shard i (server and engine), simulating a crashed
+// process. The coordinator is not told.
+func (c *ShardCluster) Kill(i int) {
+	p := c.Procs[i]
+	if p.Srv != nil {
+		_ = p.Srv.Close()
+		p.Srv = nil
+	}
+	if p.Eng != nil {
+		_ = p.Eng.Close()
+		p.Eng = nil
+	}
+}
+
+// Close tears the cluster down, coordinator first (it holds client
+// connections into the shards).
+func (c *ShardCluster) Close() {
+	if c.Coord != nil {
+		_ = c.Coord.Close()
+		c.Coord = nil
+	}
+	for i := range c.Procs {
+		c.Kill(i)
+	}
+}
+
+// LoadNames builds the Ψ names fixture through one statement sink — the
+// coordinator of a cluster or a plain single-node engine — so sharded and
+// unsharded runs load byte-identical data through the same SQL.
+func LoadNames(execQ func(q string) error, recs []dataset.NameRecord, probes int) ([]types.UniText, error) {
+	if err := execQ(`CREATE TABLE names (id INT, name UNITEXT, pdist INT)`); err != nil {
+		return nil, err
+	}
+	pivot := "aeioun"
+	rows := make([]string, 0, len(recs))
+	for _, r := range recs {
+		pd := phonetic.EditDistance(r.Name.Phoneme, pivot)
+		rows = append(rows, fmt.Sprintf("(%d, %s, %d)", r.ID, uniTextLit(r.Name), pd))
+	}
+	if err := batchInsert("names", rows, execQ); err != nil {
+		return nil, err
+	}
+	if err := execQ(`CREATE TABLE probe (id INT, name UNITEXT)`); err != nil {
+		return nil, err
+	}
+	probeRows := make([]string, 0, probes)
+	seen := map[int]bool{}
+	var queries []types.UniText
+	for _, r := range recs {
+		if r.Name.Lang != types.LangEnglish {
+			continue
+		}
+		if len(queries) < 20 {
+			queries = append(queries, r.Name)
+		}
+		if len(probeRows) < probes && !seen[r.Cluster] {
+			seen[r.Cluster] = true
+			probeRows = append(probeRows, fmt.Sprintf("(%d, %s)", len(probeRows), uniTextLit(r.Name)))
+		}
+	}
+	if err := batchInsert("probe", probeRows, execQ); err != nil {
+		return nil, err
+	}
+	for _, q := range []string{
+		`CREATE INDEX idx_names_mtree ON names (name) USING MTREE`,
+		`ANALYZE`,
+	} {
+		if err := execQ(q); err != nil {
+			return nil, err
+		}
+	}
+	return queries, nil
+}
+
+// ShardRow is one row of the scale-out experiment: Ψ scan throughput at a
+// shard count, with the identical-answers assertion folded in (Matches is
+// compared across rows by the caller).
+type ShardRow struct {
+	Shards     int
+	Names      int
+	Queries    int
+	MeanMillis float64
+	Speedup    float64
+	Matches    int64
+}
+
+// ShardConfig parameterizes RunShard.
+type ShardConfig struct {
+	Names     int
+	Threshold int
+	Queries   int
+	Seed      int64
+	// Counts lists the shard counts to measure; 1 means single-node (the
+	// baseline every other count is compared against).
+	Counts []int
+}
+
+// RunShard measures the same Ψ count workload on a single node and on local
+// shard clusters, asserting every configuration computes identical answers
+// and reporting the speedup over single-node. Local shards share one
+// machine, so the expected speedup is bounded by core count and the paper's
+// per-tuple Ψ cost dominating the wire overhead (§5.3).
+func RunShard(cfg ShardConfig) ([]ShardRow, error) {
+	if cfg.Names <= 0 {
+		cfg.Names = 4000
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.Queries <= 0 {
+		cfg.Queries = 5
+	}
+	if len(cfg.Counts) == 0 {
+		cfg.Counts = []int{1, 2, 4}
+	}
+	recs := dataset.GenerateNames(dataset.NamesConfig{Records: cfg.Names, Seed: cfg.Seed})
+
+	var out []ShardRow
+	var baseline float64
+	var baseMatches int64
+	for _, n := range cfg.Counts {
+		row, err := runShardCount(n, recs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if baseline == 0 {
+			baseline = row.MeanMillis
+			baseMatches = row.Matches
+		}
+		if row.Matches != baseMatches {
+			return nil, fmt.Errorf("bench: %d-shard run found %d matches, baseline found %d",
+				n, row.Matches, baseMatches)
+		}
+		if row.MeanMillis > 0 {
+			row.Speedup = baseline / row.MeanMillis
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func runShardCount(n int, recs []dataset.NameRecord, cfg ShardConfig) (ShardRow, error) {
+	var eng *mural.Engine
+	if n <= 1 {
+		e, err := mural.Open(mural.Config{})
+		if err != nil {
+			return ShardRow{}, err
+		}
+		defer func() { _ = e.Close() }()
+		eng = e
+	} else {
+		c, err := StartShardCluster(n, nil)
+		if err != nil {
+			return ShardRow{}, err
+		}
+		defer c.Close()
+		eng = c.Coord
+	}
+	execQ := func(q string) error { _, err := eng.Exec(q); return err }
+	queries, err := LoadNames(execQ, recs, 50)
+	if err != nil {
+		return ShardRow{}, err
+	}
+	if len(queries) > cfg.Queries {
+		queries = queries[:cfg.Queries]
+	}
+	var total time.Duration
+	var matches int64
+	for _, q := range queries {
+		res, err := eng.Exec(fmt.Sprintf(
+			`SELECT count(*) FROM names WHERE name LEXEQUAL %s THRESHOLD %d`, quote(q.Text), cfg.Threshold))
+		if err != nil {
+			return ShardRow{}, err
+		}
+		total += res.Elapsed
+		matches += res.Rows[0][0].Int()
+	}
+	return ShardRow{
+		Shards:     n,
+		Names:      cfg.Names,
+		Queries:    len(queries),
+		MeanMillis: total.Seconds() * 1000 / float64(len(queries)),
+		Matches:    matches,
+	}, nil
+}

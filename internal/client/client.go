@@ -296,6 +296,34 @@ func (c *Conn) Query(q string) (*Cursor, error) {
 	}
 }
 
+// QueryFragment opens a cursor for a serialized plan fragment (MsgFragment):
+// the coordinator half of sharded execution. The payload is built with
+// wire.EncodeFragmentPayload; the reply protocol is identical to Query, so
+// the returned cursor fetches, cancels and closes the same way.
+func (c *Conn) QueryFragment(payload []byte) (*Cursor, error) {
+	c.armDeadline()
+	defer c.clearDeadline()
+	if err := c.writeFrame(wire.MsgFragment, payload); err != nil {
+		return nil, err
+	}
+	typ, reply, err := wire.Read(c.br)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case wire.MsgRowDesc:
+		id, cols, err := wire.DecodeRowDesc(reply)
+		if err != nil {
+			return nil, err
+		}
+		return &Cursor{Cols: cols, conn: c, id: id}, nil
+	case wire.MsgErr:
+		return nil, serverErr(reply)
+	default:
+		return nil, fmt.Errorf("client: unexpected reply 0x%02x", typ)
+	}
+}
+
 // fetch pulls the next batch into the buffer.
 func (cur *Cursor) fetch() error {
 	size := cur.conn.FetchSize

@@ -107,6 +107,8 @@ func buildOp(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 		return buildRowScan(env, ev, n)
 	case plan.OpGather:
 		return buildGather(env, ev, n)
+	case plan.OpRemote:
+		return buildRemote(env, ev, n)
 	case plan.OpBTreeScan, plan.OpMTreeScan, plan.OpMDIScan, plan.OpQGramScan:
 		return buildIndexScan(env, ev, n)
 	case plan.OpFilter:
@@ -812,6 +814,15 @@ func (a *aggregateIter) compute() error {
 				return err
 			}
 			if v.IsNull() {
+				continue
+			}
+			if spec.Merge && spec.Kind == sql.FuncCount {
+				// Coordinator half of a distributed COUNT: sum the shards'
+				// int64 partial counts instead of counting input rows. The
+				// sum stays in integer arithmetic, so the merged COUNT is
+				// bit-identical to the single-node answer.
+				st.count += v.Int()
+				st.any = true
 				continue
 			}
 			st.count++

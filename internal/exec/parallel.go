@@ -220,6 +220,14 @@ func buildGather(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 	if w < 1 {
 		w = 1
 	}
+	// A shard exchange carries one Remote child per shard; worker i drives
+	// child i's stream so a slow shard never holds up the others. A local
+	// Gather keeps the classic shape: every worker runs the same subtree
+	// over disjoint morsels.
+	fanout := len(n.Children) > 1
+	if fanout {
+		w = len(n.Children)
+	}
 	shared := &gatherShared{sources: make(map[*plan.Node]*morselSource)}
 	g := &gatherIter{parent: ev, res: ev.res, stop: make(chan struct{})}
 	for i := 0; i < w; i++ {
@@ -243,16 +251,20 @@ func buildGather(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
 		// pool. The worker drives the batch pipeline directly — one channel
 		// send per ~BatchRows rows instead of per gatherBatchSize.
 		wev.vec, wev.fuse, wev.pool = ev.vec, ev.fuse, ev.pool
+		child := n.Children[0]
+		if fanout {
+			child = n.Children[i]
+		}
 		w := &gatherWorker{ev: wev}
 		var err error
 		if wev.vec {
 			var ok bool
-			w.broot, ok, err = buildVec(env, wev, n.Children[0])
+			w.broot, ok, err = buildVec(env, wev, child)
 			if err == nil && !ok {
-				w.root, err = build(env, wev, n.Children[0])
+				w.root, err = build(env, wev, child)
 			}
 		} else {
-			w.root, err = build(env, wev, n.Children[0])
+			w.root, err = build(env, wev, child)
 		}
 		if err != nil {
 			errs := []error{err}

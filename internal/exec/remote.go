@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"fmt"
+
+	"context"
+
+	"github.com/mural-db/mural/internal/plan"
+	"github.com/mural-db/mural/internal/types"
+)
+
+// FragmentRunner is an optional Env extension: an engine that can serialize
+// a plan fragment, ship it to a shard over the wire protocol and stream the
+// shard's rows back. The engine layer implements it (it owns the client
+// dialer and the shard map); exec only drives the returned iterator.
+type FragmentRunner interface {
+	// RunFragment executes frag on the shard at addr. The iterator's Next
+	// surfaces shard-side and transport errors; ctx cancellation must
+	// propagate to the shard (forwarded MsgCancel) and terminate the stream.
+	RunFragment(ctx context.Context, shardID int, addr string, frag *plan.Node) (TupleIter, error)
+}
+
+func buildRemote(env Env, ev *evaluator, n *plan.Node) (TupleIter, error) {
+	fr, ok := env.(FragmentRunner)
+	if !ok {
+		return nil, fmt.Errorf("exec: environment cannot execute Remote fragments")
+	}
+	return &remoteIter{fr: fr, ev: ev, n: n}, nil
+}
+
+// remoteIter streams one shard's rows. The connection opens lazily on the
+// first Next: under a shard Gather that call happens on the worker goroutine
+// driving this shard, so N shards dial and execute concurrently instead of
+// serially at build time — and a plan that is built but never run (EXPLAIN)
+// touches no network at all.
+type remoteIter struct {
+	fr     FragmentRunner
+	ev     *evaluator
+	n      *plan.Node
+	src    TupleIter
+	opened bool
+}
+
+func (r *remoteIter) Next() (types.Tuple, bool, error) {
+	if err := r.ev.tick(); err != nil {
+		return nil, false, err
+	}
+	if !r.opened {
+		r.opened = true
+		src, err := r.fr.RunFragment(r.ev.res.Context(), r.n.ShardID, r.n.ShardAddr, r.n.Children[0])
+		if err != nil {
+			return nil, false, err
+		}
+		r.src = src
+	}
+	if r.src == nil {
+		return nil, false, nil
+	}
+	return r.src.Next()
+}
+
+func (r *remoteIter) Close() error {
+	if r.src == nil {
+		return nil
+	}
+	err := r.src.Close()
+	r.src = nil
+	return err
+}

@@ -1,0 +1,155 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mural-db/mural/internal/sql"
+)
+
+// fragmentQueries are SELECT shapes whose plans (or pushable subtrees) the
+// fragment codec must carry losslessly.
+var fragmentQueries = []string{
+	`SELECT * FROM names`,
+	`SELECT id, text(name) FROM names WHERE pdist < 4`,
+	`SELECT * FROM names WHERE name LEXEQUAL unitext('nehru', english) THRESHOLD 2`,
+	`SELECT * FROM names WHERE name LEXEQUAL unitext('nehru', english) THRESHOLD 2 IN english, hindi`,
+	`SELECT * FROM names WHERE name SEMEQUAL unitext('nehru', english)`,
+	`SELECT count(*), sum(pdist), min(id), max(id) FROM names`,
+	`SELECT lang(name), count(*) FROM names GROUP BY lang(name)`,
+	`SELECT DISTINCT pdist FROM names LIMIT 7`,
+	`SELECT * FROM names WHERE id = 3 OR (pdist > 2 AND NOT (id < 1))`,
+	`SELECT * FROM names WHERE text(name) LIKE 'ne%'`,
+}
+
+// pushableSubtree descends past exchange operators, which the fragment
+// whitelist excludes (fragments never nest).
+func pushableSubtree(n *Node) *Node {
+	switch n.Op {
+	case OpGather, OpRemote:
+		for _, c := range n.Children {
+			if s := pushableSubtree(c); s != nil {
+				return s
+			}
+		}
+		return nil
+	default:
+		return n
+	}
+}
+
+func TestFragmentRoundTrip(t *testing.T) {
+	p := mkPlanner(testCatalog())
+	for _, q := range fragmentQueries {
+		node := pushableSubtree(planQuery(t, p, q))
+		if node == nil {
+			t.Fatalf("%s: no pushable subtree", q)
+		}
+		data, err := EncodeFragment(node)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", q, err)
+		}
+		back, err := DecodeFragment(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", q, err)
+		}
+		if got, want := Format(back), Format(node); got != want {
+			t.Errorf("%s: fragment round trip drifted:\n got: %s\nwant: %s", q, got, want)
+		}
+		// Idempotence: re-encoding the decoded tree is byte-identical.
+		data2, err := EncodeFragment(back)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", q, err)
+		}
+		if string(data) != string(data2) {
+			t.Errorf("%s: re-encoded fragment differs", q)
+		}
+	}
+}
+
+func TestFragmentRejectsExchangeOps(t *testing.T) {
+	inner := &Node{Op: OpSeqScan, Table: "names"}
+	for _, n := range []*Node{
+		{Op: OpGather, Children: []*Node{inner}},
+		{Op: OpRemote, Children: []*Node{inner}},
+	} {
+		if _, err := EncodeFragment(n); err == nil {
+			t.Errorf("EncodeFragment(%s) must fail: exchanges cannot nest in fragments", n.Op)
+		}
+	}
+}
+
+func TestDecodeFragmentRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{{{`,
+		"empty object":    `{}`,
+		"unknown op":      `{"op":"teleport"}`,
+		"exchange op":     `{"op":"gather","children":[{"op":"seqscan","table":"names"}]}`,
+		"bad arity":       `{"op":"filter","children":[]}`,
+		"two-child scan":  `{"op":"seqscan","table":"t","children":[{"op":"seqscan","table":"t"},{"op":"seqscan","table":"t"}]}`,
+		"indexless probe": `{"op":"mtreescan","table":"names"}`,
+		"bad agg kind":    `{"op":"aggregate","children":[{"op":"seqscan","table":"t"}],"aggs":[{"kind":99}]}`,
+	}
+	for name, data := range cases {
+		if _, err := DecodeFragment([]byte(data)); err == nil {
+			t.Errorf("%s: DecodeFragment accepted %q", name, data)
+		}
+	}
+}
+
+func TestDecodeFragmentDepthBounded(t *testing.T) {
+	// 300 nested Filters exceed maxFragmentDepth; decode must fail cleanly,
+	// not exhaust the stack.
+	var b strings.Builder
+	for i := 0; i < 300; i++ {
+		b.WriteString(`{"op":"filter","children":[`)
+	}
+	b.WriteString(`{"op":"seqscan","table":"t"}`)
+	for i := 0; i < 300; i++ {
+		b.WriteString(`]}`)
+	}
+	if _, err := DecodeFragment([]byte(b.String())); err == nil {
+		t.Error("DecodeFragment accepted a 300-deep fragment")
+	}
+}
+
+func FuzzDecodeFragment(f *testing.F) {
+	p := mkPlanner(testCatalog())
+	for _, q := range fragmentQueries {
+		node := pushableSubtree(planQueryF(f, p, q))
+		if node == nil {
+			continue
+		}
+		if data, err := EncodeFragment(node); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"op":"seqscan","table":"t"}`))
+	f.Add([]byte(`{"op":"filter","children":[{"op":"seqscan","table":"t"}],"cond":{"t":"cmp","op":0}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		node, err := DecodeFragment(data)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode: the coordinator never ships a
+		// fragment the shard cannot validate and the shard never accepts one
+		// it could not have produced.
+		if _, err := EncodeFragment(node); err != nil {
+			t.Fatalf("decoded fragment does not re-encode: %v", err)
+		}
+	})
+}
+
+// planQueryF is planQuery for fuzz seeding (testing.F is not a *testing.T).
+func planQueryF(f *testing.F, p *Planner, q string) *Node {
+	f.Helper()
+	stmt, err := sql.Parse(q)
+	if err != nil {
+		f.Fatalf("parse %q: %v", q, err)
+	}
+	node, err := p.Plan(stmt.(*sql.Select))
+	if err != nil {
+		f.Fatalf("plan %q: %v", q, err)
+	}
+	return node
+}

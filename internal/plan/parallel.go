@@ -40,6 +40,12 @@ func Parallelize(root *Node, workers int) *Node {
 }
 
 func parallelize(n *Node, workers int) *Node {
+	if n.Op == OpRemote || n.Op == OpGather {
+		// A shard exchange injected by the Shard pass (or an existing
+		// Gather) is already a pipeline break; its fragments parallelize on
+		// the shard side, not here.
+		return n
+	}
 	if g := tryGather(n, workers); g != nil {
 		// Do not recurse into a gathered subtree: one exchange per pipeline.
 		return g

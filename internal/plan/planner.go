@@ -29,6 +29,10 @@ type Options struct {
 	// Workers > 1 enables parallel plans: eligible subtrees are wrapped in
 	// a Gather exchange over up to this many workers (see parallel.go).
 	Workers int
+	// Shards, when it names two or more engine addresses, marks every user
+	// table as hash-sharded across them: the Shard post-pass (shard.go)
+	// rewrites table accesses into Remote fragments merged by a Gather.
+	Shards []string
 }
 
 // DefaultOptions enables everything.
@@ -168,6 +172,9 @@ func (p *Planner) Plan(sel *sql.Select) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Shard first (data placement is correctness, not cost), then let the
+	// coordinator-side remainder grow local exchanges.
+	node = Shard(node, p.Opts.Shards)
 	return Parallelize(node, p.Opts.Workers), nil
 }
 
@@ -785,8 +792,10 @@ func (p *Planner) buildJoin(left, right *Node, rel *relation, joined map[string]
 		c.used = false
 
 		// Index Ψ join: probe an M-Tree on the inner column per outer row
-		// (Table 3 join-with-index: P_l + n_l·f(k)·P_AI).
-		if p.Opts.EnableMTree && right.Op == OpSeqScan {
+		// (Table 3 join-with-index: P_l + n_l·f(k)·P_AI). Disabled under
+		// sharding: joins run at the coordinator, whose local indexes are
+		// empty routers — the probes would silently match nothing.
+		if p.Opts.EnableMTree && len(p.Opts.Shards) < 2 && right.Op == OpSeqScan {
 			innerCol := ""
 			if colOf(right.Cols, rIdx-len(left.Cols)) == rRef.Column {
 				innerCol = rRef.Column

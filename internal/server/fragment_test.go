@@ -1,0 +1,93 @@
+package server
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/mural-db/mural/internal/phonetic"
+	"github.com/mural-db/mural/internal/plan"
+	"github.com/mural-db/mural/internal/sql"
+	"github.com/mural-db/mural/internal/wire"
+)
+
+// TestFragmentQueryOverWire ships a serialized scan fragment through
+// MsgFragment and asserts the rows match the same query sent as SQL.
+func TestFragmentQueryOverWire(t *testing.T) {
+	eng, conn := startServer(t)
+	if _, err := conn.Exec(`CREATE TABLE t (id INT, name UNITEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Exec(`INSERT INTO t VALUES (1, unitext('Nehru', english)), (2, unitext('Gandhi', english)), (3, unitext('Patel', english))`); err != nil {
+		t.Fatal(err)
+	}
+
+	pl := &plan.Planner{Cat: eng.Catalog(), Phon: phonetic.DefaultRegistry(), Opts: plan.DefaultOptions()}
+	stmt, err := sql.Parse(`SELECT id, text(name) FROM t WHERE id < 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := pl.Plan(stmt.(*sql.Select))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frag, err := plan.EncodeFragment(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cur, err := conn.QueryFragment(wire.EncodeFragmentPayload(0, frag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := cur.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0].Int() != 1 || rows[1][1].Text() != "Gandhi" {
+		t.Errorf("fragment rows = %v", rows)
+	}
+
+	// The session must stay usable for ordinary SQL afterwards.
+	cur2, err := conn.Query(`SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := cur2.All()
+	if err != nil || all[0][0].Int() != 3 {
+		t.Errorf("follow-up query: rows=%v err=%v", all, err)
+	}
+}
+
+// TestFragmentMalformedRejected sends garbage fragment payloads; the server
+// must answer with MsgErr and keep the session alive.
+func TestFragmentMalformedRejected(t *testing.T) {
+	_, conn := startServer(t)
+	for _, payload := range [][]byte{
+		nil, // empty: no deadline uvarint at all
+		wire.EncodeFragmentPayload(0, []byte(`{{{`)),
+		wire.EncodeFragmentPayload(0, []byte(`{"op":"teleport"}`)),
+		wire.EncodeFragmentPayload(0, []byte(`{"op":"gather","children":[{"op":"seqscan","table":"t"}]}`)),
+		wire.EncodeFragmentPayload(0, []byte(`{"op":"seqscan","table":"no_such_table"}`)),
+	} {
+		if _, err := conn.QueryFragment(payload); err == nil {
+			t.Errorf("QueryFragment(%q) succeeded", payload)
+		}
+	}
+	if err := conn.Ping(); err != nil {
+		t.Fatalf("session dead after malformed fragments: %v", err)
+	}
+}
+
+// TestFragmentOversizedRejected asserts a fragment payload above the frame
+// cap is refused client-side with the typed wire.ErrTooLarge before any
+// bytes hit the network, and the connection stays usable.
+func TestFragmentOversizedRejected(t *testing.T) {
+	_, conn := startServer(t)
+	huge := make([]byte, wire.MaxPayload+1)
+	if _, err := conn.QueryFragment(huge); !errors.Is(err, wire.ErrTooLarge) {
+		t.Fatalf("oversized fragment: got %v, want ErrTooLarge", err)
+	}
+	if err := conn.Ping(); err != nil {
+		t.Fatalf("session dead after oversized fragment: %v", err)
+	}
+}

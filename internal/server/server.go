@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/mural-db/mural/internal/obs"
+	"github.com/mural-db/mural/internal/plan"
 	"github.com/mural-db/mural/internal/sql"
 	"github.com/mural-db/mural/internal/wire"
 	"github.com/mural-db/mural/mural"
@@ -482,6 +483,42 @@ func (s *Server) dispatch(w io.Writer, sess *session, typ wire.MsgType, payload 
 				cancel()
 				return sendErr(err)
 			}
+		}
+		id := sess.nextID
+		sess.nextID++
+		sess.cursors[id] = &cursorState{rows: rows, cancel: cancel}
+		sess.setOpen(len(sess.cursors))
+		return wire.Write(w, wire.MsgRowDesc, wire.EncodeRowDesc(id, rows.Cols))
+	case wire.MsgFragment:
+		if s.isDraining() {
+			mErrors.Inc()
+			return wire.Write(w, wire.MsgErr, wire.EncodeErr(wire.ErrCodeShutdown, "server: shutting down"))
+		}
+		deadlineMillis, fragBytes, err := wire.DecodeFragmentPayload(payload)
+		if err != nil {
+			return sendErr(err)
+		}
+		frag, err := plan.DecodeFragment(fragBytes)
+		if err != nil {
+			return sendErr(err)
+		}
+		// Like MsgQuery, the context outlives this dispatch (it governs the
+		// fetches); the coordinator's remaining deadline, when shipped, caps
+		// it so an orphaned fragment cannot outlive its statement.
+		base := sess.stmtCtx(s.baseCtx)
+		var ctx context.Context
+		var cancel context.CancelFunc
+		if deadlineMillis > 0 {
+			ctx, cancel = context.WithTimeout(base, time.Duration(deadlineMillis)*time.Millisecond)
+		} else {
+			ctx, cancel = context.WithCancel(base)
+		}
+		done := sess.begin(cancel)
+		rows, err := s.eng.QueryFragment(ctx, frag)
+		done()
+		if err != nil {
+			cancel()
+			return sendErr(err)
 		}
 		id := sess.nextID
 		sess.nextID++

@@ -33,6 +33,9 @@ type ColumnDef struct {
 // DropTable is DROP TABLE name.
 type DropTable struct{ Name string }
 
+// DropIndex is DROP INDEX name.
+type DropIndex struct{ Name string }
+
 // IndexKind selects an access method for CREATE INDEX.
 type IndexKind int
 
@@ -145,6 +148,7 @@ type Select struct {
 
 func (*CreateTable) stmt() {}
 func (*DropTable) stmt()   {}
+func (*DropIndex) stmt()   {}
 func (*CreateIndex) stmt() {}
 func (*Insert) stmt()      {}
 func (*Delete) stmt()      {}

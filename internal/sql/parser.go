@@ -79,6 +79,13 @@ func (p *parser) statement() (Statement, error) {
 		}
 		return nil, fmt.Errorf("sql: CREATE must be followed by TABLE or INDEX")
 	case p.accept(tokKeyword, "DROP"):
+		if p.accept(tokKeyword, "INDEX") {
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &DropIndex{Name: name}, nil
+		}
 		if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,40 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFragmentPayloadRoundTrip(t *testing.T) {
+	for _, deadline := range []uint64{0, 1, 250, 1 << 40} {
+		frag := []byte(`{"op":"seqscan","table":"t"}`)
+		buf := EncodeFragmentPayload(deadline, frag)
+		d, got, err := DecodeFragmentPayload(buf)
+		if err != nil {
+			t.Fatalf("deadline %d: %v", deadline, err)
+		}
+		if d != deadline {
+			t.Errorf("deadline = %d, want %d", d, deadline)
+		}
+		if !bytes.Equal(got, frag) {
+			t.Errorf("fragment bytes drifted: %q", got)
+		}
+	}
+}
+
+func TestFragmentPayloadEmptyFragment(t *testing.T) {
+	buf := EncodeFragmentPayload(42, nil)
+	d, frag, err := DecodeFragmentPayload(buf)
+	if err != nil || d != 42 || len(frag) != 0 {
+		t.Fatalf("d=%d frag=%q err=%v", d, frag, err)
+	}
+}
+
+func TestFragmentPayloadMalformed(t *testing.T) {
+	// Empty buffer and a truncated uvarint must both error, not panic.
+	for _, buf := range [][]byte{nil, {}, {0x80}, {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}} {
+		if _, _, err := DecodeFragmentPayload(buf); err == nil {
+			t.Errorf("DecodeFragmentPayload(%v) accepted malformed payload", buf)
+		}
+	}
+}

@@ -38,6 +38,10 @@ const (
 	MsgQuit   MsgType = 0x06
 	MsgCancel MsgType = 0x07 // abort the in-flight statement; no reply frame
 	MsgTrace  MsgType = 0x08 // 8-byte big-endian trace ID, sticky for the session; no reply frame
+	// MsgFragment carries a serialized plan fragment from a coordinator to a
+	// shard (deadline + plan.EncodeFragment bytes); opens a cursor like
+	// MsgQuery and reuses the MsgCancel / error-code machinery unchanged.
+	MsgFragment MsgType = 0x09
 )
 
 // Server → client messages.
@@ -228,6 +232,26 @@ func EncodeRow(t types.Tuple) []byte { return types.EncodeTuple(t) }
 func DecodeRow(buf []byte) (types.Tuple, error) {
 	t, _, err := types.DecodeTuple(buf)
 	return t, err
+}
+
+// EncodeFragmentPayload builds a MsgFragment payload: the coordinator's
+// remaining statement deadline in milliseconds (uvarint, 0 = none) followed
+// by the plan.EncodeFragment bytes. Shipping a relative duration instead of
+// an absolute instant keeps the deadline meaningful across unsynchronized
+// shard clocks.
+func EncodeFragmentPayload(deadlineMillis uint64, frag []byte) []byte {
+	buf := binary.AppendUvarint(make([]byte, 0, 10+len(frag)), deadlineMillis)
+	return append(buf, frag...)
+}
+
+// DecodeFragmentPayload splits a MsgFragment payload into the deadline and
+// the fragment bytes (aliasing buf, not copied).
+func DecodeFragmentPayload(buf []byte) (deadlineMillis uint64, frag []byte, err error) {
+	d, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return 0, nil, fmt.Errorf("wire: bad fragment deadline")
+	}
+	return d, buf[sz:], nil
 }
 
 // EncodeUvarint / DecodeUvarint wrap single-integer payloads (cursor ids,

@@ -110,14 +110,69 @@ func (e *Engine) execDropTable(s *sql.DropTable) (*Result, error) {
 		}
 	}
 	delete(e.heaps, s.Name)
-	release(t.File)
 	for _, ix := range droppedIdx {
 		delete(e.btrees, ix.Name)
 		delete(e.mtrees, ix.Name)
 		delete(e.mdis, ix.Name)
 		delete(e.qgrams, ix.Name)
+	}
+	// Handles are unreachable now; wait out searches that pinned them while
+	// they were still visible before detaching their storage (see pinSet).
+	e.pins.wait(s.Name) //lint:lock-held-io pinned searches never reacquire e.mu, so draining under the write lock cannot deadlock
+	for _, ix := range droppedIdx {
+		e.pins.wait(ix.Name) //lint:lock-held-io same audit as the table drain above
+	}
+	release(t.File)
+	for _, ix := range droppedIdx {
 		if ix.Kind != sql.IndexQGram {
 			release(ix.File)
+		}
+	}
+	return &Result{}, e.saveCatalog()
+}
+
+// execDropIndex removes a secondary index. The catalog entry and handle-map
+// entry go first — new searches then miss — and the drop waits for in-flight
+// searches pinned on the handle before detaching its file, closing the
+// handle-escapes-lock race with Env probe methods.
+func (e *Engine) execDropIndex(s *sql.DropIndex) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ix, ok := e.cat.IndexByName(s.Name)
+	if !ok {
+		return nil, fmt.Errorf("mural: no such index %q", s.Name)
+	}
+	if err := e.cat.RemoveIndex(s.Name); err != nil {
+		return nil, err
+	}
+	// Commit the catalog change before releasing anything, mirroring DROP
+	// TABLE: a failed commit undoes the drop in memory and touches nothing.
+	if e.wal != nil {
+		err := e.beginBatch()
+		if err == nil {
+			err = e.commitDDL()
+		}
+		if err != nil {
+			_ = e.rollbackBatch("")
+			_ = e.cat.AddIndex(ix)
+			return nil, err
+		}
+	}
+	e.pool.WaitSealedDrained()
+	delete(e.btrees, s.Name)
+	delete(e.mtrees, s.Name)
+	delete(e.mdis, s.Name)
+	delete(e.qgrams, s.Name)
+	e.pins.wait(s.Name) //lint:lock-held-io pinned searches never reacquire e.mu, so draining under the write lock cannot deadlock
+	// Q-gram indexes are memory-resident and have no file to release.
+	if ix.Kind != sql.IndexQGram {
+		if d, ok := e.disks[ix.File]; ok {
+			_ = e.pool.DetachDisk(ix.File)
+			_ = d.Close()
+			delete(e.disks, ix.File)
+		}
+		if e.cfg.Dir != "" {
+			_ = os.Remove(dataFilePath(e.cfg.Dir, ix.File))
 		}
 	}
 	return &Result{}, e.saveCatalog()
@@ -470,30 +525,9 @@ func (e *Engine) execDelete(s *sql.Delete, res *exec.Resources) (*Result, error)
 		return nil, err
 	}
 	for _, v := range victims {
-		if err := h.Delete(v.rid); err != nil {
+		if err := e.deleteOne(t, h, idxs, v.tup, v.rid); err != nil {
 			_ = e.rollbackBatch(s.Table)
 			return nil, err
-		}
-		for _, ix := range idxs {
-			val := v.tup[t.ColumnIndex(ix.Column)]
-			if val.IsNull() {
-				continue
-			}
-			var err error
-			switch ix.Kind {
-			case sql.IndexBTree:
-				err = e.btrees[ix.Name].Delete(types.KeyOf(val), v.rid)
-			case sql.IndexMTree:
-				err = e.mtrees[ix.Name].Delete(e.phonemeOf(val), v.rid)
-			case sql.IndexMDI:
-				err = e.mdis[ix.Name].Delete(e.phonemeOf(val), v.rid)
-			case sql.IndexQGram:
-				err = e.qgrams[ix.Name].Delete(e.phonemeOf(val), v.rid)
-			}
-			if err != nil {
-				_ = e.rollbackBatch(s.Table)
-				return nil, fmt.Errorf("mural: delete from index %q: %w", ix.Name, err)
-			}
 		}
 	}
 	if err := e.commitGrouped(s.Table); err != nil {
@@ -503,6 +537,59 @@ func (e *Engine) execDelete(s *sql.Delete, res *exec.Resources) (*Result, error)
 		return nil, err
 	}
 	return &Result{RowsAffected: int64(len(victims))}, nil
+}
+
+// deleteOne removes one row: index entries first, the heap record last. If a
+// step fails, the entries already removed for this row are re-inserted, so a
+// failed statement never leaves an index entry dangling (pointing at a
+// deleted heap row) or a live heap row missing entries. The compensation is
+// what keeps the wal==nil configuration consistent, where rollbackBatch
+// cannot page-roll-back the batch; the WAL path additionally rolls back.
+func (e *Engine) deleteOne(t *catalog.Table, h *storage.Heap, idxs []*catalog.Index, tup types.Tuple, rid storage.RID) error {
+	removed := make([]*catalog.Index, 0, len(idxs))
+	undo := func() {
+		for _, ix := range removed {
+			_ = e.indexOne(ix, t.ColumnIndex(ix.Column), tup, rid)
+		}
+	}
+	for _, ix := range idxs {
+		val := tup[t.ColumnIndex(ix.Column)]
+		if val.IsNull() {
+			continue
+		}
+		if err := e.indexDeleteOne(ix, val, rid); err != nil {
+			undo()
+			return fmt.Errorf("mural: delete from index %q: %w", ix.Name, err)
+		}
+		removed = append(removed, ix)
+	}
+	if err := h.Delete(rid); err != nil {
+		undo()
+		return err
+	}
+	return nil
+}
+
+// indexDeleteOne removes one tuple's key from an index, honoring the test
+// fault-injection hook.
+func (e *Engine) indexDeleteOne(ix *catalog.Index, val types.Value, rid storage.RID) error {
+	if e.failIndexDelete != nil {
+		if err := e.failIndexDelete(ix.Name); err != nil {
+			return err
+		}
+	}
+	switch ix.Kind {
+	case sql.IndexBTree:
+		return e.btrees[ix.Name].Delete(types.KeyOf(val), rid)
+	case sql.IndexMTree:
+		return e.mtrees[ix.Name].Delete(e.phonemeOf(val), rid)
+	case sql.IndexMDI:
+		return e.mdis[ix.Name].Delete(e.phonemeOf(val), rid)
+	case sql.IndexQGram:
+		return e.qgrams[ix.Name].Delete(e.phonemeOf(val), rid)
+	default:
+		return fmt.Errorf("mural: unknown index kind %v", ix.Kind)
+	}
 }
 
 func (e *Engine) execAnalyze(s *sql.Analyze) (*Result, error) {

@@ -1,0 +1,130 @@
+package mural
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/mural-db/mural/internal/types"
+)
+
+// TestDeleteIndexFailureLeavesConsistentState pins the DELETE maintenance
+// ordering: index entries are removed before the heap row, and a failed
+// index delete re-inserts the entries already removed for that row. The old
+// order (heap first, indexes after) relied on WAL rollback to undo the heap
+// delete — a no-op when the engine runs without a WAL — leaving index
+// entries dangling on a tombstoned RID.
+func TestDeleteIndexFailureLeavesConsistentState(t *testing.T) {
+	e, err := Open(Config{}) // no Dir: wal == nil, rollbackBatch cannot undo
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = e.Close() }()
+	mustExec := func(q string) {
+		t.Helper()
+		if _, err := e.Exec(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	mustExec(`CREATE TABLE t (id INT, name UNITEXT)`)
+	var rows []string
+	for i := 0; i < 20; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, unitext('%s', english))", i, syntheticName(i)))
+	}
+	mustExec(`INSERT INTO t VALUES ` + strings.Join(rows, ","))
+	mustExec(`CREATE INDEX ix_bt ON t (id) USING BTREE`)
+	mustExec(`CREATE INDEX ix_mt ON t (name) USING MTREE`)
+
+	// Fail the M-Tree delete: the B-tree (earlier in index order) will have
+	// removed its entry by then, so the compensation path must restore it.
+	injected := errors.New("injected index-delete failure")
+	e.failIndexDelete = func(index string) error {
+		if index == "ix_mt" {
+			return injected
+		}
+		return nil
+	}
+	if _, err := e.Exec(`DELETE FROM t WHERE id = 5`); !errors.Is(err, injected) {
+		t.Fatalf("DELETE with failing index maintenance: got %v, want injected error", err)
+	}
+	e.failIndexDelete = nil
+
+	// Heap row must still be there (old order tombstoned it first).
+	res, err := e.Exec(`SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Rows[0][0].Int(); n != 20 {
+		t.Fatalf("rows after failed DELETE = %d, want 20 (heap mutated before indexes)", n)
+	}
+	// B-tree entry must have been re-inserted by the compensation.
+	key := types.KeyOf(types.NewInt(5))
+	rids, _, err := e.IndexSearch("ix_bt", key, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 1 {
+		t.Fatalf("btree entries for id=5 after failed DELETE = %d, want 1 (compensation missing)", len(rids))
+	}
+	// The restored entry must point at a live heap row.
+	if _, err := e.FetchRIDs("t", rids); err != nil {
+		t.Fatalf("btree entry dangles after compensation: %v", err)
+	}
+
+	// With the fault cleared the same DELETE succeeds and removes the row
+	// from the heap and every index.
+	res, err = e.Exec(`DELETE FROM t WHERE id = 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 1 {
+		t.Fatalf("retry affected %d rows, want 1", res.RowsAffected)
+	}
+	if rids, _, err = e.IndexSearch("ix_bt", key, key); err != nil || len(rids) != 0 {
+		t.Fatalf("btree entries for id=5 after retry = %d (err %v), want 0", len(rids), err)
+	}
+	res, err = e.Exec(`SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Rows[0][0].Int(); n != 19 {
+		t.Fatalf("rows after retry = %d, want 19", n)
+	}
+}
+
+// TestDeleteIndexFailureFirstIndex covers the boundary: the very first
+// index delete fails, so nothing was removed yet and the compensation loop
+// must be a clean no-op.
+func TestDeleteIndexFailureFirstIndex(t *testing.T) {
+	e, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = e.Close() }()
+	if _, err := e.Exec(`CREATE TABLE t (id INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec(`INSERT INTO t VALUES (1), (2), (3)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec(`CREATE INDEX ix ON t (id) USING BTREE`); err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("boom")
+	e.failIndexDelete = func(string) error { return injected }
+	if _, err := e.Exec(`DELETE FROM t`); !errors.Is(err, injected) {
+		t.Fatalf("got %v, want injected error", err)
+	}
+	e.failIndexDelete = nil
+	res, err := e.Exec(`SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Rows[0][0].Int(); n != 3 {
+		t.Fatalf("rows = %d, want 3", n)
+	}
+	if res, err = e.Exec(`DELETE FROM t`); err != nil || res.RowsAffected != 3 {
+		t.Fatalf("retry: affected %d, err %v", res.RowsAffected, err)
+	}
+}

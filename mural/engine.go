@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"runtime"
 	"strconv"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"github.com/mural-db/mural/internal/catalog"
+	"github.com/mural-db/mural/internal/client"
 	"github.com/mural-db/mural/internal/exec"
 	"github.com/mural-db/mural/internal/index/btree"
 	"github.com/mural-db/mural/internal/index/mdi"
@@ -119,6 +121,18 @@ type Config struct {
 	// (systematic 1-in-N sampling, deterministic). Statements carrying a
 	// client trace ID always trace; zero samples nothing else.
 	TraceSampleRate float64
+	// ShardRetry bounds reconnection attempts to shard peers when this
+	// engine coordinates a sharded cluster (`SET shards = ...`); the zero
+	// value uses client.DefaultRetry.
+	ShardRetry client.RetryPolicy
+	// ShardOpTimeout bounds each wire round trip to a shard (dial, exec,
+	// fetch); zero means no per-operation deadline. It is the backstop that
+	// turns a stalled shard into a typed ErrShardUnavailable instead of a
+	// hang.
+	ShardOpTimeout time.Duration
+	// ShardWrap, when set, wraps every socket dialed to a shard — the
+	// coordinator half of the fault-injection seam (netfault.Wrap).
+	ShardWrap func(net.Conn) net.Conn
 }
 
 // MTreeSplitPolicy re-exports the split policies.
@@ -161,6 +175,16 @@ type Engine struct {
 	traces   *obs.TraceWriter
 	traceSeq atomic.Uint64
 	fbTick   atomic.Uint64
+	// shards is the coordinator's DML connection cache (shard.go); empty
+	// until a `SET shards` statement makes this engine a coordinator.
+	shards shardConns
+	// pins tracks index handles checked out by concurrent searches so DROP
+	// can wait for them instead of racing (env.go / pins.go).
+	pins pinSet
+	// failIndexDelete, when non-nil, is a test-only fault-injection hook: it
+	// runs before each per-index delete during DELETE maintenance and a
+	// non-nil return aborts that delete (ddl.go).
+	failIndexDelete func(index string) error
 
 	mu      sync.RWMutex
 	heaps   map[string]*storage.Heap
@@ -394,6 +418,7 @@ func (e *Engine) WordNet() *wordnet.Net {
 // truncating the WAL) and closes every file. A database closed cleanly
 // reopens without any replay work.
 func (e *Engine) Close() error {
+	e.closeShardConns()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	firstErr := e.checkpointLocked()
@@ -531,6 +556,14 @@ func (e *Engine) exec(ctx context.Context, q string, res *exec.Resources) (*Resu
 	if err != nil {
 		return nil, err
 	}
+	// Under a shard map, writes and schema changes involve the shard peers
+	// (INSERT hash-routes, DDL and DELETE broadcast); SELECT falls through —
+	// the planner rewrites it into remote fragments instead.
+	if shards := e.shardAddrs(); shards != nil {
+		if handled, result, err := e.shardExec(stmt, q, shards, res); handled {
+			return result, err
+		}
+	}
 	switch s := stmt.(type) {
 	// DDL-class statements invalidate the shared caches on success: the
 	// plan cache's catalog-version keys already stop matching, and the G2P
@@ -541,6 +574,8 @@ func (e *Engine) exec(ctx context.Context, q string, res *exec.Resources) (*Resu
 		return e.ddlDone(e.execDropTable(s))
 	case *sql.CreateIndex:
 		return e.ddlDone(e.execCreateIndex(s))
+	case *sql.DropIndex:
+		return e.ddlDone(e.execDropIndex(s))
 	case *sql.Insert:
 		return e.execInsert(s, res)
 	case *sql.Delete:
@@ -720,15 +755,8 @@ func (e *Engine) planner() *plan.Planner {
 	opts.EnableMTree = boolSetting("enable_mtree", true)
 	opts.EnableMDI = boolSetting("enable_mdi", true)
 	opts.EnableQGram = boolSetting("enable_qgram", true)
-	opts.Workers = e.cfg.Workers
-	if opts.Workers <= 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
-	}
-	if v, ok := e.cat.Setting("workers"); ok {
-		if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && n >= 1 {
-			opts.Workers = n
-		}
-	}
+	opts.Workers = e.workerCount()
+	opts.Shards = e.shardAddrs()
 	if v, ok := e.cat.Setting("force_join_order"); ok && v != "" {
 		for _, part := range strings.Split(v, ",") {
 			if p := strings.TrimSpace(p2l(part)); p != "" {
@@ -749,6 +777,21 @@ func (e *Engine) planner() *plan.Planner {
 }
 
 func p2l(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+
+// workerCount resolves the intra-query parallelism budget: Config.Workers,
+// overridden per session by `SET workers = N`, defaulting to GOMAXPROCS.
+func (e *Engine) workerCount() int {
+	w := e.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if v, ok := e.cat.Setting("workers"); ok {
+		if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil && n >= 1 {
+			w = n
+		}
+	}
+	return w
+}
 
 func (e *Engine) planSelect(sel *sql.Select) (*plan.Node, error) {
 	return e.planner().Plan(sel)

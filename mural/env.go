@@ -96,6 +96,13 @@ func (e *Engine) ScanRecords(table string, lo, hi int64) (exec.RecordScan, error
 func (e *Engine) FetchRIDs(table string, rids []storage.RID) ([]types.Tuple, error) {
 	e.mu.RLock()
 	h := e.heaps[table]
+	if h != nil {
+		// Pin while still under the read lock: a DROP TABLE that has not yet
+		// removed the heap entry will wait for this fetch before it releases
+		// the heap's disk (see pinSet).
+		e.pins.pin(table)
+		defer e.pins.unpin(table)
+	}
 	e.mu.RUnlock()
 	if h == nil {
 		return nil, fmt.Errorf("mural: no such table %q", table)
@@ -119,6 +126,10 @@ func (e *Engine) FetchRIDs(table string, rids []storage.RID) ([]types.Tuple, err
 func (e *Engine) IndexSearch(index string, lo, hi []byte) ([]storage.RID, int, error) {
 	e.mu.RLock()
 	bt := e.btrees[index]
+	if bt != nil {
+		e.pins.pin(index)
+		defer e.pins.unpin(index)
+	}
 	e.mu.RUnlock()
 	if bt == nil {
 		return nil, 0, fmt.Errorf("mural: no such btree index %q", index)
@@ -135,6 +146,12 @@ func (e *Engine) IndexSearch(index string, lo, hi []byte) ([]storage.RID, int, e
 func (e *Engine) MTreeSearch(index string, phoneme string, threshold int) ([]storage.RID, int, error) {
 	e.mu.RLock()
 	mt := e.mtrees[index]
+	if mt != nil {
+		// The handle escapes the read lock for the duration of the probe; the
+		// pin keeps a concurrent DROP INDEX from detaching its file under it.
+		e.pins.pin(index)
+		defer e.pins.unpin(index)
+	}
 	e.mu.RUnlock()
 	if mt == nil {
 		return nil, 0, fmt.Errorf("mural: no such mtree index %q", index)
@@ -146,6 +163,10 @@ func (e *Engine) MTreeSearch(index string, phoneme string, threshold int) ([]sto
 func (e *Engine) MDISearch(index string, phoneme string, threshold int) ([]storage.RID, int, int, error) {
 	e.mu.RLock()
 	md := e.mdis[index]
+	if md != nil {
+		e.pins.pin(index)
+		defer e.pins.unpin(index)
+	}
 	e.mu.RUnlock()
 	if md == nil {
 		return nil, 0, 0, fmt.Errorf("mural: no such mdi index %q", index)
@@ -157,6 +178,10 @@ func (e *Engine) MDISearch(index string, phoneme string, threshold int) ([]stora
 func (e *Engine) QGramSearch(index string, phoneme string, threshold int) ([]storage.RID, int, error) {
 	e.mu.RLock()
 	qg := e.qgrams[index]
+	if qg != nil {
+		e.pins.pin(index)
+		defer e.pins.unpin(index)
+	}
 	e.mu.RUnlock()
 	if qg == nil {
 		return nil, 0, fmt.Errorf("mural: no such qgram index %q", index)

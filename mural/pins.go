@@ -1,0 +1,70 @@
+package mural
+
+import "sync"
+
+// pinSet tracks index handles checked out by in-flight searches, fixing the
+// handle-escapes-lock race: Env search methods look a handle up under
+// e.mu.RLock but use it after RUnlock, so a concurrent DROP INDEX / DROP
+// TABLE could detach the handle's file (or close its disk) mid-search. The
+// search paths pin the index name for the duration of the probe; the drop
+// paths remove the catalog/map entries first (new searches then miss) and
+// wait for the pin count to drain before releasing storage.
+//
+// pinSet.mu is a leaf lock — acquired briefly inside e.mu critical sections,
+// never the other way around — so it cannot deadlock against the engine
+// lock. Scope: point searches (a probe's RangeSearch call). Long-lived heap
+// scan iterators are not pinned; DROP under a concurrent scan remains
+// guarded by the coarse statement-level serialization above this layer.
+type pinSet struct {
+	mu      sync.Mutex
+	pins    map[string]int
+	waiters map[string]chan struct{}
+}
+
+// pin registers one in-flight use of the named index. Must be called while
+// the lookup's e.mu.RLock is still held, so a drop that has already removed
+// the map entry can never interleave between lookup and pin.
+func (p *pinSet) pin(name string) {
+	p.mu.Lock()
+	if p.pins == nil {
+		p.pins = make(map[string]int)
+	}
+	p.pins[name]++
+	p.mu.Unlock()
+}
+
+// unpin releases one use, waking any drop waiting for the drain.
+func (p *pinSet) unpin(name string) {
+	p.mu.Lock()
+	if p.pins[name]--; p.pins[name] <= 0 {
+		delete(p.pins, name)
+		if ch, ok := p.waiters[name]; ok {
+			close(ch)
+			delete(p.waiters, name)
+		}
+	}
+	p.mu.Unlock()
+}
+
+// wait blocks until no search holds the named index. Call only after the
+// handle is unreachable (catalog entry and handle-map entry removed), so the
+// count can only drain — new searches cannot find the index to pin it.
+func (p *pinSet) wait(name string) {
+	for {
+		p.mu.Lock()
+		if p.pins[name] == 0 {
+			p.mu.Unlock()
+			return
+		}
+		if p.waiters == nil {
+			p.waiters = make(map[string]chan struct{})
+		}
+		ch, ok := p.waiters[name]
+		if !ok {
+			ch = make(chan struct{})
+			p.waiters[name] = ch
+		}
+		p.mu.Unlock()
+		<-ch
+	}
+}
